@@ -1,0 +1,266 @@
+//! Shared infrastructure for the baseline trace compressors: the common
+//! codec trait, the VPC-trace framing they all assume, variable-length
+//! integer helpers, and the blockzip post-compression stage every
+//! algorithm feeds its output through (paper §2.1: "we modified \[them\]
+//! … to utilize a post-compression stage").
+
+/// Errors produced by baseline codecs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input trace is malformed (not header + whole records).
+    BadTrace(String),
+    /// The compressed container is malformed.
+    Corrupt(String),
+    /// The post-compression stage failed.
+    Post(blockzip::Error),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadTrace(m) => write!(f, "bad trace: {m}"),
+            CodecError::Corrupt(m) => write!(f, "corrupt container: {m}"),
+            CodecError::Post(e) => write!(f, "post-compression stage: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Post(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<blockzip::Error> for CodecError {
+    fn from(e: blockzip::Error) -> Self {
+        CodecError::Post(e)
+    }
+}
+
+/// A lossless, single-pass trace compressor operating on raw VPC-format
+/// trace bytes.
+pub trait TraceCompressor {
+    /// The algorithm's display name.
+    fn name(&self) -> &'static str;
+
+    /// Compresses a raw trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::BadTrace`] on malformed input.
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, CodecError>;
+
+    /// Decompresses output of [`Self::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::Corrupt`] on damaged containers.
+    fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, CodecError>;
+}
+
+/// Splits a VPC trace into header and records.
+///
+/// # Errors
+///
+/// Returns [`CodecError::BadTrace`] unless `raw` is a 4-byte header plus
+/// whole 12-byte records.
+pub fn split_vpc(raw: &[u8]) -> Result<(&[u8], &[u8]), CodecError> {
+    if raw.len() < 4 || !(raw.len() - 4).is_multiple_of(12) {
+        return Err(CodecError::BadTrace(format!(
+            "{} bytes is not a 4-byte header plus whole 12-byte records",
+            raw.len()
+        )));
+    }
+    Ok((&raw[..4], &raw[4..]))
+}
+
+/// Iterates `(pc, data)` pairs of a VPC record section.
+pub fn vpc_records(records: &[u8]) -> impl Iterator<Item = (u32, u64)> + '_ {
+    records.chunks_exact(12).map(|c| {
+        (
+            u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+            u64::from_le_bytes([c[4], c[5], c[6], c[7], c[8], c[9], c[10], c[11]]),
+        )
+    })
+}
+
+/// Appends one VPC record.
+pub fn push_record(out: &mut Vec<u8>, pc: u32, data: u64) {
+    out.extend_from_slice(&pc.to_le_bytes());
+    out.extend_from_slice(&data.to_le_bytes());
+}
+
+/// Writes a LEB128-style varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128-style varint, advancing `pos`.
+///
+/// # Errors
+///
+/// Returns `Err` on truncation or >10-byte encodings.
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte =
+            data.get(*pos).ok_or_else(|| CodecError::Corrupt("varint truncated".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(CodecError::Corrupt("varint too long".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Frames named byte streams and post-compresses each with blockzip:
+/// `u8 n_streams { u32 len, blockzip bytes }*`.
+pub fn pack_streams(streams: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(streams.len() as u8);
+    for s in streams {
+        let packed = blockzip::compress(s);
+        out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&packed);
+    }
+    out
+}
+
+/// Reverses [`pack_streams`].
+///
+/// # Errors
+///
+/// Returns [`CodecError::Corrupt`] on framing damage and propagates
+/// blockzip failures.
+pub fn unpack_streams(data: &[u8], expected: usize) -> Result<Vec<Vec<u8>>, CodecError> {
+    let mut pos = 0usize;
+    let n =
+        *data.first().ok_or_else(|| CodecError::Corrupt("empty container".into()))? as usize;
+    pos += 1;
+    if n != expected {
+        return Err(CodecError::Corrupt(format!("expected {expected} streams, found {n}")));
+    }
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        if pos + 4 > data.len() {
+            return Err(CodecError::Corrupt("stream length truncated".into()));
+        }
+        let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]])
+            as usize;
+        pos += 4;
+        if pos + len > data.len() {
+            return Err(CodecError::Corrupt("stream body truncated".into()));
+        }
+        streams.push(blockzip::decompress(&data[pos..pos + len])?);
+        pos += len;
+    }
+    Ok(streams)
+}
+
+/// Test helpers shared by the baseline codec test modules.
+#[cfg(test)]
+pub mod tests_support {
+    use super::{push_record, TraceCompressor};
+
+    /// A strided trace: looping PCs, arithmetic data.
+    pub fn strided_trace(n: usize) -> Vec<u8> {
+        let mut raw = vec![1, 2, 3, 4];
+        for i in 0..n as u64 {
+            push_record(&mut raw, 0x40_0000 + (i as u32 % 8) * 4, 0x10_0000 + i * 8);
+        }
+        raw
+    }
+
+    /// A trace of pseudo-random PCs and data.
+    pub fn random_trace(n: usize, seed: u64) -> Vec<u8> {
+        let mut raw = vec![5, 6, 7, 8];
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            push_record(&mut raw, (x as u32) & 0xff_fffc, x.rotate_left(21));
+        }
+        raw
+    }
+
+    /// Asserts compress ∘ decompress = id.
+    pub fn roundtrip(codec: &dyn TraceCompressor, raw: &[u8]) {
+        let packed = codec.compress(raw).unwrap();
+        assert_eq!(
+            codec.decompress(&packed).unwrap(),
+            raw,
+            "{} failed to roundtrip {} bytes",
+            codec.name(),
+            raw.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncation_is_error() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn split_vpc_validates_framing() {
+        assert!(split_vpc(&[0; 4]).is_ok());
+        assert!(split_vpc(&[0; 16]).is_ok());
+        assert!(split_vpc(&[0; 3]).is_err());
+        assert!(split_vpc(&[0; 17]).is_err());
+    }
+
+    #[test]
+    fn record_iteration() {
+        let mut out = Vec::new();
+        push_record(&mut out, 0x40_0000, 0xdead_beef);
+        push_record(&mut out, 0x40_0004, 7);
+        let recs: Vec<_> = vpc_records(&out).collect();
+        assert_eq!(recs, vec![(0x40_0000, 0xdead_beef), (0x40_0004, 7)]);
+    }
+
+    #[test]
+    fn stream_packing_roundtrip() {
+        let a = vec![1u8; 1000];
+        let b: Vec<u8> = (0..=255).collect();
+        let packed = pack_streams(&[&a, &b]);
+        let unpacked = unpack_streams(&packed, 2).unwrap();
+        assert_eq!(unpacked, vec![a, b]);
+        assert!(unpack_streams(&packed, 3).is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! PDATS II (Johnson 1999), adapted as in the paper's §2.1.
+//!
+//! Each record is encoded as a header byte plus variable-width PC and
+//! data offsets, with run-length coding of repeated offset pairs. Per the
+//! paper's adaptations: there is no read/write distinction (our traces
+//! contain one access type), the freed header space encodes the common
+//! data offsets ±16/±32/±64 directly in the header, six- and eight-byte
+//! offsets are supported, and instruction (PC) offsets are stored in
+//! units of the default instruction stride (4 bytes).
+//!
+//! Header byte layout: `r ddd dppp` — 3 bits of PC offset code, 4 bits of
+//! data offset code, and a repeat flag; when the flag is set one extra
+//! byte holds 1–255 additional repetitions of the same offset pair.
+
+use crate::common::{
+    pack_streams, push_record, split_vpc, unpack_streams, vpc_records, CodecError,
+    TraceCompressor,
+};
+
+/// PC offset codes (3 bits).
+mod pc_code {
+    /// Offset 0.
+    pub const ZERO: u8 = 0;
+    /// The default instruction stride, +4.
+    pub const PLUS_STRIDE: u8 = 1;
+    /// Signed byte in units of 4.
+    pub const I8_STRIDES: u8 = 2;
+    /// Signed 2-byte offset in units of 4.
+    pub const I16_STRIDES: u8 = 3;
+    /// Signed byte (raw).
+    pub const I8: u8 = 4;
+    /// Signed 2-byte offset (raw).
+    pub const I16: u8 = 5;
+    /// Signed 4-byte offset (raw).
+    pub const I32: u8 = 6;
+}
+
+/// Data offset codes (4 bits).
+mod data_code {
+    /// Offset 0.
+    pub const ZERO: u8 = 0;
+    /// In-header offsets: +16, −16, +32, −32, +64, −64.
+    pub const SPECIAL_BASE: u8 = 1; // 1..=6
+    /// Signed byte.
+    pub const I8: u8 = 7;
+    /// Signed 2-byte offset.
+    pub const I16: u8 = 8;
+    /// Signed 4-byte offset.
+    pub const I32: u8 = 9;
+    /// Signed 6-byte offset.
+    pub const I48: u8 = 10;
+    /// Signed 8-byte offset.
+    pub const I64: u8 = 11;
+}
+
+const SPECIALS: [i64; 6] = [16, -16, 32, -32, 64, -64];
+const REPEAT_FLAG: u8 = 0x80;
+
+/// The adapted PDATS II codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pdats2;
+
+fn classify_pc(diff: i64) -> (u8, i64, usize) {
+    if diff == 0 {
+        (pc_code::ZERO, 0, 0)
+    } else if diff == 4 {
+        (pc_code::PLUS_STRIDE, 0, 0)
+    } else if diff % 4 == 0 && (-128..=127).contains(&(diff / 4)) {
+        (pc_code::I8_STRIDES, diff / 4, 1)
+    } else if diff % 4 == 0 && (-32768..=32767).contains(&(diff / 4)) {
+        (pc_code::I16_STRIDES, diff / 4, 2)
+    } else if (-128..=127).contains(&diff) {
+        (pc_code::I8, diff, 1)
+    } else if (-32768..=32767).contains(&diff) {
+        (pc_code::I16, diff, 2)
+    } else {
+        (pc_code::I32, diff, 4)
+    }
+}
+
+fn classify_data(diff: i64) -> (u8, i64, usize) {
+    if diff == 0 {
+        return (data_code::ZERO, 0, 0);
+    }
+    if let Some(i) = SPECIALS.iter().position(|&s| s == diff) {
+        return (data_code::SPECIAL_BASE + i as u8, 0, 0);
+    }
+    if (-128..=127).contains(&diff) {
+        (data_code::I8, diff, 1)
+    } else if (-32768..=32767).contains(&diff) {
+        (data_code::I16, diff, 2)
+    } else if (-(1i64 << 31)..(1i64 << 31)).contains(&diff) {
+        (data_code::I32, diff, 4)
+    } else if (-(1i64 << 47)..(1i64 << 47)).contains(&diff) {
+        (data_code::I48, diff, 6)
+    } else {
+        (data_code::I64, diff, 8)
+    }
+}
+
+fn write_signed(out: &mut Vec<u8>, v: i64, bytes: usize) {
+    out.extend_from_slice(&v.to_le_bytes()[..bytes]);
+}
+
+fn read_signed(data: &[u8], pos: &mut usize, bytes: usize) -> Result<i64, CodecError> {
+    let s = data
+        .get(*pos..*pos + bytes)
+        .ok_or_else(|| CodecError::Corrupt("offset truncated".into()))?;
+    *pos += bytes;
+    let mut buf = [0u8; 8];
+    buf[..bytes].copy_from_slice(s);
+    // Sign-extend from the top written byte.
+    let fill = if bytes > 0 && s[bytes - 1] & 0x80 != 0 { 0xff } else { 0x00 };
+    for b in &mut buf[bytes..] {
+        *b = fill;
+    }
+    Ok(i64::from_le_bytes(buf))
+}
+
+impl TraceCompressor for Pdats2 {
+    fn name(&self) -> &'static str {
+        "PDATS II"
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (header, records) = split_vpc(raw)?;
+        let mut body = Vec::with_capacity(records.len() / 4);
+        let mut prev_pc = 0u32;
+        let mut prev_data = 0u64;
+        let mut pending: Option<(i64, i64, u32)> = None; // (pc_diff, data_diff, extra repeats)
+
+        let flush = |body: &mut Vec<u8>, pc_diff: i64, data_diff: i64, repeats: u32| {
+            let (pcode, pval, pbytes) = classify_pc(pc_diff);
+            let (dcode, dval, dbytes) = classify_data(data_diff);
+            let mut repeats_left = repeats;
+            loop {
+                let chunk = repeats_left.min(255);
+                let mut head = pcode | (dcode << 3);
+                if chunk > 0 {
+                    head |= REPEAT_FLAG;
+                }
+                body.push(head);
+                if chunk > 0 {
+                    body.push(chunk as u8);
+                }
+                write_signed(body, pval, pbytes);
+                write_signed(body, dval, dbytes);
+                if repeats_left <= 255 {
+                    break;
+                }
+                // Remaining repetitions become fresh records (rare).
+                repeats_left -= chunk + 1;
+            }
+        };
+
+        for (pc, data) in vpc_records(records) {
+            let pc_diff = i64::from(pc) - i64::from(prev_pc);
+            // Wrapping 64-bit difference interpreted as signed.
+            let data_diff = data.wrapping_sub(prev_data) as i64;
+            prev_pc = pc;
+            prev_data = data;
+            match pending {
+                Some((p, d, n)) if p == pc_diff && d == data_diff => {
+                    pending = Some((p, d, n + 1));
+                }
+                Some((p, d, n)) => {
+                    flush(&mut body, p, d, n);
+                    pending = Some((pc_diff, data_diff, 0));
+                }
+                None => pending = Some((pc_diff, data_diff, 0)),
+            }
+        }
+        if let Some((p, d, n)) = pending {
+            flush(&mut body, p, d, n);
+        }
+
+        let mut out = header.to_vec();
+        out.extend_from_slice(&pack_streams(&[&body]));
+        Ok(out)
+    }
+
+    fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if packed.len() < 4 {
+            return Err(CodecError::Corrupt("missing header".into()));
+        }
+        let mut out = packed[..4].to_vec();
+        let body = unpack_streams(&packed[4..], 1)?.remove(0);
+        let mut pos = 0usize;
+        let mut pc = 0u32;
+        let mut data = 0u64;
+        while pos < body.len() {
+            let head = body[pos];
+            pos += 1;
+            let repeats = if head & REPEAT_FLAG != 0 {
+                let r = *body
+                    .get(pos)
+                    .ok_or_else(|| CodecError::Corrupt("repeat byte truncated".into()))?;
+                pos += 1;
+                u32::from(r)
+            } else {
+                0
+            };
+            let pcode = head & 0x07;
+            let dcode = (head >> 3) & 0x0f;
+            let pc_diff = match pcode {
+                pc_code::ZERO => 0,
+                pc_code::PLUS_STRIDE => 4,
+                pc_code::I8_STRIDES => read_signed(&body, &mut pos, 1)? * 4,
+                pc_code::I16_STRIDES => read_signed(&body, &mut pos, 2)? * 4,
+                pc_code::I8 => read_signed(&body, &mut pos, 1)?,
+                pc_code::I16 => read_signed(&body, &mut pos, 2)?,
+                pc_code::I32 => read_signed(&body, &mut pos, 4)?,
+                c => return Err(CodecError::Corrupt(format!("bad pc code {c}"))),
+            };
+            let data_diff = match dcode {
+                data_code::ZERO => 0,
+                c @ 1..=6 => SPECIALS[(c - data_code::SPECIAL_BASE) as usize],
+                data_code::I8 => read_signed(&body, &mut pos, 1)?,
+                data_code::I16 => read_signed(&body, &mut pos, 2)?,
+                data_code::I32 => read_signed(&body, &mut pos, 4)?,
+                data_code::I48 => read_signed(&body, &mut pos, 6)?,
+                data_code::I64 => read_signed(&body, &mut pos, 8)?,
+                c => return Err(CodecError::Corrupt(format!("bad data code {c}"))),
+            };
+            for _ in 0..=repeats {
+                pc = pc.wrapping_add(pc_diff as u32);
+                data = data.wrapping_add(data_diff as u64);
+                push_record(&mut out, pc, data);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{random_trace, roundtrip, strided_trace};
+
+    #[test]
+    fn roundtrip_strided() {
+        roundtrip(&Pdats2, &strided_trace(5_000));
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        roundtrip(&Pdats2, &random_trace(5_000, 7));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&Pdats2, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn repeated_offset_pairs_are_run_length_coded() {
+        // Constant (pc, data) stride: everything collapses into repeat
+        // records — a handful of bytes before post-compression.
+        let mut raw = vec![0u8; 4];
+        for i in 0..10_000u64 {
+            crate::common::push_record(&mut raw, 0x1000 + (i as u32) * 4, 0x2000 + i * 16);
+        }
+        let packed = Pdats2.compress(&raw).unwrap();
+        assert!(
+            packed.len() * 100 < raw.len(),
+            "run-length coding should dominate: {} -> {}",
+            raw.len(),
+            packed.len()
+        );
+        roundtrip(&Pdats2, &raw);
+    }
+
+    #[test]
+    fn special_offsets_take_no_extra_bytes() {
+        for special in [16i64, -16, 32, -32, 64, -64] {
+            let (code, _, bytes) = classify_data(special);
+            assert!((1..=6).contains(&code), "{special} got code {code}");
+            assert_eq!(bytes, 0, "{special} needs no offset bytes");
+        }
+    }
+
+    #[test]
+    fn pc_offsets_use_stride_units() {
+        let (code, val, _) = classify_pc(400); // 100 instructions ahead
+        assert_eq!(code, pc_code::I8_STRIDES);
+        assert_eq!(val, 100);
+    }
+
+    #[test]
+    fn long_runs_split_at_255() {
+        let mut raw = vec![0u8; 4];
+        for _ in 0..1_000u32 {
+            crate::common::push_record(&mut raw, 0x1000, 0x2000);
+        }
+        roundtrip(&Pdats2, &raw);
+    }
+
+    #[test]
+    fn extreme_data_jumps_use_eight_bytes() {
+        let mut raw = vec![0u8; 4];
+        crate::common::push_record(&mut raw, 0, 0);
+        crate::common::push_record(&mut raw, 0, u64::MAX / 2);
+        crate::common::push_record(&mut raw, 0, 3);
+        roundtrip(&Pdats2, &raw);
+    }
+}

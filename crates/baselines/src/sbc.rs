@@ -1,0 +1,268 @@
+//! SBC — Stream-Based Compression (Milenkovic & Milenkovic), adapted as
+//! in the paper's §2.1.
+//!
+//! An *instruction stream* is redefined for our traces as "a sequence in
+//! which each subsequent instruction has a higher PC than the previous
+//! instruction and the difference between subsequent PCs is less than a
+//! preset threshold" of four instructions (16 bytes). A stream table maps
+//! each distinct PC sequence to an index; occurrences in the trace are
+//! replaced by that index. Data addresses are compressed with per-PC
+//! stride records (stride plus repetition behaviour), the mechanism SBC
+//! attaches to its streams.
+//!
+//! Output streams (each blockzip post-compressed): stream indices,
+//! stream-table definitions, per-record data control bits, and escaped
+//! data values.
+
+use std::collections::HashMap;
+
+use crate::common::{
+    pack_streams, push_record, read_varint, split_vpc, unpack_streams, vpc_records,
+    write_varint, CodecError, TraceCompressor,
+};
+
+/// Maximum PC gap (bytes) within one instruction stream: four
+/// instructions of four bytes.
+const GAP_LIMIT: u32 = 16;
+/// Maximum records per stream (SBC bounds stream length with one byte).
+const MAX_STREAM_LEN: usize = 255;
+
+/// The adapted SBC codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sbc;
+
+/// Per-PC data-address state: last address and last stride.
+#[derive(Debug, Clone, Copy, Default)]
+struct DataState {
+    last: u64,
+    stride: u64,
+}
+
+/// Cuts the PC sequence into instruction streams per the adapted rule.
+fn cut_streams(pcs: &[u32]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=pcs.len() {
+        let continues = i < pcs.len()
+            && pcs[i] > pcs[i - 1]
+            && pcs[i] - pcs[i - 1] <= GAP_LIMIT
+            && i - start < MAX_STREAM_LEN;
+        if !continues {
+            spans.push((start, i));
+            start = i;
+        }
+    }
+    spans
+}
+
+impl TraceCompressor for Sbc {
+    fn name(&self) -> &'static str {
+        "SBC"
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (header, record_bytes) = split_vpc(raw)?;
+        let records: Vec<(u32, u64)> = vpc_records(record_bytes).collect();
+        let pcs: Vec<u32> = records.iter().map(|&(pc, _)| pc).collect();
+
+        let mut table: HashMap<Vec<u32>, u64> = HashMap::new();
+        let mut indices = Vec::new();
+        let mut definitions = Vec::new();
+        let mut controls = Vec::new();
+        let mut values = Vec::new();
+        let mut data_states: HashMap<u32, DataState> = HashMap::new();
+
+        for (start, end) in cut_streams(&pcs) {
+            let key = &pcs[start..end];
+            match table.get(key) {
+                Some(&idx) => write_varint(&mut indices, idx + 1),
+                None => {
+                    let idx = table.len() as u64;
+                    table.insert(key.to_vec(), idx);
+                    write_varint(&mut indices, 0);
+                    definitions.push((end - start) as u8);
+                    definitions.extend_from_slice(&key[0].to_le_bytes());
+                    for w in key.windows(2) {
+                        definitions.push((w[1] - w[0]) as u8);
+                    }
+                }
+            }
+            // Data addresses: per-PC stride prediction with escapes.
+            for &(pc, data) in &records[start..end] {
+                let state = data_states.entry(pc).or_default();
+                let predicted = state.last.wrapping_add(state.stride);
+                if data == predicted {
+                    controls.push(1u8);
+                } else {
+                    controls.push(0u8);
+                    values.extend_from_slice(&data.to_le_bytes());
+                    state.stride = data.wrapping_sub(state.last);
+                }
+                state.last = data;
+            }
+        }
+
+        let mut out = header.to_vec();
+        out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+        out.extend_from_slice(&pack_streams(&[&indices, &definitions, &controls, &values]));
+        Ok(out)
+    }
+
+    fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if packed.len() < 8 {
+            return Err(CodecError::Corrupt("missing header".into()));
+        }
+        let mut out = packed[..4].to_vec();
+        let n_records =
+            u32::from_le_bytes([packed[4], packed[5], packed[6], packed[7]]) as usize;
+        let streams = unpack_streams(&packed[8..], 4)?;
+        let (indices, definitions, controls, values) =
+            (&streams[0], &streams[1], &streams[2], &streams[3]);
+
+        let mut table: Vec<Vec<u32>> = Vec::new();
+        let mut ipos = 0usize;
+        let mut dpos = 0usize;
+        let mut cpos = 0usize;
+        let mut vpos = 0usize;
+        let mut data_states: HashMap<u32, DataState> = HashMap::new();
+        let mut emitted = 0usize;
+
+        while emitted < n_records {
+            let token = read_varint(indices, &mut ipos)?;
+            let stream_pcs: &[u32] = if token == 0 {
+                let len = *definitions
+                    .get(dpos)
+                    .ok_or_else(|| CodecError::Corrupt("definition truncated".into()))?
+                    as usize;
+                dpos += 1;
+                let first = definitions
+                    .get(dpos..dpos + 4)
+                    .ok_or_else(|| CodecError::Corrupt("definition pc truncated".into()))?;
+                dpos += 4;
+                let mut pcs =
+                    vec![u32::from_le_bytes([first[0], first[1], first[2], first[3]])];
+                for _ in 1..len {
+                    let delta = *definitions.get(dpos).ok_or_else(|| {
+                        CodecError::Corrupt("definition delta truncated".into())
+                    })?;
+                    dpos += 1;
+                    pcs.push(pcs.last().expect("nonempty") + u32::from(delta));
+                }
+                table.push(pcs);
+                table.last().expect("just pushed")
+            } else {
+                table.get((token - 1) as usize).ok_or_else(|| {
+                    CodecError::Corrupt(format!("stream index {token} unknown"))
+                })?
+            };
+            let mut recs = Vec::with_capacity(stream_pcs.len());
+            for &pc in stream_pcs {
+                let control = *controls
+                    .get(cpos)
+                    .ok_or_else(|| CodecError::Corrupt("control stream truncated".into()))?;
+                cpos += 1;
+                let state = data_states.entry(pc).or_default();
+                let data = if control == 1 {
+                    state.last.wrapping_add(state.stride)
+                } else {
+                    let v = values
+                        .get(vpos..vpos + 8)
+                        .ok_or_else(|| CodecError::Corrupt("value stream truncated".into()))?;
+                    vpos += 8;
+                    let d =
+                        u64::from_le_bytes([v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]]);
+                    state.stride = d.wrapping_sub(state.last);
+                    d
+                };
+                state.last = data;
+                recs.push((pc, data));
+            }
+            for (pc, data) in recs {
+                push_record(&mut out, pc, data);
+                emitted += 1;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{random_trace, roundtrip, strided_trace};
+
+    #[test]
+    fn roundtrip_strided() {
+        roundtrip(&Sbc, &strided_trace(5_000));
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        roundtrip(&Sbc, &random_trace(5_000, 99));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&Sbc, &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn stream_cutting_respects_gap_and_monotonicity() {
+        let pcs = [100, 104, 108, 200, 204, 203, 207];
+        let spans = cut_streams(&pcs);
+        // 108 -> 200 jumps too far; 204 -> 203 goes backwards.
+        assert_eq!(spans, vec![(0, 3), (3, 5), (5, 7)]);
+    }
+
+    #[test]
+    fn stream_cutting_caps_length() {
+        let pcs: Vec<u32> = (0..600u32).map(|i| i * 4).collect();
+        let spans = cut_streams(&pcs);
+        assert!(spans.iter().all(|(s, e)| e - s <= MAX_STREAM_LEN));
+        assert_eq!(spans.iter().map(|(s, e)| e - s).sum::<usize>(), 600);
+    }
+
+    #[test]
+    fn repeated_basic_blocks_share_table_entries() {
+        // A loop body repeated 1000 times: one definition, 999 indices.
+        let mut raw = vec![0u8; 4];
+        for i in 0..1_000u64 {
+            for k in 0..6u32 {
+                crate::common::push_record(
+                    &mut raw,
+                    0x1000 + k * 4,
+                    0x8000 + i * 64 + u64::from(k) * 8,
+                );
+            }
+            // Backward branch ends the stream.
+        }
+        let packed = Sbc.compress(&raw).unwrap();
+        assert!(
+            packed.len() * 20 < raw.len(),
+            "looping code should compress well: {} -> {}",
+            raw.len(),
+            packed.len()
+        );
+        roundtrip(&Sbc, &raw);
+    }
+
+    #[test]
+    fn strided_data_costs_little_after_warmup() {
+        // Per-PC constant strides: after the first two escapes per PC the
+        // control stream is all hits.
+        let mut raw = vec![0u8; 4];
+        for i in 0..2_000u64 {
+            crate::common::push_record(&mut raw, 0x2000, 0x1_0000 + i * 32);
+        }
+        let packed = Sbc.compress(&raw).unwrap();
+        roundtrip(&Sbc, &raw);
+        assert!(packed.len() * 20 < raw.len(), "{} -> {}", raw.len(), packed.len());
+    }
+
+    #[test]
+    fn truncated_container_is_error() {
+        let packed = Sbc.compress(&strided_trace(200)).unwrap();
+        assert!(Sbc.decompress(&packed[..6]).is_err());
+        assert!(Sbc.decompress(&packed[..packed.len() / 2]).is_err());
+    }
+}

@@ -1,0 +1,496 @@
+//! The SEQUITUR grammar-inference algorithm (Nevill-Manning & Witten):
+//! builds a context-free grammar from a symbol sequence online while
+//! maintaining two invariants:
+//!
+//! * **digram uniqueness** — no pair of adjacent symbols occurs more than
+//!   once in the grammar (overlapping occurrences excepted), and
+//! * **rule utility** — every rule other than the start rule is used at
+//!   least twice.
+//!
+//! Symbols live in an arena of doubly-linked nodes; each rule is a
+//! circular list headed by a guard node. The digram index maps a symbol
+//! pair to the arena node of its canonical occurrence.
+
+use std::collections::HashMap;
+
+/// A grammar symbol: terminal or rule reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sym {
+    /// A terminal with an opaque 32-bit id.
+    T(u32),
+    /// A reference to rule `RuleId`.
+    R(u32),
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    sym: Sym,
+    prev: u32,
+    next: u32,
+    /// Guard nodes carry the id of the rule they head.
+    guard_of: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Rule {
+    guard: u32,
+    refs: u32,
+    /// Live flag; deleted rules stay in the arena for id stability.
+    live: bool,
+}
+
+/// An online SEQUITUR grammar.
+#[derive(Debug, Default)]
+pub struct Grammar {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rules: Vec<Rule>,
+    digrams: HashMap<(Sym, Sym), u32>,
+}
+
+impl Grammar {
+    /// Creates a grammar with an empty start rule (rule 0).
+    pub fn new() -> Self {
+        let mut g = Self::default();
+        g.new_rule();
+        g
+    }
+
+    /// Appends a terminal to the start rule, restoring the invariants.
+    pub fn push(&mut self, terminal: u32) {
+        let guard = self.rules[0].guard;
+        let node = self.insert_before(guard, Sym::T(terminal));
+        let prev = self.nodes[node as usize].prev;
+        self.check(prev);
+    }
+
+    /// Number of live rules (including the start rule).
+    pub fn rule_count(&self) -> usize {
+        self.rules.iter().filter(|r| r.live).count()
+    }
+
+    /// Total symbols across all live rule bodies (grammar size).
+    pub fn grammar_size(&self) -> usize {
+        let mut size = 0;
+        for (rid, rule) in self.rules.iter().enumerate() {
+            if rule.live {
+                size += self.rule_symbols(rid as u32).len();
+            }
+        }
+        size
+    }
+
+    /// The body of rule `rid` as a symbol vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rid` is not a live rule.
+    pub fn rule_symbols(&self, rid: u32) -> Vec<Sym> {
+        let rule = &self.rules[rid as usize];
+        assert!(rule.live, "rule {rid} is not live");
+        let guard = rule.guard;
+        let mut out = Vec::new();
+        let mut cur = self.nodes[guard as usize].next;
+        while cur != guard {
+            out.push(self.nodes[cur as usize].sym);
+            cur = self.nodes[cur as usize].next;
+        }
+        out
+    }
+
+    /// All live rules as `(id, body)` pairs, start rule first.
+    pub fn rules(&self) -> Vec<(u32, Vec<Sym>)> {
+        (0..self.rules.len() as u32)
+            .filter(|&r| self.rules[r as usize].live)
+            .map(|r| (r, self.rule_symbols(r)))
+            .collect()
+    }
+
+    /// Expands the start rule back into the original terminal sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        // Iterative expansion with an explicit stack of (rule, position).
+        let mut stack: Vec<std::vec::IntoIter<Sym>> = vec![self.rule_symbols(0).into_iter()];
+        while let Some(top) = stack.last_mut() {
+            match top.next() {
+                Some(Sym::T(t)) => out.push(t),
+                Some(Sym::R(r)) => stack.push(self.rule_symbols(r).into_iter()),
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+        out
+    }
+
+    /// Verifies the invariants; returns a description of the first
+    /// violation. Test/diagnostic use.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // Rule utility: every non-start live rule referenced >= 2 times.
+        let mut counted = vec![0u32; self.rules.len()];
+        for (_, body) in self.rules() {
+            for sym in body {
+                if let Sym::R(r) = sym {
+                    counted[r as usize] += 1;
+                }
+            }
+        }
+        for (rid, rule) in self.rules.iter().enumerate() {
+            if rid != 0 && rule.live {
+                if counted[rid] < 2 {
+                    return Err(format!("rule {rid} used {} times", counted[rid]));
+                }
+                if counted[rid] != rule.refs {
+                    return Err(format!(
+                        "rule {rid} refcount {} but {} actual uses",
+                        rule.refs, counted[rid]
+                    ));
+                }
+            }
+        }
+        // Digram uniqueness. Equal-symbol digrams (x, x) are exempt: the
+        // algorithm's overlap rule ("if the repeated digram overlaps the
+        // indexed occurrence, do nothing" — exactly as in the reference
+        // sequitur.cc) can leave an unindexed (x, x) pair behind when its
+        // indexed twin is later substituted away, so strict uniqueness
+        // only holds for digrams of distinct symbols.
+        let mut seen: HashMap<(Sym, Sym), (u32, usize)> = HashMap::new();
+        for (rid, body) in self.rules() {
+            for (i, w) in body.windows(2).enumerate() {
+                let dg = (w[0], w[1]);
+                if w[0] == w[1] {
+                    continue;
+                }
+                if let Some(&(orid, oi)) = seen.get(&dg) {
+                    return Err(format!(
+                        "digram {dg:?} occurs in rule {orid}@{oi} and rule {rid}@{i}"
+                    ));
+                }
+                seen.insert(dg, (rid, i));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- internal machinery ----
+
+    fn alloc(&mut self, sym: Sym) -> u32 {
+        let node = Node { sym, prev: NIL, next: NIL, guard_of: NIL };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn new_rule(&mut self) -> u32 {
+        let rid = self.rules.len() as u32;
+        let guard = self.alloc(Sym::R(rid));
+        self.nodes[guard as usize].guard_of = rid;
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(Rule { guard, refs: 0, live: true });
+        rid
+    }
+
+    #[inline]
+    fn is_guard(&self, n: u32) -> bool {
+        self.nodes[n as usize].guard_of != NIL
+    }
+
+    #[inline]
+    fn sym(&self, n: u32) -> Sym {
+        self.nodes[n as usize].sym
+    }
+
+    #[inline]
+    fn next(&self, n: u32) -> u32 {
+        self.nodes[n as usize].next
+    }
+
+    #[inline]
+    fn prev(&self, n: u32) -> u32 {
+        self.nodes[n as usize].prev
+    }
+
+    /// Removes the digram-index entry anchored at `first` if it is the
+    /// canonical occurrence.
+    fn unindex(&mut self, first: u32) {
+        let second = self.next(first);
+        if first == NIL || second == NIL || self.is_guard(first) || self.is_guard(second) {
+            return;
+        }
+        let dg = (self.sym(first), self.sym(second));
+        if self.digrams.get(&dg) == Some(&first) {
+            self.digrams.remove(&dg);
+        }
+    }
+
+    /// Links `left` and `right`, clearing any digram entry that was
+    /// anchored at `left` under its previous neighbour.
+    fn join(&mut self, left: u32, right: u32) {
+        if self.nodes[left as usize].next != NIL {
+            self.unindex(left);
+        }
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+    }
+
+    /// Inserts a new `sym` node immediately before `at` and returns it.
+    fn insert_before(&mut self, at: u32, sym: Sym) -> u32 {
+        let node = self.alloc(sym);
+        if let Sym::R(r) = sym {
+            self.rules[r as usize].refs += 1;
+        }
+        let prev = self.prev(at);
+        self.join(prev, node);
+        self.join(node, at);
+        node
+    }
+
+    /// Unlinks and frees `n`, maintaining digram entries and refcounts.
+    /// Does not splice neighbours together — callers do that via `join`.
+    fn delete_node(&mut self, n: u32) {
+        let prev = self.prev(n);
+        let next = self.next(n);
+        self.unindex(prev);
+        self.unindex(n);
+        self.join(prev, next);
+        if let Sym::R(r) = self.sym(n) {
+            self.rules[r as usize].refs -= 1;
+        }
+        self.free.push(n);
+    }
+
+    /// Enforces digram uniqueness for the digram starting at `first`.
+    /// Returns true if a rewrite happened.
+    fn check(&mut self, first: u32) -> bool {
+        let second = self.next(first);
+        if self.is_guard(first) || self.is_guard(second) {
+            return false;
+        }
+        let dg = (self.sym(first), self.sym(second));
+        match self.digrams.get(&dg).copied() {
+            None => {
+                self.digrams.insert(dg, first);
+                false
+            }
+            Some(m) if m == first => false,
+            Some(m) if self.next(m) == first || self.next(first) == m => {
+                // Overlapping occurrences (e.g. aaa): leave alone.
+                false
+            }
+            Some(m) => {
+                self.handle_match(first, m);
+                true
+            }
+        }
+    }
+
+    /// `newer` and `older` anchor equal digrams at distinct positions.
+    fn handle_match(&mut self, newer: u32, older: u32) {
+        let older_prev = self.prev(older);
+        let older_next_next = self.next(self.next(older));
+        let reused: u32;
+        if self.is_guard(older_prev)
+            && self.is_guard(older_next_next)
+            && older_prev == older_next_next
+        {
+            // The older occurrence is exactly an existing rule's body.
+            reused = self.nodes[older_prev as usize].guard_of;
+            self.substitute(newer, reused);
+        } else {
+            // Make a new rule from the digram.
+            let rid = self.new_rule();
+            let guard = self.rules[rid as usize].guard;
+            let a = self.sym(older);
+            let b = self.sym(self.next(older));
+            let first_body = self.insert_before(guard, a);
+            self.insert_before(guard, b);
+            // Substituting the older occurrence first keeps the newer
+            // occurrence's node ids valid.
+            self.substitute(older, rid);
+            self.substitute(newer, rid);
+            self.digrams.insert((a, b), first_body);
+            reused = rid;
+        }
+        // Rule utility: substituting both digram occurrences may have
+        // dropped an inner rule's use count to one; inline such rules.
+        // (The reference implementation checks only the body's first
+        // symbol; the last symbol can be underused the same way.)
+        let guard = self.rules[reused as usize].guard;
+        let first_of_rule = self.next(guard);
+        if let Sym::R(inner) = self.sym(first_of_rule) {
+            if self.rules[inner as usize].refs == 1 {
+                self.expand_use(first_of_rule);
+            }
+        }
+        let last_of_rule = self.prev(guard);
+        if !self.is_guard(last_of_rule) {
+            if let Sym::R(inner) = self.sym(last_of_rule) {
+                if self.rules[inner as usize].refs == 1 {
+                    self.expand_use(last_of_rule);
+                }
+            }
+        }
+    }
+
+    /// Replaces the digram at `first` with a reference to rule `rid`,
+    /// then re-checks the new neighbouring digrams.
+    fn substitute(&mut self, first: u32, rid: u32) {
+        let prev = self.prev(first);
+        let second = self.next(first);
+        self.delete_node(first);
+        self.delete_node(second);
+        let node = self.insert_before(self.next(prev), Sym::R(rid));
+        debug_assert_eq!(self.prev(node), prev);
+        if !self.check(prev) {
+            self.check(node);
+        }
+    }
+
+    /// Inlines the single remaining use `node` of a once-used rule.
+    fn expand_use(&mut self, node: u32) {
+        let rid = match self.sym(node) {
+            Sym::R(r) => r,
+            Sym::T(_) => unreachable!("expand_use called on a terminal"),
+        };
+        debug_assert_eq!(self.rules[rid as usize].refs, 1);
+        let left = self.prev(node);
+        let right = self.next(node);
+        let guard = self.rules[rid as usize].guard;
+        let body_first = self.next(guard);
+        let body_last = self.prev(guard);
+        debug_assert!(body_first != guard, "expanding an empty rule");
+
+        // Unlink the reference node (clears its digram entries).
+        self.delete_node(node);
+        // Splice the body in place of the reference.
+        self.join(left, body_first);
+        self.join(body_last, right);
+        // Index the junction digrams.
+        if !self.is_guard(left) && !self.is_guard(body_first) {
+            let dg = (self.sym(left), self.sym(body_first));
+            self.digrams.insert(dg, left);
+        }
+        if !self.is_guard(body_last) && !self.is_guard(right) {
+            let dg = (self.sym(body_last), self.sym(right));
+            self.digrams.insert(dg, body_last);
+        }
+        // Retire the rule.
+        self.rules[rid as usize].live = false;
+        self.free.push(guard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(seq: &[u32]) -> Grammar {
+        let mut g = Grammar::new();
+        for &t in seq {
+            g.push(t);
+            g.check_invariants().unwrap_or_else(|e| {
+                panic!("invariant broken after pushing {t} of {seq:?}: {e}")
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn expands_to_input_simple() {
+        let seq: Vec<u32> = b"abcdbcabcd".iter().map(|&b| u32::from(b)).collect();
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+    }
+
+    #[test]
+    fn classic_abcdbc_creates_rule() {
+        // "abcdbc" -> S: a A d A, A: b c (the canonical SEQUITUR example)
+        let seq: Vec<u32> = b"abcdbc".iter().map(|&b| u32::from(b)).collect();
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+        assert_eq!(g.rule_count(), 2, "{:?}", g.rules());
+    }
+
+    #[test]
+    fn repetitive_input_gets_hierarchical_rules() {
+        let unit: Vec<u32> = b"abcde".iter().map(|&b| u32::from(b)).collect();
+        let mut seq = Vec::new();
+        for _ in 0..64 {
+            seq.extend_from_slice(&unit);
+        }
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+        // Grammar must be logarithmically smaller than the input.
+        assert!(
+            g.grammar_size() < seq.len() / 4,
+            "grammar size {} for input {}",
+            g.grammar_size(),
+            seq.len()
+        );
+        assert!(g.rule_count() > 2, "hierarchy expected");
+    }
+
+    #[test]
+    fn overlapping_digrams_are_not_rewritten() {
+        // "aaaa": overlapping 'aa' digrams must not loop or break.
+        let g = build(&[7, 7, 7, 7]);
+        assert_eq!(g.expand(), vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn long_runs_of_one_symbol() {
+        let seq = vec![3u32; 200];
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+        assert!(g.grammar_size() < 40, "run should compress, got {}", g.grammar_size());
+    }
+
+    #[test]
+    fn alternating_symbols() {
+        let seq: Vec<u32> = (0..200).map(|i| i % 2).collect();
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+        assert!(g.grammar_size() < 40);
+    }
+
+    #[test]
+    fn random_sequence_roundtrips() {
+        let mut x = 0x243f_6a88_85a3_08d3u64;
+        let seq: Vec<u32> = (0..2_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 59) as u32 // 5-bit alphabet: plenty of repeats
+            })
+            .collect();
+        let g = build(&seq);
+        assert_eq!(g.expand(), seq);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Grammar::new();
+        assert_eq!(g.expand(), Vec::<u32>::new());
+        let g = build(&[42]);
+        assert_eq!(g.expand(), vec![42]);
+    }
+
+    #[test]
+    fn rule_bodies_are_at_least_two_symbols() {
+        let seq: Vec<u32> = b"xyxyxyzxyzxyzzz".iter().map(|&b| u32::from(b)).collect();
+        let g = build(&seq);
+        for (rid, body) in g.rules() {
+            if rid != 0 {
+                assert!(body.len() >= 2, "rule {rid} has body {body:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! SEQUITUR (Larus "Whole Program Paths" style, via Nevill-Manning &
+//! Witten), adapted as in the paper's §2.1.
+//!
+//! Per the paper's adaptation: each 64-bit trace entry is mapped to a
+//! unique number (here: a dense terminal id via a hash map), and *two*
+//! grammars are constructed — one for the PC entries and one for the data
+//! entries. To cap memory usage, new grammars are started periodically
+//! (the paper restarts on unique-symbol/storage thresholds; we restart on
+//! a fixed record budget per segment). The serialized grammars are fed
+//! through the blockzip post-compression stage.
+
+pub mod grammar;
+
+use std::collections::HashMap;
+
+use crate::common::{
+    pack_streams, push_record, read_varint, split_vpc, unpack_streams, vpc_records,
+    write_varint, CodecError, TraceCompressor,
+};
+use grammar::{Grammar, Sym};
+
+/// The adapted SEQUITUR codec.
+#[derive(Debug, Clone, Copy)]
+pub struct Sequitur {
+    /// Records per grammar segment (memory cap / restart policy).
+    pub segment_records: usize,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self { segment_records: 65_536 }
+    }
+}
+
+/// Builds a grammar over dense terminal ids and serializes it together
+/// with the id → value table.
+fn encode_grammar(values: impl Iterator<Item = u64>, out: &mut Vec<u8>) {
+    let mut ids: HashMap<u64, u32> = HashMap::new();
+    let mut table: Vec<u64> = Vec::new();
+    let mut g = Grammar::new();
+    for v in values {
+        let id = *ids.entry(v).or_insert_with(|| {
+            table.push(v);
+            (table.len() - 1) as u32
+        });
+        g.push(id);
+    }
+    // Terminal table.
+    write_varint(out, table.len() as u64);
+    for &v in &table {
+        write_varint(out, v);
+    }
+    // Rules, with live-rule ids densified (start rule first).
+    let rules = g.rules();
+    let mut dense: HashMap<u32, u64> = HashMap::new();
+    for (i, (rid, _)) in rules.iter().enumerate() {
+        dense.insert(*rid, i as u64);
+    }
+    write_varint(out, rules.len() as u64);
+    for (_, body) in &rules {
+        write_varint(out, body.len() as u64);
+        for sym in body {
+            match *sym {
+                Sym::T(t) => write_varint(out, u64::from(t) << 1),
+                Sym::R(r) => write_varint(out, (dense[&r] << 1) | 1),
+            }
+        }
+    }
+}
+
+/// Parses and expands one serialized grammar.
+fn decode_grammar(data: &[u8], pos: &mut usize) -> Result<Vec<u64>, CodecError> {
+    let n_terminals = read_varint(data, pos)? as usize;
+    let mut table = Vec::with_capacity(n_terminals);
+    for _ in 0..n_terminals {
+        table.push(read_varint(data, pos)?);
+    }
+    let n_rules = read_varint(data, pos)? as usize;
+    if n_rules == 0 {
+        return Err(CodecError::Corrupt("grammar with no rules".into()));
+    }
+    let mut rules: Vec<Vec<u64>> = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let len = read_varint(data, pos)? as usize;
+        let mut body = Vec::with_capacity(len);
+        for _ in 0..len {
+            body.push(read_varint(data, pos)?);
+        }
+        rules.push(body);
+    }
+    // Expand rule 0 iteratively.
+    let mut out = Vec::new();
+    let mut stack = vec![rules[0].clone().into_iter()];
+    while let Some(top) = stack.last_mut() {
+        match top.next() {
+            None => {
+                stack.pop();
+            }
+            Some(code) if code & 1 == 0 => {
+                let t = (code >> 1) as usize;
+                let v = *table
+                    .get(t)
+                    .ok_or_else(|| CodecError::Corrupt(format!("terminal {t} out of range")))?;
+                out.push(v);
+            }
+            Some(code) => {
+                let r = (code >> 1) as usize;
+                if r >= rules.len() || stack.len() > rules.len() + 2 {
+                    return Err(CodecError::Corrupt(format!("bad rule reference {r}")));
+                }
+                stack.push(rules[r].clone().into_iter());
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl TraceCompressor for Sequitur {
+    fn name(&self) -> &'static str {
+        "SEQUITUR"
+    }
+
+    fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let (header, record_bytes) = split_vpc(raw)?;
+        let records: Vec<(u32, u64)> = vpc_records(record_bytes).collect();
+        let mut body = Vec::new();
+        let segments = records.chunks(self.segment_records.max(1));
+        write_varint(&mut body, segments.len() as u64);
+        for segment in segments {
+            write_varint(&mut body, segment.len() as u64);
+            // One grammar for the PC entries, one for the data entries.
+            encode_grammar(segment.iter().map(|&(pc, _)| u64::from(pc)), &mut body);
+            encode_grammar(segment.iter().map(|&(_, d)| d), &mut body);
+        }
+        let mut out = header.to_vec();
+        out.extend_from_slice(&pack_streams(&[&body]));
+        Ok(out)
+    }
+
+    fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if packed.len() < 4 {
+            return Err(CodecError::Corrupt("missing header".into()));
+        }
+        let mut out = packed[..4].to_vec();
+        let body = unpack_streams(&packed[4..], 1)?.remove(0);
+        let mut pos = 0usize;
+        let n_segments = read_varint(&body, &mut pos)? as usize;
+        for _ in 0..n_segments {
+            let n_records = read_varint(&body, &mut pos)? as usize;
+            let pcs = decode_grammar(&body, &mut pos)?;
+            let datas = decode_grammar(&body, &mut pos)?;
+            if pcs.len() != n_records || datas.len() != n_records {
+                return Err(CodecError::Corrupt(format!(
+                    "segment length mismatch: {} pcs, {} datas, {n_records} expected",
+                    pcs.len(),
+                    datas.len()
+                )));
+            }
+            for (pc, data) in pcs.iter().zip(&datas) {
+                push_record(&mut out, *pc as u32, *data);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::tests_support::{random_trace, roundtrip, strided_trace};
+
+    #[test]
+    fn roundtrip_strided() {
+        roundtrip(&Sequitur::default(), &strided_trace(5_000));
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        roundtrip(&Sequitur::default(), &random_trace(5_000, 5));
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        roundtrip(&Sequitur::default(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn roundtrip_multi_segment() {
+        let codec = Sequitur { segment_records: 100 };
+        roundtrip(&codec, &strided_trace(1_000));
+        roundtrip(&codec, &random_trace(1_000, 17));
+    }
+
+    #[test]
+    fn repeating_phrases_compress_extremely_well() {
+        // A repeated loop body is SEQUITUR's best case.
+        let mut raw = vec![0u8; 4];
+        for _ in 0..2_000u32 {
+            for k in 0..5u32 {
+                crate::common::push_record(&mut raw, 0x1000 + k * 4, u64::from(k) * 100);
+            }
+        }
+        let packed = Sequitur::default().compress(&raw).unwrap();
+        assert!(
+            packed.len() * 100 < raw.len(),
+            "repetitive trace: {} -> {}",
+            raw.len(),
+            packed.len()
+        );
+        roundtrip(&Sequitur::default(), &raw);
+    }
+
+    #[test]
+    fn strided_values_defeat_the_grammar() {
+        // Every data value distinct: the terminal table alone is as big
+        // as the input — the paper's explanation for SEQUITUR's weak
+        // showing on address traces.
+        let mut raw = vec![0u8; 4];
+        for i in 0..3_000u64 {
+            crate::common::push_record(&mut raw, 0x1000, 0x4_0000 + i * 8);
+        }
+        let seq = Sequitur::default().compress(&raw).unwrap();
+        let pdats = crate::pdats2::Pdats2.compress(&raw).unwrap();
+        assert!(
+            seq.len() > pdats.len() * 3,
+            "sequitur {} should lose badly to pdats {} on strides",
+            seq.len(),
+            pdats.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_rule_reference_is_error() {
+        let mut body = Vec::new();
+        write_varint(&mut body, 1); // one segment
+        write_varint(&mut body, 1); // one record
+                                    // pc grammar: 0 terminals, 1 rule with a dangling rule ref
+        write_varint(&mut body, 0);
+        write_varint(&mut body, 1);
+        write_varint(&mut body, 1);
+        write_varint(&mut body, (99 << 1) | 1);
+        let mut packed = vec![0, 0, 0, 0];
+        packed.extend_from_slice(&pack_streams(&[&body]));
+        assert!(Sequitur::default().decompress(&packed).is_err());
+    }
+}

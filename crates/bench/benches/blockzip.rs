@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the blockzip substrate: end-to-end
+//! compression/decompression and the individual pipeline stages.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn stream_like_data(n: usize) -> Vec<u8> {
+    // Mimics a predictor-code stream: long runs of a few hot codes with
+    // occasional misses.
+    let mut x = 0xfeed_beef_u64;
+    (0..n)
+        .map(|i| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x >> 60 > 1 {
+                (i / 97 % 3) as u8
+            } else {
+                (x >> 32) as u8
+            }
+        })
+        .collect()
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let data = stream_like_data(900_000);
+    let packed = blockzip::compress(&data);
+    let mut group = c.benchmark_group("blockzip");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("compress", |b| b.iter(|| blockzip::compress(&data)));
+    group.bench_function("decompress", |b| {
+        b.iter(|| blockzip::decompress(&packed).expect("decompress"))
+    });
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let data = stream_like_data(300_000);
+    let mut group = c.benchmark_group("blockzip-stages");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(10);
+    group.bench_function("suffix-array", |b| b.iter(|| blockzip::sais::suffix_array(&data)));
+    let transformed = blockzip::bwt::forward(&data);
+    group.bench_function("bwt-inverse", |b| b.iter(|| blockzip::bwt::inverse(&transformed)));
+    group.bench_function("mtf-encode", |b| b.iter(|| blockzip::mtf::encode(&transformed.data)));
+    let ranks = blockzip::mtf::encode(&transformed.data);
+    group.bench_function("rle-encode", |b| b.iter(|| blockzip::rle::encode(&ranks)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_stages);
+criterion_main!(benches);

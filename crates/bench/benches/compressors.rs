@@ -1,0 +1,58 @@
+//! Criterion benchmarks: compression and decompression throughput of all
+//! seven algorithms on one representative trace per trace type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcgen_bench::algorithms;
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+const RECORDS: usize = 20_000;
+
+fn representative(kind: TraceKind) -> Vec<u8> {
+    // gzip for stores, crafty for misses, equake for load values: one
+    // integer, one cache-hostile, one floating-point program.
+    let name = match kind {
+        TraceKind::StoreAddress => "gzip",
+        TraceKind::CacheMissAddress => "crafty",
+        TraceKind::LoadValue => "equake",
+    };
+    let program = suite().into_iter().find(|p| p.name == name).expect("program exists");
+    generate_trace(&program, kind, RECORDS).to_bytes()
+}
+
+fn bench_compress(c: &mut Criterion) {
+    for kind in TraceKind::ALL {
+        let raw = representative(kind);
+        let mut group = c.benchmark_group(format!("compress/{}", kind.label()));
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.sample_size(10);
+        for codec in algorithms() {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(codec.name()),
+                &raw,
+                |b, raw| b.iter(|| codec.compress(raw).expect("compress")),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    for kind in TraceKind::ALL {
+        let raw = representative(kind);
+        let mut group = c.benchmark_group(format!("decompress/{}", kind.label()));
+        group.throughput(Throughput::Bytes(raw.len() as u64));
+        group.sample_size(10);
+        for codec in algorithms() {
+            let packed = codec.compress(&raw).expect("compress");
+            group.bench_with_input(
+                BenchmarkId::from_parameter(codec.name()),
+                &packed,
+                |b, packed| b.iter(|| codec.decompress(packed).expect("decompress")),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

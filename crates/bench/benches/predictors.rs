@@ -1,0 +1,130 @@
+//! Criterion benchmarks for the predictor layer: per-record predict +
+//! update throughput of each predictor family, the hash function, and
+//! the §5.2 optimization ablations (fast vs from-scratch hashing, shared
+//! vs private tables).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tcgen_predictors::{fold, FieldBank, HashSpec, PredictorOptions};
+
+fn test_values(n: usize) -> Vec<(u64, u64)> {
+    let mut x = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = (x >> 7) & 0xffff;
+            let value = if i % 3 == 0 { x } else { 0x1000 + i as u64 * 8 };
+            (pc, value)
+        })
+        .collect()
+}
+
+fn bank_for(src: &str, options: PredictorOptions) -> FieldBank {
+    let spec = tcgen_spec::parse(src).unwrap();
+    FieldBank::new(&spec.fields[0], options)
+}
+
+fn drive(bank: &mut FieldBank, data: &[(u64, u64)]) -> u64 {
+    let mut hits = 0u64;
+    let mut predictions = Vec::with_capacity(16);
+    for &(pc, value) in data {
+        predictions.clear();
+        bank.predict_into(pc, &mut predictions);
+        if predictions.contains(&value) {
+            hits += 1;
+        }
+        bank.update(pc, value);
+    }
+    hits
+}
+
+fn bench_families(c: &mut Criterion) {
+    let data = test_values(50_000);
+    let specs = [
+        ("LV[4]", "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1: LV[4]};\nPC = Field 1;"),
+        ("FCM3[2]", "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1, L2 = 65536: FCM3[2]};\nPC = Field 1;"),
+        ("DFCM3[2]", "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1, L2 = 65536: DFCM3[2]};\nPC = Field 1;"),
+        ("VPC3 data mix", "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1, L2 = 65536: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};\nPC = Field 1;"),
+    ];
+    let mut group = c.benchmark_group("predictor-families");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.sample_size(20);
+    for (name, src) in specs {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || bank_for(src, PredictorOptions::default()),
+                |mut bank| drive(&mut bank, &data),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_ablation(c: &mut Criterion) {
+    let data = test_values(50_000);
+    let src = "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1, L2 = 65536: FCM3[2], FCM1[2]};\nPC = Field 1;";
+    let mut group = c.benchmark_group("hash-ablation");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.sample_size(20);
+    for (name, fast) in [("incremental", true), ("from-scratch", false)] {
+        let options = PredictorOptions { fast_hash: fast, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || bank_for(src, options),
+                |mut bank| drive(&mut bank, &data),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharing_ablation(c: &mut Criterion) {
+    let data = test_values(50_000);
+    let src = "TCgen Trace Specification;\n64-Bit Field 1 = {L1 = 1, L2 = 65536: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};\nPC = Field 1;";
+    let mut group = c.benchmark_group("table-sharing-ablation");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.sample_size(20);
+    for (name, shared) in [("shared", true), ("private", false)] {
+        let options = PredictorOptions { shared_tables: shared, ..Default::default() };
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || bank_for(src, options),
+                |mut bank| drive(&mut bank, &data),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let values: Vec<u64> = test_values(10_000).into_iter().map(|(_, v)| v).collect();
+    let mut group = c.benchmark_group("hash-primitives");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("fold-17", |b| {
+        b.iter(|| values.iter().map(|&v| fold(v, 17)).fold(0u64, |a, x| a ^ x))
+    });
+    let spec = HashSpec::new(64, 131_072, 3, true);
+    group.bench_function("advance-order-3", |b| {
+        let mut hashes = vec![0u32; 3];
+        b.iter(|| {
+            for &v in &values {
+                spec.advance(&mut hashes, spec.fold_value(v));
+            }
+            hashes[2]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_families,
+    bench_hash_ablation,
+    bench_sharing_ablation,
+    bench_fold
+);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! Regenerates every table and figure of the paper's evaluation (§7) on
+//! the synthetic trace corpus.
+//!
+//! ```text
+//! reproduce [--records N] [table1|fig6|fig7|fig8|table2|table3|all]
+//! ```
+//!
+//! `--records N` sets the base trace length (default 100000 records;
+//! each program scales it by its Table 1 size factor). Figures 6-8 print
+//! both absolute harmonic means and values relative to TCgen, sorted
+//! ascending per trace type exactly like the paper's bar charts.
+//! `--csv FILE` additionally writes the per-trace measurements of the
+//! figures as machine-readable rows.
+
+use std::collections::BTreeMap;
+
+use tcgen_bench::{
+    ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, tcgen_b, EngineCodec,
+    Measurement,
+};
+use tcgen_engine::EngineOptions;
+use tcgen_spec::presets;
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut records = 100_000usize;
+    let mut command = "all".to_string();
+    let mut csv: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                records = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--records needs a number"));
+                i += 2;
+            }
+            "--csv" => {
+                csv =
+                    Some(args.get(i + 1).cloned().unwrap_or_else(|| die("--csv needs a path")));
+                i += 2;
+            }
+            cmd => {
+                command = cmd.to_string();
+                i += 1;
+            }
+        }
+    }
+    CSV_PATH.set(csv).expect("set once");
+    match command.as_str() {
+        "table1" => table1(records),
+        "fig6" => figure(records, Metric::Rate),
+        "fig7" => figure(records, Metric::DecompressSpeed),
+        "fig8" => figure(records, Metric::CompressSpeed),
+        "table2" => table2(records),
+        "table3" => table3(records),
+        "all" => {
+            table1(records);
+            let all = measure_all(records);
+            dump_csv(&all);
+            figure_from(&all, Metric::Rate);
+            figure_from(&all, Metric::DecompressSpeed);
+            figure_from(&all, Metric::CompressSpeed);
+            table2(records);
+            table3(records);
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("reproduce: {message}");
+    std::process::exit(1)
+}
+
+static CSV_PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+
+/// Appends the per-trace measurements behind a figure as CSV rows:
+/// `algorithm,trace_kind,original_bytes,compressed_bytes,compress_s,decompress_s`.
+fn dump_csv(all: &AllResults) {
+    let Some(Some(path)) = CSV_PATH.get() else {
+        return;
+    };
+    let mut text = String::from(
+        "algorithm,trace_kind,original_bytes,compressed_bytes,compress_s,decompress_s
+",
+    );
+    for (name, per_kind) in all {
+        for (kind, ms) in per_kind {
+            for m in ms {
+                text.push_str(&format!(
+                    "{name},{kind},{},{},{:.6},{:.6}
+",
+                    m.original, m.compressed, m.compress_seconds, m.decompress_seconds
+                ));
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("reproduce: cannot write {path}: {e}");
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Metric {
+    Rate,
+    DecompressSpeed,
+    CompressSpeed,
+}
+
+impl Metric {
+    fn title(self) -> &'static str {
+        match self {
+            Metric::Rate => "Figure 6: harmonic-mean compression rates",
+            Metric::DecompressSpeed => "Figure 7: harmonic-mean decompression speeds (MB/s)",
+            Metric::CompressSpeed => "Figure 8: harmonic-mean compression speeds (MB/s)",
+        }
+    }
+
+    fn extract(self, m: &Measurement) -> f64 {
+        match self {
+            Metric::Rate => m.rate(),
+            Metric::DecompressSpeed => mb(m.decompress_speed()),
+            Metric::CompressSpeed => mb(m.compress_speed()),
+        }
+    }
+}
+
+/// Per-algorithm, per-kind measurements over the whole corpus.
+type AllResults = BTreeMap<&'static str, BTreeMap<&'static str, Vec<Measurement>>>;
+
+const KINDS: [TraceKind; 3] =
+    [TraceKind::StoreAddress, TraceKind::CacheMissAddress, TraceKind::LoadValue];
+
+fn measure_all(records: usize) -> AllResults {
+    let codecs = algorithms();
+    let mut results: AllResults = BTreeMap::new();
+    for kind in KINDS {
+        eprintln!("[generating {} traces]", kind.label());
+        let traces = corpus(kind, records);
+        for codec in &codecs {
+            eprintln!("[measuring {} on {}]", codec.name(), kind.label());
+            let entry =
+                results.entry(codec.name()).or_default().entry(kind.label()).or_default();
+            for (_, trace) in &traces {
+                entry.push(measure(codec.as_ref(), &trace.to_bytes()));
+            }
+        }
+    }
+    results
+}
+
+fn table1(records: usize) {
+    println!("Table 1: trace corpus (synthetic stand-ins, {records} base records)");
+    println!(
+        "{:<10} {:<5} {:<5} {:>16} {:>16} {:>16}",
+        "program", "lang", "type", "store addr (MB)", "cache miss (MB)", "load values (MB)"
+    );
+    for p in suite() {
+        let mut cells = Vec::new();
+        for kind in KINDS {
+            if p.includes(kind) {
+                let trace = generate_trace(&p, kind, records);
+                cells.push(format!("{:>16.1}", mb(trace.byte_len() as f64)));
+            } else {
+                cells.push(format!("{:>16}", "excluded"));
+            }
+        }
+        println!(
+            "{:<10} {:<5} {:<5} {} {} {}",
+            p.name,
+            p.lang,
+            if p.fp { "fp" } else { "int" },
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+    println!();
+}
+
+fn figure(records: usize, metric: Metric) {
+    let all = measure_all(records);
+    dump_csv(&all);
+    figure_from(&all, metric);
+}
+
+fn figure_from(all: &AllResults, metric: Metric) {
+    println!("{}", metric.title());
+    for kind in KINDS {
+        let mut rows: Vec<(&str, f64)> = all
+            .iter()
+            .map(|(name, per_kind)| {
+                let values: Vec<f64> =
+                    per_kind[kind.label()].iter().map(|m| metric.extract(m)).collect();
+                (*name, harmonic_mean(&values))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let tcgen = rows
+            .iter()
+            .find(|(name, _)| *name == "TCgen")
+            .map(|&(_, v)| v)
+            .expect("TCgen is always measured");
+        println!("  {}:", kind.label());
+        for (name, value) in rows {
+            println!(
+                "    {:<10} {:>12.3}   relative to TCgen: {:>7.3}",
+                name,
+                value,
+                value / tcgen
+            );
+        }
+    }
+    println!();
+}
+
+fn table2(records: usize) {
+    println!("Table 2: performance impact of TCgen's optimizations");
+    println!(
+        "{:<24} {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}   {:>8} {:>8} {:>8}",
+        "", "rate", "d.spd", "c.spd", "rate", "d.spd", "c.spd", "rate", "d.spd", "c.spd"
+    );
+    println!(
+        "{:<24} {:-^28}   {:-^28}   {:-^28}",
+        "", "store addresses", "cache miss addrs", "load values"
+    );
+    // Pre-generate the corpus once.
+    let traces: Vec<(TraceKind, Vec<Vec<u8>>)> = KINDS
+        .iter()
+        .map(|&kind| {
+            (kind, corpus(kind, records).into_iter().map(|(_, t)| t.to_bytes()).collect())
+        })
+        .collect();
+    for (label, options) in ablation_rows() {
+        let codec = EngineCodec::new("TCgen*", presets::TCGEN_A, options);
+        let mut cells = Vec::new();
+        for (_, kind_traces) in &traces {
+            let ms: Vec<Measurement> =
+                kind_traces.iter().map(|raw| measure(&codec, raw)).collect();
+            let rate = harmonic_mean(&ms.iter().map(Measurement::rate).collect::<Vec<_>>());
+            let dspd =
+                harmonic_mean(&ms.iter().map(|m| mb(m.decompress_speed())).collect::<Vec<_>>());
+            let cspd =
+                harmonic_mean(&ms.iter().map(|m| mb(m.compress_speed())).collect::<Vec<_>>());
+            cells.push(format!("{rate:>8.1} {dspd:>8.1} {cspd:>8.1}"));
+        }
+        println!("{:<24} {}   {}   {}", label, cells[0], cells[1], cells[2]);
+    }
+    println!();
+}
+
+fn table3(records: usize) {
+    println!("Table 3: harmonic-mean performance of TCgen(A) and TCgen(B)");
+    println!(
+        "{:<24} {:>9} {:>9}   {:>9} {:>9}   {:>9} {:>9}",
+        "trace", "rate A", "rate B", "d.spd A", "d.spd B", "c.spd A", "c.spd B"
+    );
+    let a = EngineCodec::new("TCgen(A)", presets::TCGEN_A, EngineOptions::tcgen());
+    let b = tcgen_b();
+    for kind in KINDS {
+        let traces = corpus(kind, records);
+        let mut stats = Vec::new();
+        for codec in [&a, &b] {
+            let ms: Vec<Measurement> =
+                traces.iter().map(|(_, t)| measure(codec, &t.to_bytes())).collect();
+            stats.push((
+                harmonic_mean(&ms.iter().map(Measurement::rate).collect::<Vec<_>>()),
+                harmonic_mean(&ms.iter().map(|m| mb(m.decompress_speed())).collect::<Vec<_>>()),
+                harmonic_mean(&ms.iter().map(|m| mb(m.compress_speed())).collect::<Vec<_>>()),
+            ));
+        }
+        println!(
+            "{:<24} {:>9.1} {:>9.1}   {:>9.1} {:>9.1}   {:>9.1} {:>9.1}",
+            kind.label(),
+            stats[0].0,
+            stats[1].0,
+            stats[0].1,
+            stats[1].1,
+            stats[0].2,
+            stats[1].2
+        );
+    }
+    println!();
+}

@@ -1,0 +1,205 @@
+//! MSB-first bit-level reader and writer used by the entropy coder.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits buffered in `acc`, aligned to the top.
+    acc: u64,
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 57` (single-call limit of the accumulator).
+    pub fn write(&mut self, value: u64, count: u32) {
+        assert!(count <= 57, "at most 57 bits per write, got {count}");
+        if count == 0 {
+            return;
+        }
+        debug_assert!(value < (1u64 << count), "value wider than count");
+        self.acc |= value << (64 - self.used - count);
+        self.used += count;
+        while self.used >= 8 {
+            self.bytes.push((self.acc >> 56) as u8);
+            self.acc <<= 8;
+            self.used -= 8;
+        }
+    }
+
+    /// Number of complete bytes plus any partial byte written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + u64::from(self.used)
+    }
+
+    /// Pads the final partial byte with zeros and returns the buffer.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.used > 0 {
+            self.bytes.push((self.acc >> 56) as u8);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    avail: u32,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0, acc: 0, avail: 0 }
+    }
+
+    fn refill(&mut self) {
+        while self.avail <= 56 && self.pos < self.bytes.len() {
+            self.acc |= u64::from(self.bytes[self.pos]) << (56 - self.avail);
+            self.pos += 1;
+            self.avail += 8;
+        }
+    }
+
+    /// Reads `count` bits, MSB first.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the input is exhausted before `count` bits are
+    /// available.
+    pub fn read(&mut self, count: u32) -> Result<u64, String> {
+        debug_assert!(count <= 57);
+        self.refill();
+        if self.avail < count {
+            return Err(format!(
+                "bitstream exhausted: wanted {count} bits, {} available",
+                self.avail
+            ));
+        }
+        let v = if count == 0 { 0 } else { self.acc >> (64 - count) };
+        self.acc <<= count;
+        self.avail -= count;
+        Ok(v)
+    }
+
+    /// Peeks up to `count` bits without consuming them, zero-padding past
+    /// the end of input.
+    pub fn peek(&mut self, count: u32) -> u64 {
+        debug_assert!(count <= 57);
+        self.refill();
+        if count == 0 {
+            0
+        } else {
+            self.acc >> (64 - count)
+        }
+    }
+
+    /// Consumes `count` bits previously examined with [`Self::peek`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if fewer than `count` bits remain.
+    pub fn consume(&mut self, count: u32) -> Result<(), String> {
+        if self.avail < count {
+            return Err("bitstream exhausted during consume".to_string());
+        }
+        self.acc <<= count;
+        self.avail -= count;
+        Ok(())
+    }
+
+    /// Bits remaining, counting buffered and unread bytes.
+    pub fn remaining_bits(&self) -> u64 {
+        u64::from(self.avail) + (self.bytes.len() - self.pos) as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xdead, 16);
+        w.write(1, 1);
+        w.write(0x123456789a, 40);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(3).unwrap(), 0b101);
+        assert_eq!(r.read(16).unwrap(), 0xdead);
+        assert_eq!(r.read(1).unwrap(), 1);
+        assert_eq!(r.read(40).unwrap(), 0x123456789a);
+    }
+
+    #[test]
+    fn zero_width_write_and_read() {
+        let mut w = BitWriter::new();
+        w.write(0, 0);
+        w.write(0b11, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read(0).unwrap(), 0);
+        assert_eq!(r.read(2).unwrap(), 0b11);
+    }
+
+    #[test]
+    fn exhaustion_is_error() {
+        let mut r = BitReader::new(&[0xff]);
+        assert_eq!(r.read(8).unwrap(), 0xff);
+        assert!(r.read(1).is_err());
+    }
+
+    #[test]
+    fn peek_then_consume() {
+        let mut w = BitWriter::new();
+        w.write(0b1100_1010, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek(4), 0b1100);
+        assert_eq!(r.peek(4), 0b1100, "peek must not consume");
+        r.consume(4).unwrap();
+        assert_eq!(r.read(4).unwrap(), 0b1010);
+    }
+
+    #[test]
+    fn peek_past_end_zero_pads() {
+        let mut r = BitReader::new(&[0b1000_0000]);
+        assert_eq!(r.peek(16), 0b1000_0000 << 8);
+    }
+
+    #[test]
+    fn bit_len_counts_partial_bytes() {
+        let mut w = BitWriter::new();
+        w.write(0b1, 1);
+        assert_eq!(w.bit_len(), 1);
+        w.write(0xff, 8);
+        assert_eq!(w.bit_len(), 9);
+        assert_eq!(w.into_bytes().len(), 2);
+    }
+
+    #[test]
+    fn many_single_bits() {
+        let mut w = BitWriter::new();
+        for i in 0..1000u64 {
+            w.write(i & 1, 1);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..1000u64 {
+            assert_eq!(r.read(1).unwrap(), i & 1);
+        }
+    }
+}

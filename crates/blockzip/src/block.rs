@@ -1,0 +1,255 @@
+//! Block framing: splits input into blocks, runs each through
+//! BWT → MTF → RLE2 → Huffman, and frames the result with lengths and a
+//! CRC-32 so corruption is detected on decompression.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::bwt;
+use crate::crc::crc32;
+use crate::groups;
+use crate::{mtf, rle, Error};
+
+/// File magic for the blockzip container.
+const MAGIC: &[u8; 4] = b"BZR1";
+/// Marker byte that introduces a block.
+const BLOCK_MARKER: u8 = 0x42;
+/// Marker byte that terminates the stream.
+const END_MARKER: u8 = 0x45;
+
+/// Compression level: determines the block size (`level * 100_000` bytes),
+/// mirroring BZIP2's `-1` … `-9` options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Level(u8);
+
+impl Level {
+    /// The strongest level (900 kB blocks), equivalent to `bzip2 --best`.
+    pub const BEST: Level = Level(9);
+    /// The fastest level (100 kB blocks).
+    pub const FAST: Level = Level(1);
+
+    /// Creates a level, clamping to the valid `1..=9` range.
+    pub fn new(level: u8) -> Self {
+        Level(level.clamp(1, 9))
+    }
+
+    /// Block size in bytes for this level.
+    pub fn block_size(self) -> usize {
+        usize::from(self.0) * 100_000
+    }
+}
+
+impl Default for Level {
+    fn default() -> Self {
+        Level::BEST
+    }
+}
+
+/// Compresses `data` at [`Level::BEST`].
+///
+/// # Examples
+///
+/// ```
+/// let data = b"compress me ".repeat(1000);
+/// let packed = blockzip::compress(&data);
+/// assert!(packed.len() < data.len() / 10);
+/// assert_eq!(blockzip::decompress(&packed).unwrap(), data);
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    compress_with(data, Level::BEST)
+}
+
+/// Compresses `data` with an explicit block-size level.
+pub fn compress_with(data: &[u8], level: Level) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 64);
+    out.extend_from_slice(MAGIC);
+    for chunk in data.chunks(level.block_size().max(1)) {
+        compress_block(chunk, &mut out);
+    }
+    out.push(END_MARKER);
+    out
+}
+
+fn compress_block(chunk: &[u8], out: &mut Vec<u8>) {
+    let transformed = bwt::forward(chunk);
+    let ranks = mtf::encode(&transformed.data);
+    let symbols = rle::encode(&ranks);
+
+    let mut bits = BitWriter::new();
+    groups::encode_symbols(&symbols, rle::ALPHABET, &mut bits);
+    let payload = bits.into_bytes();
+
+    out.push(BLOCK_MARKER);
+    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    out.extend_from_slice(&transformed.sentinel.to_le_bytes());
+    out.extend_from_slice(&crc32(chunk).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+}
+
+/// Decompresses a blockzip container produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the magic, framing, entropy stream, or CRC is
+/// invalid.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let mut cursor = Cursor { data, pos: 0 };
+    let magic = cursor.take(4)?;
+    if magic != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let mut out = Vec::new();
+    loop {
+        match cursor.take(1)?[0] {
+            END_MARKER => return Ok(out),
+            BLOCK_MARKER => decompress_block(&mut cursor, &mut out)?,
+            other => return Err(Error::Corrupt(format!("unexpected marker byte {other:#x}"))),
+        }
+    }
+}
+
+fn decompress_block(cursor: &mut Cursor<'_>, out: &mut Vec<u8>) -> Result<(), Error> {
+    let raw_len = cursor.take_u32()? as usize;
+    let sentinel = cursor.take_u32()?;
+    let expected_crc = cursor.take_u32()?;
+    let payload_len = cursor.take_u32()? as usize;
+    let payload = cursor.take(payload_len)?;
+
+    let mut bits = BitReader::new(payload);
+    let symbols = groups::decode_symbols(&mut bits, rle::ALPHABET).map_err(Error::Corrupt)?;
+    let ranks = rle::decode(&symbols).map_err(Error::Corrupt)?;
+    if ranks.len() != raw_len {
+        return Err(Error::Corrupt(format!(
+            "block length mismatch: header {raw_len}, decoded {}",
+            ranks.len()
+        )));
+    }
+    let transformed = bwt::Bwt { data: mtf::decode(&ranks), sentinel };
+    if (sentinel as usize) > transformed.data.len() {
+        return Err(Error::Corrupt(format!(
+            "sentinel row {sentinel} out of range for {raw_len}-byte block"
+        )));
+    }
+    let block = bwt::inverse(&transformed);
+    let actual_crc = crc32(&block);
+    if actual_crc != expected_crc {
+        return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    out.extend_from_slice(&block);
+    Ok(())
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        let packed = compress(b"");
+        assert_eq!(decompress(&packed).unwrap(), b"");
+        // magic + end marker only
+        assert_eq!(packed.len(), 5);
+    }
+
+    #[test]
+    fn small_inputs() {
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"hello, hello, hello");
+    }
+
+    #[test]
+    fn all_byte_values() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let data = b"0123456789".repeat(30_000); // 300 kB > FAST block size
+        let packed = compress_with(&data, Level::FAST);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn compresses_repetitive_data_well() {
+        let data = b"the same line over and over\n".repeat(10_000);
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 100 < data.len(),
+            "expected >100x on trivial data, got {} -> {}",
+            data.len(),
+            packed.len()
+        );
+    }
+
+    #[test]
+    fn incompressible_data_expands_bounded() {
+        let mut x = 0x853c49e6748fea9bu64;
+        let data: Vec<u8> = (0..100_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() + data.len() / 8 + 1024);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(decompress(b"NOPE\x45"), Err(Error::BadMagic)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let packed = compress(b"some data to compress");
+        for cut in [3, 5, 10, packed.len() - 1] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let data = b"integrity matters ".repeat(500);
+        let mut packed = compress(&data);
+        // Flip a bit somewhere inside the entropy payload.
+        let idx = packed.len() / 2;
+        packed[idx] ^= 0x10;
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn levels_trade_block_size() {
+        assert_eq!(Level::new(0), Level::FAST);
+        assert_eq!(Level::new(99), Level::BEST);
+        assert_eq!(Level::new(3).block_size(), 300_000);
+        assert_eq!(Level::default(), Level::BEST);
+    }
+}

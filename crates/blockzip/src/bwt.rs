@@ -1,0 +1,185 @@
+//! Burrows–Wheeler transform and its inverse.
+//!
+//! The transform is defined over the sentinel-terminated text `T$` where
+//! `$` is a unique symbol smaller than every byte. The sentinel itself is
+//! not stored in the output byte vector; instead its row index is returned
+//! alongside, which keeps the output alphabet at 256 symbols.
+
+use crate::sais::suffix_array;
+
+/// Result of a forward Burrows–Wheeler transform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bwt {
+    /// The transformed bytes (same length as the input).
+    pub data: Vec<u8>,
+    /// Row index of the virtual sentinel in the (len + 1)-row matrix.
+    pub sentinel: u32,
+}
+
+/// Applies the Burrows–Wheeler transform to `text`.
+///
+/// # Examples
+///
+/// ```
+/// let t = blockzip::bwt::forward(b"banana");
+/// assert_eq!(blockzip::bwt::inverse(&t), b"banana");
+/// ```
+pub fn forward(text: &[u8]) -> Bwt {
+    let sa = suffix_array(text);
+    let mut data = Vec::with_capacity(text.len());
+    let mut sentinel = 0u32;
+    for (row, &pos) in sa.iter().enumerate() {
+        if pos == 0 {
+            sentinel = row as u32;
+        } else {
+            data.push(text[(pos - 1) as usize]);
+        }
+    }
+    Bwt { data, sentinel }
+}
+
+/// Inverts a Burrows–Wheeler transform produced by [`forward`].
+///
+/// # Panics
+///
+/// Panics if `bwt.sentinel > bwt.data.len()`, which cannot happen for a
+/// value produced by [`forward`].
+pub fn inverse(bwt: &Bwt) -> Vec<u8> {
+    let n = bwt.data.len();
+    assert!(
+        (bwt.sentinel as usize) <= n,
+        "sentinel row {} out of range for {} bytes",
+        bwt.sentinel,
+        n
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = n + 1; // rows including the sentinel
+    let sentinel = bwt.sentinel as usize;
+
+    // The full last column L has the sentinel at `sentinel` and the data
+    // bytes at every other row. Compute LF in one pass: the sentinel is
+    // the unique smallest symbol, so C[sentinel-symbol] = 0 and every byte
+    // bucket is offset by one.
+    let mut counts = [0u32; 256];
+    for &b in &bwt.data {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0u32; 256];
+    let mut sum = 1u32; // row 0 of the first column is the sentinel
+    for c in 0..256 {
+        starts[c] = sum;
+        sum += counts[c];
+    }
+
+    // lf[row] = row of the previous character's rotation.
+    let mut lf = vec![0u32; m];
+    {
+        let mut seen = starts;
+        let mut data_iter = bwt.data.iter();
+        for (row, slot) in lf.iter_mut().enumerate() {
+            if row == sentinel {
+                *slot = 0; // the sentinel occurrence maps to first-column row 0
+            } else {
+                let b = *data_iter.next().expect("data shorter than row count") as usize;
+                *slot = seen[b];
+                seen[b] += 1;
+            }
+        }
+    }
+
+    // Row 0 starts with the sentinel, i.e. it is the rotation "$T"; its
+    // last-column character is the final byte of T. Walking LF yields the
+    // text back to front.
+    let mut out = vec![0u8; n];
+    let mut row = 0usize;
+    for k in (0..n).rev() {
+        // Translate the row back to an index into the stored data bytes.
+        let data_idx = if row > sentinel { row - 1 } else { row };
+        out[k] = bwt.data[data_idx];
+        row = lf[row] as usize;
+    }
+    debug_assert_eq!(row, sentinel, "inverse BWT walk must end at the sentinel row");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &[u8]) {
+        let t = forward(text);
+        assert_eq!(inverse(&t), text, "roundtrip failed for {:?}", text);
+    }
+
+    #[test]
+    fn known_banana_transform() {
+        // Matrix rows of "banana$": $banana, a$banan, ana$ban, anana$b,
+        // banana$, na$bana, nana$ba -> last column a,n,n,b,$,a,a with
+        // sentinel at row 4.
+        let t = forward(b"banana");
+        assert_eq!(t.data, b"annbaa");
+        assert_eq!(t.sentinel, 4);
+    }
+
+    #[test]
+    fn empty() {
+        roundtrip(b"");
+        let t = forward(b"");
+        assert_eq!(t.sentinel, 0);
+        assert!(t.data.is_empty());
+    }
+
+    #[test]
+    fn single() {
+        roundtrip(b"x");
+    }
+
+    #[test]
+    fn repeats() {
+        roundtrip(&[0u8; 500]);
+        roundtrip(&[255u8; 500]);
+    }
+
+    #[test]
+    fn all_bytes() {
+        let t: Vec<u8> = (0..=255).collect();
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn english() {
+        roundtrip(b"she sells sea shells by the sea shore");
+    }
+
+    #[test]
+    fn binary_mixture() {
+        let mut x = 1234567u64;
+        let t: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn groups_similar_contexts() {
+        // BWT of repetitive text should contain long runs.
+        let text = b"abcabcabcabcabcabcabcabcabcabc".repeat(10);
+        let t = forward(&text);
+        let mut max_run = 0;
+        let mut run = 1;
+        for w in t.data.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(max_run >= 50, "expected long runs, got {max_run}");
+    }
+}

@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE polynomial) for block integrity checks.
+
+/// Reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// Computes the CRC-32 checksum of `data`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(blockzip::crc::crc32(b"123456789"), 0xcbf43926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ POLY } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xe8b7_be43);
+        assert_eq!(crc32(b"abc"), 0x3524_41c2);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"hello world".to_vec();
+        let before = crc32(&data);
+        data[5] ^= 0x01;
+        assert_ne!(before, crc32(&data));
+    }
+}

@@ -1,0 +1,357 @@
+//! Multi-table Huffman coding with group selectors, as in BZIP2: the
+//! symbol stream is cut into groups of 50, up to six Huffman tables are
+//! refined iteratively so that different stream phases (long zero runs
+//! vs. literal-heavy stretches) get differently shaped codes, and a
+//! move-to-front + unary selector sequence records each group's table.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::huffman::{HuffmanDecoder, HuffmanEncoder, MAX_CODE_LEN};
+use crate::rle::EOB;
+
+/// Symbols per selector group (BZIP2's constant).
+pub const GROUP_SIZE: usize = 50;
+/// Maximum number of coding tables.
+pub const MAX_TABLES: usize = 6;
+/// Refinement passes over the group assignment.
+const PASSES: usize = 4;
+
+/// Chooses the table count for a stream length (BZIP2's thresholds).
+fn table_count(n_symbols: usize) -> usize {
+    match n_symbols {
+        0..=199 => 2,
+        200..=599 => 3,
+        600..=1199 => 4,
+        1200..=2399 => 5,
+        _ => MAX_TABLES,
+    }
+}
+
+/// Writes the used-symbol bitmap (a coarse word of 16-symbol blocks plus
+/// one fine 16-bit word per used block, as in BZIP2) and returns the
+/// dense used-symbol list.
+fn write_used_map(used: &[bool], w: &mut BitWriter) -> Vec<u16> {
+    let n_words = used.len().div_ceil(16);
+    let mut coarse = 0u32;
+    for (word, chunk) in used.chunks(16).enumerate() {
+        if chunk.iter().any(|&u| u) {
+            coarse |= 1 << word;
+        }
+    }
+    w.write(u64::from(coarse), n_words as u32);
+    for chunk in used.chunks(16) {
+        if chunk.iter().any(|&u| u) {
+            let mut fine = 0u16;
+            for (bit, &u) in chunk.iter().enumerate() {
+                if u {
+                    fine |= 1 << bit;
+                }
+            }
+            w.write(u64::from(fine), 16);
+        }
+    }
+    (0..used.len() as u16).filter(|&s| used[s as usize]).collect()
+}
+
+/// Reads the used-symbol bitmap written by [`write_used_map`].
+fn read_used_map(alphabet: usize, r: &mut BitReader<'_>) -> Result<Vec<u16>, String> {
+    let n_words = alphabet.div_ceil(16);
+    let coarse = r.read(n_words as u32)? as u32;
+    let mut dense = Vec::new();
+    for word in 0..n_words {
+        if coarse & (1 << word) == 0 {
+            continue;
+        }
+        let fine = r.read(16)? as u16;
+        for bit in 0..16usize {
+            let sym = word * 16 + bit;
+            if sym < alphabet && fine & (1 << bit) != 0 {
+                dense.push(sym as u16);
+            }
+        }
+    }
+    if dense.is_empty() {
+        return Err("empty used-symbol map".to_string());
+    }
+    Ok(dense)
+}
+
+/// Writes code lengths delta-coded as in BZIP2: a 5-bit starting length,
+/// then per symbol a walk of `1x` steps (`10` = +1, `11` = −1) ending in
+/// a `0` bit.
+fn write_lengths(enc: &HuffmanEncoder, dense: &[u16], w: &mut BitWriter) {
+    let mut cur = i32::from(enc.code_len(dense[0])).max(1);
+    w.write(cur as u64, 5);
+    for &sym in dense {
+        let target = i32::from(enc.code_len(sym)).max(1);
+        while cur != target {
+            w.write(1, 1);
+            if target > cur {
+                w.write(0, 1);
+                cur += 1;
+            } else {
+                w.write(1, 1);
+                cur -= 1;
+            }
+        }
+        w.write(0, 1);
+    }
+}
+
+/// Reads lengths written by [`write_lengths`] into a sparse table over
+/// the full alphabet.
+fn read_lengths(
+    dense: &[u16],
+    alphabet: usize,
+    r: &mut BitReader<'_>,
+) -> Result<Vec<u8>, String> {
+    let mut cur = r.read(5)? as i32;
+    let mut lengths = vec![0u8; alphabet];
+    for &sym in dense {
+        loop {
+            if !(1..=i32::from(MAX_CODE_LEN)).contains(&cur) {
+                return Err(format!("delta-coded length {cur} out of range"));
+            }
+            if r.read(1)? == 0 {
+                break;
+            }
+            if r.read(1)? == 0 {
+                cur += 1;
+            } else {
+                cur -= 1;
+            }
+        }
+        lengths[sym as usize] = cur as u8;
+    }
+    Ok(lengths)
+}
+
+/// Encodes `symbols` (terminated by [`EOB`]) with refined multi-table
+/// Huffman coding, writing the used-symbol map, tables, selectors, and
+/// payload to `w`.
+///
+/// # Panics
+///
+/// Panics if `symbols` is empty (the RLE stage always emits an EOB).
+pub fn encode_symbols(symbols: &[u16], alphabet: usize, w: &mut BitWriter) {
+    assert!(!symbols.is_empty(), "symbol stream must at least hold EOB");
+    let n_tables = table_count(symbols.len());
+    let n_groups = symbols.len().div_ceil(GROUP_SIZE);
+    let mut used = vec![false; alphabet];
+    for &s in symbols {
+        used[s as usize] = true;
+    }
+
+    // Initial assignment: contiguous frequency bands, like BZIP2 — split
+    // the stream into n_tables runs of roughly equal symbol counts.
+    let mut selectors: Vec<u8> =
+        (0..n_groups).map(|g| ((g * n_tables) / n_groups) as u8).collect();
+
+    let mut encoders: Vec<HuffmanEncoder> = Vec::new();
+    for _pass in 0..PASSES {
+        // Rebuild each table from the groups currently assigned to it.
+        let mut freqs = vec![vec![0u64; alphabet]; n_tables];
+        for (g, chunk) in symbols.chunks(GROUP_SIZE).enumerate() {
+            let t = selectors[g] as usize;
+            for &s in chunk {
+                freqs[t][s as usize] += 1;
+            }
+        }
+        // Every table must cover every *used* symbol so any group can be
+        // assigned to any table; unused symbols get no code at all.
+        encoders = freqs
+            .iter()
+            .map(|f| {
+                let padded: Vec<u64> =
+                    f.iter().zip(&used).map(|(&x, &u)| if u { x + 1 } else { 0 }).collect();
+                HuffmanEncoder::from_frequencies(&padded)
+            })
+            .collect();
+        // Reassign every group to its cheapest table.
+        for (g, chunk) in symbols.chunks(GROUP_SIZE).enumerate() {
+            let mut best = 0usize;
+            let mut best_cost = u64::MAX;
+            for (t, enc) in encoders.iter().enumerate() {
+                let cost: u64 = chunk.iter().map(|&s| u64::from(enc.code_len(s))).sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = t;
+                }
+            }
+            selectors[g] = best as u8;
+        }
+    }
+
+    // Header: used-symbol map, table count, group count.
+    let dense = write_used_map(&used, w);
+    w.write(n_tables as u64, 3);
+    w.write(n_groups as u64, 32);
+    // Selectors, move-to-front + unary coded.
+    let mut mtf: Vec<u8> = (0..n_tables as u8).collect();
+    for &sel in &selectors {
+        let rank = mtf.iter().position(|&t| t == sel).expect("selector in table");
+        for _ in 0..rank {
+            w.write(1, 1);
+        }
+        w.write(0, 1);
+        mtf.copy_within(0..rank, 1);
+        mtf[0] = sel;
+    }
+    // Tables, delta-coded over the used symbols only.
+    for enc in &encoders {
+        write_lengths(enc, &dense, w);
+    }
+    // Payload.
+    for (g, chunk) in symbols.chunks(GROUP_SIZE).enumerate() {
+        let enc = &encoders[selectors[g] as usize];
+        for &s in chunk {
+            enc.encode_symbol(s, w);
+        }
+    }
+}
+
+/// Decodes a stream written by [`encode_symbols`], stopping after the
+/// [`EOB`] symbol.
+///
+/// # Errors
+///
+/// Returns `Err` on malformed headers, selector streams, or codes.
+pub fn decode_symbols(r: &mut BitReader<'_>, alphabet: usize) -> Result<Vec<u16>, String> {
+    let dense = read_used_map(alphabet, r)?;
+    let n_tables = r.read(3)? as usize;
+    if !(2..=MAX_TABLES).contains(&n_tables) {
+        return Err(format!("bad table count {n_tables}"));
+    }
+    let n_groups = r.read(32)? as usize;
+    let mut selectors = Vec::with_capacity(n_groups);
+    let mut mtf: Vec<u8> = (0..n_tables as u8).collect();
+    for _ in 0..n_groups {
+        let mut rank = 0usize;
+        while r.read(1)? == 1 {
+            rank += 1;
+            if rank >= n_tables {
+                return Err("selector rank out of range".to_string());
+            }
+        }
+        let sel = mtf[rank];
+        mtf.copy_within(0..rank, 1);
+        mtf[0] = sel;
+        selectors.push(sel);
+    }
+    let mut decoders = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let lengths = read_lengths(&dense, alphabet, r)?;
+        decoders.push(HuffmanDecoder::from_lengths(&lengths)?);
+    }
+    let mut out = Vec::with_capacity(n_groups * GROUP_SIZE);
+    'groups: for &sel in &selectors {
+        let dec = &decoders[sel as usize];
+        for _ in 0..GROUP_SIZE {
+            let sym = dec.decode_symbol(r)?;
+            let done = sym == EOB;
+            out.push(sym);
+            if done {
+                break 'groups;
+            }
+        }
+    }
+    if out.last() != Some(&EOB) {
+        return Err("stream ended without EOB".to_string());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rle::ALPHABET;
+
+    fn roundtrip(symbols: &[u16]) {
+        let mut w = BitWriter::new();
+        encode_symbols(symbols, ALPHABET, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decode_symbols(&mut r, ALPHABET).unwrap(), symbols);
+    }
+
+    fn with_eob(mut v: Vec<u16>) -> Vec<u16> {
+        v.push(EOB);
+        v
+    }
+
+    #[test]
+    fn minimal_stream() {
+        roundtrip(&[EOB]);
+        roundtrip(&with_eob(vec![0]));
+    }
+
+    #[test]
+    fn single_group() {
+        roundtrip(&with_eob(vec![3; 30]));
+    }
+
+    #[test]
+    fn exact_group_boundary() {
+        roundtrip(&with_eob(vec![5; GROUP_SIZE - 1])); // EOB lands at slot 50
+        roundtrip(&with_eob(vec![5; GROUP_SIZE]));
+        roundtrip(&with_eob(vec![5; GROUP_SIZE * 2 - 1]));
+    }
+
+    #[test]
+    fn phase_changing_stream_uses_multiple_tables() {
+        // Alternating phases: zero-run digits, then wide literals.
+        let mut symbols = Vec::new();
+        for phase in 0..40 {
+            if phase % 2 == 0 {
+                symbols.extend(std::iter::repeat_n(0u16, 120));
+            } else {
+                symbols.extend((2..122u16).map(|v| v % 250 + 2));
+            }
+        }
+        roundtrip(&with_eob(symbols.clone()));
+
+        // Multi-table coding should not be (meaningfully) worse than a
+        // single table on this stream, and usually better.
+        let all = with_eob(symbols);
+        let mut multi = BitWriter::new();
+        encode_symbols(&all, ALPHABET, &mut multi);
+        let mut freqs = vec![0u64; ALPHABET];
+        for &s in &all {
+            freqs[s as usize] += 1;
+        }
+        let single = HuffmanEncoder::from_frequencies(&freqs);
+        let mut sw = BitWriter::new();
+        single.write_table(&mut sw);
+        for &s in &all {
+            single.encode_symbol(s, &mut sw);
+        }
+        let multi_len = multi.into_bytes().len();
+        let single_len = sw.into_bytes().len();
+        assert!(
+            multi_len < single_len + single_len / 10,
+            "multi {multi_len} vs single {single_len}"
+        );
+    }
+
+    #[test]
+    fn pseudorandom_symbols() {
+        let mut x = 88172645463325252u64;
+        let symbols: Vec<u16> = (0..5_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 257) as u16
+            })
+            .collect();
+        roundtrip(&with_eob(symbols));
+    }
+
+    #[test]
+    fn truncated_stream_is_error() {
+        let mut w = BitWriter::new();
+        encode_symbols(&with_eob(vec![7; 500]), ALPHABET, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes[..bytes.len() / 2]);
+        assert!(decode_symbols(&mut r, ALPHABET).is_err());
+    }
+}

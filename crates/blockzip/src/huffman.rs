@@ -1,0 +1,389 @@
+//! Canonical, length-limited Huffman coding over a small symbol alphabet.
+//!
+//! Code lengths are produced by the classic two-queue Huffman construction;
+//! if the deepest code exceeds the limit, symbol frequencies are scaled
+//! down and the tree rebuilt (the strategy BZIP2 uses). Codes are assigned
+//! canonically by `(length, symbol)` so only the lengths need to be stored.
+
+use crate::bitio::{BitReader, BitWriter};
+
+/// Maximum code length accepted by the encoder and decoder.
+pub const MAX_CODE_LEN: u8 = 20;
+
+/// Width of the fast decoder lookup table, in bits.
+const PEEK_BITS: u32 = 12;
+
+/// Bits used to serialize one code length.
+const LEN_BITS: u32 = 5;
+
+/// Encoder half of a canonical Huffman code.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    lengths: Vec<u8>,
+    codes: Vec<u32>,
+}
+
+impl HuffmanEncoder {
+    /// Builds a length-limited code from symbol frequencies. Symbols with
+    /// zero frequency receive no code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every frequency is zero (there is nothing to code).
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let lengths = build_lengths(freqs, MAX_CODE_LEN);
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    /// Serializes the code lengths (5 bits each) to the bit stream.
+    pub fn write_table(&self, w: &mut BitWriter) {
+        for &len in &self.lengths {
+            w.write(u64::from(len), LEN_BITS);
+        }
+    }
+
+    /// Emits the code for `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` had zero frequency when the code was built.
+    pub fn encode_symbol(&self, sym: u16, w: &mut BitWriter) {
+        let len = self.lengths[sym as usize];
+        assert!(len > 0, "symbol {sym} has no code");
+        w.write(u64::from(self.codes[sym as usize]), u32::from(len));
+    }
+
+    /// The code length assigned to `sym` (0 if absent).
+    pub fn code_len(&self, sym: u16) -> u8 {
+        self.lengths[sym as usize]
+    }
+}
+
+/// Decoder half of a canonical Huffman code.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// Fast path: `(symbol, length)` for every `PEEK_BITS`-bit prefix.
+    lut: Vec<(u16, u8)>,
+    /// Slow path, per length L (1-indexed): first canonical code value and
+    /// the index of its first symbol in `sorted`.
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    first_index: [u32; MAX_CODE_LEN as usize + 1],
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    sorted: Vec<u16>,
+    max_len: u8,
+}
+
+impl HuffmanDecoder {
+    /// Reads a table serialized by [`HuffmanEncoder::write_table`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the stream ends early or the lengths do not form a
+    /// prefix-free (Kraft-valid) code.
+    pub fn read_table(r: &mut BitReader<'_>, alphabet: usize) -> Result<Self, String> {
+        let mut lengths = vec![0u8; alphabet];
+        for slot in lengths.iter_mut() {
+            let len = r.read(LEN_BITS)? as u8;
+            if len > MAX_CODE_LEN {
+                return Err(format!("code length {len} exceeds limit"));
+            }
+            *slot = len;
+        }
+        Self::from_lengths(&lengths)
+    }
+
+    /// Builds a decoder directly from code lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` if the lengths over- or under-subscribe the code space
+    /// (except for the degenerate one-symbol code, which is accepted).
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, String> {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        if max_len == 0 {
+            return Err("no symbols in huffman table".to_string());
+        }
+        // Kraft check: must be exactly 1 (complete code) or a single
+        // length-1 code (degenerate one-symbol block).
+        let mut kraft = 0u64;
+        let unit = 1u64 << MAX_CODE_LEN;
+        let mut nonzero = 0usize;
+        for &l in lengths {
+            if l > 0 {
+                kraft += unit >> l;
+                nonzero += 1;
+            }
+        }
+        let degenerate = nonzero == 1 && max_len == 1;
+        if !degenerate && kraft != unit {
+            return Err("huffman lengths are not a complete prefix code".to_string());
+        }
+
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        // Symbols in canonical order: (length, symbol).
+        let mut sorted: Vec<u16> =
+            (0..lengths.len() as u16).filter(|&s| lengths[s as usize] > 0).collect();
+        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            first_code[len] = code;
+            first_index[len] = index;
+            code = (code + count[len]) << 1;
+            index += count[len];
+        }
+
+        // Fast lookup table.
+        let codes = canonical_codes(lengths);
+        let mut lut = vec![(0u16, 0u8); 1 << PEEK_BITS];
+        for (sym, &len) in lengths.iter().enumerate() {
+            let len32 = u32::from(len);
+            if len == 0 || len32 > PEEK_BITS {
+                continue;
+            }
+            let base = codes[sym] << (PEEK_BITS - len32);
+            for fill in 0..(1u32 << (PEEK_BITS - len32)) {
+                lut[(base | fill) as usize] = (sym as u16, len);
+            }
+        }
+
+        Ok(Self { lut, first_code, first_index, count, sorted, max_len })
+    }
+
+    /// Decodes one symbol from the bit stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` on a truncated stream or a prefix that matches no code.
+    pub fn decode_symbol(&self, r: &mut BitReader<'_>) -> Result<u16, String> {
+        let peek = r.peek(PEEK_BITS) as u32;
+        let (sym, len) = self.lut[peek as usize];
+        if len > 0 {
+            r.consume(u32::from(len))?;
+            return Ok(sym);
+        }
+        // Slow path: walk lengths beyond PEEK_BITS canonically.
+        let long_peek = r.peek(u32::from(self.max_len)) as u32;
+        for len in (PEEK_BITS + 1)..=u32::from(self.max_len) {
+            let l = len as usize;
+            if self.count[l] == 0 {
+                continue;
+            }
+            let code = long_peek >> (u32::from(self.max_len) - len);
+            let offset = code.wrapping_sub(self.first_code[l]);
+            if code >= self.first_code[l] && offset < self.count[l] {
+                r.consume(len)?;
+                return Ok(self.sorted[(self.first_index[l] + offset) as usize]);
+            }
+        }
+        Err("invalid huffman prefix".to_string())
+    }
+}
+
+/// Computes length-limited Huffman code lengths from frequencies.
+fn build_lengths(freqs: &[u64], limit: u8) -> Vec<u8> {
+    let nonzero = freqs.iter().filter(|&&f| f > 0).count();
+    assert!(nonzero > 0, "cannot build a code with no symbols");
+    let mut lengths = vec![0u8; freqs.len()];
+    if nonzero == 1 {
+        let sym = freqs.iter().position(|&f| f > 0).expect("one nonzero");
+        lengths[sym] = 1;
+        return lengths;
+    }
+
+    // Scale frequencies down until the tree fits the length limit.
+    let mut weights: Vec<u64> = freqs.to_vec();
+    loop {
+        let depths = huffman_depths(&weights);
+        let max = depths.iter().copied().max().unwrap_or(0);
+        if max <= limit {
+            for (l, d) in lengths.iter_mut().zip(depths) {
+                *l = d;
+            }
+            return lengths;
+        }
+        for w in weights.iter_mut().filter(|w| **w > 0) {
+            *w = (*w >> 1) + 1;
+        }
+    }
+}
+
+/// Plain Huffman tree construction; returns the depth of each symbol.
+fn huffman_depths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(Clone, Copy)]
+    struct Node {
+        weight: u64,
+        left: i32,
+        right: i32,
+        symbol: i32,
+    }
+    let mut nodes: Vec<Node> = Vec::with_capacity(freqs.len() * 2);
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+        std::collections::BinaryHeap::new();
+    for (sym, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            nodes.push(Node { weight: f, left: -1, right: -1, symbol: sym as i32 });
+            heap.push(std::cmp::Reverse((f, nodes.len() - 1)));
+        }
+    }
+    while heap.len() > 1 {
+        let std::cmp::Reverse((wa, a)) = heap.pop().expect("heap nonempty");
+        let std::cmp::Reverse((wb, b)) = heap.pop().expect("heap nonempty");
+        nodes.push(Node { weight: wa + wb, left: a as i32, right: b as i32, symbol: -1 });
+        heap.push(std::cmp::Reverse((wa + wb, nodes.len() - 1)));
+    }
+    let root = heap.pop().expect("at least one node").0 .1;
+    let mut depths = vec![0u8; freqs.len()];
+    // Iterative DFS assigning depths.
+    let mut stack = vec![(root, 0u8)];
+    while let Some((idx, depth)) = stack.pop() {
+        let node = nodes[idx];
+        if node.symbol >= 0 {
+            depths[node.symbol as usize] = depth.max(1);
+        } else {
+            stack.push((node.left as usize, depth + 1));
+            stack.push((node.right as usize, depth + 1));
+        }
+    }
+    let _ = nodes[root].weight;
+    depths
+}
+
+/// Assigns canonical code values given code lengths.
+fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+    for &l in lengths {
+        count[l as usize] += 1;
+    }
+    let mut next = [0u32; MAX_CODE_LEN as usize + 1];
+    let mut code = 0u32;
+    for len in 1..=MAX_CODE_LEN as usize {
+        next[len] = code;
+        code = (code + count[len]) << 1;
+    }
+    // Within one length, canonical order is symbol order, which a single
+    // ascending scan produces naturally.
+    let mut codes = vec![0u32; lengths.len()];
+    for (sym, &l) in lengths.iter().enumerate() {
+        if l > 0 {
+            codes[sym] = next[l as usize];
+            next[l as usize] += 1;
+        }
+    }
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[u16]) {
+        let enc = HuffmanEncoder::from_frequencies(freqs);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        for &s in stream {
+            enc.encode_symbol(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r, freqs.len()).unwrap();
+        for &expect in stream {
+            assert_eq!(dec.decode_symbol(&mut r).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn two_symbols() {
+        roundtrip_symbols(&[5, 3], &[0, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn single_symbol_degenerate_code() {
+        roundtrip_symbols(&[0, 0, 9, 0], &[2, 2, 2]);
+    }
+
+    #[test]
+    fn skewed_distribution() {
+        let mut freqs = vec![0u64; 258];
+        freqs[0] = 1_000_000;
+        freqs[1] = 1000;
+        freqs[42] = 10;
+        freqs[257] = 1;
+        let stream: Vec<u16> = vec![0, 0, 0, 1, 42, 0, 257, 1, 0];
+        roundtrip_symbols(&freqs, &stream);
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        assert!(enc.code_len(0) < enc.code_len(257));
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        // Fibonacci-like frequencies force deep trees without a limit.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        for s in 0..40u16 {
+            assert!(enc.code_len(s) <= MAX_CODE_LEN);
+            assert!(enc.code_len(s) > 0);
+        }
+        let stream: Vec<u16> = (0..40).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn uniform_alphabet() {
+        let freqs = vec![7u64; 258];
+        let stream: Vec<u16> = (0..258).collect();
+        roundtrip_symbols(&freqs, &stream);
+    }
+
+    #[test]
+    fn kraft_violation_rejected() {
+        // Two symbols both claiming the single length-1 code plus another.
+        assert!(HuffmanDecoder::from_lengths(&[1, 1, 1]).is_err());
+        // Incomplete code (only half the space used).
+        assert!(HuffmanDecoder::from_lengths(&[2, 2, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        assert!(HuffmanDecoder::from_lengths(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn long_codes_use_slow_path() {
+        // Construct lengths with codes longer than PEEK_BITS: a complete
+        // binary comb of depth 15.
+        let mut lengths = vec![0u8; 16];
+        for (i, l) in lengths.iter_mut().enumerate().take(15) {
+            *l = (i + 1) as u8;
+        }
+        lengths[15] = 15;
+        let dec = HuffmanDecoder::from_lengths(&lengths).unwrap();
+        // Encode symbol 14 (length 15, beyond the 12-bit LUT).
+        let codes = canonical_codes(&lengths);
+        let mut w = BitWriter::new();
+        w.write(u64::from(codes[14]), 15);
+        w.write(u64::from(codes[15]), 15);
+        w.write(u64::from(codes[0]), 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode_symbol(&mut r).unwrap(), 14);
+        assert_eq!(dec.decode_symbol(&mut r).unwrap(), 15);
+        assert_eq!(dec.decode_symbol(&mut r).unwrap(), 0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Move-to-front coding over the byte alphabet.
+//!
+//! After the BWT, equal bytes cluster; MTF turns those clusters into runs
+//! of small values (mostly zeros), which the run-length and entropy stages
+//! exploit.
+
+/// Move-to-front encodes `data`, returning one rank byte per input byte.
+///
+/// # Examples
+///
+/// ```
+/// let ranks = blockzip::mtf::encode(b"aaab");
+/// assert_eq!(ranks, vec![97, 0, 0, 98]);
+/// ```
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = init_table();
+    let mut out = Vec::with_capacity(data.len());
+    for &b in data {
+        let rank = table.iter().position(|&t| t == b).expect("byte in table") as u8;
+        out.push(rank);
+        // Move the byte to the front.
+        table.copy_within(0..rank as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+/// Inverts [`encode`].
+///
+/// # Examples
+///
+/// ```
+/// let ranks = blockzip::mtf::encode(b"hello");
+/// assert_eq!(blockzip::mtf::decode(&ranks), b"hello");
+/// ```
+pub fn decode(ranks: &[u8]) -> Vec<u8> {
+    let mut table: [u8; 256] = init_table();
+    let mut out = Vec::with_capacity(ranks.len());
+    for &rank in ranks {
+        let b = table[rank as usize];
+        out.push(b);
+        table.copy_within(0..rank as usize, 1);
+        table[0] = b;
+    }
+    out
+}
+
+fn init_table() -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, slot) in t.iter_mut().enumerate() {
+        *slot = i as u8;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert!(encode(&[]).is_empty());
+        assert!(decode(&[]).is_empty());
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let enc = encode(&[5, 5, 5, 5]);
+        assert_eq!(enc, vec![5, 0, 0, 0]);
+    }
+
+    #[test]
+    fn alternation_becomes_ones() {
+        let enc = encode(&[1, 2, 1, 2, 1, 2]);
+        assert_eq!(enc, vec![1, 2, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255).chain((0..=255).rev()).collect();
+        assert_eq!(decode(&encode(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        let mut x = 42u64;
+        let data: Vec<u8> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (x >> 56) as u8
+            })
+            .collect();
+        assert_eq!(decode(&encode(&data)), data);
+    }
+}

@@ -1,0 +1,149 @@
+//! Zero-run-length coding of MTF output (the "RLE2" stage).
+//!
+//! Runs of zero ranks — by far the most common MTF output on
+//! post-BWT data — are written as their length in bijective base 2 using
+//! the two digit symbols `RUNA` (value 1) and `RUNB` (value 2). Non-zero
+//! ranks `v` are shifted up by one to make room for the digit symbols, and
+//! a dedicated end-of-block symbol terminates the stream.
+
+/// Digit symbol with value 1 in the bijective base-2 run encoding.
+pub const RUNA: u16 = 0;
+/// Digit symbol with value 2 in the bijective base-2 run encoding.
+pub const RUNB: u16 = 1;
+/// End-of-block symbol.
+pub const EOB: u16 = 257;
+/// Total alphabet size seen by the entropy coder.
+pub const ALPHABET: usize = 258;
+
+/// Encodes MTF ranks into the RLE2 symbol alphabet, including the final
+/// [`EOB`] symbol.
+pub fn encode(ranks: &[u8]) -> Vec<u16> {
+    let mut out = Vec::with_capacity(ranks.len() / 2 + 16);
+    let mut zero_run = 0u64;
+    for &r in ranks {
+        if r == 0 {
+            zero_run += 1;
+        } else {
+            flush_run(&mut out, &mut zero_run);
+            out.push(u16::from(r) + 1);
+        }
+    }
+    flush_run(&mut out, &mut zero_run);
+    out.push(EOB);
+    out
+}
+
+/// Decodes RLE2 symbols back into MTF ranks. Decoding stops at the first
+/// [`EOB`] symbol; trailing symbols are ignored.
+///
+/// # Errors
+///
+/// Returns `Err` with a description if a symbol is outside the alphabet or
+/// no [`EOB`] terminator is present.
+pub fn decode(symbols: &[u16]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut run = 0u64;
+    let mut digit = 1u64;
+    let mut in_run = false;
+    for &sym in symbols {
+        match sym {
+            RUNA | RUNB => {
+                let value = if sym == RUNA { 1 } else { 2 };
+                run += value * digit;
+                digit <<= 1;
+                in_run = true;
+            }
+            EOB => {
+                emit_zeros(&mut out, run);
+                return Ok(out);
+            }
+            s if (2..EOB).contains(&s) => {
+                if in_run {
+                    emit_zeros(&mut out, run);
+                    run = 0;
+                    digit = 1;
+                    in_run = false;
+                }
+                out.push((s - 1) as u8);
+            }
+            s => return Err(format!("rle symbol {s} outside alphabet")),
+        }
+    }
+    Err("missing end-of-block symbol".to_string())
+}
+
+fn flush_run(out: &mut Vec<u16>, zero_run: &mut u64) {
+    let mut n = *zero_run;
+    while n > 0 {
+        // Bijective base 2: digits are 1 (RUNA) and 2 (RUNB).
+        let d = if n % 2 == 1 { 1 } else { 2 };
+        out.push(if d == 1 { RUNA } else { RUNB });
+        n = (n - d) / 2;
+    }
+    *zero_run = 0;
+}
+
+fn emit_zeros(out: &mut Vec<u8>, run: u64) {
+    out.extend(std::iter::repeat_n(0u8, run as usize));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ranks: &[u8]) {
+        let enc = encode(ranks);
+        assert_eq!(decode(&enc).unwrap(), ranks);
+    }
+
+    #[test]
+    fn empty_is_just_eob() {
+        assert_eq!(encode(&[]), vec![EOB]);
+        assert_eq!(decode(&[EOB]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_zero() {
+        assert_eq!(encode(&[0]), vec![RUNA, EOB]);
+    }
+
+    #[test]
+    fn run_lengths_one_through_ten() {
+        // 1=A, 2=B, 3=AA, 4=BA, 5=AB, 6=BB, 7=AAA ...
+        for len in 1..=300usize {
+            roundtrip(&vec![0u8; len]);
+        }
+    }
+
+    #[test]
+    fn literals_shift_by_one() {
+        assert_eq!(encode(&[1, 255]), vec![2, 256, EOB]);
+    }
+
+    #[test]
+    fn mixed_runs_and_literals() {
+        roundtrip(&[0, 0, 0, 7, 0, 9, 9, 0, 0, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn long_run() {
+        roundtrip(&vec![0u8; 1_000_000]);
+        // A million zeros should take ~20 digit symbols, not a million.
+        assert!(encode(&vec![0u8; 1_000_000]).len() < 25);
+    }
+
+    #[test]
+    fn missing_eob_is_error() {
+        assert!(decode(&[RUNA, RUNB]).is_err());
+    }
+
+    #[test]
+    fn bad_symbol_is_error() {
+        assert!(decode(&[300, EOB]).is_err());
+    }
+
+    #[test]
+    fn trailing_symbols_after_eob_ignored() {
+        assert_eq!(decode(&[3, EOB, 5, 5]).unwrap(), vec![2]);
+    }
+}

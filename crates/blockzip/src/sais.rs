@@ -1,0 +1,327 @@
+//! Linear-time suffix-array construction using the SA-IS algorithm
+//! (Nong, Zhang & Chan, "Two Efficient Algorithms for Linear Time Suffix
+//! Array Construction", 2009).
+//!
+//! The public entry point is [`suffix_array`], which appends a virtual
+//! sentinel (smaller than every byte) and returns the suffix array of the
+//! sentinel-terminated text. The sentinel suffix always sorts first, so
+//! `sa[0] == text.len()`.
+
+/// Marker for an empty suffix-array slot during induction.
+const EMPTY: u32 = u32::MAX;
+
+/// Computes the suffix array of `text` terminated by a virtual sentinel.
+///
+/// The returned vector has length `text.len() + 1`; entry `i` is the start
+/// position of the `i`-th smallest suffix of `text + "$"`, where `$` is a
+/// unique symbol smaller than every byte value. Consequently the first
+/// entry is always `text.len()` (the sentinel suffix).
+///
+/// # Examples
+///
+/// ```
+/// let sa = blockzip::sais::suffix_array(b"banana");
+/// assert_eq!(sa, vec![6, 5, 3, 1, 0, 4, 2]);
+/// ```
+pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    // Shift every byte up by one so that 0 is free for the sentinel.
+    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.extend(text.iter().map(|&b| u32::from(b) + 1));
+    s.push(0);
+    let mut sa = vec![EMPTY; s.len()];
+    sais(&s, 257, &mut sa);
+    sa
+}
+
+/// Core recursive SA-IS. `s` must end with a unique, smallest sentinel 0
+/// and every symbol must be `< k`. `sa` must have the same length as `s`.
+fn sais(s: &[u32], k: usize, sa: &mut [u32]) {
+    let n = s.len();
+    debug_assert_eq!(sa.len(), n);
+    if n == 1 {
+        sa[0] = 0;
+        return;
+    }
+    if n == 2 {
+        // The sentinel suffix sorts first.
+        sa[0] = 1;
+        sa[1] = 0;
+        return;
+    }
+
+    // Classify suffixes: S-type (true) or L-type (false).
+    let mut stype = vec![false; n];
+    stype[n - 1] = true;
+    for i in (0..n - 1).rev() {
+        stype[i] = s[i] < s[i + 1] || (s[i] == s[i + 1] && stype[i + 1]);
+    }
+    let is_lms = |i: usize| i > 0 && stype[i] && !stype[i - 1];
+
+    // Bucket sizes per symbol.
+    let mut bucket = vec![0u32; k];
+    for &c in s {
+        bucket[c as usize] += 1;
+    }
+
+    let bucket_heads = |bucket: &[u32]| -> Vec<u32> {
+        let mut heads = Vec::with_capacity(bucket.len());
+        let mut sum = 0u32;
+        for &b in bucket {
+            heads.push(sum);
+            sum += b;
+        }
+        heads
+    };
+    let bucket_tails = |bucket: &[u32]| -> Vec<u32> {
+        let mut tails = Vec::with_capacity(bucket.len());
+        let mut sum = 0u32;
+        for &b in bucket {
+            sum += b;
+            tails.push(sum);
+        }
+        tails
+    };
+
+    // Step 1: place LMS suffixes at the ends of their buckets (unsorted).
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket);
+        for i in (1..n).rev() {
+            if is_lms(i) {
+                let c = s[i] as usize;
+                tails[c] -= 1;
+                sa[tails[c] as usize] = i as u32;
+            }
+        }
+    }
+    induce(s, sa, &stype, &bucket, &bucket_heads, &bucket_tails);
+
+    // Step 2: name the LMS substrings in their sorted order.
+    let mut lms_count = 0usize;
+    // Compact sorted LMS positions into the front of `sa`.
+    for i in 0..n {
+        let pos = sa[i];
+        if pos != EMPTY && is_lms(pos as usize) {
+            sa[lms_count] = pos;
+            lms_count += 1;
+        }
+    }
+    // Name buffer lives in the back half of `sa`.
+    let (front, back) = sa.split_at_mut(lms_count);
+    for slot in back.iter_mut() {
+        *slot = EMPTY;
+    }
+    let mut name = 0u32;
+    let mut prev: Option<usize> = None;
+    for &posu in front.iter() {
+        let pos = posu as usize;
+        let differs = match prev {
+            None => true,
+            Some(p) => !lms_substring_eq(s, &stype, p, pos, &is_lms),
+        };
+        if differs {
+            name += 1;
+        }
+        prev = Some(pos);
+        // LMS positions are >= 1 and no two are adjacent, so pos/2 slots
+        // in the back half are collision-free.
+        back[pos / 2] = name - 1;
+    }
+
+    // Gather names into a reduced string, in text order.
+    let mut reduced: Vec<u32> = Vec::with_capacity(lms_count);
+    let mut lms_positions: Vec<u32> = Vec::with_capacity(lms_count);
+    for i in 1..n {
+        if is_lms(i) {
+            lms_positions.push(i as u32);
+            reduced.push(back[i / 2]);
+        }
+    }
+    debug_assert_eq!(reduced.len(), lms_count);
+
+    // Step 3: sort the LMS suffixes, recursing if names are not unique.
+    let mut lms_order = vec![EMPTY; lms_count];
+    if (name as usize) < lms_count {
+        sais(&reduced, name as usize, &mut lms_order);
+    } else {
+        for (i, &nm) in reduced.iter().enumerate() {
+            lms_order[nm as usize] = i as u32;
+        }
+    }
+
+    // Step 4: place the now-sorted LMS suffixes and induce the full order.
+    sa.fill(EMPTY);
+    {
+        let mut tails = bucket_tails(&bucket);
+        for &ord in lms_order.iter().rev() {
+            let pos = lms_positions[ord as usize];
+            let c = s[pos as usize] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = pos;
+        }
+    }
+    induce(s, sa, &stype, &bucket, &bucket_heads, &bucket_tails);
+}
+
+/// Induced sorting: scatters L-type then S-type suffixes given that the
+/// LMS suffixes (or their unsorted seeds) already occupy bucket ends.
+fn induce(
+    s: &[u32],
+    sa: &mut [u32],
+    stype: &[bool],
+    bucket: &[u32],
+    bucket_heads: &dyn Fn(&[u32]) -> Vec<u32>,
+    bucket_tails: &dyn Fn(&[u32]) -> Vec<u32>,
+) {
+    let n = s.len();
+    // Left-to-right pass: L-type suffixes.
+    let mut heads = bucket_heads(bucket);
+    for i in 0..n {
+        let pos = sa[i];
+        if pos == EMPTY || pos == 0 {
+            continue;
+        }
+        let j = (pos - 1) as usize;
+        if !stype[j] {
+            let c = s[j] as usize;
+            sa[heads[c] as usize] = j as u32;
+            heads[c] += 1;
+        }
+    }
+    // Right-to-left pass: S-type suffixes.
+    let mut tails = bucket_tails(bucket);
+    for i in (0..n).rev() {
+        let pos = sa[i];
+        if pos == EMPTY || pos == 0 {
+            continue;
+        }
+        let j = (pos - 1) as usize;
+        if stype[j] {
+            let c = s[j] as usize;
+            tails[c] -= 1;
+            sa[tails[c] as usize] = j as u32;
+        }
+    }
+}
+
+/// Compares two LMS substrings (from an LMS position up to and including
+/// the next LMS position) for equality.
+fn lms_substring_eq(
+    s: &[u32],
+    stype: &[bool],
+    a: usize,
+    b: usize,
+    is_lms: &dyn Fn(usize) -> bool,
+) -> bool {
+    let n = s.len();
+    if a == b {
+        return true;
+    }
+    // The sentinel-only LMS substring equals nothing else.
+    if a == n - 1 || b == n - 1 {
+        return false;
+    }
+    let mut i = 0usize;
+    loop {
+        let ai = a + i;
+        let bi = b + i;
+        if ai >= n || bi >= n {
+            return false;
+        }
+        if s[ai] != s[bi] || stype[ai] != stype[bi] {
+            return false;
+        }
+        if i > 0 {
+            let a_end = is_lms(ai);
+            let b_end = is_lms(bi);
+            if a_end || b_end {
+                return a_end && b_end;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: sort sentinel-terminated suffixes naively.
+    fn naive(text: &[u8]) -> Vec<u32> {
+        let mut s: Vec<u32> = text.iter().map(|&b| u32::from(b) + 1).collect();
+        s.push(0);
+        let mut idx: Vec<u32> = (0..s.len() as u32).collect();
+        idx.sort_by(|&a, &b| s[a as usize..].cmp(&s[b as usize..]));
+        idx
+    }
+
+    #[test]
+    fn empty_text() {
+        assert_eq!(suffix_array(b""), vec![0]);
+    }
+
+    #[test]
+    fn single_byte() {
+        assert_eq!(suffix_array(b"a"), vec![1, 0]);
+    }
+
+    #[test]
+    fn banana_matches_known_answer() {
+        assert_eq!(suffix_array(b"banana"), naive(b"banana"));
+    }
+
+    #[test]
+    fn mississippi() {
+        assert_eq!(suffix_array(b"mississippi"), naive(b"mississippi"));
+    }
+
+    #[test]
+    fn all_equal_bytes() {
+        assert_eq!(suffix_array(&[7u8; 100]), naive(&[7u8; 100]));
+    }
+
+    #[test]
+    fn two_symbol_runs() {
+        let t: Vec<u8> = (0..200).map(|i| if i % 3 == 0 { 1 } else { 2 }).collect();
+        assert_eq!(suffix_array(&t), naive(&t));
+    }
+
+    #[test]
+    fn descending_bytes() {
+        let t: Vec<u8> = (0..=255u8).rev().collect();
+        assert_eq!(suffix_array(&t), naive(&t));
+    }
+
+    #[test]
+    fn ascending_bytes() {
+        let t: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(suffix_array(&t), naive(&t));
+    }
+
+    #[test]
+    fn pseudo_random_block() {
+        // Deterministic xorshift so the test is reproducible.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let t: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x & 0x07) as u8 // tiny alphabet stresses recursion
+            })
+            .collect();
+        assert_eq!(suffix_array(&t), naive(&t));
+    }
+
+    #[test]
+    fn sa_is_permutation() {
+        let t = b"the quick brown fox jumps over the lazy dog";
+        let sa = suffix_array(t);
+        let mut seen = vec![false; sa.len()];
+        for &p in &sa {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

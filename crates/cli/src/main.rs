@@ -1,0 +1,173 @@
+//! `tcgen` — the command-line face of the TCgen reproduction.
+//!
+//! ```text
+//! tcgen generate <spec-file> [--lang c|rust]    emit compressor source
+//! tcgen canon <spec-file>                       print the canonical spec
+//! tcgen compress <spec-file> [in [out]]         compress a trace (TCGZ)
+//! tcgen decompress <spec-file> [in [out]]       decompress a container
+//! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
+//! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
+//! ```
+//!
+//! `compress` prints predictor-usage feedback to standard error, exactly
+//! as the paper's generated tools do after each compression. Omitted
+//! file operands mean standard input/output.
+
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+use tcgen_core::Tcgen;
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("tcgen: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    match command.as_str() {
+        "generate" => generate(&args[1..]),
+        "canon" => canon(&args[1..]),
+        "compress" => codec(&args[1..], true),
+        "decompress" => codec(&args[1..], false),
+        "trace" => trace(&args[1..]),
+        "prune" => prune(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  tcgen generate <spec-file> [--lang c|rust]\n  \
+     tcgen canon <spec-file>\n  \
+     tcgen compress <spec-file> [input [output]]\n  \
+     tcgen decompress <spec-file> [input [output]]\n  \
+     tcgen trace <program> <store|miss|load> <records> [output]\n  \
+     tcgen prune <spec-file> <trace-file> [threshold]"
+        .to_string()
+}
+
+fn load_tcgen(spec_path: &str) -> Result<Tcgen, String> {
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    Tcgen::from_spec(&source).map_err(|e| e.to_string())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let mut lang = "c";
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--lang" => {
+                lang = args.get(i + 1).map(String::as_str).ok_or("--lang needs a value")?;
+                i += 2;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let tcgen = load_tcgen(spec_path)?;
+    let source = match lang {
+        "c" => tcgen.generate_c(),
+        "rust" => tcgen.generate_rust(),
+        other => return Err(format!("unsupported language '{other}' (use c or rust)")),
+    };
+    print!("{source}");
+    Ok(())
+}
+
+fn canon(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let tcgen = load_tcgen(spec_path)?;
+    print!("{}", tcgen.canonical_spec());
+    Ok(())
+}
+
+fn codec(args: &[String], compressing: bool) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let tcgen = load_tcgen(spec_path)?;
+    let input = read_input(args.get(1))?;
+    let output = if compressing {
+        let (packed, usage) = tcgen.compress_with_usage(&input).map_err(|e| e.to_string())?;
+        eprint!("{usage}");
+        packed
+    } else {
+        tcgen.decompress(&input).map_err(|e| e.to_string())?
+    };
+    write_output(args.get(2), &output)
+}
+
+fn trace(args: &[String]) -> Result<(), String> {
+    let [program_name, kind_name, count] = args.get(..3).ok_or_else(usage)? else {
+        return Err(usage());
+    };
+    let program = suite().into_iter().find(|p| p.name == *program_name).ok_or_else(|| {
+        let names: Vec<_> = suite().iter().map(|p| p.name).collect();
+        format!("unknown program '{program_name}'; choose one of {}", names.join(", "))
+    })?;
+    let kind = match kind_name.as_str() {
+        "store" => TraceKind::StoreAddress,
+        "miss" => TraceKind::CacheMissAddress,
+        "load" => TraceKind::LoadValue,
+        other => return Err(format!("unknown trace kind '{other}' (store, miss, or load)")),
+    };
+    let records: usize =
+        count.parse().map_err(|e| format!("bad record count '{count}': {e}"))?;
+    let trace = generate_trace(&program, kind, records);
+    write_output(args.get(3), &trace.to_bytes())
+}
+
+/// The paper's §7.5 workflow: compress once with the wide specification,
+/// then emit a canonical specification with the idle predictors removed.
+fn prune(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let trace_path = args.get(1).ok_or_else(usage)?;
+    let threshold: f64 = match args.get(2) {
+        Some(t) => t.parse().map_err(|e| format!("bad threshold '{t}': {e}"))?,
+        None => 0.02,
+    };
+    let tcgen = load_tcgen(spec_path)?;
+    let raw =
+        std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let (_, usage) = tcgen.compress_with_usage(&raw).map_err(|e| e.to_string())?;
+    eprint!("{usage}");
+    let pruned = usage.pruned_spec(tcgen.spec(), threshold);
+    print!("{}", tcgen_spec::canonical(&pruned));
+    Ok(())
+}
+
+fn read_input(path: Option<&String>) -> Result<Vec<u8>, String> {
+    match path {
+        Some(p) if p != "-" => std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}")),
+        _ => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("cannot read standard input: {e}"))?;
+            Ok(buf)
+        }
+    }
+}
+
+fn write_output(path: Option<&String>, data: &[u8]) -> Result<(), String> {
+    match path {
+        Some(p) if p != "-" => {
+            std::fs::write(p, data).map_err(|e| format!("cannot write {p}: {e}"))
+        }
+        _ => std::io::stdout()
+            .write_all(data)
+            .map_err(|e| format!("cannot write standard output: {e}")),
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests of the `tcgen` command-line tool.
+
+use std::process::{Command, Stdio};
+
+fn tcgen() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tcgen"))
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcgen-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn write_spec(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("vpc3.tcgen");
+    std::fs::write(&path, tcgen_spec::presets::TCGEN_A).expect("write spec");
+    path
+}
+
+#[test]
+fn canon_prints_canonical_form() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let out = tcgen().arg("canon").arg(&spec).output().expect("run tcgen");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# total: 14 predictions per record"));
+}
+
+#[test]
+fn generate_emits_compilable_looking_c_and_rust() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    for (lang, needle) in [("c", "int main"), ("rust", "fn main()")] {
+        let out = tcgen()
+            .args(["generate"])
+            .arg(&spec)
+            .args(["--lang", lang])
+            .output()
+            .expect("run tcgen");
+        assert!(out.status.success(), "{lang} generation failed");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(needle), "{lang} output missing {needle}");
+    }
+}
+
+#[test]
+fn trace_compress_decompress_roundtrip_via_files() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let trace = dir.join("t.trace");
+    let packed = dir.join("t.tcgz");
+    let restored = dir.join("t.out");
+
+    let status = tcgen()
+        .args(["trace", "mcf", "store", "3000"])
+        .arg(&trace)
+        .status()
+        .expect("generate trace");
+    assert!(status.success());
+    // 3000 * mcf's 0.4 size factor = 1200 records.
+    assert_eq!(std::fs::metadata(&trace).unwrap().len(), 4 + 1200 * 12);
+
+    let out = tcgen()
+        .arg("compress")
+        .arg(&spec)
+        .arg(&trace)
+        .arg(&packed)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("compress");
+    assert!(out.status.success());
+    // Usage feedback lands on stderr.
+    let feedback = String::from_utf8(out.stderr).unwrap();
+    assert!(feedback.contains("Field 1"), "missing usage feedback: {feedback}");
+    assert!(
+        std::fs::metadata(&packed).unwrap().len() < std::fs::metadata(&trace).unwrap().len(),
+        "compression should shrink the trace"
+    );
+
+    let status = tcgen()
+        .arg("decompress")
+        .arg(&spec)
+        .arg(&packed)
+        .arg(&restored)
+        .status()
+        .expect("decompress");
+    assert!(status.success());
+    assert_eq!(
+        std::fs::read(&trace).unwrap(),
+        std::fs::read(&restored).unwrap(),
+        "roundtrip through the CLI must be lossless"
+    );
+}
+
+#[test]
+fn bad_spec_fails_with_position() {
+    let dir = tempdir();
+    let path = dir.join("bad.tcgen");
+    std::fs::write(
+        &path,
+        "TCgen Trace Specification;\n32-Bit Field 1 = {: WAT[1]};\nPC = Field 1;",
+    )
+    .unwrap();
+    let out = tcgen().arg("canon").arg(&path).output().expect("run tcgen");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("WAT"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = tcgen().arg("frobnicate").output().expect("run tcgen");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_program_lists_choices() {
+    let out = tcgen().args(["trace", "doom", "store", "100"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("mcf"), "should list valid programs: {err}");
+}
+
+#[test]
+fn prune_emits_a_smaller_valid_spec() {
+    let dir = tempdir();
+    let spec = dir.join("b.tcgen");
+    std::fs::write(&spec, tcgen_spec::presets::TCGEN_B).unwrap();
+    let trace = dir.join("p.trace");
+    assert!(tcgen()
+        .args(["trace", "swim", "store", "20000"])
+        .arg(&trace)
+        .status()
+        .expect("trace")
+        .success());
+    let out = tcgen()
+        .arg("prune")
+        .arg(&spec)
+        .arg(&trace)
+        .arg("0.02")
+        .stderr(Stdio::piped())
+        .output()
+        .expect("prune");
+    assert!(out.status.success());
+    let pruned_text = String::from_utf8(out.stdout).unwrap();
+    let pruned = tcgen_spec::parse(&pruned_text).expect("pruned spec parses");
+    let original = tcgen_spec::parse(tcgen_spec::presets::TCGEN_B).unwrap();
+    assert!(
+        pruned.prediction_count() < original.prediction_count(),
+        "pruning should drop predictors: {pruned_text}"
+    );
+}

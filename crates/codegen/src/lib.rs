@@ -1,0 +1,51 @@
+//! # tcgen-codegen
+//!
+//! TCgen's code generator: the application-specific compiler that turns
+//! a trace specification into a customized, optimized trace compressor
+//! (the paper's headline contribution).
+//!
+//! Generation is two-phase:
+//!
+//! 1. [`Plan::new`] lowers a validated [`tcgen_spec::TraceSpec`] into a
+//!    [`Plan`], applying every §5.2 optimization — dead-code removal,
+//!    table coalescing, type minimization, predictor-code renaming,
+//!    parameter pruning, and incremental-hash parameters shared with the
+//!    runtime engine.
+//! 2. An emitter renders the plan as source text: [`emit_c()`] produces the
+//!    single-file, human-readable C program the paper describes (§5.1);
+//!    [`emit_rust()`] produces an equivalent standalone Rust program.
+//!
+//! The generated programs convert a trace to and from a `TCGS` stream
+//! file — the predictor-code and miss-value streams ready for a
+//! general-purpose post-compressor — and are validated byte-for-byte
+//! against the engine in this crate's integration tests.
+//!
+//! ```
+//! use tcgen_codegen::{generate_c, PlanOptions};
+//!
+//! let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A)?;
+//! let c_source = generate_c(&spec, PlanOptions::default());
+//! assert!(c_source.contains("int main"));
+//! # Ok::<(), tcgen_spec::SpecError>(())
+//! ```
+
+pub mod emit_c;
+pub mod emit_rust;
+pub mod plan;
+pub mod writer;
+
+pub use emit_c::emit_c;
+pub use emit_rust::emit_rust;
+pub use plan::{Plan, PlanOptions, Width};
+
+use tcgen_spec::TraceSpec;
+
+/// Generates the C source of a compressor for `spec`.
+pub fn generate_c(spec: &TraceSpec, options: PlanOptions) -> String {
+    emit_c(&Plan::new(spec, options))
+}
+
+/// Generates the Rust source of a compressor for `spec`.
+pub fn generate_rust(spec: &TraceSpec, options: PlanOptions) -> String {
+    emit_rust(&Plan::new(spec, options))
+}

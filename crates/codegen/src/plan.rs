@@ -1,0 +1,438 @@
+//! The code-generation plan: every application-specific optimization of
+//! the paper's §5.2, computed as an explicit structure before any text is
+//! emitted.
+//!
+//! * **Dead-code removal** — a field plan only contains the tables,
+//!   stride computation, and header handling its spec actually needs.
+//! * **Table coalescing** — one shared last-value table per field, one
+//!   first-level hash history per (D)FCM family; second-level tables per
+//!   predictor with `L2 * 2^(order-1)` lines.
+//! * **Type minimization** — the narrowest element type that holds the
+//!   field, for tables and miss-value streams alike.
+//! * **Predictor renaming** — prediction slots are numbered `0..n`
+//!   regardless of which predictors were selected; `n` is the miss code.
+//! * **Parameter pruning** — per-field functions only receive the PC if
+//!   some table of the field is PC-indexed (`L1 > 1`).
+//! * **Incremental hashing** — shift/fold/mask parameters come from the
+//!   same [`tcgen_predictors::HashSpec`] the engine uses, so generated
+//!   code and engine agree bit-for-bit.
+
+use tcgen_predictors::HashSpec;
+use tcgen_spec::{PredictorKind, TraceSpec};
+
+/// Width classes for minimized element types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit.
+    U8,
+    /// 16-bit.
+    U16,
+    /// 32-bit.
+    U32,
+    /// 64-bit.
+    U64,
+}
+
+impl Width {
+    /// Chooses the narrowest class for a bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on widths other than 8, 16, 32, 64 (validated specs never
+    /// produce those).
+    pub fn for_bits(bits: u32) -> Self {
+        match bits {
+            8 => Width::U8,
+            16 => Width::U16,
+            32 => Width::U32,
+            64 => Width::U64,
+            other => panic!("unsupported field width {other}"),
+        }
+    }
+
+    /// Bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::U8 => 1,
+            Width::U16 => 2,
+            Width::U32 => 4,
+            Width::U64 => 8,
+        }
+    }
+
+    /// The C type name.
+    pub fn c_type(self) -> &'static str {
+        match self {
+            Width::U8 => "unsigned char",
+            Width::U16 => "unsigned short",
+            Width::U32 => "unsigned int",
+            Width::U64 => "unsigned long long",
+        }
+    }
+
+    /// The Rust type name.
+    pub fn rust_type(self) -> &'static str {
+        match self {
+            Width::U8 => "u8",
+            Width::U16 => "u16",
+            Width::U32 => "u32",
+            Width::U64 => "u64",
+        }
+    }
+}
+
+/// Where one prediction slot reads from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotSource {
+    /// Entry `entry` of the shared last-value table.
+    Lv {
+        /// Entry index within the line (0 = most recent).
+        entry: u32,
+    },
+    /// Entry `entry` of FCM second-level table `table`.
+    Fcm {
+        /// Index into [`FieldPlan::fcm`]'s tables.
+        table: usize,
+        /// Entry index within the line.
+        entry: u32,
+    },
+    /// Entry `entry` of DFCM second-level table `table` (a stride, added
+    /// to the last value).
+    Dfcm {
+        /// Index into [`FieldPlan::dfcm`]'s tables.
+        table: usize,
+        /// Entry index within the line.
+        entry: u32,
+    },
+    /// `(entry + 1)` times the confirmed stride, added to the last value
+    /// (the ST extension).
+    St {
+        /// Entry index: prediction is `last + stride * (entry + 1)`.
+        entry: u32,
+    },
+}
+
+/// One renamed prediction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotPlan {
+    /// The predictor code emitted when this slot matches first.
+    pub code: u8,
+    /// Where the predicted value comes from.
+    pub source: SlotSource,
+}
+
+/// One second-level table of a context bank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TablePlan {
+    /// Context order of the owning predictor.
+    pub order: u32,
+    /// Values per line.
+    pub height: u32,
+    /// Number of lines (`l2 << (order-1)`).
+    pub lines: u64,
+}
+
+/// A (D)FCM family's first-level state and second-level tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankPlan {
+    /// Highest order in the family; the first-level history holds this
+    /// many running hashes per line.
+    pub max_order: u32,
+    /// Hash shift amount (shared with the engine's [`HashSpec`]).
+    pub shift: u32,
+    /// Fold width for incoming values.
+    pub fold_bits: u32,
+    /// Per-order index masks.
+    pub masks: Vec<u64>,
+    /// Second-level tables, one per predictor of the family, in
+    /// specification order.
+    pub tables: Vec<TablePlan>,
+}
+
+/// Everything the emitters need to know about one field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldPlan {
+    /// Field number as written in the specification.
+    pub number: u32,
+    /// Byte offset within a record.
+    pub offset: usize,
+    /// Field width class.
+    pub width: Width,
+    /// First-level table size.
+    pub l1: u64,
+    /// Shared last-value table height (0 = table eliminated).
+    pub lv_entries: u32,
+    /// FCM family, if any FCM predictor was selected.
+    pub fcm: Option<BankPlan>,
+    /// DFCM family, if any DFCM predictor was selected.
+    pub dfcm: Option<BankPlan>,
+    /// Renamed prediction slots in code order.
+    pub slots: Vec<SlotPlan>,
+    /// The reserved miss code (= number of slots).
+    pub miss_code: u8,
+    /// Whether stride computation code is needed (dead-code removal:
+    /// only when a DFCM or ST predictor exists).
+    pub needs_stride: bool,
+    /// Whether the field carries a shared stride 2-delta table (ST).
+    pub has_st: bool,
+    /// Whether the per-field functions need the PC parameter
+    /// (parameter pruning: only when some table is PC-indexed).
+    pub needs_pc: bool,
+    /// Bytes per miss value in the value stream.
+    pub value_bytes: usize,
+    /// Smart update policy for this field's tables (copied from the
+    /// plan options so emitters need only the field plan).
+    pub smart_update: bool,
+}
+
+/// The full code-generation plan for one specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Header bytes (0 = header handling eliminated).
+    pub header_bytes: usize,
+    /// Bytes per record.
+    pub record_bytes: usize,
+    /// Index of the PC field in `fields`.
+    pub pc_index: usize,
+    /// Field processing order (PC first).
+    pub order: Vec<usize>,
+    /// Per-field plans in declaration order.
+    pub fields: Vec<FieldPlan>,
+    /// Smart update policy (false = always update, the VPC3 policy).
+    pub smart_update: bool,
+    /// The canonical specification text, embedded as documentation.
+    pub canonical_spec: String,
+}
+
+/// Options the plan honours (a subset of the engine's options — the
+/// speed-only toggles exist for the engine ablation, not for codegen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Use the smart update policy (§5.3).
+    pub smart_update: bool,
+    /// Adapt the hash shift to field width and table size.
+    pub adaptive_shift: bool,
+    /// Minimize stream and table element types.
+    pub minimize_types: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        Self { smart_update: true, adaptive_shift: true, minimize_types: true }
+    }
+}
+
+impl Plan {
+    /// Computes the plan for a validated specification.
+    pub fn new(spec: &TraceSpec, options: PlanOptions) -> Self {
+        let mut offset = 0usize;
+        let fields = spec
+            .fields
+            .iter()
+            .map(|f| {
+                let field_offset = offset;
+                offset += f.bytes() as usize;
+                let width = Width::for_bits(f.bits);
+
+                let make_bank = |kind: PredictorKind| -> Option<BankPlan> {
+                    let selected: Vec<_> =
+                        f.predictors.iter().filter(|p| p.kind == kind).collect();
+                    if selected.is_empty() {
+                        return None;
+                    }
+                    let max_order = selected.iter().map(|p| p.order).max().expect("nonempty");
+                    let hash = HashSpec::new(f.bits, f.l2, max_order, options.adaptive_shift);
+                    Some(BankPlan {
+                        max_order,
+                        shift: hash.shift,
+                        fold_bits: hash.fold_bits,
+                        masks: hash.masks.clone(),
+                        tables: selected
+                            .iter()
+                            .map(|p| TablePlan {
+                                order: p.order,
+                                height: p.height,
+                                lines: p.l2_lines(f.l2),
+                            })
+                            .collect(),
+                    })
+                };
+                let fcm = make_bank(PredictorKind::Fcm);
+                let dfcm = make_bank(PredictorKind::Dfcm);
+
+                // Renamed prediction slots in specification order.
+                let mut slots = Vec::new();
+                let mut fcm_t = 0usize;
+                let mut dfcm_t = 0usize;
+                for p in &f.predictors {
+                    for entry in 0..p.height {
+                        let source = match p.kind {
+                            PredictorKind::Lv => SlotSource::Lv { entry },
+                            PredictorKind::Fcm => SlotSource::Fcm { table: fcm_t, entry },
+                            PredictorKind::Dfcm => SlotSource::Dfcm { table: dfcm_t, entry },
+                            PredictorKind::St => SlotSource::St { entry },
+                        };
+                        slots.push(SlotPlan { code: slots.len() as u8, source });
+                    }
+                    match p.kind {
+                        PredictorKind::Fcm => fcm_t += 1,
+                        PredictorKind::Dfcm => dfcm_t += 1,
+                        PredictorKind::Lv | PredictorKind::St => {}
+                    }
+                }
+
+                let has_st = f.has_stride_predictor();
+                FieldPlan {
+                    number: f.number,
+                    offset: field_offset,
+                    width,
+                    l1: f.l1,
+                    lv_entries: f.lv_entries(),
+                    needs_stride: dfcm.is_some() || has_st,
+                    has_st,
+                    needs_pc: f.l1 > 1,
+                    miss_code: slots.len() as u8,
+                    value_bytes: if options.minimize_types { width.bytes() } else { 8 },
+                    smart_update: options.smart_update,
+                    fcm,
+                    dfcm,
+                    slots,
+                }
+            })
+            .collect::<Vec<_>>();
+
+        let pc_index = spec.pc_index();
+        let mut order = vec![pc_index];
+        order.extend((0..fields.len()).filter(|&i| i != pc_index));
+        Plan {
+            header_bytes: spec.header_bytes() as usize,
+            record_bytes: spec.record_bytes() as usize,
+            pc_index,
+            order,
+            fields,
+            smart_update: options.smart_update,
+            canonical_spec: tcgen_spec::canonical(spec),
+        }
+    }
+
+    /// Total predictor-table bytes of the generated code.
+    pub fn table_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        for f in &self.fields {
+            total += f.l1 * u64::from(f.lv_entries) * f.width.bytes() as u64;
+            if f.has_st {
+                total += f.l1 * 2 * f.width.bytes() as u64;
+            }
+            for bank in [&f.fcm, &f.dfcm].into_iter().flatten() {
+                total += f.l1 * u64::from(bank.max_order) * 4;
+                for t in &bank.tables {
+                    total += t.lines * u64::from(t.height) * f.width.bytes() as u64;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    fn plan_for(src: &str) -> Plan {
+        Plan::new(&parse(src).unwrap(), PlanOptions::default())
+    }
+
+    #[test]
+    fn tcgen_a_plan_matches_paper_numbers() {
+        let plan = plan_for(presets::TCGEN_A);
+        assert_eq!(plan.fields[0].miss_code, 4);
+        assert_eq!(plan.fields[1].miss_code, 10);
+        let mb = plan.table_bytes() as f64 / (1 << 20) as f64;
+        assert!((19.0..21.0).contains(&mb), "paper says 20 MB, got {mb}");
+    }
+
+    #[test]
+    fn dead_code_removal_no_stride_without_dfcm() {
+        let plan = plan_for(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: FCM2[1], LV[1]};\nPC = Field 1;",
+        );
+        assert!(!plan.fields[0].needs_stride);
+        assert!(plan.fields[0].dfcm.is_none());
+        assert_eq!(plan.header_bytes, 0, "headerless spec emits no header code");
+    }
+
+    #[test]
+    fn table_coalescing_fcm_only_field_has_no_lv_table() {
+        let plan = plan_for(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: FCM2[2]};\nPC = Field 1;",
+        );
+        assert_eq!(plan.fields[0].lv_entries, 0);
+    }
+
+    #[test]
+    fn l2_lines_scale_with_order() {
+        let plan = plan_for(presets::TCGEN_A);
+        let fcm = plan.fields[0].fcm.as_ref().unwrap();
+        // FCM3 then FCM1 in spec order.
+        assert_eq!(fcm.tables[0].lines, 524_288);
+        assert_eq!(fcm.tables[1].lines, 131_072);
+        assert_eq!(fcm.max_order, 3);
+    }
+
+    #[test]
+    fn parameter_pruning_pc_field_needs_no_pc() {
+        let plan = plan_for(presets::TCGEN_A);
+        assert!(!plan.fields[0].needs_pc, "L1 = 1 fields ignore the PC");
+        assert!(plan.fields[1].needs_pc);
+    }
+
+    #[test]
+    fn type_minimization_picks_narrow_types() {
+        let plan = plan_for(
+            "TCgen Trace Specification;\n8-Bit Field 1 = {: LV[1]};\n\
+             16-Bit Field 2 = {: LV[1]};\nPC = Field 1;",
+        );
+        assert_eq!(plan.fields[0].width, Width::U8);
+        assert_eq!(plan.fields[0].value_bytes, 1);
+        assert_eq!(plan.fields[1].width, Width::U16);
+        assert_eq!(plan.fields[1].value_bytes, 2);
+        let fat = Plan::new(
+            &parse(
+                "TCgen Trace Specification;\n8-Bit Field 1 = {: LV[1]};\n\
+                 16-Bit Field 2 = {: LV[1]};\nPC = Field 1;",
+            )
+            .unwrap(),
+            PlanOptions { minimize_types: false, ..Default::default() },
+        );
+        assert_eq!(fat.fields[0].value_bytes, 8);
+    }
+
+    #[test]
+    fn slot_renaming_is_dense() {
+        let plan = plan_for(presets::TCGEN_A);
+        let codes: Vec<u8> = plan.fields[1].slots.iter().map(|s| s.code).collect();
+        assert_eq!(codes, (0..10).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn processing_order_puts_pc_first() {
+        let plan = plan_for(
+            "TCgen Trace Specification;\n64-Bit Field 1 = {: LV[1]};\n\
+             32-Bit Field 2 = {: LV[1]};\nPC = Field 2;",
+        );
+        assert_eq!(plan.order, vec![1, 0]);
+    }
+
+    #[test]
+    fn hash_parameters_match_the_engine() {
+        // The plan must use exactly the engine's HashSpec values.
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let plan = Plan::new(&spec, PlanOptions::default());
+        let bank = plan.fields[1].dfcm.as_ref().unwrap();
+        let hash = HashSpec::new(64, 131_072, 3, true);
+        assert_eq!(bank.shift, hash.shift);
+        assert_eq!(bank.fold_bits, hash.fold_bits);
+        assert_eq!(bank.masks, hash.masks);
+    }
+}

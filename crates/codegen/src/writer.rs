@@ -1,0 +1,75 @@
+//! A tiny indentation-aware source writer used by both emitters.
+
+/// Accumulates correctly indented source text, one statement per line.
+#[derive(Debug, Default)]
+pub struct CodeWriter {
+    out: String,
+    indent: usize,
+}
+
+impl CodeWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one line at the current indentation.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        if text.is_empty() {
+            self.out.push('\n');
+            return;
+        }
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    /// Appends a line and increases indentation (for `{`-style openers).
+    pub fn open(&mut self, text: impl AsRef<str>) {
+        self.line(text);
+        self.indent += 1;
+    }
+
+    /// Decreases indentation and appends a closing line.
+    pub fn close(&mut self, text: impl AsRef<str>) {
+        self.indent = self.indent.saturating_sub(1);
+        self.line(text);
+    }
+
+    /// Consumes the writer, returning the source text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indentation_tracks_blocks() {
+        let mut w = CodeWriter::new();
+        w.open("fn main() {");
+        w.line("let x = 1;");
+        w.open("if x == 1 {");
+        w.line("work();");
+        w.close("}");
+        w.close("}");
+        assert_eq!(
+            w.finish(),
+            "fn main() {\n    let x = 1;\n    if x == 1 {\n        work();\n    }\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_lines_carry_no_indent() {
+        let mut w = CodeWriter::new();
+        w.open("{");
+        w.line("");
+        w.close("}");
+        assert_eq!(w.finish(), "{\n\n}\n");
+    }
+}

@@ -1,0 +1,225 @@
+//! End-to-end validation of TCgen's generated code: the emitted C and
+//! Rust programs are compiled with the system toolchains, run on real
+//! synthetic traces, and their stream files compared byte-for-byte with
+//! the engine's reference streams. Decompression must reproduce the
+//! original trace exactly (the paper "diffs" every decompressed trace).
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+use tcgen_codegen::{generate_c, generate_rust, PlanOptions};
+use tcgen_engine::{codec, EngineOptions};
+use tcgen_spec::{parse, presets, TraceSpec};
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+fn tool_available(tool: &str) -> bool {
+    Command::new(tool)
+        .arg("--version")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .map(|s| s.success())
+        .unwrap_or(false)
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tcgen-codegen-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Compiles `source` into an executable using `compile` (a closure that
+/// issues the toolchain command), then checks compress/decompress
+/// behaviour against the engine for several traces.
+fn check_generated(spec: &TraceSpec, binary: &std::path::Path, traces: &[Vec<u8>]) {
+    let engine_opts = EngineOptions::tcgen();
+    for (i, raw) in traces.iter().enumerate() {
+        // Generated compressor: trace -> stream file.
+        let stream_file = run(binary, &[], raw);
+        // Reference streams from the engine.
+        let reference = codec::raw_streams(spec, &engine_opts, raw).expect("engine streams");
+        let rebuilt = parse_stream_file(&stream_file, spec);
+        assert_eq!(rebuilt.len(), reference.len(), "trace {i}: stream count mismatch");
+        for (k, (got, want)) in rebuilt.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "trace {i}: stream {k} differs from the engine");
+        }
+        // Generated decompressor: stream file -> original trace.
+        let restored = run(binary, &["-d"], &stream_file);
+        assert_eq!(&restored, raw, "trace {i}: decompression mismatch");
+    }
+}
+
+fn run(binary: &std::path::Path, args: &[&str], input: &[u8]) -> Vec<u8> {
+    let mut child = Command::new(binary)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn generated binary");
+    child.stdin.take().expect("stdin").write_all(input).expect("feed input");
+    let out = child.wait_with_output().expect("wait for generated binary");
+    assert!(out.status.success(), "generated binary failed: {:?}", out.status);
+    out.stdout
+}
+
+/// Parses the TCGS stream file into `[codes, values]` per field.
+fn parse_stream_file(data: &[u8], spec: &TraceSpec) -> Vec<Vec<u8>> {
+    assert_eq!(&data[..4], b"TCGS");
+    let mut pos = 4usize;
+    let u64_at = |pos: &mut usize| {
+        let v = u64::from_le_bytes(data[*pos..*pos + 8].try_into().expect("8 bytes"));
+        *pos += 8;
+        v as usize
+    };
+    let header_len = u64_at(&mut pos);
+    assert_eq!(header_len, spec.header_bytes() as usize);
+    pos += header_len;
+    let _records = u64_at(&mut pos);
+    let mut streams = Vec::new();
+    for _ in 0..spec.fields.len() * 2 {
+        let len = u64_at(&mut pos);
+        streams.push(data[pos..pos + len].to_vec());
+        pos += len;
+    }
+    assert_eq!(pos, data.len(), "trailing bytes in stream file");
+    streams
+}
+
+fn test_traces() -> Vec<Vec<u8>> {
+    let programs = suite();
+    let mut traces = vec![
+        // Empty trace (header only).
+        vec![9, 9, 9, 9],
+    ];
+    for (pi, kind) in [(6usize, TraceKind::StoreAddress), (0, TraceKind::LoadValue)] {
+        traces.push(generate_trace(&programs[pi], kind, 4_000).to_bytes());
+    }
+    traces
+}
+
+#[test]
+fn generated_c_matches_engine_and_roundtrips() {
+    if !tool_available("cc") {
+        eprintln!("skipping: no C compiler on this machine");
+        return;
+    }
+    let spec = parse(presets::TCGEN_A).unwrap();
+    let source = generate_c(&spec, PlanOptions::default());
+    let dir = tempdir("c");
+    let src_path = dir.join("tcgen_a.c");
+    let bin_path = dir.join("tcgen_a");
+    std::fs::write(&src_path, &source).expect("write C source");
+    let status = Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .status()
+        .expect("run cc");
+    assert!(status.success(), "generated C failed to compile");
+    check_generated(&spec, &bin_path, &test_traces());
+}
+
+#[test]
+fn generated_c_multifield_spec() {
+    if !tool_available("cc") {
+        eprintln!("skipping: no C compiler on this machine");
+        return;
+    }
+    // A deliberately gnarly spec: three fields of different widths, no
+    // header, PC in the middle, including the ST extension predictor.
+    let src = "TCgen Trace Specification;\n\
+               8-Bit Field 1 = {L1 = 16, L2 = 256: LV[2], FCM2[1]};\n\
+               32-Bit Field 2 = {L1 = 1, L2 = 1024: FCM1[2], ST[1]};\n\
+               64-Bit Field 3 = {L1 = 64, L2 = 512: DFCM2[2], ST[2], LV[1]};\n\
+               PC = Field 2;";
+    let spec = parse(src).unwrap();
+    let source = generate_c(&spec, PlanOptions::default());
+    let dir = tempdir("c3");
+    let src_path = dir.join("multi.c");
+    let bin_path = dir.join("multi");
+    std::fs::write(&src_path, &source).expect("write C source");
+    let status = Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .status()
+        .expect("run cc");
+    assert!(status.success(), "generated C failed to compile");
+
+    // Build a synthetic 13-byte-record trace.
+    let mut raw = Vec::new();
+    let mut x = 0x1234_5678_9abc_def0u64;
+    for i in 0..3_000u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        raw.push((i % 7) as u8);
+        raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 23) * 4).to_le_bytes());
+        raw.extend_from_slice(&(0x1000 + i * 16 + (x >> 60)).to_le_bytes());
+    }
+    check_generated(&spec, &bin_path, &[raw]);
+}
+
+#[test]
+fn generated_rust_matches_engine_and_roundtrips() {
+    if !tool_available("rustc") {
+        eprintln!("skipping: no rustc on this machine");
+        return;
+    }
+    let spec = parse(presets::TCGEN_A).unwrap();
+    let source = generate_rust(&spec, PlanOptions::default());
+    let dir = tempdir("rs");
+    let src_path = dir.join("tcgen_a.rs");
+    let bin_path = dir.join("tcgen_a_rs");
+    std::fs::write(&src_path, &source).expect("write Rust source");
+    let output = Command::new("rustc")
+        .args(["-O", "--edition", "2021", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .output()
+        .expect("run rustc");
+    assert!(
+        output.status.success(),
+        "generated Rust failed to compile:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    check_generated(&spec, &bin_path, &test_traces());
+}
+
+#[test]
+fn c_and_rust_emitters_agree() {
+    if !tool_available("cc") || !tool_available("rustc") {
+        eprintln!("skipping: toolchain incomplete");
+        return;
+    }
+    let spec = parse(presets::TCGEN_B).unwrap();
+    let dir = tempdir("agree");
+    let c_bin = dir.join("b_c");
+    let rs_bin = dir.join("b_rs");
+    let c_src = dir.join("b.c");
+    let rs_src = dir.join("b.rs");
+    std::fs::write(&c_src, generate_c(&spec, PlanOptions::default())).unwrap();
+    std::fs::write(&rs_src, generate_rust(&spec, PlanOptions::default())).unwrap();
+    assert!(Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&c_bin)
+        .arg(&c_src)
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new("rustc")
+        .args(["-O", "--edition", "2021", "-o"])
+        .arg(&rs_bin)
+        .arg(&rs_src)
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let raw = generate_trace(&suite()[13], TraceKind::CacheMissAddress, 3_000).to_bytes();
+    let from_c = run(&c_bin, &[], &raw);
+    let from_rs = run(&rs_bin, &[], &raw);
+    assert_eq!(from_c, from_rs, "C and Rust compressors must emit identical stream files");
+    assert_eq!(run(&rs_bin, &["-d"], &from_c), raw, "cross-decompression C -> Rust");
+    assert_eq!(run(&c_bin, &["-d"], &from_rs), raw, "cross-decompression Rust -> C");
+}

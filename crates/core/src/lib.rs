@@ -1,0 +1,209 @@
+//! # tcgen-core
+//!
+//! The TCgen facade: one type, [`Tcgen`], that ties the whole system
+//! together the way the paper's command-line tool does — parse a trace
+//! specification, generate customized compressor source code (C or
+//! Rust), and compress/decompress traces directly through the runtime
+//! engine, with predictor-usage feedback.
+//!
+//! ```
+//! use tcgen_core::Tcgen;
+//!
+//! let tcgen = Tcgen::from_spec(tcgen_core::TCGEN_A_SPEC)?;
+//!
+//! // 1. Generate a customized C compressor (the paper's output).
+//! let c_source = tcgen.generate_c();
+//! assert!(c_source.contains("int main"));
+//!
+//! // 2. Or compress in-process through the engine.
+//! let mut trace = vec![0, 0, 0, 0];
+//! for i in 0..1000u64 {
+//!     trace.extend_from_slice(&(0x40_0000u32).to_le_bytes());
+//!     trace.extend_from_slice(&(i * 8).to_le_bytes());
+//! }
+//! let packed = tcgen.compress(&trace)?;
+//! assert!(packed.len() < trace.len() / 10);
+//! assert_eq!(tcgen.decompress(&packed)?, trace);
+//! # Ok::<(), tcgen_core::Error>(())
+//! ```
+
+use tcgen_codegen::PlanOptions;
+use tcgen_engine::{Engine, EngineOptions, UsageReport};
+use tcgen_spec::TraceSpec;
+
+/// The paper's Figure 5 specification (TCgen(A) / the VPC3 format).
+pub const TCGEN_A_SPEC: &str = tcgen_spec::presets::TCGEN_A;
+/// The paper's Figure 9 specification (TCgen(B)).
+pub const TCGEN_B_SPEC: &str = tcgen_spec::presets::TCGEN_B;
+
+/// Errors from the facade: specification problems or engine failures.
+#[derive(Debug)]
+pub enum Error {
+    /// The specification failed to parse or validate.
+    Spec(tcgen_spec::SpecError),
+    /// Compression or decompression failed.
+    Engine(tcgen_engine::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Spec(e) => write!(f, "specification: {e}"),
+            Error::Engine(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Spec(e) => Some(e),
+            Error::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<tcgen_spec::SpecError> for Error {
+    fn from(e: tcgen_spec::SpecError) -> Self {
+        Error::Spec(e)
+    }
+}
+
+impl From<tcgen_engine::Error> for Error {
+    fn from(e: tcgen_engine::Error) -> Self {
+        Error::Engine(e)
+    }
+}
+
+/// A configured TCgen instance for one trace format.
+#[derive(Debug, Clone)]
+pub struct Tcgen {
+    engine: Engine,
+}
+
+impl Tcgen {
+    /// Parses `spec_source` and configures TCgen with full optimizations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] with a source position on parse errors or
+    /// a description of the violated rule on validation errors.
+    pub fn from_spec(spec_source: &str) -> Result<Self, Error> {
+        Self::with_options(spec_source, EngineOptions::tcgen())
+    }
+
+    /// Parses `spec_source` and configures TCgen with explicit engine
+    /// options (ablation presets, the VPC3 baseline, block sizes …).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tcgen::from_spec`].
+    pub fn with_options(spec_source: &str, options: EngineOptions) -> Result<Self, Error> {
+        let spec = tcgen_spec::parse(spec_source)?;
+        Ok(Self { engine: Engine::new(spec, options) })
+    }
+
+    /// The parsed trace specification.
+    pub fn spec(&self) -> &TraceSpec {
+        self.engine.spec()
+    }
+
+    /// The specification in canonical form, with the prediction-count
+    /// and table-size comments TCgen prints.
+    pub fn canonical_spec(&self) -> String {
+        tcgen_spec::canonical(self.engine.spec())
+    }
+
+    /// Generates the customized C compressor source for this format.
+    pub fn generate_c(&self) -> String {
+        tcgen_codegen::generate_c(self.engine.spec(), self.plan_options())
+    }
+
+    /// Generates the customized Rust compressor source for this format.
+    pub fn generate_rust(&self) -> String {
+        tcgen_codegen::generate_rust(self.engine.spec(), self.plan_options())
+    }
+
+    fn plan_options(&self) -> PlanOptions {
+        let o = self.engine.options();
+        PlanOptions {
+            smart_update: o.predictor.policy == tcgen_predictors::UpdatePolicy::Smart,
+            adaptive_shift: o.predictor.adaptive_shift,
+            minimize_types: o.minimize_types,
+        }
+    }
+
+    /// Compresses a raw trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Engine`] if the trace does not match the format.
+    pub fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, Error> {
+        Ok(self.engine.compress(raw)?)
+    }
+
+    /// Compresses and returns the predictor-usage feedback alongside.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tcgen::compress`].
+    pub fn compress_with_usage(&self, raw: &[u8]) -> Result<(Vec<u8>, UsageReport), Error> {
+        Ok(self.engine.compress_with_usage(raw)?)
+    }
+
+    /// Decompresses a container produced by [`Tcgen::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Engine`] on damage or format mismatch.
+    pub fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, Error> {
+        Ok(self.engine.decompress(packed)?)
+    }
+
+    /// Access to the underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_end_to_end() {
+        let tcgen = Tcgen::from_spec(TCGEN_A_SPEC).unwrap();
+        let mut trace = vec![1, 2, 3, 4];
+        for i in 0..2_000u64 {
+            trace.extend_from_slice(&(0x40_0000u32 + (i as u32 % 5) * 4).to_le_bytes());
+            trace.extend_from_slice(&(0x8000 + i * 16).to_le_bytes());
+        }
+        let (packed, usage) = tcgen.compress_with_usage(&trace).unwrap();
+        assert_eq!(tcgen.decompress(&packed).unwrap(), trace);
+        assert!(usage.fields[1].hit_rate() > 0.8);
+        assert!(tcgen.canonical_spec().contains("predictions"));
+    }
+
+    #[test]
+    fn bad_spec_is_a_spec_error() {
+        assert!(matches!(Tcgen::from_spec("nonsense"), Err(Error::Spec(_))));
+    }
+
+    #[test]
+    fn vpc3_preset_via_facade() {
+        let vpc3 = Tcgen::with_options(TCGEN_A_SPEC, EngineOptions::vpc3()).unwrap();
+        let trace = vec![0, 0, 0, 0];
+        let packed = vpc3.compress(&trace).unwrap();
+        assert_eq!(vpc3.decompress(&packed).unwrap(), trace);
+    }
+
+    #[test]
+    fn generated_sources_reflect_options() {
+        let tcgen = Tcgen::from_spec(TCGEN_A_SPEC).unwrap();
+        assert!(tcgen.generate_c().contains("!= value) {"), "smart update emitted");
+        let vpc3 = Tcgen::with_options(TCGEN_A_SPEC, EngineOptions::vpc3()).unwrap();
+        let c = vpc3.generate_c();
+        // Always-update: multi-entry lines shift without a guard.
+        assert!(!c.contains("] != value) {"), "no smart-update guard for VPC3");
+    }
+}

@@ -1,0 +1,318 @@
+//! The compression and decompression loops plus the container format.
+//!
+//! Container layout (all integers little-endian):
+//!
+//! ```text
+//! "TCGZ"  u8 version  u8 flags  u32 spec_hash  u16 header_len  header bytes
+//! blocks: 0x01  u32 n_records  per field { codes segment, values segment }
+//! end:    0x00
+//! segment: u32 compressed_len  blockzip container
+//! ```
+//!
+//! The flag byte records the semantics-affecting options so that any
+//! engine configuration can decompress any container (speed-only options
+//! do not change the streams).
+
+use tcgen_predictors::SpecBanks;
+use tcgen_spec::TraceSpec;
+
+use crate::options::EngineOptions;
+use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
+use crate::usage::UsageReport;
+use crate::Error;
+
+const MAGIC: &[u8; 4] = b"TCGZ";
+const VERSION: u8 = 1;
+const BLOCK_MARKER: u8 = 0x01;
+const END_MARKER: u8 = 0x00;
+
+/// FNV-1a hash of the canonical specification text; stored in the
+/// container so mismatched decompressors fail fast.
+pub fn spec_hash(spec: &TraceSpec) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in tcgen_spec::canonical(spec).bytes() {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Compresses `raw` (a trace matching `spec`) into a TCGZ container.
+/// When `usage` is given, predictor-usage counters are accumulated.
+pub fn compress(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    raw: &[u8],
+    mut usage: Option<&mut UsageReport>,
+) -> Result<Vec<u8>, Error> {
+    let header_len = spec.header_bytes() as usize;
+    let record_len = spec.record_bytes() as usize;
+    if raw.len() < header_len {
+        return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
+    }
+    if !(raw.len() - header_len).is_multiple_of(record_len) {
+        return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
+    }
+
+    let mut out = Vec::with_capacity(raw.len() / 8 + 64);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(options.flags());
+    out.extend_from_slice(&spec_hash(spec).to_le_bytes());
+    out.extend_from_slice(&(header_len as u16).to_le_bytes());
+    out.extend_from_slice(&raw[..header_len]);
+
+    let mut banks = SpecBanks::new(spec, options.predictor);
+    let offsets = field_offsets(spec);
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let pc_index = banks.pc_index();
+    let pc_offset = offsets[pc_index];
+    let pc_width = spec.fields[pc_index].bytes() as usize;
+    let order: Vec<usize> = banks.processing_order().to_vec();
+
+    let mut streams = BlockStreams::new(spec.fields.len());
+    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
+
+    for record in raw[header_len..].chunks_exact(record_len) {
+        let pc = read_value(&record[pc_offset..], pc_width);
+        for &fi in &order {
+            let bank = banks.bank(fi);
+            let value = read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
+                & bank.width_mask();
+            let code = bank.find_code(pc, value);
+            let fs = &mut streams.fields[fi];
+            fs.codes.push(code);
+            if code == miss_codes[fi] {
+                write_value(&mut fs.values, value, widths[fi]);
+            }
+            if let Some(u) = usage.as_deref_mut() {
+                u.record(fi, code);
+            }
+            banks.bank_mut(fi).update(pc, value);
+        }
+        streams.records += 1;
+        if streams.records == options.block_records {
+            flush_block(&mut out, &streams, options);
+            streams.clear();
+        }
+    }
+    if !streams.is_empty() {
+        flush_block(&mut out, &streams, options);
+    }
+    out.push(END_MARKER);
+    Ok(out)
+}
+
+/// Runs the compression loop over the whole trace as a single block and
+/// returns the raw, un-post-compressed streams, flattened as
+/// `[field0.codes, field0.values, field1.codes, …]` in declaration order.
+///
+/// This is the reference against which TCgen-generated C and Rust
+/// programs are validated: their stream files must match byte-for-byte.
+pub fn raw_streams(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    raw: &[u8],
+) -> Result<Vec<Vec<u8>>, Error> {
+    let whole = EngineOptions { block_records: usize::MAX, ..*options };
+    let header_len = spec.header_bytes() as usize;
+    let record_len = spec.record_bytes() as usize;
+    if raw.len() < header_len || !(raw.len() - header_len).is_multiple_of(record_len) {
+        return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
+    }
+    let mut banks = SpecBanks::new(spec, whole.predictor);
+    let offsets = field_offsets(spec);
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if whole.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let pc_index = banks.pc_index();
+    let pc_offset = offsets[pc_index];
+    let pc_width = spec.fields[pc_index].bytes() as usize;
+    let order: Vec<usize> = banks.processing_order().to_vec();
+    let mut streams = BlockStreams::new(spec.fields.len());
+    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
+    for record in raw[header_len..].chunks_exact(record_len) {
+        let pc = read_value(&record[pc_offset..], pc_width);
+        for &fi in &order {
+            let bank = banks.bank(fi);
+            let value = read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
+                & bank.width_mask();
+            let code = bank.find_code(pc, value);
+            let fs = &mut streams.fields[fi];
+            fs.codes.push(code);
+            if code == miss_codes[fi] {
+                write_value(&mut fs.values, value, widths[fi]);
+            }
+            banks.bank_mut(fi).update(pc, value);
+        }
+    }
+    Ok(streams.fields.into_iter().flat_map(|fs| [fs.codes, fs.values]).collect())
+}
+
+fn flush_block(out: &mut Vec<u8>, streams: &BlockStreams, options: &EngineOptions) {
+    out.push(BLOCK_MARKER);
+    out.extend_from_slice(&(streams.records as u32).to_le_bytes());
+    for fs in &streams.fields {
+        for payload in [&fs.codes, &fs.values] {
+            let packed = blockzip::compress_with(payload, options.level);
+            out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+            out.extend_from_slice(&packed);
+        }
+    }
+}
+
+/// Decompresses a TCGZ container back into the original trace bytes.
+pub fn decompress(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    packed: &[u8],
+) -> Result<Vec<u8>, Error> {
+    let mut cur = Cursor { data: packed, pos: 0 };
+    if cur.take(4)? != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = cur.take(1)?[0];
+    if version != VERSION {
+        return Err(Error::Corrupt(format!("unsupported container version {version}")));
+    }
+    let flags = cur.take(1)?[0];
+    let stored_hash = cur.take_u32()?;
+    let expected_hash = spec_hash(spec);
+    if stored_hash != expected_hash {
+        return Err(Error::SpecMismatch { expected: expected_hash, found: stored_hash });
+    }
+    let header_len = cur.take_u16()? as usize;
+    if header_len != spec.header_bytes() as usize {
+        return Err(Error::Corrupt(format!(
+            "header length {header_len} does not match the specification"
+        )));
+    }
+    let header = cur.take(header_len)?.to_vec();
+
+    // Semantics-affecting options come from the container.
+    let effective = options.with_flags(flags);
+    let mut banks = SpecBanks::new(spec, effective.predictor);
+    let offsets = field_offsets(spec);
+    let field_bytes: Vec<usize> = spec.fields.iter().map(|f| f.bytes() as usize).collect();
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if effective.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let record_len = spec.record_bytes() as usize;
+    let pc_index = banks.pc_index();
+    let order: Vec<usize> = banks.processing_order().to_vec();
+    let n_fields = spec.fields.len();
+
+    let mut out = Vec::with_capacity(packed.len() * 4);
+    out.extend_from_slice(&header);
+    let miss_codes: Vec<usize> =
+        spec.fields.iter().map(|f| f.prediction_count() as usize).collect();
+    let mut record = vec![0u8; record_len];
+
+    loop {
+        match cur.take(1)?[0] {
+            END_MARKER => return Ok(out),
+            BLOCK_MARKER => {}
+            other => return Err(Error::Corrupt(format!("unexpected block marker {other:#x}"))),
+        }
+        let n_records = cur.take_u32()? as usize;
+        let mut codes = Vec::with_capacity(n_fields);
+        let mut values = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            let c = blockzip::decompress(cur.take_segment()?)?;
+            let v = blockzip::decompress(cur.take_segment()?)?;
+            codes.push(c);
+            values.push(v);
+        }
+        for (fi, c) in codes.iter().enumerate() {
+            if c.len() != n_records {
+                return Err(Error::Corrupt(format!(
+                    "field {fi}: {} codes for {n_records} records",
+                    c.len()
+                )));
+            }
+        }
+
+        let mut value_pos = vec![0usize; n_fields];
+        // `rec` indexes every field's code stream, so iterating one
+        // stream directly does not apply here.
+        #[allow(clippy::needless_range_loop)]
+        for rec in 0..n_records {
+            let mut pc = 0u64;
+            for &fi in &order {
+                let bank = banks.bank(fi);
+                let code = codes[fi][rec] as usize;
+                // The PC field is decoded first; its bank has L1 = 1, so
+                // the not-yet-known PC does not matter for its index.
+                // Only the named slot is evaluated (lazy decompression).
+                let value = if code < miss_codes[fi] {
+                    bank.value_for_code(pc, code as u8)
+                        .expect("code below the miss code always resolves")
+                } else if code == miss_codes[fi] {
+                    let w = widths[fi];
+                    let vs = &values[fi];
+                    if value_pos[fi] + w > vs.len() {
+                        return Err(Error::Corrupt(format!(
+                            "field {fi}: value stream exhausted at record {rec}"
+                        )));
+                    }
+                    let v = read_value(&vs[value_pos[fi]..], w);
+                    value_pos[fi] += w;
+                    v & bank.width_mask()
+                } else {
+                    return Err(Error::Corrupt(format!(
+                        "field {fi}: predictor code {code} out of range at record {rec}"
+                    )));
+                };
+                if fi == pc_index {
+                    pc = value;
+                }
+                banks.bank_mut(fi).update(pc, value);
+                write_record_value(&mut record, offsets[fi], field_bytes[fi], value);
+            }
+            out.extend_from_slice(&record);
+        }
+    }
+}
+
+#[inline]
+fn write_record_value(record: &mut [u8], offset: usize, width: usize, value: u64) {
+    record[offset..offset + width].copy_from_slice(&value.to_le_bytes()[..width]);
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.pos + n > self.data.len() {
+            return Err(Error::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn take_u16(&mut self) -> Result<u16, Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn take_u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn take_segment(&mut self) -> Result<&'a [u8], Error> {
+        let len = self.take_u32()? as usize;
+        self.take(len)
+    }
+}

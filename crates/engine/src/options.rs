@@ -1,0 +1,159 @@
+//! Engine configuration, including the ablation presets of Table 2 and
+//! the VPC3 baseline configuration.
+
+use tcgen_predictors::{PredictorOptions, UpdatePolicy};
+
+/// Full configuration of the compression engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Predictor behaviour (update policy, hashing, sharing).
+    pub predictor: PredictorOptions,
+    /// Write unpredictable values and table elements with the smallest
+    /// sufficient type (TCgen's type minimization). When disabled, every
+    /// miss value is written as 8 bytes regardless of field width.
+    pub minimize_types: bool,
+    /// Records per block; streams are post-compressed per block.
+    pub block_records: usize,
+    /// Post-compressor block-size level.
+    pub level: blockzip::Level,
+}
+
+impl EngineOptions {
+    /// TCgen with all optimizations enabled (the paper's default, the
+    /// "full optimizations" row of Table 2).
+    pub fn tcgen() -> Self {
+        Self {
+            predictor: PredictorOptions::default(),
+            minimize_types: true,
+            block_records: 1 << 20,
+            level: blockzip::Level::BEST,
+        }
+    }
+
+    /// The VPC3 baseline: always-update policy and a fixed (non-adaptive)
+    /// hash shift — the algorithm TCgen's §5.3 enhancements improve upon.
+    pub fn vpc3() -> Self {
+        Self {
+            predictor: PredictorOptions {
+                policy: UpdatePolicy::Always,
+                adaptive_shift: false,
+                ..PredictorOptions::default()
+            },
+            ..Self::tcgen()
+        }
+    }
+
+    /// Table 2 row "no smart update": predictors are always updated.
+    pub fn no_smart_update() -> Self {
+        Self {
+            predictor: PredictorOptions {
+                policy: UpdatePolicy::Always,
+                ..PredictorOptions::default()
+            },
+            ..Self::tcgen()
+        }
+    }
+
+    /// Table 2 row "no type minimization": miss values are written as
+    /// full 8-byte words.
+    pub fn no_type_minimization() -> Self {
+        Self { minimize_types: false, ..Self::tcgen() }
+    }
+
+    /// Table 2 row "no shared tables": every predictor owns private
+    /// tables (same predictions, more memory traffic).
+    pub fn no_shared_tables() -> Self {
+        Self {
+            predictor: PredictorOptions { shared_tables: false, ..PredictorOptions::default() },
+            ..Self::tcgen()
+        }
+    }
+
+    /// Table 2 row "no fast hash function": hashes are recomputed from
+    /// scratch on every access (identical results, slower).
+    pub fn no_fast_hash() -> Self {
+        Self {
+            predictor: PredictorOptions { fast_hash: false, ..PredictorOptions::default() },
+            ..Self::tcgen()
+        }
+    }
+
+    /// Table 2 row "all of the above": the four de-optimizations at once.
+    pub fn all_deoptimized() -> Self {
+        Self {
+            predictor: PredictorOptions {
+                policy: UpdatePolicy::Always,
+                fast_hash: false,
+                shared_tables: false,
+                adaptive_shift: true,
+            },
+            minimize_types: false,
+            ..Self::tcgen()
+        }
+    }
+
+    /// Encodes the semantics-affecting options into a container flag
+    /// byte. Speed-only options (fast hash, sharing) are excluded: any
+    /// decompressor configuration reproduces the same trace.
+    pub fn flags(&self) -> u8 {
+        let mut f = 0u8;
+        if self.predictor.policy == UpdatePolicy::Smart {
+            f |= 1;
+        }
+        if self.predictor.adaptive_shift {
+            f |= 2;
+        }
+        if self.minimize_types {
+            f |= 4;
+        }
+        f
+    }
+
+    /// Reconstructs semantics-affecting options from a flag byte,
+    /// keeping this configuration's speed-only settings.
+    pub fn with_flags(mut self, flags: u8) -> Self {
+        self.predictor.policy =
+            if flags & 1 != 0 { UpdatePolicy::Smart } else { UpdatePolicy::Always };
+        self.predictor.adaptive_shift = flags & 2 != 0;
+        self.minimize_types = flags & 4 != 0;
+        self
+    }
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self::tcgen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_roundtrip_semantic_options() {
+        for opts in [
+            EngineOptions::tcgen(),
+            EngineOptions::vpc3(),
+            EngineOptions::no_smart_update(),
+            EngineOptions::no_type_minimization(),
+            EngineOptions::all_deoptimized(),
+        ] {
+            let rebuilt = EngineOptions::tcgen().with_flags(opts.flags());
+            assert_eq!(rebuilt.predictor.policy, opts.predictor.policy);
+            assert_eq!(rebuilt.predictor.adaptive_shift, opts.predictor.adaptive_shift);
+            assert_eq!(rebuilt.minimize_types, opts.minimize_types);
+        }
+    }
+
+    #[test]
+    fn speed_only_rows_keep_tcgen_semantics() {
+        assert_eq!(EngineOptions::no_shared_tables().flags(), EngineOptions::tcgen().flags());
+        assert_eq!(EngineOptions::no_fast_hash().flags(), EngineOptions::tcgen().flags());
+    }
+
+    #[test]
+    fn vpc3_differs_from_tcgen() {
+        assert_ne!(EngineOptions::vpc3().flags(), EngineOptions::tcgen().flags());
+    }
+}

@@ -1,0 +1,399 @@
+//! Streaming compression and decompression over `std::io` readers and
+//! writers: trace data is processed one block at a time, so multi-
+//! gigabyte traces never need to fit in memory — the way the paper's
+//! generated tools stream from standard input to standard output.
+
+use std::io::{Read, Write};
+
+use tcgen_predictors::SpecBanks;
+use tcgen_spec::TraceSpec;
+
+use crate::codec::spec_hash;
+use crate::options::EngineOptions;
+use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
+use crate::Error;
+
+/// An I/O failure or a codec failure during streaming.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying reader or writer failed.
+    Io(std::io::Error),
+    /// The trace or container was malformed.
+    Codec(Error),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "i/o: {e}"),
+            StreamError::Codec(e) => write!(f, "codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            StreamError::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+impl From<Error> for StreamError {
+    fn from(e: Error) -> Self {
+        StreamError::Codec(e)
+    }
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let n = r.read(&mut buf[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    Ok(filled)
+}
+
+/// Compresses a trace from `input` to `output`, holding at most one
+/// block of records in memory.
+///
+/// # Errors
+///
+/// Returns [`StreamError::Codec`] with [`Error::PartialRecord`] when the
+/// input ends mid-record, and propagates I/O errors.
+pub fn compress_stream(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> Result<(), StreamError> {
+    let header_len = spec.header_bytes() as usize;
+    let record_len = spec.record_bytes() as usize;
+
+    let mut header = vec![0u8; header_len];
+    let got = read_exact_or_eof(input, &mut header)?;
+    if got != header_len {
+        return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+    }
+
+    // Container prelude (same format as the in-memory codec).
+    output.write_all(b"TCGZ")?;
+    output.write_all(&[1u8, options.flags()])?;
+    output.write_all(&spec_hash(spec).to_le_bytes())?;
+    output.write_all(&(header_len as u16).to_le_bytes())?;
+    output.write_all(&header)?;
+
+    let mut banks = SpecBanks::new(spec, options.predictor);
+    let offsets = field_offsets(spec);
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
+    let pc_index = banks.pc_index();
+    let pc_offset = offsets[pc_index];
+    let pc_width = spec.fields[pc_index].bytes() as usize;
+    let order: Vec<usize> = banks.processing_order().to_vec();
+
+    let block_records = options.block_records.clamp(1, 1 << 24);
+    let mut chunk = vec![0u8; record_len * block_records.min(65_536)];
+    let mut streams = BlockStreams::new(spec.fields.len());
+
+    loop {
+        let got = read_exact_or_eof(input, &mut chunk)?;
+        if got % record_len != 0 {
+            return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+        }
+        for record in chunk[..got].chunks_exact(record_len) {
+            let pc = read_value(&record[pc_offset..], pc_width);
+            for &fi in &order {
+                let bank = banks.bank(fi);
+                let value =
+                    read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
+                        & bank.width_mask();
+                let code = bank.find_code(pc, value);
+                let fs = &mut streams.fields[fi];
+                fs.codes.push(code);
+                if code == miss_codes[fi] {
+                    write_value(&mut fs.values, value, widths[fi]);
+                }
+                banks.bank_mut(fi).update(pc, value);
+            }
+            streams.records += 1;
+            if streams.records == block_records {
+                write_block(output, &streams, options)?;
+                streams.clear();
+            }
+        }
+        if got < chunk.len() {
+            break;
+        }
+    }
+    if !streams.is_empty() {
+        write_block(output, &streams, options)?;
+    }
+    output.write_all(&[0u8])?;
+    output.flush()?;
+    Ok(())
+}
+
+fn write_block(
+    output: &mut impl Write,
+    streams: &BlockStreams,
+    options: &EngineOptions,
+) -> Result<(), StreamError> {
+    output.write_all(&[1u8])?;
+    output.write_all(&(streams.records as u32).to_le_bytes())?;
+    for fs in &streams.fields {
+        for payload in [&fs.codes, &fs.values] {
+            let packed = blockzip::compress_with(payload, options.level);
+            output.write_all(&(packed.len() as u32).to_le_bytes())?;
+            output.write_all(&packed)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decompresses a container from `input` to `output`, holding at most
+/// one block in memory.
+///
+/// # Errors
+///
+/// As for [`crate::Engine::decompress`], plus I/O errors.
+pub fn decompress_stream(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    input: &mut impl Read,
+    output: &mut impl Write,
+) -> Result<(), StreamError> {
+    let mut prelude = [0u8; 12];
+    read_all(input, &mut prelude)?;
+    if &prelude[..4] != b"TCGZ" {
+        return Err(Error::BadMagic.into());
+    }
+    if prelude[4] != 1 {
+        return Err(Error::Corrupt(format!("unsupported version {}", prelude[4])).into());
+    }
+    let flags = prelude[5];
+    let stored_hash = u32::from_le_bytes([prelude[6], prelude[7], prelude[8], prelude[9]]);
+    let expected = spec_hash(spec);
+    if stored_hash != expected {
+        return Err(Error::SpecMismatch { expected, found: stored_hash }.into());
+    }
+    let header_len = u16::from_le_bytes([prelude[10], prelude[11]]) as usize;
+    if header_len != spec.header_bytes() as usize {
+        return Err(Error::Corrupt("header length mismatch".into()).into());
+    }
+    let mut header = vec![0u8; header_len];
+    read_all(input, &mut header)?;
+    output.write_all(&header)?;
+
+    let effective = options.with_flags(flags);
+    let mut banks = SpecBanks::new(spec, effective.predictor);
+    let offsets = field_offsets(spec);
+    let field_bytes: Vec<usize> = spec.fields.iter().map(|f| f.bytes() as usize).collect();
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if effective.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let miss_codes: Vec<usize> =
+        spec.fields.iter().map(|f| f.prediction_count() as usize).collect();
+    let record_len = spec.record_bytes() as usize;
+    let pc_index = banks.pc_index();
+    let order: Vec<usize> = banks.processing_order().to_vec();
+    let n_fields = spec.fields.len();
+
+    let mut record = vec![0u8; record_len];
+    let mut out_buf: Vec<u8> = Vec::with_capacity(record_len * 4096);
+    loop {
+        let mut marker = [0u8; 1];
+        read_all(input, &mut marker)?;
+        if marker[0] == 0 {
+            output.flush()?;
+            return Ok(());
+        }
+        if marker[0] != 1 {
+            return Err(Error::Corrupt(format!("bad marker {:#x}", marker[0])).into());
+        }
+        let mut len4 = [0u8; 4];
+        read_all(input, &mut len4)?;
+        let n_records = u32::from_le_bytes(len4) as usize;
+        let mut codes = Vec::with_capacity(n_fields);
+        let mut values = Vec::with_capacity(n_fields);
+        for _ in 0..n_fields {
+            codes.push(read_segment(input)?);
+            values.push(read_segment(input)?);
+        }
+        for (fi, c) in codes.iter().enumerate() {
+            if c.len() != n_records {
+                return Err(Error::Corrupt(format!(
+                    "field {fi}: {} codes for {n_records} records",
+                    c.len()
+                ))
+                .into());
+            }
+        }
+        let mut value_pos = vec![0usize; n_fields];
+        out_buf.clear();
+        // `rec` indexes every field's code stream, so iterating one
+        // stream directly does not apply here.
+        #[allow(clippy::needless_range_loop)]
+        for rec in 0..n_records {
+            let mut pc = 0u64;
+            for &fi in &order {
+                let bank = banks.bank(fi);
+                let code = codes[fi][rec] as usize;
+                let value = if code < miss_codes[fi] {
+                    bank.value_for_code(pc, code as u8).expect("valid code resolves")
+                } else if code == miss_codes[fi] {
+                    let w = widths[fi];
+                    let vs = &values[fi];
+                    if value_pos[fi] + w > vs.len() {
+                        return Err(Error::Corrupt(format!(
+                            "field {fi}: value stream exhausted"
+                        ))
+                        .into());
+                    }
+                    let v = read_value(&vs[value_pos[fi]..], w);
+                    value_pos[fi] += w;
+                    v & bank.width_mask()
+                } else {
+                    return Err(Error::Corrupt(format!("field {fi}: bad code {code}")).into());
+                };
+                if fi == pc_index {
+                    pc = value;
+                }
+                banks.bank_mut(fi).update(pc, value);
+                record[offsets[fi]..offsets[fi] + field_bytes[fi]]
+                    .copy_from_slice(&value.to_le_bytes()[..field_bytes[fi]]);
+            }
+            out_buf.extend_from_slice(&record);
+            if out_buf.len() >= record_len * 4096 {
+                output.write_all(&out_buf)?;
+                out_buf.clear();
+            }
+        }
+        output.write_all(&out_buf)?;
+    }
+}
+
+fn read_all(r: &mut impl Read, buf: &mut [u8]) -> Result<(), StreamError> {
+    let got = read_exact_or_eof(r, buf)?;
+    if got != buf.len() {
+        return Err(Error::Truncated.into());
+    }
+    Ok(())
+}
+
+fn read_segment(r: &mut impl Read) -> Result<Vec<u8>, StreamError> {
+    let mut len4 = [0u8; 4];
+    read_all(r, &mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    let mut packed = vec![0u8; len];
+    read_all(r, &mut packed)?;
+    Ok(blockzip::decompress(&packed).map_err(Error::Post)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+    use tcgen_spec::{parse, presets};
+
+    fn demo_trace(records: usize) -> Vec<u8> {
+        let mut raw = vec![9, 8, 7, 6];
+        for i in 0..records as u64 {
+            raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 11) * 4).to_le_bytes());
+            raw.extend_from_slice(&(0x2000 + i * 8).to_le_bytes());
+        }
+        raw
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_byte_for_byte() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let options = EngineOptions { block_records: 500, ..EngineOptions::tcgen() };
+        let raw = demo_trace(3_333);
+        let in_memory = Engine::new(spec.clone(), options).compress(&raw).unwrap();
+        let mut streamed = Vec::new();
+        compress_stream(&spec, &options, &mut raw.as_slice(), &mut streamed).unwrap();
+        assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn streaming_roundtrip() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let options = EngineOptions { block_records: 100, ..EngineOptions::tcgen() };
+        let raw = demo_trace(1_501);
+        let mut packed = Vec::new();
+        compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+        let mut restored = Vec::new();
+        decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored).unwrap();
+        assert_eq!(restored, raw);
+    }
+
+    #[test]
+    fn streaming_cross_compatibility_with_in_memory() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let options = EngineOptions::tcgen();
+        let raw = demo_trace(700);
+        // Stream-compressed, memory-decompressed.
+        let mut packed = Vec::new();
+        compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+        let engine = Engine::new(spec.clone(), options);
+        assert_eq!(engine.decompress(&packed).unwrap(), raw);
+        // Memory-compressed, stream-decompressed.
+        let packed = engine.compress(&raw).unwrap();
+        let mut restored = Vec::new();
+        decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored).unwrap();
+        assert_eq!(restored, raw);
+    }
+
+    #[test]
+    fn partial_record_detected_mid_stream() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let mut raw = demo_trace(10);
+        raw.pop();
+        let mut sink = Vec::new();
+        let err =
+            compress_stream(&spec, &EngineOptions::tcgen(), &mut raw.as_slice(), &mut sink)
+                .unwrap_err();
+        assert!(matches!(err, StreamError::Codec(Error::PartialRecord { .. })));
+    }
+
+    #[test]
+    fn truncated_container_detected() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let options = EngineOptions::tcgen();
+        let raw = demo_trace(200);
+        let mut packed = Vec::new();
+        compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+        let cut = &packed[..packed.len() - 2];
+        let mut restored = Vec::new();
+        assert!(decompress_stream(&spec, &options, &mut &cut[..], &mut restored).is_err());
+    }
+
+    #[test]
+    fn empty_trace_streams() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let options = EngineOptions::tcgen();
+        let raw = vec![1, 2, 3, 4];
+        let mut packed = Vec::new();
+        compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+        let mut restored = Vec::new();
+        decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored).unwrap();
+        assert_eq!(restored, raw);
+    }
+}

@@ -1,0 +1,128 @@
+//! Per-field stream buffers and minimal-width value I/O.
+//!
+//! TCgen converts a trace into streams: per field, one byte of predictor
+//! code per record, plus the raw values of mispredicted records written
+//! with "elements of the smallest possible type" (§5.2). These buffers
+//! accumulate one block's worth of streams before post-compression.
+
+/// The code and value streams of one field within one block.
+#[derive(Debug, Clone, Default)]
+pub struct FieldStreams {
+    /// One predictor code per record (the miss code is `n_predictions`).
+    pub codes: Vec<u8>,
+    /// Raw values of mispredicted records, fixed-width little-endian.
+    pub values: Vec<u8>,
+}
+
+impl FieldStreams {
+    /// Discards contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.codes.clear();
+        self.values.clear();
+    }
+}
+
+/// All field streams of one block.
+#[derive(Debug, Clone)]
+pub struct BlockStreams {
+    /// Streams indexed by field (declaration order).
+    pub fields: Vec<FieldStreams>,
+    /// Records accumulated in this block.
+    pub records: usize,
+}
+
+impl BlockStreams {
+    /// Creates empty streams for `n_fields` fields.
+    pub fn new(n_fields: usize) -> Self {
+        Self { fields: vec![FieldStreams::default(); n_fields], records: 0 }
+    }
+
+    /// Discards contents, keeping capacity.
+    pub fn clear(&mut self) {
+        for f in &mut self.fields {
+            f.clear();
+        }
+        self.records = 0;
+    }
+
+    /// Whether the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Reads a `width`-byte little-endian value.
+///
+/// # Panics
+///
+/// Panics if `bytes` is shorter than `width` or `width > 8`.
+#[inline]
+pub fn read_value(bytes: &[u8], width: usize) -> u64 {
+    debug_assert!(width <= 8);
+    let mut v = 0u64;
+    for i in (0..width).rev() {
+        v = (v << 8) | u64::from(bytes[i]);
+    }
+    v
+}
+
+/// Appends `value` as `width` little-endian bytes.
+#[inline]
+pub fn write_value(out: &mut Vec<u8>, value: u64, width: usize) {
+    debug_assert!(width <= 8);
+    out.extend_from_slice(&value.to_le_bytes()[..width]);
+}
+
+/// Byte offsets of each field within a record.
+pub fn field_offsets(spec: &tcgen_spec::TraceSpec) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(spec.fields.len());
+    let mut off = 0usize;
+    for f in &spec.fields {
+        offsets.push(off);
+        off += f.bytes() as usize;
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_io_roundtrip_all_widths() {
+        for width in [1usize, 2, 4, 8] {
+            let mask = if width == 8 { u64::MAX } else { (1 << (width * 8)) - 1 };
+            for v in [0u64, 1, 0xfe, 0xdead_beef_cafe_f00d] {
+                let mut buf = Vec::new();
+                write_value(&mut buf, v & mask, width);
+                assert_eq!(buf.len(), width);
+                assert_eq!(read_value(&buf, width), v & mask);
+            }
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, 0x0102_0304, 4);
+        assert_eq!(buf, vec![0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn offsets_accumulate() {
+        let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A).unwrap();
+        assert_eq!(field_offsets(&spec), vec![0, 4]);
+    }
+
+    #[test]
+    fn block_streams_lifecycle() {
+        let mut b = BlockStreams::new(2);
+        assert!(b.is_empty());
+        b.fields[0].codes.push(1);
+        b.records = 1;
+        assert!(!b.is_empty());
+        b.clear();
+        assert!(b.is_empty());
+        assert!(b.fields[0].codes.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! Predictor-usage feedback.
+//!
+//! "At the end of the compression, predictor usage information is written
+//! to the standard output. This feedback is provided to help the user
+//! select the most effective predictors." (§4). This module collects and
+//! formats those statistics.
+
+use tcgen_spec::TraceSpec;
+
+/// Usage counters for one field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldUsage {
+    /// The field number as written in the specification.
+    pub field_number: u32,
+    /// One label per predictor code, e.g. `DFCM3[2].1`.
+    pub labels: Vec<String>,
+    /// How often each predictor code was emitted.
+    pub counts: Vec<u64>,
+    /// How often no predictor was correct.
+    pub misses: u64,
+}
+
+impl FieldUsage {
+    /// Total records observed for this field.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.misses
+    }
+
+    /// Fraction of records at least one predictor got right.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.misses) as f64 / total as f64
+        }
+    }
+}
+
+/// Usage counters for every field of a compression run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageReport {
+    /// Per-field usage, in field declaration order.
+    pub fields: Vec<FieldUsage>,
+}
+
+impl UsageReport {
+    /// Creates zeroed counters shaped after `spec`.
+    pub fn new(spec: &TraceSpec) -> Self {
+        let fields = spec
+            .fields
+            .iter()
+            .map(|f| {
+                let mut labels = Vec::new();
+                for p in &f.predictors {
+                    for slot in 0..p.height {
+                        labels.push(format!("{p}.{slot}"));
+                    }
+                }
+                FieldUsage {
+                    field_number: f.number,
+                    counts: vec![0; labels.len()],
+                    labels,
+                    misses: 0,
+                }
+            })
+            .collect();
+        Self { fields }
+    }
+
+    /// Derives a pruned specification from this report, automating the
+    /// paper's §7.5 recommendation: "start with a trace specification
+    /// that covers a wide range of predictors and then eliminate the
+    /// useless predictors as determined by the predictor usage
+    /// information output after each compression."
+    ///
+    /// A predictor is kept if any of its slots produced at least
+    /// `threshold` (a fraction, e.g. `0.02` for 2%) of a field's codes.
+    /// Every field retains at least its most productive predictor, so
+    /// the result always validates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is not the specification this report was built
+    /// from (slot counts would not line up).
+    pub fn pruned_spec(&self, spec: &TraceSpec, threshold: f64) -> TraceSpec {
+        let mut pruned = spec.clone();
+        for (field, usage) in pruned.fields.iter_mut().zip(&self.fields) {
+            assert_eq!(
+                field.prediction_count() as usize,
+                usage.counts.len(),
+                "usage report does not match this specification"
+            );
+            let total = usage.total().max(1) as f64;
+            // Per predictor: the usage share of its busiest slot.
+            let mut slot = 0usize;
+            let shares: Vec<f64> = field
+                .predictors
+                .iter()
+                .map(|p| {
+                    let best = usage.counts[slot..slot + p.height as usize]
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0);
+                    slot += p.height as usize;
+                    best as f64 / total
+                })
+                .collect();
+            let best_predictor = shares
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .expect("validated fields have predictors");
+            let mut keep_index = 0usize;
+            field.predictors.retain(|_| {
+                let keep = shares[keep_index] >= threshold || keep_index == best_predictor;
+                keep_index += 1;
+                keep
+            });
+        }
+        pruned
+    }
+
+    /// Records the code emitted for one record of field `field_idx`.
+    #[inline]
+    pub fn record(&mut self, field_idx: usize, code: u8) {
+        let f = &mut self.fields[field_idx];
+        if (code as usize) < f.counts.len() {
+            f.counts[code as usize] += 1;
+        } else {
+            f.misses += 1;
+        }
+    }
+}
+
+impl std::fmt::Display for UsageReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for field in &self.fields {
+            let total = field.total().max(1);
+            writeln!(
+                f,
+                "Field {} ({} records, {:.1}% predicted):",
+                field.field_number,
+                field.total(),
+                field.hit_rate() * 100.0
+            )?;
+            for (label, count) in field.labels.iter().zip(&field.counts) {
+                writeln!(
+                    f,
+                    "  {:>12}  {:>10}  {:5.1}%",
+                    label,
+                    count,
+                    *count as f64 / total as f64 * 100.0
+                )?;
+            }
+            writeln!(
+                f,
+                "  {:>12}  {:>10}  {:5.1}%",
+                "miss",
+                field.misses,
+                field.misses as f64 / total as f64 * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    #[test]
+    fn shaped_after_spec() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let report = UsageReport::new(&spec);
+        assert_eq!(report.fields.len(), 2);
+        assert_eq!(report.fields[0].counts.len(), 4);
+        assert_eq!(report.fields[1].counts.len(), 10);
+        assert_eq!(report.fields[1].labels[0], "DFCM3[2].0");
+        assert_eq!(report.fields[1].labels[9], "LV[4].3");
+    }
+
+    #[test]
+    fn counting_and_rates() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let mut report = UsageReport::new(&spec);
+        report.record(0, 0);
+        report.record(0, 0);
+        report.record(0, 3);
+        report.record(0, 4); // miss (only 4 predictions: codes 0..=3)
+        assert_eq!(report.fields[0].counts[0], 2);
+        assert_eq!(report.fields[0].misses, 1);
+        assert_eq!(report.fields[0].total(), 4);
+        assert!((report.fields[0].hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_every_predictor() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let report = UsageReport::new(&spec);
+        let text = report.to_string();
+        assert!(text.contains("FCM3[2].0"));
+        assert!(text.contains("LV[4].3"));
+        assert!(text.contains("miss"));
+    }
+}
+
+#[cfg(test)]
+mod prune_tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    fn report_with_counts(
+        spec: &TraceSpec,
+        field: usize,
+        counts: &[u64],
+        misses: u64,
+    ) -> UsageReport {
+        let mut report = UsageReport::new(spec);
+        report.fields[field].counts.copy_from_slice(counts);
+        report.fields[field].misses = misses;
+        report
+    }
+
+    #[test]
+    fn prunes_idle_predictors() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        // Field 2 slots: DFCM3[2](0,1) DFCM1[2](2,3) FCM1[2](4,5) LV[4](6..10).
+        // Only DFCM3 and LV fire.
+        let mut report =
+            report_with_counts(&spec, 1, &[500, 100, 0, 0, 1, 0, 300, 50, 0, 0], 49);
+        report.fields[0].counts = vec![900, 50, 30, 0];
+        report.fields[0].misses = 20;
+        let pruned = report.pruned_spec(&spec, 0.02);
+        tcgen_spec::validate(&pruned).unwrap();
+        let names: Vec<String> =
+            pruned.fields[1].predictors.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["DFCM3[2]", "LV[4]"]);
+        // Field 1 keeps both FCMs (both above 2%).
+        assert_eq!(pruned.fields[0].predictors.len(), 2);
+    }
+
+    #[test]
+    fn every_field_keeps_its_best_predictor() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        // Nothing ever predicted: still keep one predictor per field.
+        let report = UsageReport::new(&spec);
+        let pruned = report.pruned_spec(&spec, 0.5);
+        for field in &pruned.fields {
+            assert_eq!(field.predictors.len(), 1, "field {}", field.number);
+        }
+        tcgen_spec::validate(&pruned).unwrap();
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything() {
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let report = UsageReport::new(&spec);
+        let pruned = report.pruned_spec(&spec, 0.0);
+        assert_eq!(pruned, spec);
+    }
+
+    #[test]
+    fn pruned_spec_roundtrips_through_the_engine() {
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let engine = crate::Engine::new(spec.clone(), crate::EngineOptions::tcgen());
+        let mut raw = vec![0u8; 4];
+        for i in 0..5_000u64 {
+            raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 7) * 4).to_le_bytes());
+            raw.extend_from_slice(&(0x9000 + i * 8).to_le_bytes());
+        }
+        let (_, usage) = engine.compress_with_usage(&raw).unwrap();
+        let pruned = usage.pruned_spec(&spec, 0.02);
+        assert!(pruned.prediction_count() < spec.prediction_count());
+        let pruned_engine = crate::Engine::new(pruned, crate::EngineOptions::tcgen());
+        let packed = pruned_engine.compress(&raw).unwrap();
+        assert_eq!(pruned_engine.decompress(&packed).unwrap(), raw);
+    }
+}

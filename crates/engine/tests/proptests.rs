@@ -1,0 +1,154 @@
+//! Property-based tests: compress ∘ decompress is the identity for
+//! arbitrary traces under arbitrary valid specifications and options.
+
+use proptest::prelude::*;
+use tcgen_engine::{Engine, EngineOptions};
+use tcgen_predictors::UpdatePolicy;
+
+/// Strategy producing a small but varied valid spec source.
+fn spec_source() -> impl Strategy<Value = String> {
+    let predictor = prop_oneof![
+        (1u32..=4).prop_map(|n| format!("LV[{n}]")),
+        (1u32..=3, 1u32..=2).prop_map(|(x, n)| format!("FCM{x}[{n}]")),
+        (1u32..=3, 1u32..=2).prop_map(|(x, n)| format!("DFCM{x}[{n}]")),
+        (1u32..=3).prop_map(|n| format!("ST[{n}]")),
+    ];
+    let field_preds = proptest::collection::vec(predictor, 1..4);
+    let widths = prop_oneof![Just(8u32), Just(16), Just(32), Just(64)];
+    let l2s = prop_oneof![Just(16u64), Just(64), Just(256)];
+    (
+        proptest::collection::vec((widths, field_preds.clone(), l2s.clone()), 0..3),
+        field_preds,
+        l2s,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(extra_fields, pc_preds, pc_l2, with_header)| {
+            let mut src = String::from("TCgen Trace Specification;\n");
+            if with_header {
+                src.push_str("32-Bit Header;\n");
+            }
+            // Field 1 is always the PC field (L1 = 1).
+            src.push_str(&format!(
+                "32-Bit Field 1 = {{L1 = 1, L2 = {pc_l2}: {}}};\n",
+                pc_preds.join(", ")
+            ));
+            for (i, (bits, preds, l2)) in extra_fields.iter().enumerate() {
+                src.push_str(&format!(
+                    "{bits}-Bit Field {} = {{L1 = 16, L2 = {l2}: {}}};\n",
+                    i + 2,
+                    preds.join(", ")
+                ));
+            }
+            src.push_str("PC = Field 1;\n");
+            src
+        })
+}
+
+fn options_strategy() -> impl Strategy<Value = EngineOptions> {
+    (
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        1usize..400,
+    )
+        .prop_map(|(smart, fast, shared, adaptive, minimize, block)| {
+            let mut o = EngineOptions::tcgen();
+            o.predictor.policy = if smart { UpdatePolicy::Smart } else { UpdatePolicy::Always };
+            o.predictor.fast_hash = fast;
+            o.predictor.shared_tables = shared;
+            o.predictor.adaptive_shift = adaptive;
+            o.minimize_types = minimize;
+            o.block_records = block;
+            o.level = blockzip::Level::FAST;
+            o
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any byte payload that is a whole number of records roundtrips,
+    /// for any spec shape and any option combination.
+    #[test]
+    fn roundtrip_arbitrary_specs_and_traces(
+        src in spec_source(),
+        options in options_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..6_000),
+    ) {
+        let spec = tcgen_spec::parse(&src).expect("generated specs are valid");
+        let header = spec.header_bytes() as usize;
+        let record = spec.record_bytes() as usize;
+        let usable = header + (payload.len().saturating_sub(header) / record) * record;
+        let raw = &payload[..usable.min(payload.len())];
+        if raw.len() < header {
+            return Ok(());
+        }
+        let engine = Engine::new(spec, options);
+        let packed = engine.compress(raw).unwrap();
+        prop_assert_eq!(engine.decompress(&packed).unwrap(), raw);
+    }
+
+    /// Predictable traces always compress, whatever the options — given a
+    /// realistic block size (tiny blocks legitimately drown in framing).
+    #[test]
+    fn predictable_traces_shrink(mut options in options_strategy()) {
+        options.block_records = options.block_records.max(4_096);
+        let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A).unwrap();
+        let mut raw = vec![0u8; 4];
+        for i in 0..8_000u64 {
+            raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 3) * 4).to_le_bytes());
+            raw.extend_from_slice(&(0x10_0000 + i * 16).to_le_bytes());
+        }
+        let engine = Engine::new(spec, options);
+        let packed = engine.compress(&raw).unwrap();
+        prop_assert!(packed.len() * 4 < raw.len(),
+                     "only {} -> {}", raw.len(), packed.len());
+    }
+
+    /// Truncating a container errors without panicking.
+    #[test]
+    fn truncation_never_panics(cut_frac in 0.0f64..1.0) {
+        let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A).unwrap();
+        let engine = Engine::new(spec, EngineOptions::tcgen());
+        let mut raw = vec![0u8; 4];
+        for i in 0..200u64 {
+            raw.extend_from_slice(&0x40_0000u32.to_le_bytes());
+            raw.extend_from_slice(&i.to_le_bytes());
+        }
+        let packed = engine.compress(&raw).unwrap();
+        let cut = ((packed.len() - 1) as f64 * cut_frac) as usize;
+        let _ = engine.decompress(&packed[..cut]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pruning at any threshold yields a valid spec whose engine still
+    /// roundtrips the trace that produced the usage report.
+    #[test]
+    fn pruned_specs_always_validate_and_roundtrip(
+        src in spec_source(),
+        threshold in 0.0f64..1.0,
+        payload in proptest::collection::vec(any::<u8>(), 64..3_000),
+    ) {
+        let spec = tcgen_spec::parse(&src).expect("generated specs are valid");
+        let header = spec.header_bytes() as usize;
+        let record = spec.record_bytes() as usize;
+        let usable = header + (payload.len().saturating_sub(header) / record) * record;
+        let raw = &payload[..usable.min(payload.len())];
+        if raw.len() < header {
+            return Ok(());
+        }
+        let engine = Engine::new(spec.clone(), EngineOptions::tcgen());
+        let (_, usage) = engine.compress_with_usage(raw).unwrap();
+        let pruned = usage.pruned_spec(&spec, threshold);
+        tcgen_spec::validate(&pruned).expect("pruned specs validate");
+        prop_assert!(pruned.prediction_count() <= spec.prediction_count());
+        let pruned_engine = Engine::new(pruned, EngineOptions::tcgen());
+        let packed = pruned_engine.compress(raw).unwrap();
+        prop_assert_eq!(pruned_engine.decompress(&packed).unwrap(), raw);
+    }
+}

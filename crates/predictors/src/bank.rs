@@ -1,0 +1,681 @@
+//! Per-field predictor banks: the composition of LV, FCM, and DFCM
+//! predictors a specification attaches to one field, with TCgen's table
+//! sharing, renamed predictor codes, and ablation switches.
+
+use tcgen_spec::{FieldSpec, PredictorKind, TraceSpec};
+
+use crate::fcm::ContextBank;
+use crate::policy::UpdatePolicy;
+use crate::stride::StrideTable;
+use crate::table::ValueTable;
+
+/// Tunables corresponding to the paper's Table 2 ablation rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredictorOptions {
+    /// Update policy (`Smart` = TCgen, `Always` = VPC3 / "no smart update").
+    pub policy: UpdatePolicy,
+    /// Incremental hash computation ("no fast hash function" when false).
+    pub fast_hash: bool,
+    /// Share last-value tables and first-level histories ("no shared
+    /// tables" when false). Sharing never changes predictions, only
+    /// speed and memory.
+    pub shared_tables: bool,
+    /// Adapt the hash shift to field width and table size (a §5.3
+    /// enhancement over VPC3).
+    pub adaptive_shift: bool,
+}
+
+impl Default for PredictorOptions {
+    fn default() -> Self {
+        Self {
+            policy: UpdatePolicy::Smart,
+            fast_hash: true,
+            shared_tables: true,
+            adaptive_shift: true,
+        }
+    }
+}
+
+/// Where one prediction slot reads its value from.
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    /// `take` entries of last-value table `table`.
+    Lv { table: usize, take: usize },
+    /// All entries of second-level table `table` of FCM bank `bank`.
+    Fcm { bank: usize, table: usize },
+    /// All entries of DFCM bank `bank`'s table `table`, each added to the
+    /// most recent value from last-value table `lv_table`.
+    Dfcm { bank: usize, table: usize, lv_table: usize },
+    /// `take` multiples of stride table `table`'s confirmed stride, each
+    /// added to the most recent value from last-value table `lv_table`.
+    St { table: usize, take: usize, lv_table: usize },
+}
+
+/// All predictor state for one field.
+#[derive(Debug)]
+pub struct FieldBank {
+    width_mask: u64,
+    l1_mask: u64,
+    lv_tables: Vec<ValueTable>,
+    fcm_banks: Vec<ContextBank>,
+    dfcm_banks: Vec<ContextBank>,
+    stride_tables: Vec<StrideTable>,
+    /// (bank, lv_table) pairs that need a stride on update.
+    dfcm_updates: Vec<(usize, usize)>,
+    /// (stride table, lv_table) pairs updated with the observed stride.
+    st_updates: Vec<(usize, usize)>,
+    sources: Vec<Source>,
+    n_predictions: u32,
+    policy: UpdatePolicy,
+}
+
+impl FieldBank {
+    /// Builds the predictor state for `field` under `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is invalid (no predictors, bad sizes); validated
+    /// specifications never trigger this.
+    pub fn new(field: &FieldSpec, options: PredictorOptions) -> Self {
+        let width_mask = if field.bits == 64 { u64::MAX } else { (1u64 << field.bits) - 1 };
+        let l1 = field.l1;
+        let mut lv_tables = Vec::new();
+        let mut fcm_banks = Vec::new();
+        let mut dfcm_banks = Vec::new();
+        let mut stride_tables = Vec::new();
+        let mut dfcm_updates = Vec::new();
+        let mut st_updates = Vec::new();
+        let mut sources = Vec::new();
+
+        if options.shared_tables {
+            // One last-value table sized for the tallest consumer, one
+            // context bank per (D)FCM family.
+            let lv_entries = field.lv_entries();
+            let shared_lv = if lv_entries > 0 {
+                lv_tables.push(ValueTable::new(l1 as usize, lv_entries as usize));
+                Some(0usize)
+            } else {
+                None
+            };
+            let fcm_orders: Vec<(u32, u32)> = field
+                .predictors
+                .iter()
+                .filter(|p| p.kind == PredictorKind::Fcm)
+                .map(|p| (p.order, p.height))
+                .collect();
+            let dfcm_orders: Vec<(u32, u32)> = field
+                .predictors
+                .iter()
+                .filter(|p| p.kind == PredictorKind::Dfcm)
+                .map(|p| (p.order, p.height))
+                .collect();
+            if !fcm_orders.is_empty() {
+                fcm_banks.push(ContextBank::new(
+                    field.bits,
+                    l1,
+                    field.l2,
+                    &fcm_orders,
+                    field.max_fcm_order(),
+                    options.adaptive_shift,
+                    options.fast_hash,
+                ));
+            }
+            if !dfcm_orders.is_empty() {
+                dfcm_banks.push(ContextBank::new(
+                    field.bits,
+                    l1,
+                    field.l2,
+                    &dfcm_orders,
+                    field.max_dfcm_order(),
+                    options.adaptive_shift,
+                    options.fast_hash,
+                ));
+                dfcm_updates.push((0, shared_lv.expect("DFCM implies a last-value table")));
+            }
+            // All ST predictors of a field share one stride table.
+            let shared_st = if field.has_stride_predictor() {
+                stride_tables.push(StrideTable::new(l1 as usize));
+                let lv = shared_lv.expect("ST implies a last-value table");
+                st_updates.push((0, lv));
+                Some(0usize)
+            } else {
+                None
+            };
+            let mut fcm_i = 0usize;
+            let mut dfcm_i = 0usize;
+            for p in &field.predictors {
+                match p.kind {
+                    PredictorKind::Lv => sources.push(Source::Lv {
+                        table: shared_lv.expect("LV implies a last-value table"),
+                        take: p.height as usize,
+                    }),
+                    PredictorKind::Fcm => {
+                        sources.push(Source::Fcm { bank: 0, table: fcm_i });
+                        fcm_i += 1;
+                    }
+                    PredictorKind::Dfcm => {
+                        sources.push(Source::Dfcm {
+                            bank: 0,
+                            table: dfcm_i,
+                            lv_table: shared_lv.expect("DFCM implies a last-value table"),
+                        });
+                        dfcm_i += 1;
+                    }
+                    PredictorKind::St => sources.push(Source::St {
+                        table: shared_st.expect("ST table allocated above"),
+                        take: p.height as usize,
+                        lv_table: shared_lv.expect("ST implies a last-value table"),
+                    }),
+                }
+            }
+        } else {
+            // Ablation: every predictor owns private tables. Predictions
+            // are identical; only memory traffic grows.
+            for p in &field.predictors {
+                match p.kind {
+                    PredictorKind::Lv => {
+                        lv_tables.push(ValueTable::new(l1 as usize, p.height as usize));
+                        sources.push(Source::Lv {
+                            table: lv_tables.len() - 1,
+                            take: p.height as usize,
+                        });
+                    }
+                    PredictorKind::Fcm => {
+                        // The family's maximum order fixes the hash
+                        // parameters, so the ablation only duplicates
+                        // state without changing any prediction.
+                        fcm_banks.push(ContextBank::new(
+                            field.bits,
+                            l1,
+                            field.l2,
+                            &[(p.order, p.height)],
+                            field.max_fcm_order(),
+                            options.adaptive_shift,
+                            options.fast_hash,
+                        ));
+                        sources.push(Source::Fcm { bank: fcm_banks.len() - 1, table: 0 });
+                    }
+                    PredictorKind::Dfcm => {
+                        dfcm_banks.push(ContextBank::new(
+                            field.bits,
+                            l1,
+                            field.l2,
+                            &[(p.order, p.height)],
+                            field.max_dfcm_order(),
+                            options.adaptive_shift,
+                            options.fast_hash,
+                        ));
+                        lv_tables.push(ValueTable::new(l1 as usize, 1));
+                        let bank = dfcm_banks.len() - 1;
+                        let lv_table = lv_tables.len() - 1;
+                        dfcm_updates.push((bank, lv_table));
+                        sources.push(Source::Dfcm { bank, table: 0, lv_table });
+                    }
+                    PredictorKind::St => {
+                        stride_tables.push(StrideTable::new(l1 as usize));
+                        lv_tables.push(ValueTable::new(l1 as usize, 1));
+                        let table = stride_tables.len() - 1;
+                        let lv_table = lv_tables.len() - 1;
+                        st_updates.push((table, lv_table));
+                        sources.push(Source::St { table, take: p.height as usize, lv_table });
+                    }
+                }
+            }
+        }
+
+        Self {
+            width_mask,
+            l1_mask: l1 - 1,
+            lv_tables,
+            fcm_banks,
+            dfcm_banks,
+            stride_tables,
+            dfcm_updates,
+            st_updates,
+            sources,
+            n_predictions: field.prediction_count(),
+            policy: options.policy,
+        }
+    }
+
+    /// Number of predictions per record; predictor codes are
+    /// `0..n_predictions` and `n_predictions` is the miss code.
+    pub fn n_predictions(&self) -> u32 {
+        self.n_predictions
+    }
+
+    /// The field-width mask applied to every value.
+    pub fn width_mask(&self) -> u64 {
+        self.width_mask
+    }
+
+    #[inline]
+    fn line(&self, pc: u64) -> usize {
+        (pc & self.l1_mask) as usize
+    }
+
+    /// The value of one prediction slot, computed lazily.
+    #[inline]
+    fn slot_value(&self, line: usize, source: &Source, offset: usize) -> u64 {
+        match *source {
+            Source::Lv { table, .. } => self.lv_tables[table].line(line)[offset],
+            Source::Fcm { bank, table } => self.fcm_banks[bank].value_at(line, table, offset),
+            Source::Dfcm { bank, table, lv_table } => {
+                let last = self.lv_tables[lv_table].first(line);
+                let stride = self.dfcm_banks[bank].value_at(line, table, offset);
+                last.wrapping_add(stride) & self.width_mask
+            }
+            Source::St { table, lv_table, .. } => {
+                let last = self.lv_tables[lv_table].first(line);
+                let stride = self.stride_tables[table].confirmed(line);
+                last.wrapping_add(stride.wrapping_mul(offset as u64 + 1)) & self.width_mask
+            }
+        }
+    }
+
+    /// Number of prediction slots a source contributes.
+    #[inline]
+    fn source_height(&self, source: &Source) -> usize {
+        match *source {
+            Source::Lv { take, .. } => take,
+            Source::Fcm { bank, table } => self.fcm_banks[bank].table_height(table),
+            Source::Dfcm { bank, table, .. } => self.dfcm_banks[bank].table_height(table),
+            Source::St { take, .. } => take,
+        }
+    }
+
+    /// Finds the first prediction slot matching `value`, evaluating slots
+    /// lazily in code order — the engine analogue of the generated code's
+    /// if/else-if chain. Returns the slot code, or `n_predictions` (the
+    /// miss code) when nothing matches.
+    pub fn find_code(&self, pc: u64, value: u64) -> u8 {
+        let line = self.line(pc);
+        let mut code = 0u8;
+        for source in &self.sources {
+            for offset in 0..self.source_height(source) {
+                if self.slot_value(line, source, offset) == value {
+                    return code;
+                }
+                code += 1;
+            }
+        }
+        code
+    }
+
+    /// The predicted value for `code`, or `None` for the miss code —
+    /// the lazy decompression path (one slot, not all of them).
+    pub fn value_for_code(&self, pc: u64, code: u8) -> Option<u64> {
+        if u32::from(code) >= self.n_predictions {
+            return None;
+        }
+        let line = self.line(pc);
+        let mut remaining = usize::from(code);
+        for source in &self.sources {
+            let height = self.source_height(source);
+            if remaining < height {
+                return Some(self.slot_value(line, source, remaining));
+            }
+            remaining -= height;
+        }
+        unreachable!("code < n_predictions always lands in a source")
+    }
+
+    /// Appends all predictions for the record whose PC is `pc` to `out`,
+    /// in predictor-code order.
+    pub fn predict_into(&self, pc: u64, out: &mut Vec<u64>) {
+        let line = self.line(pc);
+        for source in &self.sources {
+            match *source {
+                Source::Lv { table, take } => {
+                    out.extend_from_slice(&self.lv_tables[table].line(line)[..take]);
+                }
+                Source::Fcm { bank, table } => {
+                    self.fcm_banks[bank].predict_into(line, table, out);
+                }
+                Source::Dfcm { bank, table, lv_table } => {
+                    let last = self.lv_tables[lv_table].first(line);
+                    let before = out.len();
+                    self.dfcm_banks[bank].predict_into(line, table, out);
+                    for v in &mut out[before..] {
+                        *v = last.wrapping_add(*v) & self.width_mask;
+                    }
+                }
+                Source::St { table, take, lv_table } => {
+                    let last = self.lv_tables[lv_table].first(line);
+                    let stride = self.stride_tables[table].confirmed(line);
+                    for k in 1..=take as u64 {
+                        out.push(last.wrapping_add(stride.wrapping_mul(k)) & self.width_mask);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Updates every table with the actual field value.
+    pub fn update(&mut self, pc: u64, actual: u64) {
+        let line = self.line(pc);
+        let value = actual & self.width_mask;
+        for bank in &mut self.fcm_banks {
+            bank.update(line, value, self.policy);
+        }
+        // Strides use the pre-update last values.
+        for &(bank, lv_table) in &self.dfcm_updates {
+            let last = self.lv_tables[lv_table].first(line);
+            let stride = value.wrapping_sub(last) & self.width_mask;
+            self.dfcm_banks[bank].update(line, stride, self.policy);
+        }
+        for &(table, lv_table) in &self.st_updates {
+            let last = self.lv_tables[lv_table].first(line);
+            let stride = value.wrapping_sub(last) & self.width_mask;
+            self.stride_tables[table].update(line, stride);
+        }
+        for table in &mut self.lv_tables {
+            table.update(line, value, self.policy);
+        }
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.lv_tables.iter().map(ValueTable::memory_bytes).sum::<usize>()
+            + self.fcm_banks.iter().map(ContextBank::memory_bytes).sum::<usize>()
+            + self.dfcm_banks.iter().map(ContextBank::memory_bytes).sum::<usize>()
+            + self.stride_tables.iter().map(StrideTable::memory_bytes).sum::<usize>()
+    }
+}
+
+/// Predictor banks for every field of a specification, in declaration
+/// order, plus the field processing order (PC first, as the paper
+/// requires so the PC can index the other fields' tables).
+#[derive(Debug)]
+pub struct SpecBanks {
+    banks: Vec<FieldBank>,
+    order: Vec<usize>,
+    pc_index: usize,
+}
+
+impl SpecBanks {
+    /// Builds banks for every field of `spec`.
+    pub fn new(spec: &TraceSpec, options: PredictorOptions) -> Self {
+        let banks = spec.fields.iter().map(|f| FieldBank::new(f, options)).collect();
+        let pc_index = spec.pc_index();
+        let mut order = vec![pc_index];
+        order.extend((0..spec.fields.len()).filter(|&i| i != pc_index));
+        Self { banks, order, pc_index }
+    }
+
+    /// Field indices in processing order (the PC field first).
+    pub fn processing_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Index of the PC field.
+    pub fn pc_index(&self) -> usize {
+        self.pc_index
+    }
+
+    /// The bank for field `i` (declaration order).
+    pub fn bank(&self, i: usize) -> &FieldBank {
+        &self.banks[i]
+    }
+
+    /// Mutable access to the bank for field `i`.
+    pub fn bank_mut(&mut self, i: usize) -> &mut FieldBank {
+        &mut self.banks[i]
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether there are no fields (never true for validated specs).
+    pub fn is_empty(&self) -> bool {
+        self.banks.is_empty()
+    }
+
+    /// Total memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.banks.iter().map(FieldBank::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    fn field_bank(src: &str, options: PredictorOptions) -> FieldBank {
+        let spec = parse(src).unwrap();
+        FieldBank::new(&spec.fields[0], options)
+    }
+
+    #[test]
+    fn lv_predicts_recent_values() {
+        let mut bank = field_bank(
+            "TCgen Trace Specification;\n64-Bit Field 1 = {: LV[3]};\nPC = Field 1;",
+            PredictorOptions::default(),
+        );
+        for v in [10u64, 20, 30] {
+            bank.update(0, v);
+        }
+        let mut preds = Vec::new();
+        bank.predict_into(0, &mut preds);
+        assert_eq!(preds, vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn dfcm_predicts_strides_never_seen_values() {
+        // A pure stride sequence: after warmup, DFCM predicts values it
+        // has never observed (the paper's key DFCM advantage).
+        let mut bank = field_bank(
+            "TCgen Trace Specification;\n64-Bit Field 1 = {L2 = 256: DFCM1[1]};\nPC = Field 1;",
+            PredictorOptions::default(),
+        );
+        let mut hits = 0;
+        for i in 0..100u64 {
+            let v = 0x1000 + i * 8;
+            let mut preds = Vec::new();
+            bank.predict_into(0, &mut preds);
+            if i >= 3 {
+                assert_eq!(preds[0], v, "stride miss at step {i}");
+                hits += 1;
+            }
+            bank.update(0, v);
+        }
+        assert_eq!(hits, 97);
+    }
+
+    #[test]
+    fn shared_and_private_tables_predict_identically() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let shared = PredictorOptions::default();
+        let private = PredictorOptions { shared_tables: false, ..shared };
+        let mut a = FieldBank::new(&spec.fields[1], shared);
+        let mut b = FieldBank::new(&spec.fields[1], private);
+        let mut x = 0xabcdef12345u64;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let pc = (x >> 5) & 0xffff;
+            let value = if i % 3 == 0 { x } else { i * 16 };
+            let mut pa = Vec::new();
+            let mut pb = Vec::new();
+            a.predict_into(pc, &mut pa);
+            b.predict_into(pc, &mut pb);
+            assert_eq!(pa, pb, "divergence at step {i}");
+            a.update(pc, value);
+            b.update(pc, value);
+        }
+        assert!(b.memory_bytes() > a.memory_bytes(), "sharing must save memory");
+    }
+
+    #[test]
+    fn width_masking_applies() {
+        let mut bank = field_bank(
+            "TCgen Trace Specification;\n8-Bit Field 1 = {: LV[1]};\nPC = Field 1;",
+            PredictorOptions::default(),
+        );
+        bank.update(0, 0x1234); // only 0x34 fits in 8 bits
+        let mut preds = Vec::new();
+        bank.predict_into(0, &mut preds);
+        assert_eq!(preds, vec![0x34]);
+    }
+
+    #[test]
+    fn spec_banks_put_pc_first() {
+        let src = "TCgen Trace Specification;\n\
+                   64-Bit Field 1 = {: LV[1]};\n\
+                   32-Bit Field 2 = {: LV[1]};\n\
+                   PC = Field 2;";
+        let spec = parse(src).unwrap();
+        let banks = SpecBanks::new(&spec, PredictorOptions::default());
+        assert_eq!(banks.processing_order(), &[1, 0]);
+        assert_eq!(banks.pc_index(), 1);
+        assert_eq!(banks.len(), 2);
+    }
+
+    #[test]
+    fn tcgen_a_prediction_counts() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let banks = SpecBanks::new(&spec, PredictorOptions::default());
+        assert_eq!(banks.bank(0).n_predictions(), 4);
+        assert_eq!(banks.bank(1).n_predictions(), 10);
+    }
+
+    #[test]
+    fn always_policy_differs_from_smart_on_repeats() {
+        let src = "TCgen Trace Specification;\n64-Bit Field 1 = {: LV[2]};\nPC = Field 1;";
+        let mut smart = field_bank(src, PredictorOptions::default());
+        let mut always = field_bank(
+            src,
+            PredictorOptions { policy: UpdatePolicy::Always, ..Default::default() },
+        );
+        // Sequence 7,7,8: smart keeps [8,7]; always ends with [8,7] too
+        // but after 7,7 smart holds [7,0] vs always [7,7].
+        for bank in [&mut smart, &mut always] {
+            bank.update(0, 7);
+            bank.update(0, 7);
+        }
+        let mut ps = Vec::new();
+        let mut pa = Vec::new();
+        smart.predict_into(0, &mut ps);
+        always.predict_into(0, &mut pa);
+        assert_eq!(ps, vec![7, 0]);
+        assert_eq!(pa, vec![7, 7]);
+    }
+}
+
+#[cfg(test)]
+mod st_tests {
+    use super::*;
+    use tcgen_spec::parse;
+
+    fn st_bank(src: &str) -> FieldBank {
+        let spec = parse(src).unwrap();
+        FieldBank::new(&spec.fields[0], PredictorOptions::default())
+    }
+
+    #[test]
+    fn st_predicts_multiple_stride_steps() {
+        let mut bank =
+            st_bank("TCgen Trace Specification;\n64-Bit Field 1 = {: ST[3]};\nPC = Field 1;");
+        for v in [100u64, 108, 116] {
+            bank.update(0, v);
+        }
+        let mut preds = Vec::new();
+        bank.predict_into(0, &mut preds);
+        assert_eq!(preds, vec![124, 132, 140], "last + 1..3 strides");
+    }
+
+    #[test]
+    fn st_ignores_one_off_jumps() {
+        let mut bank =
+            st_bank("TCgen Trace Specification;\n64-Bit Field 1 = {: ST[1]};\nPC = Field 1;");
+        for v in [0u64, 8, 16, 24] {
+            bank.update(0, v);
+        }
+        bank.update(0, 5000); // a single jump
+        let mut preds = Vec::new();
+        bank.predict_into(0, &mut preds);
+        // The confirmed stride is still 8, applied from the new last value.
+        assert_eq!(preds, vec![5008]);
+    }
+
+    #[test]
+    fn st_shares_the_last_value_table_with_lv() {
+        let shared = st_bank(
+            "TCgen Trace Specification;\n64-Bit Field 1 = {: ST[1], LV[2]};\nPC = Field 1;",
+        );
+        let spec = parse(
+            "TCgen Trace Specification;\n64-Bit Field 1 = {: ST[1], LV[2]};\nPC = Field 1;",
+        )
+        .unwrap();
+        let private = FieldBank::new(
+            &spec.fields[0],
+            PredictorOptions { shared_tables: false, ..Default::default() },
+        );
+        assert!(shared.memory_bytes() < private.memory_bytes());
+    }
+
+    #[test]
+    fn st_shared_and_private_predict_identically() {
+        let src = "TCgen Trace Specification;\n\
+                   32-Bit Field 1 = {: LV[1]};\n\
+                   64-Bit Field 2 = {L1 = 4, L2 = 64: ST[2], DFCM1[1], LV[1]};\nPC = Field 1;";
+        let spec = parse(src).unwrap();
+        let mut a = FieldBank::new(&spec.fields[1], PredictorOptions::default());
+        let mut b = FieldBank::new(
+            &spec.fields[1],
+            PredictorOptions { shared_tables: false, ..Default::default() },
+        );
+        let mut x = 777u64;
+        for i in 0..400u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = x >> 60;
+            let value = if i % 4 == 0 { x >> 30 } else { i * 24 };
+            let mut pa = Vec::new();
+            let mut pb = Vec::new();
+            a.predict_into(pc, &mut pa);
+            b.predict_into(pc, &mut pb);
+            assert_eq!(pa, pb, "divergence at step {i}");
+            a.update(pc, value);
+            b.update(pc, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod lazy_tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    /// The lazy paths must agree exactly with the eager prediction list.
+    #[test]
+    fn find_code_and_value_for_code_match_predict_into() {
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let mut bank = FieldBank::new(&spec.fields[1], PredictorOptions::default());
+        let mut x = 0x1357_9bdfu64;
+        for i in 0..2_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = x >> 48;
+            let value = if i % 3 == 0 { x >> 16 } else { i * 8 };
+            let mut eager = Vec::new();
+            bank.predict_into(pc, &mut eager);
+            // value_for_code reproduces every slot.
+            for (code, &expected) in eager.iter().enumerate() {
+                assert_eq!(
+                    bank.value_for_code(pc, code as u8),
+                    Some(expected),
+                    "slot {code} at step {i}"
+                );
+            }
+            assert_eq!(bank.value_for_code(pc, eager.len() as u8), None);
+            // find_code returns the first match, or the miss code.
+            let lazy = bank.find_code(pc, value);
+            let expected = eager.iter().position(|&p| p == value).unwrap_or(eager.len()) as u8;
+            assert_eq!(lazy, expected, "step {i}");
+            bank.update(pc, value);
+        }
+    }
+}

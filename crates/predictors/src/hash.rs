@@ -1,0 +1,209 @@
+//! The select-fold-shift-xor hash family used by FCM and DFCM predictors
+//! (Sazeides & Smith), with TCgen's enhancements: field-size-aware
+//! folding, an adaptive shift amount, and incremental multi-order
+//! computation in which the order-`i` index falls out as an intermediate
+//! of the order-`x` computation (paper §5.2–5.3).
+
+/// XOR-folds `value` down to `bits` bits (`1..=64`).
+///
+/// Folding repeatedly XORs the high part into the low part so that every
+/// input bit influences the result, which matters for 64-bit fields whose
+/// entropy lives in the high bytes.
+#[inline]
+pub fn fold(value: u64, bits: u32) -> u64 {
+    debug_assert!((1..=64).contains(&bits));
+    if bits >= 64 {
+        return value;
+    }
+    let mask = (1u64 << bits) - 1;
+    let mut v = value;
+    let mut acc = 0u64;
+    while v != 0 {
+        acc ^= v & mask;
+        v >>= bits;
+    }
+    acc
+}
+
+/// Precomputed hashing parameters for one (D)FCM bank of a field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashSpec {
+    /// Per-order index masks; `masks[i]` covers the order-`i+1` table of
+    /// `l2 << i` lines.
+    pub masks: Vec<u64>,
+    /// Left-shift applied to the running hash per new value.
+    pub shift: u32,
+    /// Width to which incoming values are folded.
+    pub fold_bits: u32,
+}
+
+impl HashSpec {
+    /// Builds hashing parameters for a bank with `max_order` orders over
+    /// a field of `field_bits` bits and a base second-level size of `l2`
+    /// lines.
+    ///
+    /// With `adaptive` set (TCgen enhancement #3) the shift adapts to the
+    /// field width and table size so that small fields still reach the
+    /// whole table; without it (the VPC3 behaviour) a fixed shift of 2 is
+    /// used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_order` is 0 or `l2` is not a power of two.
+    pub fn new(field_bits: u32, l2: u64, max_order: u32, adaptive: bool) -> Self {
+        assert!(max_order >= 1, "a context bank needs at least order 1");
+        assert!(l2.is_power_of_two(), "L2 must be a power of two");
+        let masks: Vec<u64> = (0..max_order).map(|i| (l2 << i) - 1).collect();
+        let max_index_bits = 64 - masks[masks.len() - 1].leading_zeros();
+        // Fold incoming values to the widest index so no entropy beyond
+        // the table size is kept, but small fields keep all their bits.
+        let fold_bits = field_bits.min(max_index_bits.max(1));
+        let shift = if adaptive {
+            // Spread the orders' contributions across the index: each of
+            // the `max_order` context values should land on fresh bits,
+            // but never shift a small field's few bits straight out.
+            let spread = max_index_bits.div_ceil(max_order);
+            spread.clamp(1, fold_bits.max(1))
+        } else {
+            2
+        };
+        Self { masks, shift, fold_bits }
+    }
+
+    /// Number of orders this spec covers.
+    pub fn max_order(&self) -> u32 {
+        self.masks.len() as u32
+    }
+
+    /// Folds a raw field value for hashing.
+    #[inline]
+    pub fn fold_value(&self, value: u64) -> u64 {
+        fold(value, self.fold_bits)
+    }
+
+    /// Incrementally advances the per-line running hashes with the folded
+    /// value `f`. `hashes[i]` covers the last `i+1` values; the update
+    /// costs exactly `max_order` operations (paper §5.2).
+    #[inline]
+    pub fn advance(&self, hashes: &mut [u32], f: u64) {
+        debug_assert_eq!(hashes.len(), self.masks.len());
+        for i in (1..hashes.len()).rev() {
+            let lower = u64::from(hashes[i - 1]);
+            hashes[i] = (((lower << self.shift) ^ f) & self.masks[i]) as u32;
+        }
+        hashes[0] = (f & self.masks[0]) as u32;
+    }
+
+    /// Recomputes all hashes from scratch from the most-recent-first
+    /// history of folded values. Produces exactly the same result as
+    /// repeated [`Self::advance`] calls; exists for the "no fast hash
+    /// function" ablation of Table 2.
+    pub fn from_scratch(&self, history: &[u64]) -> Vec<u32> {
+        let order = self.masks.len();
+        debug_assert_eq!(history.len(), order);
+        let mut hashes = vec![0u32; order];
+        // hash for order o combines history[o-1] (oldest) .. history[0]
+        // (newest), masking intermediates exactly like the fast path.
+        for (o, slot) in hashes.iter_mut().enumerate() {
+            let mut h = 0u64;
+            for i in (0..=o).rev() {
+                let step = o - i; // 0-based position in the chain
+                h = if step == 0 {
+                    history[i] & self.masks[0]
+                } else {
+                    ((h << self.shift) ^ history[i]) & self.masks[step]
+                };
+            }
+            *slot = h as u32;
+        }
+        hashes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_is_identity_for_wide_targets() {
+        assert_eq!(fold(0x1234_5678_9abc_def0, 64), 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn fold_mixes_high_bits() {
+        // Two values differing only in high bits must fold differently.
+        let a = fold(0x0100_0000_0000_0042, 16);
+        let b = fold(0x0200_0000_0000_0042, 16);
+        assert_ne!(a, b);
+        assert!(a < (1 << 16) && b < (1 << 16));
+    }
+
+    #[test]
+    fn fold_of_small_value_is_value() {
+        assert_eq!(fold(0x3f, 8), 0x3f);
+    }
+
+    #[test]
+    fn masks_scale_with_order() {
+        let spec = HashSpec::new(64, 131_072, 3, true);
+        assert_eq!(spec.masks, vec![131_071, 262_143, 524_287]);
+    }
+
+    #[test]
+    fn adaptive_shift_respects_small_fields() {
+        let small = HashSpec::new(8, 65_536, 3, true);
+        assert!(small.shift >= 1 && small.shift <= 8, "shift {}", small.shift);
+        let large = HashSpec::new(64, 131_072, 3, true);
+        assert!(large.shift > 2, "adaptive shift for wide tables, got {}", large.shift);
+    }
+
+    #[test]
+    fn non_adaptive_shift_is_fixed() {
+        assert_eq!(HashSpec::new(64, 131_072, 3, false).shift, 2);
+        assert_eq!(HashSpec::new(8, 256, 2, false).shift, 2);
+    }
+
+    #[test]
+    fn incremental_equals_scratch() {
+        let spec = HashSpec::new(64, 4096, 4, true);
+        let values = [3u64, 1441, 99, 1 << 40, 77, 3, 3, 123_456_789, 42];
+        let mut fast = vec![0u32; 4];
+        let mut history = vec![0u64; 4]; // most recent first
+        for &v in &values {
+            let f = spec.fold_value(v);
+            spec.advance(&mut fast, f);
+            history.rotate_right(1);
+            history[0] = f;
+            assert_eq!(spec.from_scratch(&history), fast);
+        }
+    }
+
+    #[test]
+    fn order_one_hash_is_fold_of_last_value() {
+        let spec = HashSpec::new(32, 1024, 1, true);
+        let mut h = vec![0u32; 1];
+        spec.advance(&mut h, spec.fold_value(0xdead_beef));
+        assert_eq!(u64::from(h[0]), spec.fold_value(0xdead_beef) & spec.masks[0]);
+    }
+
+    #[test]
+    fn different_contexts_hash_differently() {
+        // Sanity: two distinct 3-value contexts rarely collide.
+        let spec = HashSpec::new(64, 65_536, 3, true);
+        let mut a = vec![0u32; 3];
+        let mut b = vec![0u32; 3];
+        for v in [1u64, 2, 3] {
+            spec.advance(&mut a, spec.fold_value(v));
+        }
+        for v in [1u64, 2, 4] {
+            spec.advance(&mut b, spec.fold_value(v));
+        }
+        assert_ne!(a[2], b[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least order 1")]
+    fn zero_order_panics() {
+        let _ = HashSpec::new(32, 1024, 0, true);
+    }
+}

@@ -1,0 +1,49 @@
+//! Predictor-table update policies.
+
+/// How predictor tables are updated after each record (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum UpdatePolicy {
+    /// TCgen's policy: update a line only if the incoming value differs
+    /// from the line's first entry. One comparison per update, and the
+    /// first two entries of every line are guaranteed distinct, which
+    /// improves prediction accuracy.
+    #[default]
+    Smart,
+    /// VPC3's policy: always update. Fast (no comparison) but retains
+    /// duplicate values in a line.
+    Always,
+}
+
+impl UpdatePolicy {
+    /// Whether a line whose first entry is `first` should be updated with
+    /// `incoming`.
+    #[inline]
+    pub fn should_update(self, first: u64, incoming: u64) -> bool {
+        match self {
+            UpdatePolicy::Smart => first != incoming,
+            UpdatePolicy::Always => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_skips_equal_values() {
+        assert!(!UpdatePolicy::Smart.should_update(7, 7));
+        assert!(UpdatePolicy::Smart.should_update(7, 8));
+    }
+
+    #[test]
+    fn always_updates_unconditionally() {
+        assert!(UpdatePolicy::Always.should_update(7, 7));
+        assert!(UpdatePolicy::Always.should_update(7, 8));
+    }
+
+    #[test]
+    fn default_is_smart() {
+        assert_eq!(UpdatePolicy::default(), UpdatePolicy::Smart);
+    }
+}

@@ -1,0 +1,115 @@
+//! Flat value tables: `lines × height` slots of most-recent-first values.
+
+use crate::policy::UpdatePolicy;
+
+/// A table of `lines` lines, each holding `height` values ordered most
+/// recent first. Backs last-value tables and (D)FCM second-level tables.
+#[derive(Debug, Clone)]
+pub struct ValueTable {
+    values: Vec<u64>,
+    height: usize,
+}
+
+impl ValueTable {
+    /// Allocates a zero-initialized table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` or `height` is zero.
+    pub fn new(lines: usize, height: usize) -> Self {
+        assert!(lines > 0 && height > 0, "table dimensions must be nonzero");
+        Self { values: vec![0; lines * height], height }
+    }
+
+    /// Values per line.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.values.len() / self.height
+    }
+
+    /// The values of `line`, most recent first.
+    #[inline]
+    pub fn line(&self, line: usize) -> &[u64] {
+        let start = line * self.height;
+        &self.values[start..start + self.height]
+    }
+
+    /// First (most recent) entry of `line`.
+    #[inline]
+    pub fn first(&self, line: usize) -> u64 {
+        self.values[line * self.height]
+    }
+
+    /// Applies the update `policy`: if the line is to be updated, the
+    /// entries shift right one slot (dropping the oldest) and `value`
+    /// enters at the front. Returns whether an update happened.
+    #[inline]
+    pub fn update(&mut self, line: usize, value: u64, policy: UpdatePolicy) -> bool {
+        let start = line * self.height;
+        let slots = &mut self.values[start..start + self.height];
+        if !policy.should_update(slots[0], value) {
+            return false;
+        }
+        slots.copy_within(0..self.height - 1, 1);
+        slots[0] = value;
+        true
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_shifts_most_recent_first() {
+        let mut t = ValueTable::new(2, 3);
+        t.update(0, 10, UpdatePolicy::Smart);
+        t.update(0, 20, UpdatePolicy::Smart);
+        t.update(0, 30, UpdatePolicy::Smart);
+        assert_eq!(t.line(0), &[30, 20, 10]);
+        assert_eq!(t.line(1), &[0, 0, 0], "other lines untouched");
+    }
+
+    #[test]
+    fn smart_update_keeps_first_two_distinct() {
+        let mut t = ValueTable::new(1, 2);
+        t.update(0, 5, UpdatePolicy::Smart);
+        assert!(!t.update(0, 5, UpdatePolicy::Smart), "repeat is skipped");
+        t.update(0, 6, UpdatePolicy::Smart);
+        assert_eq!(t.line(0), &[6, 5]);
+        t.update(0, 5, UpdatePolicy::Smart);
+        assert_eq!(t.line(0), &[5, 6], "alternation retained losslessly");
+    }
+
+    #[test]
+    fn always_update_retains_duplicates() {
+        let mut t = ValueTable::new(1, 2);
+        t.update(0, 5, UpdatePolicy::Always);
+        t.update(0, 5, UpdatePolicy::Always);
+        assert_eq!(t.line(0), &[5, 5]);
+    }
+
+    #[test]
+    fn height_one_lines() {
+        let mut t = ValueTable::new(4, 1);
+        t.update(3, 9, UpdatePolicy::Smart);
+        assert_eq!(t.first(3), 9);
+        t.update(3, 9, UpdatePolicy::Always);
+        assert_eq!(t.first(3), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_height_panics() {
+        let _ = ValueTable::new(4, 0);
+    }
+}

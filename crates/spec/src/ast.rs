@@ -1,0 +1,304 @@
+//! Abstract syntax for TCgen trace specifications, plus the size and
+//! prediction-count accounting the paper reports in canonical form.
+
+/// Default first-level table size when `L1` is omitted.
+pub const DEFAULT_L1: u64 = 1;
+/// Default second-level table size when `L2` is omitted (the paper's
+/// compromise between compression rate and memory footprint).
+pub const DEFAULT_L2: u64 = 65_536;
+
+/// The kind of value predictor attached to a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Last-value predictor `LV[n]`.
+    Lv,
+    /// Finite-context-method predictor `FCMx[n]`.
+    Fcm,
+    /// Differential finite-context-method predictor `DFCMx[n]`.
+    Dfcm,
+    /// Stride 2-delta predictor `ST[n]` — an extension beyond the
+    /// paper's predictor set (Sazeides & Smith's st2d): predicts the last
+    /// value plus 1..n multiples of the confirmed stride, where a stride
+    /// is confirmed once it occurs twice in a row.
+    St,
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictorKind::Lv => write!(f, "LV"),
+            PredictorKind::Fcm => write!(f, "FCM"),
+            PredictorKind::Dfcm => write!(f, "DFCM"),
+            PredictorKind::St => write!(f, "ST"),
+        }
+    }
+}
+
+/// One predictor selection, e.g. `DFCM3[2]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PredictorSpec {
+    /// Predictor family.
+    pub kind: PredictorKind,
+    /// Context order `x` for FCM/DFCM; 0 for LV.
+    pub order: u32,
+    /// Number of values `n` kept per table line (= predictions made).
+    pub height: u32,
+}
+
+impl PredictorSpec {
+    /// Number of lines in this predictor's second-level table given the
+    /// field's `L2` setting: `L2 * 2^(order-1)` (paper §5.2). LV
+    /// predictors have no second-level table and return 0.
+    pub fn l2_lines(&self, l2: u64) -> u64 {
+        match self.kind {
+            PredictorKind::Lv | PredictorKind::St => 0,
+            _ => l2 << (self.order - 1),
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            PredictorKind::Lv | PredictorKind::St => {
+                write!(f, "{}[{}]", self.kind, self.height)
+            }
+            _ => write!(f, "{}{}[{}]", self.kind, self.order, self.height),
+        }
+    }
+}
+
+/// One record field: width, identifier, table sizes, and predictors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field width in bits (8, 16, 32, or 64 after validation).
+    pub bits: u32,
+    /// The field number as written in the specification (1-based).
+    pub number: u32,
+    /// First-level table lines (power of two).
+    pub l1: u64,
+    /// Base second-level table lines (power of two).
+    pub l2: u64,
+    /// Selected predictors, in specification order.
+    pub predictors: Vec<PredictorSpec>,
+}
+
+impl FieldSpec {
+    /// Field width in bytes.
+    pub fn bytes(&self) -> u32 {
+        self.bits / 8
+    }
+
+    /// Total number of predictions produced for this field per record
+    /// (the paper counts each of a line's `n` values as one prediction).
+    pub fn prediction_count(&self) -> u32 {
+        self.predictors.iter().map(|p| p.height).sum()
+    }
+
+    /// Entries per line of the shared last-value table: the maximum LV
+    /// height, or 1 if only DFCM predictors need a last value. Zero if
+    /// neither LV nor DFCM is present (FCM-only fields carry no
+    /// last-value table — one of TCgen's footprint optimizations).
+    pub fn lv_entries(&self) -> u32 {
+        let lv_max = self
+            .predictors
+            .iter()
+            .filter(|p| p.kind == PredictorKind::Lv)
+            .map(|p| p.height)
+            .max()
+            .unwrap_or(0);
+        let needs_last = self
+            .predictors
+            .iter()
+            .any(|p| matches!(p.kind, PredictorKind::Dfcm | PredictorKind::St));
+        lv_max.max(if needs_last { 1 } else { 0 })
+    }
+
+    /// Highest FCM order among this field's predictors (0 if none).
+    pub fn max_fcm_order(&self) -> u32 {
+        self.max_order(PredictorKind::Fcm)
+    }
+
+    /// Highest DFCM order among this field's predictors (0 if none).
+    pub fn max_dfcm_order(&self) -> u32 {
+        self.max_order(PredictorKind::Dfcm)
+    }
+
+    fn max_order(&self, kind: PredictorKind) -> u32 {
+        self.predictors.iter().filter(|p| p.kind == kind).map(|p| p.order).max().unwrap_or(0)
+    }
+
+    /// Whether any ST predictor is selected (they all share one stride
+    /// table of two entries per line).
+    pub fn has_stride_predictor(&self) -> bool {
+        self.predictors.iter().any(|p| p.kind == PredictorKind::St)
+    }
+
+    /// Bytes of predictor-table storage this field requires, using the
+    /// paper's sharing rules (one last-value table, one L1 history per
+    /// FCM/DFCM family, per-predictor L2 tables, minimal element types).
+    pub fn table_bytes(&self) -> u64 {
+        let w = u64::from(self.bytes());
+        let mut total = 0u64;
+        total += self.l1 * u64::from(self.lv_entries()) * w;
+        if self.has_stride_predictor() {
+            total += self.l1 * 2 * w;
+        }
+        // First-level hash histories: one u32 running hash per order.
+        total += self.l1 * u64::from(self.max_fcm_order()) * 4;
+        total += self.l1 * u64::from(self.max_dfcm_order()) * 4;
+        for p in &self.predictors {
+            if p.kind != PredictorKind::Lv {
+                total += p.l2_lines(self.l2) * u64::from(p.height) * w;
+            }
+        }
+        total
+    }
+}
+
+/// A fully parsed (but not necessarily validated) trace specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Header size in bits (0 means no header).
+    pub header_bits: u32,
+    /// Record fields in declaration order.
+    pub fields: Vec<FieldSpec>,
+    /// The field number (as written) that carries the PC.
+    pub pc_field: u32,
+}
+
+impl TraceSpec {
+    /// Header size in bytes.
+    pub fn header_bytes(&self) -> u32 {
+        self.header_bits / 8
+    }
+
+    /// Bytes per trace record.
+    pub fn record_bytes(&self) -> u32 {
+        self.fields.iter().map(FieldSpec::bytes).sum()
+    }
+
+    /// Index (into `fields`) of the PC field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is invalid (no such field); validated
+    /// specs cannot trigger this.
+    pub fn pc_index(&self) -> usize {
+        self.fields
+            .iter()
+            .position(|f| f.number == self.pc_field)
+            .expect("validated spec has a PC field")
+    }
+
+    /// Total predictor-table bytes across all fields.
+    pub fn table_bytes(&self) -> u64 {
+        self.fields.iter().map(FieldSpec::table_bytes).sum()
+    }
+
+    /// Total predictions per record across all fields.
+    pub fn prediction_count(&self) -> u32 {
+        self.fields.iter().map(FieldSpec::prediction_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vpc3_field2() -> FieldSpec {
+        FieldSpec {
+            bits: 64,
+            number: 2,
+            l1: 65_536,
+            l2: 131_072,
+            predictors: vec![
+                PredictorSpec { kind: PredictorKind::Dfcm, order: 3, height: 2 },
+                PredictorSpec { kind: PredictorKind::Dfcm, order: 1, height: 2 },
+                PredictorSpec { kind: PredictorKind::Fcm, order: 1, height: 2 },
+                PredictorSpec { kind: PredictorKind::Lv, order: 0, height: 4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn l2_scaling_matches_paper() {
+        // "the FCM1's hash table has 131,072 lines and the FCM3's hash
+        // table has 524,288 lines"
+        let fcm1 = PredictorSpec { kind: PredictorKind::Fcm, order: 1, height: 2 };
+        let fcm3 = PredictorSpec { kind: PredictorKind::Fcm, order: 3, height: 2 };
+        assert_eq!(fcm1.l2_lines(131_072), 131_072);
+        assert_eq!(fcm3.l2_lines(131_072), 524_288);
+    }
+
+    #[test]
+    fn prediction_counts_match_paper() {
+        // TCgen(A) field 2 provides "a total of ten predictions".
+        assert_eq!(vpc3_field2().prediction_count(), 10);
+    }
+
+    #[test]
+    fn lv_table_sharing() {
+        let f = vpc3_field2();
+        // LV[4] dominates the shared last-value table height.
+        assert_eq!(f.lv_entries(), 4);
+        // An FCM-only field carries no last-value table.
+        let fcm_only = FieldSpec {
+            bits: 32,
+            number: 1,
+            l1: 1,
+            l2: 131_072,
+            predictors: vec![PredictorSpec { kind: PredictorKind::Fcm, order: 3, height: 2 }],
+        };
+        assert_eq!(fcm_only.lv_entries(), 0);
+        // A DFCM-only field still needs one last value per line.
+        let dfcm_only = FieldSpec {
+            predictors: vec![PredictorSpec { kind: PredictorKind::Dfcm, order: 2, height: 2 }],
+            ..fcm_only
+        };
+        assert_eq!(dfcm_only.lv_entries(), 1);
+    }
+
+    #[test]
+    fn table_bytes_for_tcgen_a_are_about_20mb() {
+        let field1 = FieldSpec {
+            bits: 32,
+            number: 1,
+            l1: 1,
+            l2: 131_072,
+            predictors: vec![
+                PredictorSpec { kind: PredictorKind::Fcm, order: 3, height: 2 },
+                PredictorSpec { kind: PredictorKind::Fcm, order: 1, height: 2 },
+            ],
+        };
+        let spec =
+            TraceSpec { header_bits: 32, fields: vec![field1, vpc3_field2()], pc_field: 1 };
+        let mb = spec.table_bytes() as f64 / (1 << 20) as f64;
+        // The paper reports 20 MB for TCgen(A).
+        assert!((19.0..21.0).contains(&mb), "got {mb} MB");
+        assert_eq!(spec.prediction_count(), 14); // "employs 14 predictors"
+    }
+
+    #[test]
+    fn record_layout() {
+        let spec = TraceSpec {
+            header_bits: 32,
+            fields: vec![
+                FieldSpec { bits: 32, number: 1, l1: 1, l2: 1, predictors: vec![] },
+                FieldSpec { bits: 64, number: 2, l1: 1, l2: 1, predictors: vec![] },
+            ],
+            pc_field: 1,
+        };
+        assert_eq!(spec.header_bytes(), 4);
+        assert_eq!(spec.record_bytes(), 12);
+        assert_eq!(spec.pc_index(), 0);
+    }
+
+    #[test]
+    fn predictor_display() {
+        let p = PredictorSpec { kind: PredictorKind::Dfcm, order: 3, height: 2 };
+        assert_eq!(p.to_string(), "DFCM3[2]");
+        let lv = PredictorSpec { kind: PredictorKind::Lv, order: 0, height: 4 };
+        assert_eq!(lv.to_string(), "LV[4]");
+    }
+}

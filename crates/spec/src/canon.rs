@@ -1,0 +1,93 @@
+//! Canonical re-emission of trace specifications.
+//!
+//! TCgen documents its generated code with a commented copy of the input
+//! specification "emitted in canonical form", including a comment per
+//! field stating how many predictions will be made and how large the
+//! predictor tables are (§4). This module reproduces that text; the
+//! output is itself a valid TCgen specification.
+
+use crate::ast::TraceSpec;
+
+/// Renders `spec` in canonical form with per-field accounting comments.
+///
+/// The result parses back to an equal [`TraceSpec`] (canonicalization is
+/// a fixpoint).
+///
+/// # Examples
+///
+/// ```
+/// let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A)?;
+/// let text = tcgen_spec::canonical(&spec);
+/// assert_eq!(tcgen_spec::parse(&text)?, spec);
+/// # Ok::<(), tcgen_spec::SpecError>(())
+/// ```
+pub fn canonical(spec: &TraceSpec) -> String {
+    let mut out = String::new();
+    out.push_str("TCgen Trace Specification;\n");
+    if spec.header_bits > 0 {
+        out.push_str(&format!("{}-Bit Header;\n", spec.header_bits));
+    }
+    for field in &spec.fields {
+        let preds =
+            field.predictors.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ");
+        out.push_str(&format!(
+            "{}-Bit Field {} = {{L1 = {}, L2 = {}: {}}};\n",
+            field.bits, field.number, field.l1, field.l2, preds
+        ));
+        out.push_str(&format!(
+            "# {} predictions, {} bytes of predictor tables\n",
+            field.prediction_count(),
+            field.table_bytes()
+        ));
+    }
+    out.push_str(&format!("PC = Field {};\n", spec.pc_field));
+    out.push_str(&format!(
+        "# total: {} predictions per record, {:.1} MB of tables\n",
+        spec.prediction_count(),
+        spec.table_bytes() as f64 / (1 << 20) as f64
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, presets};
+
+    #[test]
+    fn canonical_form_is_a_fixpoint() {
+        for src in [presets::TCGEN_A, presets::TCGEN_B] {
+            let spec = parse(src).unwrap();
+            let canon1 = canonical(&spec);
+            let reparsed = parse(&canon1).unwrap();
+            assert_eq!(reparsed, spec);
+            assert_eq!(canonical(&reparsed), canon1);
+        }
+    }
+
+    #[test]
+    fn defaults_are_made_explicit() {
+        let spec =
+            parse("TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+                .unwrap();
+        let text = canonical(&spec);
+        assert!(text.contains("L1 = 1, L2 = 65536"), "{text}");
+    }
+
+    #[test]
+    fn headerless_spec_omits_header_line() {
+        let spec =
+            parse("TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+                .unwrap();
+        assert!(!canonical(&spec).contains("Header"));
+    }
+
+    #[test]
+    fn accounting_comments_present() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let text = canonical(&spec);
+        assert!(text.contains("# 4 predictions"), "{text}");
+        assert!(text.contains("# 10 predictions"), "{text}");
+        assert!(text.contains("MB of tables"), "{text}");
+    }
+}

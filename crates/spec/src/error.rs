@@ -1,0 +1,52 @@
+//! Parse- and validation-error reporting with source positions.
+
+/// A position in the specification text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing, parsing, or validating a trace
+/// specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Where in the input the problem was detected.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Creates an error at `pos`.
+    pub fn new(pos: Pos, message: impl Into<String>) -> Self {
+        Self { pos, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = SpecError::new(Pos { line: 3, col: 14 }, "unexpected token");
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+    }
+}

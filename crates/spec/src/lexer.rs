@@ -1,0 +1,232 @@
+//! Tokenizer for the TCgen specification language.
+//!
+//! Words consist of letters only, so `FCM3` lexes as the word `FCM`
+//! followed by the number `3` — exactly the token structure the grammar in
+//! the paper's Figure 4 prescribes (`'FCM' Number '[' Number ']'`).
+//! Comments run from `#` to end of line. The language is case sensitive.
+
+use crate::error::{Pos, SpecError};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// The kinds of tokens in the specification language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of ASCII letters, e.g. `TCgen`, `Bit`, `FCM`, `L`.
+    Word(String),
+    /// An unsigned decimal number.
+    Number(u64),
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `-`
+    Dash,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Word(w) => write!(f, "'{w}'"),
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::LBracket => write!(f, "'['"),
+            TokenKind::RBracket => write!(f, "']'"),
+            TokenKind::Dash => write!(f, "'-'"),
+        }
+    }
+}
+
+/// Tokenizes a specification source text.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on any character outside the language or on a
+/// number too large for `u64`.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SpecError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    while let Some(&c) = chars.peek() {
+        let pos = Pos { line, col };
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                chars.next();
+                col += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphabetic() {
+                        word.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Word(word), pos });
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                while let Some(&c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(u64::from(d)))
+                            .ok_or_else(|| SpecError::new(pos, "number too large"))?;
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Number(value), pos });
+            }
+            _ => {
+                let kind = match c {
+                    ';' => TokenKind::Semi,
+                    '=' => TokenKind::Eq,
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    ':' => TokenKind::Colon,
+                    ',' => TokenKind::Comma,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    '-' => TokenKind::Dash,
+                    other => {
+                        return Err(SpecError::new(
+                            pos,
+                            format!("unexpected character '{other}'"),
+                        ))
+                    }
+                };
+                chars.next();
+                col += 1;
+                tokens.push(Token { kind, pos });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_stop_at_digits() {
+        assert_eq!(
+            kinds("FCM3[2]"),
+            vec![
+                TokenKind::Word("FCM".into()),
+                TokenKind::Number(3),
+                TokenKind::LBracket,
+                TokenKind::Number(2),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn level_names_split() {
+        assert_eq!(
+            kinds("L1 = 65536"),
+            vec![
+                TokenKind::Word("L".into()),
+                TokenKind::Number(1),
+                TokenKind::Eq,
+                TokenKind::Number(65536),
+            ]
+        );
+    }
+
+    #[test]
+    fn bit_header_tokens() {
+        assert_eq!(
+            kinds("32-Bit Header;"),
+            vec![
+                TokenKind::Number(32),
+                TokenKind::Dash,
+                TokenKind::Word("Bit".into()),
+                TokenKind::Word("Header".into()),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("PC # the program counter\n= Field 1;"), kinds("PC = Field 1;"));
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = tokenize("ab\n  cd").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_character_reports_position() {
+        let err = tokenize("PC = $;").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 6 });
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn huge_number_is_error() {
+        assert!(tokenize("999999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_no_tokens() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \n # only a comment\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! # tcgen-spec
+//!
+//! The TCgen trace-specification language: a small, case-sensitive
+//! description language (paper Figure 4) in which users declare a trace
+//! format (header, fixed-width record fields, which field is the PC) and
+//! select value predictors per field.
+//!
+//! ```text
+//! TCgen Trace Specification;
+//! 32-Bit Header;
+//! 32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};
+//! 64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};
+//! PC = Field 1;
+//! ```
+//!
+//! The [`parse()`] entry point lexes, parses, and semantically validates a
+//! specification; [`canonical`] re-emits it in canonical form with the
+//! prediction-count and table-size comments the paper describes.
+//!
+//! ```
+//! let spec = tcgen_spec::parse(tcgen_spec::presets::TCGEN_A)?;
+//! assert_eq!(spec.fields.len(), 2);
+//! assert_eq!(spec.prediction_count(), 14);
+//! # Ok::<(), tcgen_spec::SpecError>(())
+//! ```
+
+pub mod ast;
+pub mod canon;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{FieldSpec, PredictorKind, PredictorSpec, TraceSpec, DEFAULT_L1, DEFAULT_L2};
+pub use canon::canonical;
+pub use error::{Pos, SpecError};
+pub use validate::validate;
+
+/// Parses and validates a trace specification.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] with a source position for lexical and
+/// syntactic problems, or a description of the first violated semantic
+/// rule.
+///
+/// # Examples
+///
+/// ```
+/// let spec = tcgen_spec::parse(
+///     "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[2]};\nPC = Field 1;",
+/// )?;
+/// assert_eq!(spec.record_bytes(), 4);
+/// # Ok::<(), tcgen_spec::SpecError>(())
+/// ```
+pub fn parse(src: &str) -> Result<TraceSpec, SpecError> {
+    let spec = parser::parse_unvalidated(src)?;
+    validate::validate(&spec)?;
+    Ok(spec)
+}
+
+/// The paper's reference specifications.
+pub mod presets {
+    /// Figure 5: the VPC3 trace format and predictor selection, the
+    /// configuration called TCgen(A) in the evaluation.
+    pub const TCGEN_A: &str = "\
+TCgen Trace Specification;
+32-Bit Header;
+32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};
+64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[2], DFCM1[2], FCM1[2], LV[4]};
+PC = Field 1;
+";
+
+    /// Figure 9: the TCgen(B) superset configuration used in the
+    /// predictor-sensitivity study (§7.5).
+    pub const TCGEN_B: &str = "\
+TCgen Trace Specification;
+32-Bit Header;
+32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[4], FCM1[4]};
+64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[4], DFCM1[2], FCM1[4], LV[4]};
+PC = Field 1;
+";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcgen_b_is_a_superset_with_22_predictions() {
+        let b = parse(presets::TCGEN_B).unwrap();
+        assert_eq!(b.prediction_count(), 22); // "It uses 22 predictors"
+        let mb = b.table_bytes() as f64 / (1 << 20) as f64;
+        assert!((33.0..36.0).contains(&mb), "paper reports 35 MB, model gives {mb}");
+    }
+
+    #[test]
+    fn parse_rejects_semantic_errors_too() {
+        // Parses fine, fails validation (PC field with L1 != 1).
+        let src =
+            "TCgen Trace Specification;\n32-Bit Field 1 = {L1 = 8: LV[1]};\nPC = Field 1;";
+        assert!(parser::parse_unvalidated(src).is_ok());
+        assert!(parse(src).is_err());
+    }
+}

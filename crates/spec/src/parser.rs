@@ -1,0 +1,377 @@
+//! Recursive-descent parser for the grammar of the paper's Figure 4.
+//!
+//! ```text
+//! Description = 'TCgen' 'Trace' 'Specification' ';' [Header] Field {Field} PCDef.
+//! Header      = Number '-' 'Bit' 'Header' ';'.
+//! Field       = Number '-' 'Bit' 'Field' Number '=' '{' [LevelSizes] ':' Predictors '}' ';'.
+//! LevelSizes  = LevelSize [',' LevelSize].
+//! LevelSize   = ('L1' '=' Number) | ('L2' '=' Number).
+//! Predictors  = Predictor {',' Predictor}.
+//! Predictor   = ('DFCM' Number '[' Number ']') | ('FCM' Number '[' Number ']')
+//!             | ('LV' '[' Number ']') | ('ST' '[' Number ']').
+//! PCDef       = 'PC' '=' 'Field' Number ';'.
+//! ```
+//!
+//! The header is optional (the paper's §5.2 explicitly handles headerless
+//! formats) and `ST[n]` is this implementation's extension (the stride
+//! 2-delta predictor); everything else follows the figure verbatim.
+
+use crate::ast::{FieldSpec, PredictorKind, PredictorSpec, TraceSpec, DEFAULT_L1, DEFAULT_L2};
+use crate::error::{Pos, SpecError};
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses a specification source into an unvalidated [`TraceSpec`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its position. Use
+/// [`crate::parse`] for the validated entry point.
+pub fn parse_unvalidated(src: &str) -> Result<TraceSpec, SpecError> {
+    let tokens = tokenize(src)?;
+    Parser { tokens, idx: 0 }.description()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn description(&mut self) -> Result<TraceSpec, SpecError> {
+        self.expect_word("TCgen")?;
+        self.expect_word("Trace")?;
+        self.expect_word("Specification")?;
+        self.expect(&TokenKind::Semi)?;
+
+        let header_bits = self.maybe_header()?;
+        let mut fields = vec![self.field()?];
+        while self.peek_is_number() && !self.at_pc_def() {
+            fields.push(self.field()?);
+        }
+        let pc_field = self.pc_def()?;
+        if let Some(tok) = self.tokens.get(self.idx) {
+            return Err(SpecError::new(
+                tok.pos,
+                format!("trailing input after PC definition: {}", tok.kind),
+            ));
+        }
+        Ok(TraceSpec { header_bits, fields, pc_field })
+    }
+
+    /// `Number '-' 'Bit' 'Header' ';'` — distinguished from a field by the
+    /// word after `Bit`.
+    fn maybe_header(&mut self) -> Result<u32, SpecError> {
+        // Lookahead: Number Dash Word("Bit") Word("Header").
+        let is_header = matches!(
+            (
+                self.tokens.get(self.idx).map(|t| &t.kind),
+                self.tokens.get(self.idx + 1).map(|t| &t.kind),
+                self.tokens.get(self.idx + 2).map(|t| &t.kind),
+                self.tokens.get(self.idx + 3).map(|t| &t.kind),
+            ),
+            (
+                Some(TokenKind::Number(_)),
+                Some(TokenKind::Dash),
+                Some(TokenKind::Word(bit)),
+                Some(TokenKind::Word(header)),
+            ) if bit == "Bit" && header == "Header"
+        );
+        if !is_header {
+            return Ok(0);
+        }
+        let bits = self.number()?;
+        self.expect(&TokenKind::Dash)?;
+        self.expect_word("Bit")?;
+        self.expect_word("Header")?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(bits as u32)
+    }
+
+    fn field(&mut self) -> Result<FieldSpec, SpecError> {
+        let bits = self.number()? as u32;
+        self.expect(&TokenKind::Dash)?;
+        self.expect_word("Bit")?;
+        self.expect_word("Field")?;
+        let number = self.number()? as u32;
+        self.expect(&TokenKind::Eq)?;
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut l1 = DEFAULT_L1;
+        let mut l2 = DEFAULT_L2;
+        let mut seen_l1 = false;
+        let mut seen_l2 = false;
+        while self.peek_is_word("L") {
+            let pos = self.pos();
+            self.expect_word("L")?;
+            let level = self.number()?;
+            self.expect(&TokenKind::Eq)?;
+            let size = self.number()?;
+            match level {
+                1 => {
+                    if seen_l1 {
+                        return Err(SpecError::new(pos, "duplicate L1 size"));
+                    }
+                    seen_l1 = true;
+                    l1 = size;
+                }
+                2 => {
+                    if seen_l2 {
+                        return Err(SpecError::new(pos, "duplicate L2 size"));
+                    }
+                    seen_l2 = true;
+                    l2 = size;
+                }
+                other => {
+                    return Err(SpecError::new(
+                        pos,
+                        format!("unknown table level L{other} (only L1 and L2 exist)"),
+                    ))
+                }
+            }
+            if self.peek_kind() == Some(&TokenKind::Comma) {
+                self.expect(&TokenKind::Comma)?;
+            }
+        }
+        self.expect(&TokenKind::Colon)?;
+
+        let mut predictors = vec![self.predictor()?];
+        while self.peek_kind() == Some(&TokenKind::Comma) {
+            self.expect(&TokenKind::Comma)?;
+            predictors.push(self.predictor()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(FieldSpec { bits, number, l1, l2, predictors })
+    }
+
+    fn predictor(&mut self) -> Result<PredictorSpec, SpecError> {
+        let pos = self.pos();
+        let name = self.word()?;
+        let kind = match name.as_str() {
+            "LV" => PredictorKind::Lv,
+            "FCM" => PredictorKind::Fcm,
+            "DFCM" => PredictorKind::Dfcm,
+            "ST" => PredictorKind::St,
+            other => {
+                return Err(SpecError::new(
+                    pos,
+                    format!("unknown predictor '{other}' (expected LV, FCM, DFCM, or ST)"),
+                ))
+            }
+        };
+        let orderless = matches!(kind, PredictorKind::Lv | PredictorKind::St);
+        let order = if orderless { 0 } else { self.number()? as u32 };
+        self.expect(&TokenKind::LBracket)?;
+        let height = self.number()? as u32;
+        self.expect(&TokenKind::RBracket)?;
+        Ok(PredictorSpec { kind, order, height })
+    }
+
+    fn pc_def(&mut self) -> Result<u32, SpecError> {
+        self.expect_word("PC")?;
+        self.expect(&TokenKind::Eq)?;
+        self.expect_word("Field")?;
+        let number = self.number()? as u32;
+        self.expect(&TokenKind::Semi)?;
+        Ok(number)
+    }
+
+    // --- token helpers ---
+
+    fn pos(&self) -> Pos {
+        self.tokens
+            .get(self.idx)
+            .map(|t| t.pos)
+            .or_else(|| self.tokens.last().map(|t| t.pos))
+            .unwrap_or_default()
+    }
+
+    fn peek_kind(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.idx).map(|t| &t.kind)
+    }
+
+    fn peek_is_number(&self) -> bool {
+        matches!(self.peek_kind(), Some(TokenKind::Number(_)))
+    }
+
+    fn peek_is_word(&self, w: &str) -> bool {
+        matches!(self.peek_kind(), Some(TokenKind::Word(s)) if s == w)
+    }
+
+    fn at_pc_def(&self) -> bool {
+        self.peek_is_word("PC")
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.idx).cloned();
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), SpecError> {
+        let pos = self.pos();
+        match self.advance() {
+            Some(t) if &t.kind == kind => Ok(()),
+            Some(t) => Err(SpecError::new(t.pos, format!("expected {kind}, found {}", t.kind))),
+            None => Err(SpecError::new(pos, format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), SpecError> {
+        let pos = self.pos();
+        match self.advance() {
+            Some(Token { kind: TokenKind::Word(w), .. }) if w == word => Ok(()),
+            Some(t) => Err(SpecError::new(
+                t.pos,
+                format!("expected '{word}', found {} (the language is case sensitive)", t.kind),
+            )),
+            None => Err(SpecError::new(pos, format!("expected '{word}', found end of input"))),
+        }
+    }
+
+    fn word(&mut self) -> Result<String, SpecError> {
+        let pos = self.pos();
+        match self.advance() {
+            Some(Token { kind: TokenKind::Word(w), .. }) => Ok(w),
+            Some(t) => Err(SpecError::new(t.pos, format!("expected a word, found {}", t.kind))),
+            None => Err(SpecError::new(pos, "expected a word, found end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, SpecError> {
+        let pos = self.pos();
+        match self.advance() {
+            Some(Token { kind: TokenKind::Number(n), .. }) => Ok(n),
+            Some(t) => {
+                Err(SpecError::new(t.pos, format!("expected a number, found {}", t.kind)))
+            }
+            None => Err(SpecError::new(pos, "expected a number, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn parses_the_vpc3_figure() {
+        let spec = parse_unvalidated(presets::TCGEN_A).unwrap();
+        assert_eq!(spec.header_bits, 32);
+        assert_eq!(spec.fields.len(), 2);
+        assert_eq!(spec.pc_field, 1);
+        assert_eq!(spec.fields[0].bits, 32);
+        assert_eq!(spec.fields[0].l1, 1);
+        assert_eq!(spec.fields[0].l2, 131_072);
+        assert_eq!(spec.fields[0].predictors.len(), 2);
+        assert_eq!(spec.fields[1].bits, 64);
+        assert_eq!(spec.fields[1].l1, 65_536);
+        assert_eq!(spec.fields[1].predictors.len(), 4);
+        assert_eq!(
+            spec.fields[1].predictors[0],
+            PredictorSpec { kind: PredictorKind::Dfcm, order: 3, height: 2 }
+        );
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let spec = parse_unvalidated(
+            "TCgen Trace Specification;\n8-Bit Field 1 = {: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap();
+        assert_eq!(spec.header_bits, 0);
+        assert_eq!(spec.fields.len(), 1);
+    }
+
+    #[test]
+    fn level_sizes_default_when_omitted() {
+        let spec = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[2]};\nPC = Field 1;",
+        )
+        .unwrap();
+        assert_eq!(spec.fields[0].l1, DEFAULT_L1);
+        assert_eq!(spec.fields[0].l2, DEFAULT_L2);
+    }
+
+    #[test]
+    fn l1_only_and_l2_only() {
+        let spec = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {L2 = 1024: FCM1[1]};\nPC = Field 1;",
+        )
+        .unwrap();
+        assert_eq!(spec.fields[0].l1, DEFAULT_L1);
+        assert_eq!(spec.fields[0].l2, 1024);
+    }
+
+    #[test]
+    fn missing_magic_phrase_is_error() {
+        let err = parse_unvalidated("Trace Specification; PC = Field 1;").unwrap_err();
+        assert!(err.message.contains("TCgen"));
+    }
+
+    #[test]
+    fn case_sensitivity_is_enforced() {
+        let err = parse_unvalidated(
+            "TCgen Trace Specification;\n32-bit Field 1 = {: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("case sensitive"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_predictor_is_error() {
+        let err = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: STRIDE[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("STRIDE"));
+    }
+
+    #[test]
+    fn duplicate_l1_is_error() {
+        let err = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {L1 = 2, L1 = 4: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate L1"));
+    }
+
+    #[test]
+    fn unknown_level_is_error() {
+        let err = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {L3 = 2: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("L3"));
+    }
+
+    #[test]
+    fn trailing_input_is_error() {
+        let err = parse_unvalidated(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1; extra",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn truncated_input_reports_end() {
+        let err = parse_unvalidated("TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};")
+            .unwrap_err();
+        assert!(err.message.contains("end of input") || err.message.contains("expected"));
+    }
+
+    #[test]
+    fn multiple_fields_parse_in_order() {
+        let spec = parse_unvalidated(
+            "TCgen Trace Specification;\n16-Bit Header;\n8-Bit Field 1 = {: LV[1]};\n\
+             16-Bit Field 2 = {: FCM2[1]};\n64-Bit Field 3 = {: DFCM1[2]};\nPC = Field 2;",
+        )
+        .unwrap();
+        assert_eq!(spec.fields.iter().map(|f| f.bits).collect::<Vec<_>>(), vec![8, 16, 64]);
+        assert_eq!(spec.pc_field, 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Semantic validation of parsed trace specifications.
+
+use crate::ast::{PredictorKind, TraceSpec};
+use crate::error::{Pos, SpecError};
+
+/// Maximum supported FCM/DFCM order. High orders multiply second-level
+/// table sizes by `2^(order-1)`, so this also bounds memory blow-up.
+pub const MAX_ORDER: u32 = 8;
+/// Maximum values per table line.
+pub const MAX_HEIGHT: u32 = 64;
+/// Maximum first-level table size (2^28 lines).
+pub const MAX_L1: u64 = 1 << 28;
+/// Maximum base second-level table size (2^28 lines).
+pub const MAX_L2: u64 = 1 << 28;
+
+fn err(message: String) -> SpecError {
+    // Validation errors are about the specification as a whole; they are
+    // reported at a neutral position.
+    SpecError::new(Pos { line: 0, col: 0 }, message)
+}
+
+/// Checks every semantic rule from the paper's §4:
+///
+/// * field widths are 8, 16, 32, or 64 bits; the header is byte-aligned
+/// * field numbers are unique and the PC definition names a real field
+/// * L1 and L2 sizes are powers of two within supported bounds
+/// * every field selects at least one predictor
+/// * the PC field itself uses `L1 = 1` (no index is available for it)
+/// * FCM/DFCM orders and line heights are within supported bounds
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] describing the first violated rule.
+pub fn validate(spec: &TraceSpec) -> Result<(), SpecError> {
+    if !spec.header_bits.is_multiple_of(8) {
+        return Err(err(format!(
+            "header size must be a multiple of 8 bits, got {}",
+            spec.header_bits
+        )));
+    }
+    if spec.fields.is_empty() {
+        return Err(err("a specification needs at least one field".into()));
+    }
+
+    let mut seen = std::collections::HashSet::new();
+    for field in &spec.fields {
+        let id = field.number;
+        if !seen.insert(id) {
+            return Err(err(format!("duplicate field number {id}")));
+        }
+        if !matches!(field.bits, 8 | 16 | 32 | 64) {
+            return Err(err(format!(
+                "field {id}: width must be 8, 16, 32, or 64 bits, got {}",
+                field.bits
+            )));
+        }
+        for (name, value, max) in [("L1", field.l1, MAX_L1), ("L2", field.l2, MAX_L2)] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(err(format!(
+                    "field {id}: {name} must be a power of two, got {value}"
+                )));
+            }
+            if value > max {
+                return Err(err(format!(
+                    "field {id}: {name} = {value} exceeds the supported maximum {max}"
+                )));
+            }
+        }
+        if field.predictors.is_empty() {
+            return Err(err(format!("field {id}: at least one predictor has to be specified")));
+        }
+        if field.prediction_count() > 255 {
+            return Err(err(format!(
+                "field {id}: {} predictions exceed the 255 representable \
+                 predictor codes (one byte per record, one code reserved for misses)",
+                field.prediction_count()
+            )));
+        }
+        for p in &field.predictors {
+            if p.height == 0 || p.height > MAX_HEIGHT {
+                return Err(err(format!("field {id}: {p} height must be in 1..={MAX_HEIGHT}")));
+            }
+            let orderless = matches!(p.kind, PredictorKind::Lv | PredictorKind::St);
+            if !orderless && (p.order == 0 || p.order > MAX_ORDER) {
+                return Err(err(format!("field {id}: {p} order must be in 1..={MAX_ORDER}")));
+            }
+        }
+    }
+
+    let pc = spec.pc_field;
+    let Some(pc_field) = spec.fields.iter().find(|f| f.number == pc) else {
+        return Err(err(format!("PC definition names field {pc}, which does not exist")));
+    };
+    if pc_field.l1 != 1 {
+        return Err(err(format!(
+            "field {pc} holds the PC, so no index is available for it and \
+             its L1 size has to be one (got {})",
+            pc_field.l1
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_unvalidated;
+    use crate::presets;
+
+    fn check(src: &str) -> Result<(), SpecError> {
+        validate(&parse_unvalidated(src).unwrap())
+    }
+
+    #[test]
+    fn paper_specs_are_valid() {
+        check(presets::TCGEN_A).unwrap();
+        check(presets::TCGEN_B).unwrap();
+    }
+
+    #[test]
+    fn odd_field_width_rejected() {
+        let e = check("TCgen Trace Specification;\n12-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+            .unwrap_err();
+        assert!(e.message.contains("width"));
+    }
+
+    #[test]
+    fn non_power_of_two_l1_rejected() {
+        let e = check(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 1000: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("power of two"));
+    }
+
+    #[test]
+    fn pc_field_must_exist() {
+        let e = check("TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 9;")
+            .unwrap_err();
+        assert!(e.message.contains("does not exist"));
+    }
+
+    #[test]
+    fn pc_field_needs_l1_of_one() {
+        let e = check(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {L1 = 64: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("L1 size has to be one"));
+    }
+
+    #[test]
+    fn duplicate_field_numbers_rejected() {
+        let e = check(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\n\
+             32-Bit Field 1 = {: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("duplicate field number"));
+    }
+
+    #[test]
+    fn zero_order_fcm_rejected() {
+        let e =
+            check("TCgen Trace Specification;\n32-Bit Field 1 = {: FCM0[1]};\nPC = Field 1;")
+                .unwrap_err();
+        assert!(e.message.contains("order"));
+    }
+
+    #[test]
+    fn zero_height_rejected() {
+        let e = check("TCgen Trace Specification;\n32-Bit Field 1 = {: LV[0]};\nPC = Field 1;")
+            .unwrap_err();
+        assert!(e.message.contains("height"));
+    }
+
+    #[test]
+    fn excessive_order_rejected() {
+        let e =
+            check("TCgen Trace Specification;\n32-Bit Field 1 = {: FCM9[1]};\nPC = Field 1;")
+                .unwrap_err();
+        assert!(e.message.contains("order"));
+    }
+
+    #[test]
+    fn single_byte_general_purpose_mode_is_valid() {
+        // §4: "if only a single eight-bit field with an L1 size of one is
+        // specified, the resulting code can be used to compress arbitrary
+        // files".
+        check("TCgen Trace Specification;\n8-Bit Field 1 = {: LV[1]};\nPC = Field 1;").unwrap();
+    }
+
+    #[test]
+    fn unaligned_header_rejected() {
+        let e = check(
+            "TCgen Trace Specification;\n33-Bit Header;\n32-Bit Field 1 = {: LV[1]};\nPC = Field 1;",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("header"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the specification language: canonicalization
+//! is a fixpoint, parsing never panics, and accounting is consistent.
+
+use proptest::prelude::*;
+use tcgen_spec::{canonical, parse, FieldSpec, PredictorKind, PredictorSpec, TraceSpec};
+
+fn arbitrary_predictor() -> impl Strategy<Value = PredictorSpec> {
+    prop_oneof![
+        (1u32..=8).prop_map(|h| PredictorSpec { kind: PredictorKind::Lv, order: 0, height: h }),
+        (1u32..=4, 1u32..=4).prop_map(|(o, h)| PredictorSpec {
+            kind: PredictorKind::Fcm,
+            order: o,
+            height: h
+        }),
+        (1u32..=4, 1u32..=4).prop_map(|(o, h)| PredictorSpec {
+            kind: PredictorKind::Dfcm,
+            order: o,
+            height: h
+        }),
+        (1u32..=4).prop_map(|h| PredictorSpec { kind: PredictorKind::St, order: 0, height: h }),
+    ]
+}
+
+fn arbitrary_spec() -> impl Strategy<Value = TraceSpec> {
+    let widths = prop_oneof![Just(8u32), Just(16), Just(32), Just(64)];
+    let sizes = prop_oneof![Just(1u64), Just(16), Just(1024), Just(65_536)];
+    let field = (widths, sizes, proptest::collection::vec(arbitrary_predictor(), 1..5));
+    (proptest::collection::vec(field, 1..5), prop_oneof![Just(0u32), Just(32), Just(64)])
+        .prop_map(|(fields, header_bits)| {
+            let fields: Vec<FieldSpec> = fields
+                .into_iter()
+                .enumerate()
+                .map(|(i, (bits, l1, predictors))| FieldSpec {
+                    bits,
+                    number: i as u32 + 1,
+                    // Field 1 is the PC field and must have L1 = 1.
+                    l1: if i == 0 { 1 } else { l1 },
+                    l2: 4096,
+                    predictors,
+                })
+                .collect();
+            TraceSpec { header_bits, fields, pc_field: 1 }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse(canonical(spec)) == spec for arbitrary valid specs.
+    #[test]
+    fn canonical_roundtrip(spec in arbitrary_spec()) {
+        tcgen_spec::validate(&spec).expect("constructed specs are valid");
+        let text = canonical(&spec);
+        let reparsed = parse(&text).expect("canonical text parses");
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(junk in "\\PC{0,200}") {
+        let _ = parse(&junk);
+    }
+
+    /// Parser robustness on near-miss inputs: valid spec with one byte
+    /// flipped either parses or errors, but never panics.
+    #[test]
+    fn mutated_specs_never_panic(spec in arbitrary_spec(), pos in 0usize..200, byte in 0u8..128) {
+        let mut text = canonical(&spec).into_bytes();
+        if !text.is_empty() {
+            let i = pos % text.len();
+            text[i] = byte;
+        }
+        if let Ok(s) = String::from_utf8(text) {
+            let _ = parse(&s);
+        }
+    }
+
+    /// Accounting is internally consistent.
+    #[test]
+    fn accounting_consistency(spec in arbitrary_spec()) {
+        let per_field: u32 = spec.fields.iter().map(|f| f.prediction_count()).sum();
+        prop_assert_eq!(per_field, spec.prediction_count());
+        let per_field_bytes: u64 = spec.fields.iter().map(|f| f.table_bytes()).sum();
+        prop_assert_eq!(per_field_bytes, spec.table_bytes());
+        // Record length equals the sum of field widths in bytes.
+        let bytes: u32 = spec.fields.iter().map(|f| f.bits / 8).sum();
+        prop_assert_eq!(bytes, spec.record_bytes());
+    }
+}

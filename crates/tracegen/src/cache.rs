@@ -1,0 +1,126 @@
+//! A direct-mapped data-cache simulator.
+//!
+//! The paper's second trace type records "the PC and the effective
+//! address of all loads and stores that miss in a simulated 16kB,
+//! direct-mapped, 64-byte line, write-allocate data cache" (§6.3). This
+//! module provides that filter.
+
+/// A direct-mapped, write-allocate cache model tracking tags only.
+#[derive(Debug, Clone)]
+pub struct DirectMappedCache {
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl DirectMappedCache {
+    /// Creates a cache of `size_bytes` capacity with `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both sizes are powers of two and
+    /// `size_bytes >= line_bytes`.
+    pub fn new(size_bytes: usize, line_bytes: usize) -> Self {
+        assert!(size_bytes.is_power_of_two() && line_bytes.is_power_of_two());
+        assert!(size_bytes >= line_bytes);
+        let sets = size_bytes / line_bytes;
+        Self {
+            tags: vec![0; sets],
+            valid: vec![false; sets],
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// The paper's configuration: 16 kB, direct-mapped, 64-byte lines.
+    pub fn paper_config() -> Self {
+        Self::new(16 * 1024, 64)
+    }
+
+    /// Simulates an access (load or store — write-allocate makes them
+    /// equivalent for tag state). Returns `true` on a hit; on a miss the
+    /// line is allocated.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        if self.valid[set] && self.tags[set] == tag {
+            true
+        } else {
+            self.valid[set] = true;
+            self.tags[set] = tag;
+            false
+        }
+    }
+
+    /// Number of cache sets.
+    pub fn sets(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_has_256_sets() {
+        assert_eq!(DirectMappedCache::paper_config().sets(), 256);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = DirectMappedCache::paper_config();
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103f), "same 64-byte line hits");
+        assert!(!c.access(0x1040), "next line misses");
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let mut c = DirectMappedCache::paper_config();
+        // 16 kB apart -> same set, different tag.
+        assert!(!c.access(0x0000));
+        assert!(!c.access(0x4000));
+        assert!(!c.access(0x0000), "evicted by the conflicting line");
+    }
+
+    #[test]
+    fn streaming_through_twice_the_capacity_always_misses() {
+        let mut c = DirectMappedCache::new(1024, 64);
+        let mut misses = 0;
+        for round in 0..4 {
+            for i in 0..32u64 {
+                if !c.access(i * 64) {
+                    misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        // 2 kB working set in a 1 kB cache: every access conflicts out
+        // ... except the first round establishes and each line is
+        // revisited once per round; direct-mapped with 16 sets and 32
+        // lines -> everything misses.
+        assert_eq!(misses, 128);
+    }
+
+    #[test]
+    fn small_working_set_fits() {
+        let mut c = DirectMappedCache::new(1024, 64);
+        for _ in 0..10 {
+            for i in 0..8u64 {
+                c.access(i * 64);
+            }
+        }
+        let mut hits = 0;
+        for i in 0..8u64 {
+            if c.access(i * 64) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 8);
+    }
+}

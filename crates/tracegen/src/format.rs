@@ -1,0 +1,118 @@
+//! The VPC trace format used throughout the paper's evaluation: a 32-bit
+//! header followed by records of a 32-bit PC and a 64-bit data value,
+//! little-endian.
+
+/// One trace record: program counter plus a 64-bit datum (an effective
+/// address or a loaded value, depending on the trace type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VpcRecord {
+    /// Program counter of the instruction.
+    pub pc: u32,
+    /// Effective address or loaded value.
+    pub data: u64,
+}
+
+/// An in-memory trace in the VPC format.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VpcTrace {
+    /// The 32-bit trace header.
+    pub header: u32,
+    /// The trace records in program order.
+    pub records: Vec<VpcRecord>,
+}
+
+impl VpcTrace {
+    /// Creates an empty trace with the given header.
+    pub fn new(header: u32) -> Self {
+        Self { header, records: Vec::new() }
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_len(&self) -> usize {
+        4 + self.records.len() * 12
+    }
+
+    /// Serializes to the on-disk layout (little-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        out.extend_from_slice(&self.header.to_le_bytes());
+        for r in &self.records {
+            out.extend_from_slice(&r.pc.to_le_bytes());
+            out.extend_from_slice(&r.data.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the on-disk layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the length is not `4 + 12k`.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 4 || !(bytes.len() - 4).is_multiple_of(12) {
+            return Err(format!(
+                "{} bytes is not a whole number of 12-byte VPC records plus a 4-byte header",
+                bytes.len()
+            ));
+        }
+        let header = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let records = bytes[4..]
+            .chunks_exact(12)
+            .map(|c| VpcRecord {
+                pc: u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                data: u64::from_le_bytes([c[4], c[5], c[6], c[7], c[8], c[9], c[10], c[11]]),
+            })
+            .collect();
+        Ok(Self { header, records })
+    }
+}
+
+impl FromIterator<VpcRecord> for VpcTrace {
+    fn from_iter<I: IntoIterator<Item = VpcRecord>>(iter: I) -> Self {
+        Self { header: 0, records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<VpcRecord> for VpcTrace {
+    fn extend<I: IntoIterator<Item = VpcRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let trace = VpcTrace {
+            header: 0xdead_beef,
+            records: vec![
+                VpcRecord { pc: 0x40_0000, data: 0x7fff_0000_1234 },
+                VpcRecord { pc: 0x40_0004, data: u64::MAX },
+            ],
+        };
+        let bytes = trace.to_bytes();
+        assert_eq!(bytes.len(), trace.byte_len());
+        assert_eq!(VpcTrace::from_bytes(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_trace_is_header_only() {
+        let t = VpcTrace::new(7);
+        assert_eq!(t.to_bytes(), vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert!(VpcTrace::from_bytes(&[1, 2, 3]).is_err());
+        assert!(VpcTrace::from_bytes(&[0; 15]).is_err());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: VpcTrace = (0..3).map(|i| VpcRecord { pc: i, data: u64::from(i) }).collect();
+        assert_eq!(t.records.len(), 3);
+        assert_eq!(t.header, 0);
+    }
+}

@@ -1,0 +1,595 @@
+//! Synthetic workload kernels.
+//!
+//! Each kernel mimics a memory-access idiom found in the SPECcpu2000
+//! programs the paper traces: strided array sweeps, pointer chasing,
+//! hash-table probing, call stacks, floating-point stencils, byte
+//! scanning, and interpreter dispatch. A kernel owns a region of the
+//! simulated address space and a region of static code (PCs), and emits
+//! [`Access`] events when stepped.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// One dynamic memory access produced by a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// A load: its PC, effective address, and the loaded value.
+    Load {
+        /// Static instruction address.
+        pc: u32,
+        /// Effective address.
+        addr: u64,
+        /// The 64-bit value the load returns.
+        value: u64,
+    },
+    /// A store: its PC and effective address.
+    Store {
+        /// Static instruction address.
+        pc: u32,
+        /// Effective address.
+        addr: u64,
+    },
+}
+
+/// A steppable workload kernel.
+pub trait Kernel {
+    /// Executes one inner-loop iteration, emitting accesses in order.
+    fn step(&mut self, rng: &mut SmallRng, emit: &mut dyn FnMut(Access));
+}
+
+/// The kernel idioms available to program mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// `for i { b[i] = f(a[i]) }` with a fixed element stride.
+    StridedWalk,
+    /// Linked-list traversal; loaded values are node addresses.
+    PointerChase,
+    /// Randomized hash-table probing with occasional inserts.
+    HashProbe,
+    /// Call-stack push/pop bursts (descending stores, ascending loads).
+    StackWork,
+    /// Three-point floating-point stencil over a grid.
+    Stencil,
+    /// Byte-granularity string scanning with text-like values.
+    ByteScan,
+    /// Bytecode-interpreter dispatch with branchy PCs.
+    Interp,
+    /// Blocked matrix transpose: two interleaved strides (1 and N).
+    Transpose,
+    /// GUPS-style random read-modify-write over a large table.
+    Gups,
+}
+
+impl KernelKind {
+    /// Instantiates the kernel over the given data and code regions.
+    pub fn build(self, data_base: u64, code_base: u32, rng: &mut SmallRng) -> Box<dyn Kernel> {
+        match self {
+            KernelKind::StridedWalk => Box::new(StridedWalk::new(data_base, code_base, rng)),
+            KernelKind::PointerChase => Box::new(PointerChase::new(data_base, code_base, rng)),
+            KernelKind::HashProbe => Box::new(HashProbe::new(data_base, code_base)),
+            KernelKind::StackWork => Box::new(StackWork::new(data_base, code_base)),
+            KernelKind::Stencil => Box::new(Stencil::new(data_base, code_base)),
+            KernelKind::ByteScan => Box::new(ByteScan::new(data_base, code_base)),
+            KernelKind::Interp => Box::new(Interp::new(data_base, code_base)),
+            KernelKind::Transpose => Box::new(Transpose::new(data_base, code_base)),
+            KernelKind::Gups => Box::new(Gups::new(data_base, code_base)),
+        }
+    }
+}
+
+/// `b[i] = f(a[i])` over a cycle of separately "allocated" buffers: one
+/// strided load plus one strided store per step, with the source and
+/// destination jumping to the next irregularly spaced allocation at the
+/// end of each sweep — the repeating-but-not-strided structure real
+/// allocators produce, which context predictors can learn but pure
+/// delta coders cannot.
+struct StridedWalk {
+    src_regions: Vec<u64>,
+    dst_regions: Vec<u64>,
+    region: usize,
+    stride: u64,
+    len: u64,
+    pos: u64,
+    pc_load: u32,
+    pc_store: u32,
+    int_data: bool,
+}
+
+impl StridedWalk {
+    fn new(data_base: u64, code_base: u32, rng: &mut SmallRng) -> Self {
+        let stride = *[4u64, 8, 8, 16, 64].get(rng.gen_range(0..5)).expect("in range");
+        // A fixed ring of allocations with irregular gaps.
+        let regions = 12;
+        let mut src_regions = Vec::with_capacity(regions);
+        let mut dst_regions = Vec::with_capacity(regions);
+        let mut src = data_base;
+        let mut dst = data_base + 0x40_0000;
+        for _ in 0..regions {
+            src_regions.push(src);
+            dst_regions.push(dst);
+            src += (0x1_0000 + u64::from(rng.gen_range(0u32..0x4_0000))) & !0xf;
+            dst += (0x1_0000 + u64::from(rng.gen_range(0u32..0x4_0000))) & !0xf;
+        }
+        Self {
+            src_regions,
+            dst_regions,
+            region: 0,
+            stride,
+            len: 512,
+            pos: 0,
+            pc_load: code_base,
+            pc_store: code_base + 8,
+            int_data: rng.gen_bool(0.5),
+        }
+    }
+}
+
+impl Kernel for StridedWalk {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let i = self.pos;
+        let addr = self.src_regions[self.region] + i * self.stride;
+        // Array contents: sequential integers or a smooth double ramp.
+        let value = if self.int_data { i * 3 + 7 } else { (i as f64 * 0.25 + 1.5).to_bits() };
+        emit(Access::Load { pc: self.pc_load, addr, value });
+        emit(Access::Store {
+            pc: self.pc_store,
+            addr: self.dst_regions[self.region] + i * self.stride,
+        });
+        self.pos += 1;
+        if self.pos == self.len {
+            self.pos = 0;
+            self.region = (self.region + 1) % self.src_regions.len();
+        }
+    }
+}
+
+/// Linked-list walk over nodes scattered at initialization time; the
+/// loaded value of each step is the next node's address (pointer data).
+struct PointerChase {
+    nodes: Vec<u64>,
+    cur: usize,
+    pc: u32,
+}
+
+impl PointerChase {
+    fn new(data_base: u64, code_base: u32, rng: &mut SmallRng) -> Self {
+        // A fixed random permutation: the same cycle repeats forever,
+        // which an FCM predictor can learn but a stride predictor cannot.
+        let n = 512;
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut nodes = vec![0u64; n];
+        for w in 0..n {
+            let here = order[w];
+            let next = order[(w + 1) % n];
+            nodes[here] = data_base + next as u64 * 48; // 48-byte nodes
+        }
+        Self { nodes, cur: 0, pc: code_base }
+    }
+}
+
+impl Kernel for PointerChase {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let node_addr = self.nodes[self.cur];
+        let next_addr = self.nodes
+            [((node_addr - self.nodes[0].min(node_addr)) as usize / 48) % self.nodes.len()];
+        // Load of the `next` field: the value is itself an address.
+        emit(Access::Load { pc: self.pc, addr: node_addr, value: next_addr });
+        // Update a counter field of the node: the store addresses repeat
+        // the same shuffled cycle — delta coders see noise, context
+        // predictors learn the whole sequence.
+        emit(Access::Store { pc: self.pc + 8, addr: node_addr + 16 });
+        self.cur = (self.cur + 1) % self.nodes.len();
+    }
+}
+
+/// Hash-table probing: near-random addresses, hard for every predictor;
+/// occasional stores model inserts.
+struct HashProbe {
+    base: u64,
+    mask: u64,
+    state: u64,
+    pc_probe: u32,
+    pc_insert: u32,
+    tick: u64,
+}
+
+impl HashProbe {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self {
+            base: data_base,
+            mask: (1 << 20) - 1,
+            state: 0x9e37_79b9_7f4a_7c15,
+            pc_probe: code_base,
+            pc_insert: code_base + 12,
+            tick: 0,
+        }
+    }
+}
+
+impl Kernel for HashProbe {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        self.state =
+            self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let slot = (self.state >> 33) & self.mask;
+        let addr = self.base + slot * 16;
+        // Bucket contents: a stored key for occupied slots, zero for the
+        // many empty ones — the load values at this PC alternate between
+        // zero and varied keys, the pattern the smart update policy keeps
+        // in its table lines and always-update clobbers.
+        let value =
+            if slot.is_multiple_of(3) { 0 } else { slot.wrapping_mul(0x517c_c1b7_2722_0a95) };
+        emit(Access::Load { pc: self.pc_probe, addr, value });
+        self.tick += 1;
+        if self.tick.is_multiple_of(7) {
+            emit(Access::Store { pc: self.pc_insert, addr: addr + 8 });
+        }
+    }
+}
+
+/// Call stack push/pop bursts: strided descending stores on "call",
+/// matching ascending loads on "return"; loaded values are the saved
+/// registers (small ints and frame addresses).
+struct StackWork {
+    sp_top: u64,
+    depth: u64,
+    max_depth: u64,
+    growing: bool,
+    pc_push: u32,
+    pc_pop: u32,
+}
+
+impl StackWork {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self {
+            sp_top: data_base + 0x8_0000,
+            depth: 0,
+            max_depth: 64,
+            growing: true,
+            pc_push: code_base,
+            pc_pop: code_base + 16,
+        }
+    }
+}
+
+impl Kernel for StackWork {
+    fn step(&mut self, rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        if self.growing {
+            self.depth += 1;
+            let frame = self.sp_top - self.depth * 32;
+            emit(Access::Store { pc: self.pc_push, addr: frame });
+            emit(Access::Store { pc: self.pc_push + 4, addr: frame + 8 });
+            if self.depth >= self.max_depth {
+                self.growing = false;
+                self.max_depth = 16 + rng.gen_range(0..96);
+            }
+        } else {
+            let frame = self.sp_top - self.depth * 32;
+            // Restoring a saved frame pointer and a small saved register.
+            emit(Access::Load { pc: self.pc_pop, addr: frame, value: frame + 32 });
+            emit(Access::Load {
+                pc: self.pc_pop + 4,
+                addr: frame + 8,
+                value: self.depth & 0xff,
+            });
+            self.depth -= 1;
+            if self.depth == 0 {
+                self.growing = true;
+            }
+        }
+    }
+}
+
+/// Three-point stencil: `g[i] = (g[i-1] + g[i] + g[i+1]) / 3` over a
+/// double grid, sweeping repeatedly — classic F77 floating-point loads.
+struct Stencil {
+    grid: u64,
+    len: u64,
+    pos: u64,
+    sweep: u64,
+    pc: u32,
+}
+
+impl Stencil {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self { grid: data_base, len: 2048, pos: 1, sweep: 0, pc: code_base }
+    }
+
+    fn value_at(&self, i: u64) -> u64 {
+        // A smooth field that drifts a little every sweep.
+        let x = i as f64 / 64.0 + self.sweep as f64 * 0.01;
+        (x * x * 0.5 + 1.0).to_bits()
+    }
+}
+
+impl Kernel for Stencil {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let i = self.pos;
+        for (k, off) in [(0u32, -1i64), (4, 0), (8, 1)] {
+            let j = (i as i64 + off) as u64;
+            emit(Access::Load {
+                pc: self.pc + k,
+                addr: self.grid + j * 8,
+                value: self.value_at(j),
+            });
+        }
+        emit(Access::Store { pc: self.pc + 12, addr: self.grid + 0x8_0000 + i * 8 });
+        self.pos += 1;
+        if self.pos >= self.len - 1 {
+            self.pos = 1;
+            self.sweep += 1;
+        }
+    }
+}
+
+/// Byte-granularity scanning of text-like data.
+struct ByteScan {
+    base: u64,
+    len: u64,
+    pos: u64,
+    pc: u32,
+}
+
+impl ByteScan {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self { base: data_base, len: 1 << 16, pos: 0, pc: code_base }
+    }
+}
+
+impl Kernel for ByteScan {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let i = self.pos % self.len;
+        // English-ish byte distribution: mostly lowercase plus spaces.
+        let b = match i % 11 {
+            0 | 5 => 0x20,
+            10 => 0x0a,
+            k => 0x61 + (i / 3 + k) % 26,
+        };
+        emit(Access::Load { pc: self.pc, addr: self.base + i, value: b });
+        if i % 64 == 63 {
+            emit(Access::Store { pc: self.pc + 20, addr: self.base + 0x2_0000 + i / 64 * 8 });
+        }
+        self.pos += 1;
+    }
+}
+
+/// Bytecode-interpreter dispatch: the PC jumps between handler sites and
+/// loaded values are opcodes — a branchy, integer-heavy idiom.
+struct Interp {
+    code: u64,
+    ip: u64,
+    program: Vec<u8>,
+    pc_fetch: u32,
+    pc_handlers: u32,
+}
+
+impl Interp {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        // A short bytecode loop: the same opcode sequence repeats.
+        let program = vec![1u8, 4, 2, 4, 7, 1, 4, 3, 9, 2, 4, 1, 6, 4, 2];
+        Self {
+            code: data_base,
+            ip: 0,
+            program,
+            pc_fetch: code_base,
+            pc_handlers: code_base + 0x40,
+        }
+    }
+}
+
+impl Kernel for Interp {
+    fn step(&mut self, rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let i = self.ip % self.program.len() as u64;
+        let op = self.program[i as usize];
+        emit(Access::Load { pc: self.pc_fetch, addr: self.code + i, value: u64::from(op) });
+        // Handler touches its own operand slot.
+        let handler_pc = self.pc_handlers + u32::from(op) * 16;
+        emit(Access::Load {
+            pc: handler_pc,
+            addr: self.code + 0x1000 + u64::from(op) * 8,
+            value: u64::from(op) * 1024 + 5,
+        });
+        if op % 4 == 2 {
+            emit(Access::Store { pc: handler_pc + 4, addr: self.code + 0x2000 + i * 8 });
+        }
+        // Occasionally the interpreted program takes a branch.
+        self.ip = if rng.gen_ratio(1, 31) { rng.gen_range(0..16) } else { self.ip + 1 };
+    }
+}
+
+/// Blocked matrix transpose `B[j][i] = A[i][j]`: the load walks rows
+/// (unit stride), the store walks columns (stride = row length) — two
+/// very different stride regimes live at two PCs simultaneously.
+struct Transpose {
+    a: u64,
+    b: u64,
+    n: u64,
+    i: u64,
+    j: u64,
+    pc: u32,
+}
+
+impl Transpose {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self { a: data_base, b: data_base + 0x20_0000, n: 256, i: 0, j: 0, pc: code_base }
+    }
+}
+
+impl Kernel for Transpose {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        let (i, j, n) = (self.i, self.j, self.n);
+        emit(Access::Load {
+            pc: self.pc,
+            addr: self.a + (i * n + j) * 8,
+            value: ((i * n + j) as f64).sqrt().to_bits(),
+        });
+        emit(Access::Store { pc: self.pc + 4, addr: self.b + (j * n + i) * 8 });
+        self.j += 1;
+        if self.j == n {
+            self.j = 0;
+            self.i = (self.i + 1) % n;
+        }
+    }
+}
+
+/// GUPS (giga-updates-per-second) style random read-modify-write: loads
+/// and stores scatter uniformly over a large table — the classic
+/// predictor-hostile access pattern.
+struct Gups {
+    base: u64,
+    mask: u64,
+    state: u64,
+    pc: u32,
+}
+
+impl Gups {
+    fn new(data_base: u64, code_base: u32) -> Self {
+        Self {
+            base: data_base,
+            mask: (1 << 21) - 1,
+            state: 0x0123_4567_89ab_cdef,
+            pc: code_base,
+        }
+    }
+}
+
+impl Kernel for Gups {
+    fn step(&mut self, _rng: &mut SmallRng, emit: &mut dyn FnMut(Access)) {
+        // The HPCC GUPS recurrence: x = (x << 1) ^ (poly if negative).
+        self.state = (self.state << 1)
+            ^ (if (self.state as i64) < 0 { 0x0000_0000_0000_0007 } else { 0 });
+        let slot = (self.state >> 3) & self.mask;
+        let addr = self.base + slot * 8;
+        emit(Access::Load { pc: self.pc, addr, value: self.state });
+        emit(Access::Store { pc: self.pc + 4, addr });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn collect(kind: KernelKind, steps: usize) -> Vec<Access> {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut k = kind.build(0x10_0000_0000, 0x40_0000, &mut rng);
+        let mut out = Vec::new();
+        for _ in 0..steps {
+            k.step(&mut rng, &mut |a| out.push(a));
+        }
+        out
+    }
+
+    #[test]
+    fn every_kernel_emits_accesses() {
+        for kind in [
+            KernelKind::StridedWalk,
+            KernelKind::PointerChase,
+            KernelKind::HashProbe,
+            KernelKind::StackWork,
+            KernelKind::Stencil,
+            KernelKind::ByteScan,
+            KernelKind::Interp,
+            KernelKind::Transpose,
+            KernelKind::Gups,
+        ] {
+            let out = collect(kind, 100);
+            assert!(out.len() >= 100, "{kind:?} produced {}", out.len());
+        }
+    }
+
+    #[test]
+    fn transpose_interleaves_two_stride_regimes() {
+        let out = collect(KernelKind::Transpose, 20);
+        let loads: Vec<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Access::Load { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        let stores: Vec<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Access::Store { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads[1] - loads[0], 8, "row walk is unit stride");
+        assert_eq!(stores[1] - stores[0], 256 * 8, "column walk strides a row");
+    }
+
+    #[test]
+    fn gups_addresses_scatter() {
+        let out = collect(KernelKind::Gups, 1000);
+        let addrs: std::collections::HashSet<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Access::Load { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        assert!(addrs.len() > 900, "only {} distinct addresses", addrs.len());
+    }
+
+    #[test]
+    fn kernels_are_deterministic_per_seed() {
+        assert_eq!(collect(KernelKind::Interp, 500), collect(KernelKind::Interp, 500));
+        assert_eq!(collect(KernelKind::HashProbe, 500), collect(KernelKind::HashProbe, 500));
+    }
+
+    #[test]
+    fn strided_walk_strides() {
+        let out = collect(KernelKind::StridedWalk, 10);
+        let loads: Vec<u64> = out
+            .iter()
+            .filter_map(|a| match a {
+                Access::Load { addr, .. } => Some(*addr),
+                _ => None,
+            })
+            .collect();
+        let d1 = loads[1] - loads[0];
+        for w in loads.windows(2) {
+            assert_eq!(w[1] - w[0], d1, "constant stride expected");
+        }
+    }
+
+    #[test]
+    fn pointer_chase_values_are_node_addresses() {
+        let out = collect(KernelKind::PointerChase, 600);
+        for a in &out {
+            if let Access::Load { value, .. } = a {
+                assert!(*value >= 0x10_0000_0000, "value {value:#x} is not in the node region");
+            }
+        }
+    }
+
+    #[test]
+    fn stack_work_alternates_growth_and_shrink() {
+        let out = collect(KernelKind::StackWork, 500);
+        let stores = out.iter().filter(|a| matches!(a, Access::Store { .. })).count();
+        let loads = out.iter().filter(|a| matches!(a, Access::Load { .. })).count();
+        assert!(stores > 50 && loads > 50, "stores {stores}, loads {loads}");
+    }
+
+    #[test]
+    fn stencil_values_are_finite_doubles() {
+        let out = collect(KernelKind::Stencil, 200);
+        for a in &out {
+            if let Access::Load { value, .. } = a {
+                assert!(f64::from_bits(*value).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn byte_scan_values_are_bytes() {
+        for a in collect(KernelKind::ByteScan, 300) {
+            if let Access::Load { value, .. } = a {
+                assert!(value < 256);
+            }
+        }
+    }
+}

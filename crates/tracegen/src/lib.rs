@@ -1,0 +1,39 @@
+//! # tcgen-tracegen
+//!
+//! The trace substrate for the TCgen reproduction. The paper traces 22
+//! SPECcpu2000 programs with ATOM on an Alpha; neither is available here,
+//! so this crate provides the closest synthetic equivalent:
+//!
+//! * a library of workload **kernels** capturing the memory-access idioms
+//!   of the benchmarks (strided sweeps, pointer chasing, hash probing,
+//!   call stacks, FP stencils, byte scans, interpreter dispatch),
+//! * a 22-program **suite** of seeded kernel mixes named after the
+//!   benchmarks they stand in for, with the exact trace exclusions of the
+//!   paper's Table 1 (19 store-address + 22 cache-miss + 14 load-value
+//!   traces),
+//! * a **data-cache simulator** (16 kB direct-mapped, 64-byte lines,
+//!   write-allocate) producing the cache-miss-address traces, and
+//! * the **VPC trace format** (32-bit header, records of 32-bit PC +
+//!   64-bit data) used by every compressor in the evaluation.
+//!
+//! ```
+//! use tcgen_tracegen::{generate_trace, suite, TraceKind};
+//!
+//! let programs = suite();
+//! let trace = generate_trace(&programs[0], TraceKind::StoreAddress, 1_000);
+//! assert_eq!(trace.records.len(), 800); // eon's size factor is 0.8
+//! let bytes = trace.to_bytes();
+//! assert_eq!(bytes.len(), 4 + 800 * 12);
+//! ```
+
+pub mod cache;
+pub mod format;
+pub mod kernels;
+pub mod program;
+pub mod suite;
+
+pub use cache::DirectMappedCache;
+pub use format::{VpcRecord, VpcTrace};
+pub use kernels::{Access, Kernel, KernelKind};
+pub use program::{generate_trace, run_program, ProgramSpec, TraceKind};
+pub use suite::{program, suite};

@@ -1,0 +1,260 @@
+//! Synthetic program execution: interleaves a program's kernel mix into
+//! one access stream and derives the paper's three trace types from it.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::DirectMappedCache;
+use crate::format::{VpcRecord, VpcTrace};
+use crate::kernels::{Access, Kernel, KernelKind};
+
+/// The three trace types of the paper's §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// PC and effective address of every store.
+    StoreAddress,
+    /// PC and address of loads/stores missing a 16 kB direct-mapped,
+    /// 64-byte-line, write-allocate data cache.
+    CacheMissAddress,
+    /// PC and loaded value of every load.
+    LoadValue,
+}
+
+impl TraceKind {
+    /// All three kinds, in the paper's order.
+    pub const ALL: [TraceKind; 3] =
+        [TraceKind::StoreAddress, TraceKind::CacheMissAddress, TraceKind::LoadValue];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::StoreAddress => "store addresses",
+            TraceKind::CacheMissAddress => "cache miss addresses",
+            TraceKind::LoadValue => "load values",
+        }
+    }
+}
+
+impl std::fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A synthetic stand-in for one SPECcpu2000 program: a seeded, weighted
+/// mix of workload kernels.
+#[derive(Debug, Clone)]
+pub struct ProgramSpec {
+    /// Program name (named after the paper's benchmark it stands in for).
+    pub name: &'static str,
+    /// Source language, as in Table 1.
+    pub lang: &'static str,
+    /// Whether the program is in the floating-point half of the suite.
+    pub fp: bool,
+    /// RNG seed; fixes the program's behaviour completely.
+    pub seed: u64,
+    /// Kernel mix with integer weights.
+    pub mix: &'static [(KernelKind, u32)],
+    /// Relative trace-length multiplier (mirrors the size spread of
+    /// Table 1 at a reduced scale).
+    pub size_factor: f64,
+    /// Trace kinds excluded in the paper (crossed out in Table 1 because
+    /// they exceeded a billion entries).
+    pub excluded: &'static [TraceKind],
+}
+
+impl ProgramSpec {
+    /// Whether the paper evaluates this program for `kind`.
+    pub fn includes(&self, kind: TraceKind) -> bool {
+        !self.excluded.contains(&kind)
+    }
+
+    /// Number of records to generate for `kind` at `base_records` scale.
+    pub fn records_for(&self, base_records: usize) -> usize {
+        ((base_records as f64) * self.size_factor).max(64.0) as usize
+    }
+}
+
+/// Runs `prog`'s kernel mix, feeding each access to `sink`, until `sink`
+/// returns `false`.
+///
+/// Kernels are scheduled in weighted bursts (a few hundred iterations per
+/// burst) to create the phase behaviour of real programs.
+pub fn run_program(prog: &ProgramSpec, mut sink: impl FnMut(Access) -> bool) {
+    let mut rng = SmallRng::seed_from_u64(prog.seed);
+    let mut kernels: Vec<Box<dyn Kernel>> = prog
+        .mix
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, _))| {
+            kind.build(
+                0x1_0000_0000 + i as u64 * 0x1000_0000,
+                0x0040_0000 + i as u32 * 0x1_0000,
+                &mut rng,
+            )
+        })
+        .collect();
+    let total_weight: u32 = prog.mix.iter().map(|&(_, w)| w).sum();
+    let mut done = false;
+    while !done {
+        // Pick a kernel by weight and run a burst of its iterations.
+        let mut pick = rng.gen_range(0..total_weight);
+        let mut idx = 0;
+        for (i, &(_, w)) in prog.mix.iter().enumerate() {
+            if pick < w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let burst = rng.gen_range(200..800);
+        for _ in 0..burst {
+            kernels[idx].step(&mut rng, &mut |a| {
+                if !sink(a) {
+                    done = true;
+                }
+            });
+            if done {
+                break;
+            }
+        }
+    }
+}
+
+/// Generates a trace of `kind` for `prog` containing
+/// `prog.records_for(base_records)` records in the VPC format.
+///
+/// The header encodes the program/kind pair so distinct traces get
+/// distinct headers, as real trace files would.
+pub fn generate_trace(prog: &ProgramSpec, kind: TraceKind, base_records: usize) -> VpcTrace {
+    let target = prog.records_for(base_records);
+    let mut trace = VpcTrace::new(header_for(prog, kind));
+    trace.records.reserve(target);
+    let mut cache = DirectMappedCache::paper_config();
+    run_program(prog, |access| {
+        let record = match (kind, access) {
+            (TraceKind::StoreAddress, Access::Store { pc, addr }) => {
+                Some(VpcRecord { pc, data: addr })
+            }
+            (TraceKind::LoadValue, Access::Load { pc, value, .. }) => {
+                Some(VpcRecord { pc, data: value })
+            }
+            (TraceKind::CacheMissAddress, Access::Load { pc, addr, .. })
+            | (TraceKind::CacheMissAddress, Access::Store { pc, addr }) => {
+                if cache.access(addr) {
+                    None
+                } else {
+                    Some(VpcRecord { pc, data: addr })
+                }
+            }
+            _ => None,
+        };
+        if let Some(r) = record {
+            trace.records.push(r);
+        }
+        trace.records.len() < target
+    });
+    trace.records.truncate(target);
+    trace
+}
+
+fn header_for(prog: &ProgramSpec, kind: TraceKind) -> u32 {
+    let mut h = 0x811c_9dc5u32;
+    for b in prog.name.bytes().chain([kind.label().len() as u8]) {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_program() -> ProgramSpec {
+        ProgramSpec {
+            name: "demo",
+            lang: "C",
+            fp: false,
+            seed: 1234,
+            mix: &[
+                (KernelKind::StridedWalk, 3),
+                (KernelKind::PointerChase, 2),
+                (KernelKind::StackWork, 1),
+            ],
+            size_factor: 1.0,
+            excluded: &[],
+        }
+    }
+
+    #[test]
+    fn generates_requested_record_count() {
+        let prog = demo_program();
+        for kind in TraceKind::ALL {
+            let t = generate_trace(&prog, kind, 5_000);
+            assert_eq!(t.records.len(), 5_000, "{kind}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let prog = demo_program();
+        let a = generate_trace(&prog, TraceKind::LoadValue, 2_000);
+        let b = generate_trace(&prog, TraceKind::LoadValue, 2_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trace_kinds_differ() {
+        let prog = demo_program();
+        let store = generate_trace(&prog, TraceKind::StoreAddress, 1_000);
+        let load = generate_trace(&prog, TraceKind::LoadValue, 1_000);
+        assert_ne!(store.records, load.records);
+        assert_ne!(store.header, load.header);
+    }
+
+    #[test]
+    fn cache_miss_traces_are_sparser_than_raw_accesses() {
+        // Generating N cache-miss records must consume far more than N
+        // accesses — the cache filters most of them out.
+        let prog = demo_program();
+        let mut total_accesses = 0usize;
+        let mut misses = 0usize;
+        let mut cache = DirectMappedCache::paper_config();
+        run_program(&prog, |a| {
+            total_accesses += 1;
+            let addr = match a {
+                Access::Load { addr, .. } | Access::Store { addr, .. } => addr,
+            };
+            if !cache.access(addr) {
+                misses += 1;
+            }
+            total_accesses < 200_000
+        });
+        let rate = misses as f64 / total_accesses as f64;
+        assert!(
+            (0.01..0.90).contains(&rate),
+            "implausible miss rate: {misses}/{total_accesses} = {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn size_factor_scales_length() {
+        let mut prog = demo_program();
+        prog.size_factor = 0.5;
+        assert_eq!(prog.records_for(10_000), 5_000);
+        assert_eq!(prog.records_for(10), 64, "minimum applies");
+    }
+
+    #[test]
+    fn pcs_look_like_instruction_addresses() {
+        let prog = demo_program();
+        let t = generate_trace(&prog, TraceKind::LoadValue, 2_000);
+        for r in &t.records {
+            assert!(r.pc >= 0x0040_0000, "pc {:#x} below code base", r.pc);
+            assert_eq!(r.pc % 4, 0, "pc {:#x} not word aligned", r.pc);
+        }
+        // Few static PCs, many dynamic records: per-PC locality exists.
+        let unique: std::collections::HashSet<u32> = t.records.iter().map(|r| r.pc).collect();
+        assert!(unique.len() < 200, "{} static PCs", unique.len());
+    }
+}

@@ -1,0 +1,268 @@
+//! The 22-program synthetic suite mirroring the paper's Table 1.
+//!
+//! Each program is a seeded kernel mix named after the SPECcpu2000
+//! benchmark it stands in for. Kernel mixes are chosen to echo each
+//! program's character (pointer-chasing for mcf, byte scanning for gzip,
+//! stencils for the Fortran codes, …); `size_factor` compresses Table 1's
+//! size spread into a tractable range; `excluded` reproduces exactly the
+//! crossed-out traces of Table 1, giving the paper's 19 + 22 + 14 = 55
+//! trace corpus.
+
+use crate::kernels::KernelKind::*;
+use crate::program::ProgramSpec;
+use crate::program::TraceKind::{self, LoadValue, StoreAddress};
+
+const NONE: &[TraceKind] = &[];
+const NO_LOAD: &[TraceKind] = &[LoadValue];
+const NO_STORE_NO_LOAD: &[TraceKind] = &[StoreAddress, LoadValue];
+
+/// Returns the full 22-program suite in Table 1 order.
+pub fn suite() -> Vec<ProgramSpec> {
+    vec![
+        ProgramSpec {
+            name: "eon",
+            lang: "C++",
+            fp: false,
+            seed: 101,
+            mix: &[(PointerChase, 3), (Stencil, 2), (StackWork, 2), (HashProbe, 1)],
+            size_factor: 0.8,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "bzip2",
+            lang: "C",
+            fp: false,
+            seed: 102,
+            mix: &[(ByteScan, 4), (StridedWalk, 2), (HashProbe, 2)],
+            size_factor: 2.5,
+            excluded: NO_STORE_NO_LOAD,
+        },
+        ProgramSpec {
+            name: "crafty",
+            lang: "C",
+            fp: false,
+            seed: 103,
+            mix: &[(HashProbe, 4), (Interp, 2), (StackWork, 2), (StridedWalk, 1)],
+            size_factor: 1.5,
+            excluded: NO_LOAD,
+        },
+        ProgramSpec {
+            name: "gap",
+            lang: "C",
+            fp: false,
+            seed: 104,
+            mix: &[(PointerChase, 3), (HashProbe, 2), (StackWork, 2)],
+            size_factor: 0.7,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "gcc",
+            lang: "C",
+            fp: false,
+            seed: 105,
+            mix: &[(PointerChase, 3), (StackWork, 3), (HashProbe, 2), (ByteScan, 1)],
+            size_factor: 0.9,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "gzip",
+            lang: "C",
+            fp: false,
+            seed: 106,
+            mix: &[(ByteScan, 5), (HashProbe, 2), (StridedWalk, 1)],
+            size_factor: 1.2,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "mcf",
+            lang: "C",
+            fp: false,
+            seed: 107,
+            mix: &[(PointerChase, 5), (Gups, 1), (StridedWalk, 1)],
+            size_factor: 0.4,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "parser",
+            lang: "C",
+            fp: false,
+            seed: 108,
+            mix: &[(PointerChase, 3), (ByteScan, 2), (StackWork, 2), (HashProbe, 1)],
+            size_factor: 1.4,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "perlbmk",
+            lang: "C",
+            fp: false,
+            seed: 109,
+            mix: &[(Interp, 4), (HashProbe, 2), (ByteScan, 2), (StackWork, 1)],
+            size_factor: 0.5,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "twolf",
+            lang: "C",
+            fp: false,
+            seed: 110,
+            mix: &[(HashProbe, 3), (Gups, 2), (PointerChase, 2), (StridedWalk, 1)],
+            size_factor: 0.35,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "vortex",
+            lang: "C",
+            fp: false,
+            seed: 111,
+            mix: &[(PointerChase, 4), (HashProbe, 3), (StackWork, 2)],
+            size_factor: 2.5,
+            excluded: NO_STORE_NO_LOAD,
+        },
+        ProgramSpec {
+            name: "vpr",
+            lang: "C",
+            fp: false,
+            seed: 112,
+            mix: &[(HashProbe, 3), (StridedWalk, 2), (PointerChase, 2)],
+            size_factor: 1.1,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "ammp",
+            lang: "C",
+            fp: true,
+            seed: 113,
+            mix: &[(Stencil, 3), (PointerChase, 2), (StridedWalk, 2)],
+            size_factor: 1.8,
+            excluded: NO_LOAD,
+        },
+        ProgramSpec {
+            name: "art",
+            lang: "C",
+            fp: true,
+            seed: 114,
+            mix: &[(StridedWalk, 4), (Transpose, 2), (Stencil, 1)],
+            size_factor: 1.0,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "equake",
+            lang: "C",
+            fp: true,
+            seed: 115,
+            mix: &[(Stencil, 3), (StridedWalk, 2), (PointerChase, 1)],
+            size_factor: 0.8,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "mesa",
+            lang: "C",
+            fp: true,
+            seed: 116,
+            mix: &[(StridedWalk, 3), (Stencil, 3), (StackWork, 1)],
+            size_factor: 1.2,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "applu",
+            lang: "F77",
+            fp: true,
+            seed: 117,
+            mix: &[(Stencil, 4), (StridedWalk, 2)],
+            size_factor: 0.4,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "apsi",
+            lang: "F77",
+            fp: true,
+            seed: 118,
+            mix: &[(Stencil, 3), (StridedWalk, 3)],
+            size_factor: 1.9,
+            excluded: NO_LOAD,
+        },
+        ProgramSpec {
+            name: "mgrid",
+            lang: "F77",
+            fp: true,
+            seed: 119,
+            mix: &[(Stencil, 5), (StridedWalk, 1)],
+            size_factor: 2.0,
+            excluded: NO_LOAD,
+        },
+        ProgramSpec {
+            name: "sixtrack",
+            lang: "F77",
+            fp: true,
+            seed: 120,
+            mix: &[(Stencil, 3), (StridedWalk, 3), (StackWork, 1)],
+            size_factor: 2.5,
+            excluded: NO_STORE_NO_LOAD,
+        },
+        ProgramSpec {
+            name: "swim",
+            lang: "F77",
+            fp: true,
+            seed: 121,
+            mix: &[(StridedWalk, 3), (Transpose, 2), (Stencil, 2)],
+            size_factor: 0.4,
+            excluded: NONE,
+        },
+        ProgramSpec {
+            name: "wupwise",
+            lang: "F77",
+            fp: true,
+            seed: 122,
+            mix: &[(Stencil, 3), (StridedWalk, 2), (HashProbe, 1)],
+            size_factor: 2.2,
+            excluded: NO_LOAD,
+        },
+    ]
+}
+
+/// Looks up one suite program by name.
+pub fn program(name: &str) -> Option<ProgramSpec> {
+    suite().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TraceKind;
+
+    #[test]
+    fn suite_has_22_programs() {
+        assert_eq!(suite().len(), 22);
+    }
+
+    #[test]
+    fn corpus_matches_the_papers_55_traces() {
+        let progs = suite();
+        let count = |kind| progs.iter().filter(|p| p.includes(kind)).count();
+        assert_eq!(count(TraceKind::StoreAddress), 19);
+        assert_eq!(count(TraceKind::CacheMissAddress), 22);
+        assert_eq!(count(TraceKind::LoadValue), 14);
+    }
+
+    #[test]
+    fn names_and_seeds_are_unique() {
+        let progs = suite();
+        let names: std::collections::HashSet<_> = progs.iter().map(|p| p.name).collect();
+        let seeds: std::collections::HashSet<_> = progs.iter().map(|p| p.seed).collect();
+        assert_eq!(names.len(), 22);
+        assert_eq!(seeds.len(), 22);
+    }
+
+    #[test]
+    fn integer_fp_split_matches_table1() {
+        let progs = suite();
+        assert_eq!(progs.iter().filter(|p| !p.fp).count(), 12);
+        assert_eq!(progs.iter().filter(|p| p.fp).count(), 10);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(program("mcf").is_some());
+        assert!(program("quantum-chromodynamics").is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Cache-miss traces and a miniature Figure 6: run the paper's simulated
+//! 16 kB direct-mapped data cache over a workload, collect the miss
+//! trace, and compare all seven compression algorithms on it.
+//!
+//! ```sh
+//! cargo run --release --example cache_filter
+//! ```
+
+use tcgen_repro::tcgen_baselines::{BzipOnly, Mache, Pdats2, Sbc, Sequitur, TraceCompressor};
+use tcgen_repro::tcgen_core::{Tcgen, TCGEN_A_SPEC};
+use tcgen_repro::tcgen_engine::EngineOptions;
+use tcgen_repro::tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // crafty's hash-table-heavy mix produces a hostile miss stream.
+    let program = suite().into_iter().find(|p| p.name == "crafty").expect("crafty in suite");
+    let trace = generate_trace(&program, TraceKind::CacheMissAddress, 150_000);
+    let raw = trace.to_bytes();
+    println!(
+        "cache-miss-address trace for '{}': {} records, {} bytes",
+        program.name,
+        trace.records.len(),
+        raw.len()
+    );
+
+    // TCgen and VPC3 via the engine...
+    let tcgen = Tcgen::from_spec(TCGEN_A_SPEC)?;
+    let vpc3 = Tcgen::with_options(TCGEN_A_SPEC, EngineOptions::vpc3())?;
+    let mut rows: Vec<(String, usize)> = vec![
+        ("TCgen".into(), tcgen.compress(&raw)?.len()),
+        ("VPC3".into(), vpc3.compress(&raw)?.len()),
+    ];
+    // ... and the special-purpose baselines.
+    let baselines: Vec<Box<dyn TraceCompressor>> = vec![
+        Box::new(Sbc),
+        Box::new(Sequitur::default()),
+        Box::new(Mache),
+        Box::new(Pdats2),
+        Box::new(BzipOnly),
+    ];
+    for codec in &baselines {
+        rows.push((codec.name().to_string(), codec.compress(&raw)?.len()));
+    }
+
+    rows.sort_by_key(|&(_, size)| std::cmp::Reverse(size));
+    println!("\n{:<10} {:>12} {:>8}", "algorithm", "bytes", "rate");
+    for (name, size) in rows {
+        println!("{:<10} {:>12} {:>8.1}", name, size, raw.len() as f64 / size as f64);
+    }
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Predictor tuning, the workflow the paper recommends in §7.5: "start
+//! with a trace specification that covers a wide range of predictors and
+//! then eliminate the useless predictors as determined by the predictor
+//! usage information output after each compression."
+//!
+//! This example compresses a load-value trace with the generous TCgen(B)
+//! configuration, inspects which predictors actually fire, derives a
+//! pruned specification, and shows the pruned compressor performs
+//! comparably with far smaller tables.
+//!
+//! ```sh
+//! cargo run --release --example predictor_tuning
+//! ```
+
+use tcgen_repro::tcgen_core::{Tcgen, TCGEN_B_SPEC};
+use tcgen_repro::tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = suite().into_iter().find(|p| p.name == "equake").expect("equake in suite");
+    let raw = generate_trace(&program, TraceKind::LoadValue, 150_000).to_bytes();
+
+    // Step 1: compress with the wide configuration and study the usage.
+    let wide = Tcgen::from_spec(TCGEN_B_SPEC)?;
+    let (packed_wide, usage) = wide.compress_with_usage(&raw)?;
+    println!("wide configuration (TCgen(B)):\n{usage}");
+
+    // Step 2: keep only predictors whose slots fire for at least 2% of
+    // the records of their field.
+    let data_field = &usage.fields[1];
+    let total = data_field.total().max(1) as f64;
+    println!("slot survival for field 2 (>= 2% usage):");
+    for (label, &count) in data_field.labels.iter().zip(&data_field.counts) {
+        let share = count as f64 / total * 100.0;
+        let verdict = if share >= 2.0 { "keep" } else { "prune" };
+        println!("  {label:>12}  {share:5.1}%  {verdict}");
+    }
+
+    // Step 3: a hand-pruned specification based on that feedback (the
+    // high-order FCM rarely fires on smooth FP data; DFCM + LV carry it).
+    let pruned_spec = "\
+TCgen Trace Specification;
+32-Bit Header;
+32-Bit Field 1 = {L1 = 1, L2 = 131072: FCM3[2], FCM1[2]};
+64-Bit Field 2 = {L1 = 65536, L2 = 131072: DFCM3[2], DFCM1[2], LV[2]};
+PC = Field 1;
+";
+    let pruned = Tcgen::from_spec(pruned_spec)?;
+    let packed_pruned = pruned.compress(&raw)?;
+
+    let rate = |packed: &[u8]| raw.len() as f64 / packed.len() as f64;
+    println!(
+        "\nwide:   rate {:6.1}, tables {:5.1} MB",
+        rate(&packed_wide),
+        wide.spec().table_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "pruned: rate {:6.1}, tables {:5.1} MB",
+        rate(&packed_pruned),
+        pruned.spec().table_bytes() as f64 / (1 << 20) as f64
+    );
+    assert_eq!(pruned.decompress(&packed_pruned)?, raw);
+    Ok(())
+}

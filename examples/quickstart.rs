@@ -1,0 +1,38 @@
+//! Quickstart: compress a synthetic store-address trace with the paper's
+//! Figure 5 configuration and verify lossless decompression.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tcgen_repro::tcgen_tracegen::{generate_trace, suite, TraceKind};
+use tcgen_repro::Tcgen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The trace specification from the paper's Figure 5: a 32-bit header,
+    // a 32-bit PC field, and a 64-bit data field with FCM/DFCM/LV
+    // predictors — the VPC3 trace format.
+    let tcgen = Tcgen::from_spec(tcgen_repro::tcgen_core::TCGEN_A_SPEC)?;
+    println!("{}", tcgen.canonical_spec());
+
+    // A synthetic stand-in for the gzip store-address trace.
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip in suite");
+    let trace = generate_trace(&program, TraceKind::StoreAddress, 200_000);
+    let raw = trace.to_bytes();
+
+    let (packed, usage) = tcgen.compress_with_usage(&raw)?;
+    println!(
+        "compressed {} bytes to {} bytes (rate {:.1})",
+        raw.len(),
+        packed.len(),
+        raw.len() as f64 / packed.len() as f64
+    );
+
+    // The predictor-usage feedback TCgen prints after each compression.
+    println!("{usage}");
+
+    let restored = tcgen.decompress(&packed)?;
+    assert_eq!(restored, raw, "decompression must be lossless");
+    println!("decompressed trace matches the original");
+    Ok(())
+}

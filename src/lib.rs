@@ -1,0 +1,28 @@
+//! # tcgen-repro
+//!
+//! Workspace-level facade of the TCgen reproduction (Burtscher & Sam,
+//! "Automatic Generation of High-Performance Trace Compressors",
+//! CGO 2005). This crate re-exports the subsystem crates so the
+//! repository's examples and integration tests have one import root; for
+//! downstream use, depend on the individual crates:
+//!
+//! * [`tcgen_core`] — the facade type [`tcgen_core::Tcgen`]
+//! * [`tcgen_spec`] — the specification language
+//! * [`tcgen_predictors`] — LV/FCM/DFCM value predictors
+//! * [`tcgen_engine`] — the runtime compression engine
+//! * [`tcgen_codegen`] — the C and Rust code generators
+//! * [`tcgen_baselines`] — MACHE, PDATS II, SEQUITUR, SBC, BZIP2-alone
+//! * [`tcgen_tracegen`] — synthetic SPEC-like workloads and the cache
+//!   simulator
+//! * [`blockzip`] — the block-sorting general-purpose compressor
+
+pub use blockzip;
+pub use tcgen_baselines;
+pub use tcgen_codegen;
+pub use tcgen_core;
+pub use tcgen_engine;
+pub use tcgen_predictors;
+pub use tcgen_spec;
+pub use tcgen_tracegen;
+
+pub use tcgen_core::Tcgen;
