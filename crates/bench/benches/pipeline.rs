@@ -1,0 +1,66 @@
+//! Criterion benchmark for the chunked, multi-threaded block pipeline:
+//! engine compression and decompression throughput at 1, 2, and
+//! per-CPU worker threads on a large store-address trace.
+//!
+//! Under `cargo bench` the trace is ≥64 MiB so the worker pool has real
+//! work per block; under `cargo test` (criterion's test mode) a small
+//! trace keeps the smoke run fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcgen_engine::{Engine, EngineOptions};
+use tcgen_spec::{parse, presets};
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+/// 64 MiB of 12-byte records, and a small stand-in for test mode.
+fn record_count() -> usize {
+    if std::env::args().any(|a| a == "--bench") {
+        (64 << 20) / 12 + 1
+    } else {
+        20_000
+    }
+}
+
+fn thread_counts() -> Vec<usize> {
+    let per_cpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, 4, per_cpu];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn engine(threads: usize) -> Engine {
+    let spec = parse(presets::TCGEN_A).expect("preset parses");
+    let options = EngineOptions { threads, block_records: 1 << 18, ..EngineOptions::tcgen() };
+    Engine::new(spec, options)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("program exists");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, record_count()).to_bytes();
+
+    let mut group = c.benchmark_group("pipeline/compress");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.sample_size(10);
+    for threads in thread_counts() {
+        let engine = engine(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &raw, |b, raw| {
+            b.iter(|| engine.compress(raw).expect("compress"))
+        });
+    }
+    group.finish();
+
+    let packed = engine(1).compress(&raw).expect("compress");
+    let mut group = c.benchmark_group("pipeline/decompress");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.sample_size(10);
+    for threads in thread_counts() {
+        let engine = engine(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &packed, |b, packed| {
+            b.iter(|| engine.decompress(packed).expect("decompress"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -59,22 +59,40 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 
 /// Compresses `data` with an explicit block-size level.
 pub fn compress_with(data: &[u8], level: Level) -> Vec<u8> {
+    compress_with_scratch(data, level, &mut Scratch::default())
+}
+
+/// Reusable working storage for [`compress_with_scratch`] and
+/// [`decompress_with_scratch`]: the suffix-array buffers plus the MTF-rank
+/// and RLE-symbol vectors. All fields are owned `Vec`s, so a scratch is
+/// `Send` and can live in a worker thread that processes many blocks.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    bwt: bwt::Scratch,
+    ranks: Vec<u8>,
+    symbols: Vec<u16>,
+}
+
+/// Like [`compress_with`], but reuses `scratch` across calls, avoiding the
+/// per-block working allocations (~9 bytes of scratch per input byte).
+/// Output is byte-identical to [`compress_with`].
+pub fn compress_with_scratch(data: &[u8], level: Level, scratch: &mut Scratch) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 4 + 64);
     out.extend_from_slice(MAGIC);
     for chunk in data.chunks(level.block_size().max(1)) {
-        compress_block(chunk, &mut out);
+        compress_block(chunk, &mut out, scratch);
     }
     out.push(END_MARKER);
     out
 }
 
-fn compress_block(chunk: &[u8], out: &mut Vec<u8>) {
-    let transformed = bwt::forward(chunk);
-    let ranks = mtf::encode(&transformed.data);
-    let symbols = rle::encode(&ranks);
+fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) {
+    let transformed = bwt::forward_with(chunk, &mut scratch.bwt);
+    mtf::encode_into(&transformed.data, &mut scratch.ranks);
+    rle::encode_into(&scratch.ranks, &mut scratch.symbols);
 
     let mut bits = BitWriter::new();
-    groups::encode_symbols(&symbols, rle::ALPHABET, &mut bits);
+    groups::encode_symbols(&scratch.symbols, rle::ALPHABET, &mut bits);
     let payload = bits.into_bytes();
 
     out.push(BLOCK_MARKER);
@@ -92,6 +110,28 @@ fn compress_block(chunk: &[u8], out: &mut Vec<u8>) {
 /// Returns an [`Error`] if the magic, framing, entropy stream, or CRC is
 /// invalid.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    decompress_with_limit(data, usize::MAX)
+}
+
+/// Like [`decompress`], but fails with [`Error::Corrupt`] if the output
+/// would exceed `max_len` bytes — checked against each block's declared
+/// length *before* decoding and enforced inside the run-length stage, so a
+/// corrupt or adversarial container can never force an allocation larger
+/// than `max_len`.
+///
+/// # Errors
+///
+/// As for [`decompress`], plus the size-limit violation.
+pub fn decompress_with_limit(data: &[u8], max_len: usize) -> Result<Vec<u8>, Error> {
+    decompress_with_scratch(data, max_len, &mut Scratch::default())
+}
+
+/// Like [`decompress_with_limit`], but reuses `scratch` across calls.
+pub fn decompress_with_scratch(
+    data: &[u8],
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
     let mut cursor = Cursor { data, pos: 0 };
     let magic = cursor.take(4)?;
     if magic != MAGIC {
@@ -101,35 +141,47 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
     loop {
         match cursor.take(1)?[0] {
             END_MARKER => return Ok(out),
-            BLOCK_MARKER => decompress_block(&mut cursor, &mut out)?,
+            BLOCK_MARKER => decompress_block(&mut cursor, &mut out, max_len, scratch)?,
             other => return Err(Error::Corrupt(format!("unexpected marker byte {other:#x}"))),
         }
     }
 }
 
-fn decompress_block(cursor: &mut Cursor<'_>, out: &mut Vec<u8>) -> Result<(), Error> {
+fn decompress_block(
+    cursor: &mut Cursor<'_>,
+    out: &mut Vec<u8>,
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<(), Error> {
     let raw_len = cursor.take_u32()? as usize;
     let sentinel = cursor.take_u32()?;
     let expected_crc = cursor.take_u32()?;
     let payload_len = cursor.take_u32()? as usize;
     let payload = cursor.take(payload_len)?;
+    // `out` never exceeds max_len, so the subtraction cannot underflow.
+    if raw_len > max_len - out.len() {
+        return Err(Error::Corrupt(format!(
+            "block claims {raw_len} bytes, exceeding the {max_len}-byte output limit"
+        )));
+    }
 
     let mut bits = BitReader::new(payload);
     let symbols = groups::decode_symbols(&mut bits, rle::ALPHABET).map_err(Error::Corrupt)?;
-    let ranks = rle::decode(&symbols).map_err(Error::Corrupt)?;
+    rle::decode_into(&symbols, raw_len, &mut scratch.ranks).map_err(Error::Corrupt)?;
+    let ranks = &scratch.ranks;
     if ranks.len() != raw_len {
         return Err(Error::Corrupt(format!(
             "block length mismatch: header {raw_len}, decoded {}",
             ranks.len()
         )));
     }
-    let transformed = bwt::Bwt { data: mtf::decode(&ranks), sentinel };
+    let transformed = bwt::Bwt { data: mtf::decode(ranks), sentinel };
     if (sentinel as usize) > transformed.data.len() {
         return Err(Error::Corrupt(format!(
             "sentinel row {sentinel} out of range for {raw_len}-byte block"
         )));
     }
-    let block = bwt::inverse(&transformed);
+    let block = bwt::inverse(&transformed).map_err(Error::Corrupt)?;
     let actual_crc = crc32(&block);
     if actual_crc != expected_crc {
         return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
@@ -243,6 +295,49 @@ mod tests {
         let idx = packed.len() / 2;
         packed[idx] ^= 0x10;
         assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        let mut scratch = Scratch::default();
+        let inputs: [&[u8]; 4] =
+            [b"first block of data", b"", b"x", &b"longer repetitive payload ".repeat(9_000)];
+        for data in inputs {
+            let fresh = compress_with(data, Level::FAST);
+            let reused = compress_with_scratch(data, Level::FAST, &mut scratch);
+            assert_eq!(fresh, reused);
+            assert_eq!(
+                decompress_with_scratch(&reused, usize::MAX, &mut scratch).unwrap(),
+                data
+            );
+        }
+    }
+
+    #[test]
+    fn output_limit_is_enforced() {
+        let data = b"0123456789".repeat(5_000);
+        let packed = compress(&data);
+        assert_eq!(decompress_with_limit(&packed, data.len()).unwrap(), data);
+        assert!(matches!(
+            decompress_with_limit(&packed, data.len() - 1),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(decompress_with_limit(&packed, 0), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn forged_giant_block_rejected_without_allocation() {
+        // A hand-built container whose single block claims u32::MAX raw
+        // bytes: the limit check must fire before any decode work.
+        let mut forged = Vec::new();
+        forged.extend_from_slice(b"BZR1");
+        forged.push(0x42);
+        forged.extend_from_slice(&u32::MAX.to_le_bytes()); // raw_len
+        forged.extend_from_slice(&0u32.to_le_bytes()); // sentinel
+        forged.extend_from_slice(&0u32.to_le_bytes()); // crc
+        forged.extend_from_slice(&0u32.to_le_bytes()); // payload_len
+        forged.push(0x45);
+        assert!(matches!(decompress_with_limit(&forged, 1 << 20), Err(Error::Corrupt(_))));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! not stored in the output byte vector; instead its row index is returned
 //! alongside, which keeps the output alphabet at 256 symbols.
 
-use crate::sais::suffix_array;
+use crate::sais::suffix_array_into;
 
 /// Result of a forward Burrows–Wheeler transform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,19 +16,34 @@ pub struct Bwt {
     pub sentinel: u32,
 }
 
+/// Reusable working storage for [`forward_with`]: the suffix array and its
+/// shifted-symbol input, the two dominant per-block allocations
+/// (`8 * block_size` bytes together). Owned `Vec`s only, so a scratch can
+/// move freely between worker threads.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    s: Vec<u32>,
+    sa: Vec<u32>,
+}
+
 /// Applies the Burrows–Wheeler transform to `text`.
 ///
 /// # Examples
 ///
 /// ```
 /// let t = blockzip::bwt::forward(b"banana");
-/// assert_eq!(blockzip::bwt::inverse(&t), b"banana");
+/// assert_eq!(blockzip::bwt::inverse(&t).unwrap(), b"banana");
 /// ```
 pub fn forward(text: &[u8]) -> Bwt {
-    let sa = suffix_array(text);
+    forward_with(text, &mut Scratch::default())
+}
+
+/// Like [`forward`], but reuses `scratch` across calls.
+pub fn forward_with(text: &[u8], scratch: &mut Scratch) -> Bwt {
+    suffix_array_into(text, &mut scratch.s, &mut scratch.sa);
     let mut data = Vec::with_capacity(text.len());
     let mut sentinel = 0u32;
-    for (row, &pos) in sa.iter().enumerate() {
+    for (row, &pos) in scratch.sa.iter().enumerate() {
         if pos == 0 {
             sentinel = row as u32;
         } else {
@@ -40,20 +55,20 @@ pub fn forward(text: &[u8]) -> Bwt {
 
 /// Inverts a Burrows–Wheeler transform produced by [`forward`].
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bwt.sentinel > bwt.data.len()`, which cannot happen for a
-/// value produced by [`forward`].
-pub fn inverse(bwt: &Bwt) -> Vec<u8> {
+/// Returns an error when `bwt` was not produced by [`forward`] — a
+/// sentinel row out of range, or an LF walk that does not visit every
+/// data byte exactly once. Every value [`forward`] produces inverts
+/// cleanly; the error paths exist so damaged compressed blocks are
+/// rejected instead of panicking.
+pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>, String> {
     let n = bwt.data.len();
-    assert!(
-        (bwt.sentinel as usize) <= n,
-        "sentinel row {} out of range for {} bytes",
-        bwt.sentinel,
-        n
-    );
+    if bwt.sentinel as usize > n {
+        return Err(format!("sentinel row {} out of range for {n} bytes", bwt.sentinel));
+    }
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let m = n + 1; // rows including the sentinel
     let sentinel = bwt.sentinel as usize;
@@ -95,13 +110,22 @@ pub fn inverse(bwt: &Bwt) -> Vec<u8> {
     let mut out = vec![0u8; n];
     let mut row = 0usize;
     for k in (0..n).rev() {
+        // A consistent transform only reaches the sentinel row after the
+        // final step; hitting it early means the data is corrupt (and when
+        // the sentinel is the last row, its translated index would read
+        // past the data array).
+        if row == sentinel {
+            return Err("inverse BWT walk reached the sentinel row early".to_string());
+        }
         // Translate the row back to an index into the stored data bytes.
         let data_idx = if row > sentinel { row - 1 } else { row };
         out[k] = bwt.data[data_idx];
         row = lf[row] as usize;
     }
-    debug_assert_eq!(row, sentinel, "inverse BWT walk must end at the sentinel row");
-    out
+    if row != sentinel {
+        return Err("inverse BWT walk did not end at the sentinel row".to_string());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -110,7 +134,7 @@ mod tests {
 
     fn roundtrip(text: &[u8]) {
         let t = forward(text);
-        assert_eq!(inverse(&t), text, "roundtrip failed for {:?}", text);
+        assert_eq!(inverse(&t).unwrap(), text, "roundtrip failed for {:?}", text);
     }
 
     #[test]

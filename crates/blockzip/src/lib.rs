@@ -31,7 +31,10 @@ pub mod mtf;
 pub mod rle;
 pub mod sais;
 
-pub use block::{compress, compress_with, decompress, Level};
+pub use block::{
+    compress, compress_with, compress_with_scratch, decompress, decompress_with_limit,
+    decompress_with_scratch, Level, Scratch,
+};
 
 /// Errors produced while decompressing a blockzip container.
 #[derive(Debug, Clone, PartialEq, Eq)]

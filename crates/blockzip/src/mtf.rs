@@ -13,8 +13,17 @@
 /// assert_eq!(ranks, vec![97, 0, 0, 98]);
 /// ```
 pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(data, &mut out);
+    out
+}
+
+/// Like [`encode`], but clears and fills a caller-provided buffer so hot
+/// loops can reuse the allocation across blocks.
+pub fn encode_into(data: &[u8], out: &mut Vec<u8>) {
     let mut table: [u8; 256] = init_table();
-    let mut out = Vec::with_capacity(data.len());
+    out.clear();
+    out.reserve(data.len());
     for &b in data {
         let rank = table.iter().position(|&t| t == b).expect("byte in table") as u8;
         out.push(rank);
@@ -22,7 +31,6 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
         table.copy_within(0..rank as usize, 1);
         table[0] = b;
     }
-    out
 }
 
 /// Inverts [`encode`].
@@ -34,15 +42,22 @@ pub fn encode(data: &[u8]) -> Vec<u8> {
 /// assert_eq!(blockzip::mtf::decode(&ranks), b"hello");
 /// ```
 pub fn decode(ranks: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    decode_into(ranks, &mut out);
+    out
+}
+
+/// Like [`decode`], but clears and fills a caller-provided buffer.
+pub fn decode_into(ranks: &[u8], out: &mut Vec<u8>) {
     let mut table: [u8; 256] = init_table();
-    let mut out = Vec::with_capacity(ranks.len());
+    out.clear();
+    out.reserve(ranks.len());
     for &rank in ranks {
         let b = table[rank as usize];
         out.push(b);
         table.copy_within(0..rank as usize, 1);
         table[0] = b;
     }
-    out
 }
 
 fn init_table() -> [u8; 256] {

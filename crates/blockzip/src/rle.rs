@@ -18,19 +18,27 @@ pub const ALPHABET: usize = 258;
 /// Encodes MTF ranks into the RLE2 symbol alphabet, including the final
 /// [`EOB`] symbol.
 pub fn encode(ranks: &[u8]) -> Vec<u16> {
-    let mut out = Vec::with_capacity(ranks.len() / 2 + 16);
+    let mut out = Vec::new();
+    encode_into(ranks, &mut out);
+    out
+}
+
+/// Like [`encode`], but clears and fills a caller-provided buffer so hot
+/// loops can reuse the allocation across blocks.
+pub fn encode_into(ranks: &[u8], out: &mut Vec<u16>) {
+    out.clear();
+    out.reserve(ranks.len() / 2 + 16);
     let mut zero_run = 0u64;
     for &r in ranks {
         if r == 0 {
             zero_run += 1;
         } else {
-            flush_run(&mut out, &mut zero_run);
+            flush_run(out, &mut zero_run);
             out.push(u16::from(r) + 1);
         }
     }
-    flush_run(&mut out, &mut zero_run);
+    flush_run(out, &mut zero_run);
     out.push(EOB);
-    out
 }
 
 /// Decodes RLE2 symbols back into MTF ranks. Decoding stops at the first
@@ -41,28 +49,56 @@ pub fn encode(ranks: &[u8]) -> Vec<u16> {
 /// Returns `Err` with a description if a symbol is outside the alphabet or
 /// no [`EOB`] terminator is present.
 pub fn decode(symbols: &[u16]) -> Result<Vec<u8>, String> {
-    let mut out = Vec::with_capacity(symbols.len() * 2);
+    let mut out = Vec::new();
+    decode_into(symbols, usize::MAX, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode`], but clears and fills a caller-provided buffer and
+/// fails as soon as the output would exceed `max_len` bytes. A corrupt
+/// run length can claim up to 2^64 zeros in a handful of symbols, so the
+/// cap is checked *before* any zeros are materialized — adversarial input
+/// can never force an allocation larger than `max_len`.
+///
+/// # Errors
+///
+/// As for [`decode`], plus an error when the decoded length would exceed
+/// `max_len`.
+pub fn decode_into(symbols: &[u16], max_len: usize, out: &mut Vec<u8>) -> Result<(), String> {
+    out.clear();
     let mut run = 0u64;
     let mut digit = 1u64;
     let mut in_run = false;
+    let emit = |out: &mut Vec<u8>, run: u64| -> Result<(), String> {
+        if run > (max_len - out.len()) as u64 {
+            return Err(format!("run of {run} zeros exceeds the {max_len}-byte block limit"));
+        }
+        emit_zeros(out, run);
+        Ok(())
+    };
     for &sym in symbols {
         match sym {
             RUNA | RUNB => {
-                let value = if sym == RUNA { 1 } else { 2 };
-                run += value * digit;
-                digit <<= 1;
+                let value: u64 = if sym == RUNA { 1 } else { 2 };
+                // Saturating: 33+ digit symbols already overshoot any real
+                // block; the cap check below reports the oversized run.
+                run = run.saturating_add(value.saturating_mul(digit));
+                digit = digit.saturating_mul(2);
                 in_run = true;
             }
             EOB => {
-                emit_zeros(&mut out, run);
-                return Ok(out);
+                emit(out, run)?;
+                return Ok(());
             }
             s if (2..EOB).contains(&s) => {
                 if in_run {
-                    emit_zeros(&mut out, run);
+                    emit(out, run)?;
                     run = 0;
                     digit = 1;
                     in_run = false;
+                }
+                if out.len() >= max_len {
+                    return Err(format!("decoded data exceeds the {max_len}-byte block limit"));
                 }
                 out.push((s - 1) as u8);
             }

@@ -24,13 +24,24 @@ const EMPTY: u32 = u32::MAX;
 /// assert_eq!(sa, vec![6, 5, 3, 1, 0, 4, 2]);
 /// ```
 pub fn suffix_array(text: &[u8]) -> Vec<u32> {
+    let mut s = Vec::new();
+    let mut sa = Vec::new();
+    suffix_array_into(text, &mut s, &mut sa);
+    sa
+}
+
+/// Like [`suffix_array`], but reuses the caller's symbol and suffix-array
+/// buffers (the two `4 * (len + 1)`-byte allocations) so per-block callers
+/// pay for them once. `sa` holds the result; `s` is working storage.
+pub fn suffix_array_into(text: &[u8], s: &mut Vec<u32>, sa: &mut Vec<u32>) {
     // Shift every byte up by one so that 0 is free for the sentinel.
-    let mut s: Vec<u32> = Vec::with_capacity(text.len() + 1);
+    s.clear();
+    s.reserve(text.len() + 1);
     s.extend(text.iter().map(|&b| u32::from(b) + 1));
     s.push(0);
-    let mut sa = vec![EMPTY; s.len()];
-    sais(&s, 257, &mut sa);
-    sa
+    sa.clear();
+    sa.resize(s.len(), EMPTY);
+    sais(s, 257, sa);
 }
 
 /// Core recursive SA-IS. `s` must end with a unique, smallest sentinel 0

@@ -3,8 +3,8 @@
 //! ```text
 //! tcgen generate <spec-file> [--lang c|rust]    emit compressor source
 //! tcgen canon <spec-file>                       print the canonical spec
-//! tcgen compress <spec-file> [in [out]]         compress a trace (TCGZ)
-//! tcgen decompress <spec-file> [in [out]]       decompress a container
+//! tcgen compress <spec-file> [in [out]] [--threads N] [--block-records N]
+//! tcgen decompress <spec-file> [in [out]] [--threads N]
 //! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
 //! ```
@@ -16,7 +16,7 @@
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use tcgen_core::Tcgen;
+use tcgen_core::{EngineOptions, Tcgen};
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 
 fn main() -> ExitCode {
@@ -52,10 +52,14 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  tcgen generate <spec-file> [--lang c|rust]\n  \
      tcgen canon <spec-file>\n  \
-     tcgen compress <spec-file> [input [output]]\n  \
-     tcgen decompress <spec-file> [input [output]]\n  \
+     tcgen compress <spec-file> [input [output]] [--threads N] [--block-records N]\n  \
+     tcgen decompress <spec-file> [input [output]] [--threads N]\n  \
      tcgen trace <program> <store|miss|load> <records> [output]\n  \
-     tcgen prune <spec-file> <trace-file> [threshold]"
+     tcgen prune <spec-file> <trace-file> [threshold]\n\
+     \n\
+     --threads N        worker threads for block segments (0 = one per CPU,\n\
+     \x20                   1 = serial; output is identical for every N)\n\
+     --block-records N  records per compressed block (0 = whole trace)"
         .to_string()
 }
 
@@ -97,8 +101,32 @@ fn canon(args: &[String]) -> Result<(), String> {
 
 fn codec(args: &[String], compressing: bool) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
-    let tcgen = load_tcgen(spec_path)?;
-    let input = read_input(args.get(1))?;
+    let mut options = EngineOptions::tcgen();
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                options.threads = parse_count(args.get(i + 1), "--threads")?;
+                i += 2;
+            }
+            "--block-records" => {
+                options.block_records = parse_count(args.get(i + 1), "--block-records")?;
+                i += 2;
+            }
+            _ => {
+                files.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    if files.len() > 2 {
+        return Err(format!("unexpected argument '{}'", files[2]));
+    }
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let input = read_input(files.first().copied())?;
     let output = if compressing {
         let (packed, usage) = tcgen.compress_with_usage(&input).map_err(|e| e.to_string())?;
         eprint!("{usage}");
@@ -106,7 +134,12 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
     } else {
         tcgen.decompress(&input).map_err(|e| e.to_string())?
     };
-    write_output(args.get(2), &output)
+    write_output(files.get(1).copied(), &output)
+}
+
+fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let value = value.ok_or(format!("{flag} needs a value"))?;
+    value.parse().map_err(|e| format!("bad value '{value}' for {flag}: {e}"))
 }
 
 fn trace(args: &[String]) -> Result<(), String> {

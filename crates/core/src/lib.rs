@@ -28,8 +28,12 @@
 //! ```
 
 use tcgen_codegen::PlanOptions;
-use tcgen_engine::{Engine, EngineOptions, UsageReport};
+use tcgen_engine::{Engine, UsageReport};
 use tcgen_spec::TraceSpec;
+
+// Re-exported so callers of [`Tcgen::with_options`] can name the options
+// type without depending on the engine crate directly.
+pub use tcgen_engine::EngineOptions;
 
 /// The paper's Figure 5 specification (TCgen(A) / the VPC3 format).
 pub const TCGEN_A_SPEC: &str = tcgen_spec::presets::TCGEN_A;

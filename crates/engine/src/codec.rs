@@ -12,11 +12,30 @@
 //! The flag byte records the semantics-affecting options so that any
 //! engine configuration can decompress any container (speed-only options
 //! do not change the streams).
+//!
+//! ## Threading model
+//!
+//! Predictor modeling is inherently serial — every record's prediction
+//! depends on the table state left by all earlier records — but the
+//! post-compression of finished blocks is not. When
+//! [`EngineOptions::threads`] resolves to more than one, the codec runs
+//! the serial stage on the calling thread and fans the `2 * n_fields`
+//! blockzip segments of each finished block out to a scoped worker pool
+//! ([`crate::pool`]), assembling results strictly in submission order.
+//! The container is therefore byte-identical for every thread count.
+//! Decompression mirrors this: a structural pass collects every block's
+//! segment ranges (validating all lengths against the remaining input),
+//! workers inflate segments a bounded number of blocks ahead, and the
+//! calling thread replays the predictors over each block as its segments
+//! arrive.
+
+use std::collections::VecDeque;
 
 use tcgen_predictors::SpecBanks;
 use tcgen_spec::TraceSpec;
 
 use crate::options::EngineOptions;
+use crate::pool::Pipeline;
 use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
 use crate::usage::UsageReport;
 use crate::Error;
@@ -25,6 +44,13 @@ const MAGIC: &[u8; 4] = b"TCGZ";
 const VERSION: u8 = 1;
 const BLOCK_MARKER: u8 = 0x01;
 const END_MARKER: u8 = 0x00;
+
+/// How many blocks the parallel pipelines run ahead of the serial stage.
+/// Bounds peak memory at roughly this many blocks of streams per thread
+/// pool while keeping every worker busy.
+fn max_blocks_ahead(threads: usize) -> usize {
+    2 * threads
+}
 
 /// FNV-1a hash of the canonical specification text; stored in the
 /// container so mismatched decompressors fail fast.
@@ -36,8 +62,189 @@ pub fn spec_hash(spec: &TraceSpec) -> u32 {
     h
 }
 
+/// The serial modeling stage: feeds records through the predictor banks
+/// and appends predictor codes and miss values to the current block's
+/// streams. Shared by the in-memory codec, the streaming codec, and
+/// [`raw_streams`] so the three can never drift apart.
+pub(crate) struct Modeler {
+    banks: SpecBanks,
+    order: Vec<usize>,
+    offsets: Vec<usize>,
+    field_bytes: Vec<usize>,
+    widths: Vec<usize>,
+    miss_codes: Vec<u8>,
+    pc_offset: usize,
+    pc_width: usize,
+}
+
+impl Modeler {
+    pub(crate) fn new(spec: &TraceSpec, options: &EngineOptions) -> Self {
+        let banks = SpecBanks::new(spec, options.predictor);
+        let offsets = field_offsets(spec);
+        let pc_index = banks.pc_index();
+        Self {
+            order: banks.processing_order().to_vec(),
+            pc_offset: offsets[pc_index],
+            pc_width: spec.fields[pc_index].bytes() as usize,
+            offsets,
+            field_bytes: spec.fields.iter().map(|f| f.bytes() as usize).collect(),
+            widths: spec
+                .fields
+                .iter()
+                .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
+                .collect(),
+            miss_codes: spec.fields.iter().map(|f| f.prediction_count() as u8).collect(),
+            banks,
+        }
+    }
+
+    /// Models one record into `streams` (incrementing its record count).
+    pub(crate) fn model_record(
+        &mut self,
+        record: &[u8],
+        streams: &mut BlockStreams,
+        usage: &mut Option<&mut UsageReport>,
+    ) {
+        let pc = read_value(&record[self.pc_offset..], self.pc_width);
+        for &fi in &self.order {
+            let bank = self.banks.bank(fi);
+            let value = read_value(&record[self.offsets[fi]..], self.field_bytes[fi])
+                & bank.width_mask();
+            let code = bank.find_code(pc, value);
+            let fs = &mut streams.fields[fi];
+            fs.codes.push(code);
+            if code == self.miss_codes[fi] {
+                write_value(&mut fs.values, value, self.widths[fi]);
+            }
+            if let Some(u) = usage.as_deref_mut() {
+                u.record(fi, code);
+            }
+            self.banks.bank_mut(fi).update(pc, value);
+        }
+        streams.records += 1;
+    }
+}
+
+/// The serial replay stage: reconstructs records from decoded code and
+/// value streams, carrying predictor state across blocks. Shared by the
+/// in-memory and streaming decompressors.
+pub(crate) struct Replayer {
+    banks: SpecBanks,
+    order: Vec<usize>,
+    offsets: Vec<usize>,
+    field_bytes: Vec<usize>,
+    widths: Vec<usize>,
+    miss_codes: Vec<usize>,
+    pc_index: usize,
+    record: Vec<u8>,
+}
+
+impl Replayer {
+    /// `options` must already carry the container's semantic flags (see
+    /// [`EngineOptions::with_flags`]).
+    pub(crate) fn new(spec: &TraceSpec, options: &EngineOptions) -> Self {
+        let banks = SpecBanks::new(spec, options.predictor);
+        Self {
+            order: banks.processing_order().to_vec(),
+            pc_index: banks.pc_index(),
+            offsets: field_offsets(spec),
+            field_bytes: spec.fields.iter().map(|f| f.bytes() as usize).collect(),
+            widths: spec
+                .fields
+                .iter()
+                .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
+                .collect(),
+            miss_codes: spec.fields.iter().map(|f| f.prediction_count() as usize).collect(),
+            record: vec![0u8; spec.record_bytes() as usize],
+            banks,
+        }
+    }
+
+    /// The decoded byte width of each field's miss values — the bound on
+    /// a value segment's size for a block of known record count.
+    pub(crate) fn widths(&self) -> &[usize] {
+        &self.widths
+    }
+
+    /// Replays one block, appending reconstructed records to `out`.
+    ///
+    /// Verifies that every code stream holds exactly `n_records` codes,
+    /// that no value stream runs dry, and — trailing-garbage hardening —
+    /// that every value stream is consumed exactly to its end.
+    pub(crate) fn replay_block(
+        &mut self,
+        n_records: usize,
+        codes: &[Vec<u8>],
+        values: &[Vec<u8>],
+        out: &mut Vec<u8>,
+    ) -> Result<(), Error> {
+        for (fi, c) in codes.iter().enumerate() {
+            if c.len() != n_records {
+                return Err(Error::Corrupt(format!(
+                    "field {fi}: {} codes for {n_records} records",
+                    c.len()
+                )));
+            }
+        }
+        let n_fields = codes.len();
+        let mut value_pos = vec![0usize; n_fields];
+        // `rec` indexes every field's code stream, so iterating one
+        // stream directly does not apply here.
+        #[allow(clippy::needless_range_loop)]
+        for rec in 0..n_records {
+            let mut pc = 0u64;
+            for &fi in &self.order {
+                let bank = self.banks.bank(fi);
+                let code = codes[fi][rec] as usize;
+                // The PC field is decoded first; its bank has L1 = 1, so
+                // the not-yet-known PC does not matter for its index.
+                // Only the named slot is evaluated (lazy decompression).
+                let value = if code < self.miss_codes[fi] {
+                    bank.value_for_code(pc, code as u8)
+                        .expect("code below the miss code always resolves")
+                } else if code == self.miss_codes[fi] {
+                    let w = self.widths[fi];
+                    let vs = &values[fi];
+                    if value_pos[fi] + w > vs.len() {
+                        return Err(Error::Corrupt(format!(
+                            "field {fi}: value stream exhausted at record {rec}"
+                        )));
+                    }
+                    let v = read_value(&vs[value_pos[fi]..], w);
+                    value_pos[fi] += w;
+                    v & bank.width_mask()
+                } else {
+                    return Err(Error::Corrupt(format!(
+                        "field {fi}: predictor code {code} out of range at record {rec}"
+                    )));
+                };
+                if fi == self.pc_index {
+                    pc = value;
+                }
+                self.banks.bank_mut(fi).update(pc, value);
+                let (off, width) = (self.offsets[fi], self.field_bytes[fi]);
+                self.record[off..off + width].copy_from_slice(&value.to_le_bytes()[..width]);
+            }
+            out.extend_from_slice(&self.record);
+        }
+        for (fi, vs) in values.iter().enumerate() {
+            if value_pos[fi] != vs.len() {
+                return Err(Error::Corrupt(format!(
+                    "field {fi}: {} trailing bytes in the value stream",
+                    vs.len() - value_pos[fi]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Compresses `raw` (a trace matching `spec`) into a TCGZ container.
 /// When `usage` is given, predictor-usage counters are accumulated.
+///
+/// With [`EngineOptions::threads`] above one, block segments are
+/// post-compressed on a worker pool; the output bytes do not depend on
+/// the thread count.
 pub fn compress(
     spec: &TraceSpec,
     options: &EngineOptions,
@@ -46,10 +253,7 @@ pub fn compress(
 ) -> Result<Vec<u8>, Error> {
     let header_len = spec.header_bytes() as usize;
     let record_len = spec.record_bytes() as usize;
-    if raw.len() < header_len {
-        return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
-    }
-    if !(raw.len() - header_len).is_multiple_of(record_len) {
+    if raw.len() < header_len || !(raw.len() - header_len).is_multiple_of(record_len) {
         return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
     }
 
@@ -61,49 +265,58 @@ pub fn compress(
     out.extend_from_slice(&(header_len as u16).to_le_bytes());
     out.extend_from_slice(&raw[..header_len]);
 
-    let mut banks = SpecBanks::new(spec, options.predictor);
-    let offsets = field_offsets(spec);
-    let widths: Vec<usize> = spec
-        .fields
-        .iter()
-        .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
-        .collect();
-    let pc_index = banks.pc_index();
-    let pc_offset = offsets[pc_index];
-    let pc_width = spec.fields[pc_index].bytes() as usize;
-    let order: Vec<usize> = banks.processing_order().to_vec();
-
+    let block_records = options.effective_block_records();
+    let threads = options.effective_threads();
+    let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
-    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
+    let records = raw[header_len..].chunks_exact(record_len);
 
-    for record in raw[header_len..].chunks_exact(record_len) {
-        let pc = read_value(&record[pc_offset..], pc_width);
-        for &fi in &order {
-            let bank = banks.bank(fi);
-            let value = read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
-                & bank.width_mask();
-            let code = bank.find_code(pc, value);
-            let fs = &mut streams.fields[fi];
-            fs.codes.push(code);
-            if code == miss_codes[fi] {
-                write_value(&mut fs.values, value, widths[fi]);
+    if threads <= 1 {
+        let mut scratch = blockzip::Scratch::default();
+        for record in records {
+            modeler.model_record(record, &mut streams, &mut usage);
+            if streams.records == block_records {
+                flush_block(&mut out, &streams, options.level, &mut scratch);
+                streams.clear();
             }
-            if let Some(u) = usage.as_deref_mut() {
-                u.record(fi, code);
+        }
+        if !streams.is_empty() {
+            flush_block(&mut out, &streams, options.level, &mut scratch);
+        }
+        out.push(END_MARKER);
+        return Ok(out);
+    }
+
+    std::thread::scope(|scope| {
+        let level = options.level;
+        let pipe = Pipeline::start(scope, threads, || {
+            let mut scratch = blockzip::Scratch::default();
+            move |payload: Vec<u8>| {
+                blockzip::compress_with_scratch(&payload, level, &mut scratch)
             }
-            banks.bank_mut(fi).update(pc, value);
+        });
+        let segs_per_block = 2 * spec.fields.len();
+        // Record counts of submitted blocks not yet written out.
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        for record in records {
+            modeler.model_record(record, &mut streams, &mut usage);
+            if streams.records == block_records {
+                submit_block(&pipe, &mut streams, &mut pending);
+                if pending.len() > max_blocks_ahead(threads) {
+                    let n = pending.pop_front().expect("pending is non-empty");
+                    write_packed_block(&mut out, &pipe, n, segs_per_block)?;
+                }
+            }
         }
-        streams.records += 1;
-        if streams.records == options.block_records {
-            flush_block(&mut out, &streams, options);
-            streams.clear();
+        if !streams.is_empty() {
+            submit_block(&pipe, &mut streams, &mut pending);
         }
-    }
-    if !streams.is_empty() {
-        flush_block(&mut out, &streams, options);
-    }
-    out.push(END_MARKER);
-    Ok(out)
+        while let Some(n) = pending.pop_front() {
+            write_packed_block(&mut out, &pipe, n, segs_per_block)?;
+        }
+        out.push(END_MARKER);
+        Ok(out)
+    })
 }
 
 /// Runs the compression loop over the whole trace as a single block and
@@ -117,56 +330,86 @@ pub fn raw_streams(
     options: &EngineOptions,
     raw: &[u8],
 ) -> Result<Vec<Vec<u8>>, Error> {
-    let whole = EngineOptions { block_records: usize::MAX, ..*options };
     let header_len = spec.header_bytes() as usize;
     let record_len = spec.record_bytes() as usize;
     if raw.len() < header_len || !(raw.len() - header_len).is_multiple_of(record_len) {
         return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
     }
-    let mut banks = SpecBanks::new(spec, whole.predictor);
-    let offsets = field_offsets(spec);
-    let widths: Vec<usize> = spec
-        .fields
-        .iter()
-        .map(|f| if whole.minimize_types { f.bytes() as usize } else { 8 })
-        .collect();
-    let pc_index = banks.pc_index();
-    let pc_offset = offsets[pc_index];
-    let pc_width = spec.fields[pc_index].bytes() as usize;
-    let order: Vec<usize> = banks.processing_order().to_vec();
+    let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
-    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
     for record in raw[header_len..].chunks_exact(record_len) {
-        let pc = read_value(&record[pc_offset..], pc_width);
-        for &fi in &order {
-            let bank = banks.bank(fi);
-            let value = read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
-                & bank.width_mask();
-            let code = bank.find_code(pc, value);
-            let fs = &mut streams.fields[fi];
-            fs.codes.push(code);
-            if code == miss_codes[fi] {
-                write_value(&mut fs.values, value, widths[fi]);
-            }
-            banks.bank_mut(fi).update(pc, value);
-        }
+        modeler.model_record(record, &mut streams, &mut None);
     }
     Ok(streams.fields.into_iter().flat_map(|fs| [fs.codes, fs.values]).collect())
 }
 
-fn flush_block(out: &mut Vec<u8>, streams: &BlockStreams, options: &EngineOptions) {
+fn flush_block(
+    out: &mut Vec<u8>,
+    streams: &BlockStreams,
+    level: blockzip::Level,
+    scratch: &mut blockzip::Scratch,
+) {
     out.push(BLOCK_MARKER);
     out.extend_from_slice(&(streams.records as u32).to_le_bytes());
     for fs in &streams.fields {
         for payload in [&fs.codes, &fs.values] {
-            let packed = blockzip::compress_with(payload, options.level);
+            let packed = blockzip::compress_with_scratch(payload, level, scratch);
             out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
             out.extend_from_slice(&packed);
         }
     }
 }
 
+/// Hands one finished block's segments to the worker pool, in the exact
+/// order [`flush_block`] would write them, and resets `streams`.
+pub(crate) fn submit_block(
+    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    streams: &mut BlockStreams,
+    pending: &mut VecDeque<u32>,
+) {
+    pending.push_back(streams.records as u32);
+    for fs in &mut streams.fields {
+        pipe.submit(std::mem::take(&mut fs.codes));
+        pipe.submit(std::mem::take(&mut fs.values));
+    }
+    streams.clear();
+}
+
+/// Writes one block frame, consuming `segs_per_block` results from the
+/// pool in submission order.
+pub(crate) fn write_packed_block(
+    out: &mut Vec<u8>,
+    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    n_records: u32,
+    segs_per_block: usize,
+) -> Result<(), Error> {
+    out.push(BLOCK_MARKER);
+    out.extend_from_slice(&n_records.to_le_bytes());
+    for _ in 0..segs_per_block {
+        let packed = pipe
+            .next()
+            .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
+        out.extend_from_slice(&packed);
+    }
+    Ok(())
+}
+
+/// One block's structure as discovered by the validation pass: its record
+/// count and the byte range of each of its `2 * n_fields` segments.
+struct BlockLayout {
+    n_records: usize,
+    segments: Vec<(usize, usize)>,
+}
+
 /// Decompresses a TCGZ container back into the original trace bytes.
+///
+/// The container structure — every marker, record count, and segment
+/// length — is validated against the input size before any segment is
+/// inflated, and each segment decode is capped at the size its block's
+/// record count admits, so corrupt or adversarial containers fail with an
+/// error instead of triggering outsized allocations. Data after the end
+/// marker is rejected.
 pub fn decompress(
     spec: &TraceSpec,
     options: &EngineOptions,
@@ -192,98 +435,119 @@ pub fn decompress(
             "header length {header_len} does not match the specification"
         )));
     }
-    let header = cur.take(header_len)?.to_vec();
-
-    // Semantics-affecting options come from the container.
-    let effective = options.with_flags(flags);
-    let mut banks = SpecBanks::new(spec, effective.predictor);
-    let offsets = field_offsets(spec);
-    let field_bytes: Vec<usize> = spec.fields.iter().map(|f| f.bytes() as usize).collect();
-    let widths: Vec<usize> = spec
-        .fields
-        .iter()
-        .map(|f| if effective.minimize_types { f.bytes() as usize } else { 8 })
-        .collect();
-    let record_len = spec.record_bytes() as usize;
-    let pc_index = banks.pc_index();
-    let order: Vec<usize> = banks.processing_order().to_vec();
+    let header = cur.take(header_len)?;
     let n_fields = spec.fields.len();
 
-    let mut out = Vec::with_capacity(packed.len() * 4);
-    out.extend_from_slice(&header);
-    let miss_codes: Vec<usize> =
-        spec.fields.iter().map(|f| f.prediction_count() as usize).collect();
-    let mut record = vec![0u8; record_len];
-
+    // Structural pass: walk every block, checking markers and segment
+    // lengths against the remaining input, before inflating anything.
+    let mut blocks: Vec<BlockLayout> = Vec::new();
     loop {
         match cur.take(1)?[0] {
-            END_MARKER => return Ok(out),
+            END_MARKER => break,
             BLOCK_MARKER => {}
             other => return Err(Error::Corrupt(format!("unexpected block marker {other:#x}"))),
         }
         let n_records = cur.take_u32()? as usize;
-        let mut codes = Vec::with_capacity(n_fields);
-        let mut values = Vec::with_capacity(n_fields);
-        for _ in 0..n_fields {
-            let c = blockzip::decompress(cur.take_segment()?)?;
-            let v = blockzip::decompress(cur.take_segment()?)?;
-            codes.push(c);
-            values.push(v);
+        let mut segments = Vec::with_capacity(2 * n_fields);
+        for _ in 0..2 * n_fields {
+            let len = cur.take_u32()? as usize;
+            let start = cur.pos;
+            cur.take(len)?;
+            segments.push((start, len));
         }
-        for (fi, c) in codes.iter().enumerate() {
-            if c.len() != n_records {
-                return Err(Error::Corrupt(format!(
-                    "field {fi}: {} codes for {n_records} records",
-                    c.len()
-                )));
-            }
-        }
-
-        let mut value_pos = vec![0usize; n_fields];
-        // `rec` indexes every field's code stream, so iterating one
-        // stream directly does not apply here.
-        #[allow(clippy::needless_range_loop)]
-        for rec in 0..n_records {
-            let mut pc = 0u64;
-            for &fi in &order {
-                let bank = banks.bank(fi);
-                let code = codes[fi][rec] as usize;
-                // The PC field is decoded first; its bank has L1 = 1, so
-                // the not-yet-known PC does not matter for its index.
-                // Only the named slot is evaluated (lazy decompression).
-                let value = if code < miss_codes[fi] {
-                    bank.value_for_code(pc, code as u8)
-                        .expect("code below the miss code always resolves")
-                } else if code == miss_codes[fi] {
-                    let w = widths[fi];
-                    let vs = &values[fi];
-                    if value_pos[fi] + w > vs.len() {
-                        return Err(Error::Corrupt(format!(
-                            "field {fi}: value stream exhausted at record {rec}"
-                        )));
-                    }
-                    let v = read_value(&vs[value_pos[fi]..], w);
-                    value_pos[fi] += w;
-                    v & bank.width_mask()
-                } else {
-                    return Err(Error::Corrupt(format!(
-                        "field {fi}: predictor code {code} out of range at record {rec}"
-                    )));
-                };
-                if fi == pc_index {
-                    pc = value;
-                }
-                banks.bank_mut(fi).update(pc, value);
-                write_record_value(&mut record, offsets[fi], field_bytes[fi], value);
-            }
-            out.extend_from_slice(&record);
-        }
+        blocks.push(BlockLayout { n_records, segments });
     }
+    if cur.pos != packed.len() {
+        return Err(Error::Corrupt(format!(
+            "{} trailing bytes after the end marker",
+            packed.len() - cur.pos
+        )));
+    }
+
+    // Semantics-affecting options come from the container.
+    let effective = options.with_flags(flags);
+    let mut replayer = Replayer::new(spec, &effective);
+    let mut out = Vec::with_capacity(packed.len() * 4);
+    out.extend_from_slice(header);
+
+    let threads = options.effective_threads();
+    if threads <= 1 {
+        let mut scratch = blockzip::Scratch::default();
+        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        for block in &blocks {
+            codes.clear();
+            values.clear();
+            for fi in 0..n_fields {
+                let (limit_c, limit_v) = segment_limits(block.n_records, replayer.widths()[fi]);
+                let (start, len) = block.segments[2 * fi];
+                codes.push(blockzip::decompress_with_scratch(
+                    &packed[start..start + len],
+                    limit_c,
+                    &mut scratch,
+                )?);
+                let (start, len) = block.segments[2 * fi + 1];
+                values.push(blockzip::decompress_with_scratch(
+                    &packed[start..start + len],
+                    limit_v,
+                    &mut scratch,
+                )?);
+            }
+            replayer.replay_block(block.n_records, &codes, &values, &mut out)?;
+        }
+        return Ok(out);
+    }
+
+    std::thread::scope(|scope| {
+        let pipe = Pipeline::start(scope, threads, || {
+            let mut scratch = blockzip::Scratch::default();
+            move |(seg, limit): (&[u8], usize)| {
+                blockzip::decompress_with_scratch(seg, limit, &mut scratch)
+            }
+        });
+        let mut submitted = 0usize;
+        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        for bi in 0..blocks.len() {
+            // Keep the workers a bounded number of blocks ahead of replay.
+            let target = blocks.len().min(bi + max_blocks_ahead(threads));
+            while submitted < target {
+                let block = &blocks[submitted];
+                for fi in 0..n_fields {
+                    let (limit_c, limit_v) =
+                        segment_limits(block.n_records, replayer.widths()[fi]);
+                    let (start, len) = block.segments[2 * fi];
+                    pipe.submit((&packed[start..start + len], limit_c));
+                    let (start, len) = block.segments[2 * fi + 1];
+                    pipe.submit((&packed[start..start + len], limit_v));
+                }
+                submitted += 1;
+            }
+            codes.clear();
+            values.clear();
+            for _ in 0..n_fields {
+                codes.push(next_segment(&pipe)?);
+                values.push(next_segment(&pipe)?);
+            }
+            replayer.replay_block(blocks[bi].n_records, &codes, &values, &mut out)?;
+        }
+        Ok(out)
+    })
 }
 
-#[inline]
-fn write_record_value(record: &mut [u8], offset: usize, width: usize, value: u64) {
-    record[offset..offset + width].copy_from_slice(&value.to_le_bytes()[..width]);
+/// The maximum decoded sizes a block of `n_records` records admits: codes
+/// are one byte per record, values at most `width` bytes per record.
+fn segment_limits(n_records: usize, width: usize) -> (usize, usize) {
+    (n_records, n_records.saturating_mul(width))
+}
+
+type SegmentJob<'a> = (&'a [u8], usize);
+type SegmentResult = Result<Vec<u8>, blockzip::Error>;
+
+fn next_segment(pipe: &Pipeline<SegmentJob<'_>, SegmentResult>) -> Result<Vec<u8>, Error> {
+    pipe.next()
+        .map_err(|_| Error::Corrupt("internal: decompression worker panicked".into()))?
+        .map_err(Error::Post)
 }
 
 struct Cursor<'a> {
@@ -293,7 +557,7 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
-        if self.pos + n > self.data.len() {
+        if n > self.data.len() - self.pos {
             return Err(Error::Truncated);
         }
         let s = &self.data[self.pos..self.pos + n];
@@ -309,10 +573,5 @@ impl<'a> Cursor<'a> {
     fn take_u32(&mut self) -> Result<u32, Error> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn take_segment(&mut self) -> Result<&'a [u8], Error> {
-        let len = self.take_u32()? as usize;
-        self.take(len)
     }
 }

@@ -29,6 +29,7 @@
 
 pub mod codec;
 pub mod options;
+pub(crate) mod pool;
 pub mod stream_io;
 pub mod streams;
 pub mod usage;

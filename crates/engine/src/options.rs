@@ -12,8 +12,14 @@ pub struct EngineOptions {
     /// sufficient type (TCgen's type minimization). When disabled, every
     /// miss value is written as 8 bytes regardless of field width.
     pub minimize_types: bool,
-    /// Records per block; streams are post-compressed per block.
+    /// Records per block; streams are post-compressed per block. `0`
+    /// means the whole trace forms a single block.
     pub block_records: usize,
+    /// Worker threads for post-compressing and decoding block segments.
+    /// `0` means one thread per available CPU, `1` selects the serial
+    /// path. The compressed container is byte-identical for every thread
+    /// count, so this is a speed-only option and not part of the flags.
+    pub threads: usize,
     /// Post-compressor block-size level.
     pub level: blockzip::Level,
 }
@@ -26,6 +32,7 @@ impl EngineOptions {
             predictor: PredictorOptions::default(),
             minimize_types: true,
             block_records: 1 << 20,
+            threads: 0,
             level: blockzip::Level::BEST,
         }
     }
@@ -92,6 +99,25 @@ impl EngineOptions {
         }
     }
 
+    /// The block size with `0` normalized to "whole trace".
+    pub fn effective_block_records(&self) -> usize {
+        if self.block_records == 0 {
+            usize::MAX
+        } else {
+            self.block_records
+        }
+    }
+
+    /// The worker count with `0` normalized to the available parallelism
+    /// (falling back to 1 when it cannot be determined).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
     /// Encodes the semantics-affecting options into a container flag
     /// byte. Speed-only options (fast hash, sharing) are excluded: any
     /// decompressor configuration reproduces the same trace.
@@ -155,5 +181,22 @@ mod tests {
     #[test]
     fn vpc3_differs_from_tcgen() {
         assert_ne!(EngineOptions::vpc3().flags(), EngineOptions::tcgen().flags());
+    }
+
+    #[test]
+    fn zero_values_normalize() {
+        let opts = EngineOptions { block_records: 0, threads: 0, ..EngineOptions::tcgen() };
+        assert_eq!(opts.effective_block_records(), usize::MAX);
+        assert!(opts.effective_threads() >= 1);
+        let opts = EngineOptions { block_records: 7, threads: 3, ..EngineOptions::tcgen() };
+        assert_eq!(opts.effective_block_records(), 7);
+        assert_eq!(opts.effective_threads(), 3);
+    }
+
+    #[test]
+    fn threads_and_block_size_stay_out_of_flags() {
+        let base = EngineOptions::tcgen();
+        let tuned = EngineOptions { threads: 8, block_records: 123, ..base };
+        assert_eq!(tuned.flags(), base.flags());
     }
 }

@@ -1,0 +1,273 @@
+//! A scoped worker pool that hands results back in submission order.
+//!
+//! The codec's block pipeline needs exactly one primitive: run many
+//! independent jobs (segment compressions or decompressions) on worker
+//! threads while the submitting thread keeps doing serial work (predictor
+//! modeling or replay), and consume the results in the order the jobs were
+//! submitted so the container bytes come out deterministically.
+//!
+//! Workers are spawned inside a caller-provided [`std::thread::scope`], so
+//! jobs may borrow from the caller's stack (decompression jobs borrow the
+//! packed input). A panicking job poisons the pipeline instead of
+//! deadlocking it: remaining workers stop, and the consumer receives
+//! [`WorkerPanicked`] from then on.
+//!
+//! Backpressure is the caller's job — the codec bounds how many blocks it
+//! submits ahead of consumption — which keeps this type free of blocking
+//! submissions and the deadlocks they invite.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::Scope;
+
+/// Error returned by [`Pipeline::next`] after a job panicked on a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WorkerPanicked;
+
+/// An ordered fan-out/fan-in queue over scoped worker threads.
+pub(crate) struct Pipeline<I, O> {
+    shared: Arc<Shared<I, O>>,
+}
+
+struct Shared<I, O> {
+    state: Mutex<State<I, O>>,
+    /// Signalled when work is queued, the queue closes, or it poisons.
+    work_ready: Condvar,
+    /// Signalled when a result lands in `done` or the pipeline poisons.
+    done_ready: Condvar,
+}
+
+struct State<I, O> {
+    queue: VecDeque<(u64, I)>,
+    done: BTreeMap<u64, O>,
+    next_in: u64,
+    next_out: u64,
+    closed: bool,
+    poisoned: bool,
+}
+
+impl<I: Send, O: Send> Pipeline<I, O> {
+    /// Spawns `threads` workers on `scope`. `make_worker` runs once per
+    /// worker on the spawning thread and returns that worker's job
+    /// function, which lets each thread own private mutable state (e.g. a
+    /// [`blockzip::Scratch`] reused across jobs).
+    pub fn start<'scope, F, W>(
+        scope: &'scope Scope<'scope, '_>,
+        threads: usize,
+        make_worker: F,
+    ) -> Self
+    where
+        I: 'scope,
+        O: 'scope,
+        F: Fn() -> W,
+        W: FnMut(I) -> O + Send + 'scope,
+    {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                done: BTreeMap::new(),
+                next_in: 0,
+                next_out: 0,
+                closed: false,
+                poisoned: false,
+            }),
+            work_ready: Condvar::new(),
+            done_ready: Condvar::new(),
+        });
+        for _ in 0..threads.max(1) {
+            let shared = Arc::clone(&shared);
+            let worker = make_worker();
+            scope.spawn(move || worker_loop(&shared, worker));
+        }
+        Self { shared }
+    }
+
+    /// Enqueues a job. Never blocks; the caller is responsible for
+    /// bounding how far submission runs ahead of consumption.
+    pub fn submit(&self, input: I) {
+        let mut st = self.shared.state.lock().unwrap();
+        let seq = st.next_in;
+        st.next_in += 1;
+        st.queue.push_back((seq, input));
+        drop(st);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Blocks until the result of the oldest unconsumed submission is
+    /// ready and returns it. Calling this more times than [`submit`] was
+    /// called deadlocks — the codec always consumes exactly one result
+    /// per submission.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerPanicked`] if any job panicked.
+    pub fn next(&self) -> Result<O, WorkerPanicked> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.poisoned {
+                return Err(WorkerPanicked);
+            }
+            let seq = st.next_out;
+            if let Some(out) = st.done.remove(&seq) {
+                st.next_out += 1;
+                return Ok(out);
+            }
+            st = self.shared.done_ready.wait(st).unwrap();
+        }
+    }
+}
+
+impl<I, O> Drop for Pipeline<I, O> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.closed = true;
+        // Abandon work nobody will consume (early-error paths) so the
+        // scope's implicit join does not wait on pointless jobs.
+        st.queue.clear();
+        drop(st);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+fn worker_loop<I, O, W: FnMut(I) -> O>(shared: &Shared<I, O>, mut worker: W) {
+    loop {
+        let (seq, input) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.poisoned {
+                    return;
+                }
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if st.closed {
+                    return;
+                }
+                st = shared.work_ready.wait(st).unwrap();
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| worker(input)));
+        let mut st = shared.state.lock().unwrap();
+        match result {
+            Ok(out) => {
+                st.done.insert(seq, out);
+            }
+            Err(_) => {
+                st.poisoned = true;
+                shared.work_ready.notify_all();
+            }
+        }
+        drop(st);
+        shared.done_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start(s, 4, || {
+                |n: u64| {
+                    // Stagger so later submissions often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros(500 - n % 500));
+                    n * 10
+                }
+            });
+            for n in 0..200u64 {
+                pipe.submit(n);
+            }
+            for n in 0..200u64 {
+                assert_eq!(pipe.next().unwrap(), n * 10);
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_submit_and_consume() {
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start(s, 2, || |n: usize| n + 1);
+            let mut expect = 0;
+            for round in 0..50usize {
+                pipe.submit(round * 2);
+                pipe.submit(round * 2 + 1);
+                if round % 3 == 0 {
+                    while expect <= round * 2 {
+                        assert_eq!(pipe.next().unwrap(), expect + 1);
+                        expect += 1;
+                    }
+                }
+            }
+            while expect < 100 {
+                assert_eq!(pipe.next().unwrap(), expect + 1);
+                expect += 1;
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_is_reported_not_deadlocked() {
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start(s, 2, || {
+                |n: u32| {
+                    assert!(n != 5, "boom");
+                    n
+                }
+            });
+            for n in 0..16u32 {
+                pipe.submit(n);
+            }
+            // Results before the panic may or may not arrive; eventually
+            // the poisoned state must surface instead of hanging.
+            let mut saw_error = false;
+            for _ in 0..16 {
+                if pipe.next().is_err() {
+                    saw_error = true;
+                    break;
+                }
+            }
+            assert!(saw_error);
+        });
+    }
+
+    #[test]
+    fn workers_run_jobs_concurrently() {
+        // Sleep-bound jobs overlap even on a single CPU: 8 × 100 ms on 4
+        // workers must take far less than the 800 ms serial time.
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start(s, 4, || {
+                |n: u32| {
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                    n
+                }
+            });
+            for n in 0..8u32 {
+                pipe.submit(n);
+            }
+            for n in 0..8u32 {
+                assert_eq!(pipe.next().unwrap(), n);
+            }
+        });
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(600),
+            "8 × 100 ms jobs on 4 workers took {:?} — not overlapping",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn dropping_with_unconsumed_work_does_not_hang() {
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start(s, 2, || |n: u32| n);
+            for n in 0..1000u32 {
+                pipe.submit(n);
+            }
+            assert_eq!(pipe.next().unwrap(), 0);
+            // Dropping here abandons the rest; the scope must still join.
+        });
+    }
+}

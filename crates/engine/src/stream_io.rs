@@ -2,15 +2,21 @@
 //! writers: trace data is processed one block at a time, so multi-
 //! gigabyte traces never need to fit in memory — the way the paper's
 //! generated tools stream from standard input to standard output.
+//!
+//! The streaming paths share the serial modeling/replay stages
+//! ([`crate::codec::Modeler`], [`crate::codec::Replayer`]) and the worker
+//! pool with the in-memory codec, so streamed output is byte-identical to
+//! [`crate::Engine::compress`] for the same options at any thread count.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 
-use tcgen_predictors::SpecBanks;
 use tcgen_spec::TraceSpec;
 
-use crate::codec::spec_hash;
+use crate::codec::{spec_hash, Modeler, Replayer};
 use crate::options::EngineOptions;
-use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
+use crate::pool::Pipeline;
+use crate::streams::BlockStreams;
 use crate::Error;
 
 /// An I/O failure or a codec failure during streaming.
@@ -64,8 +70,15 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize
     Ok(filled)
 }
 
-/// Compresses a trace from `input` to `output`, holding at most one
-/// block of records in memory.
+/// How many blocks the streaming pipelines run ahead of the serial stage;
+/// mirrors the in-memory codec's bound.
+fn max_blocks_ahead(threads: usize) -> usize {
+    2 * threads
+}
+
+/// Compresses a trace from `input` to `output`, holding at most a
+/// bounded number of blocks in memory. Block records are clamped to
+/// `1..=2^24` so a whole-trace setting still streams.
 ///
 /// # Errors
 ///
@@ -93,71 +106,90 @@ pub fn compress_stream(
     output.write_all(&(header_len as u16).to_le_bytes())?;
     output.write_all(&header)?;
 
-    let mut banks = SpecBanks::new(spec, options.predictor);
-    let offsets = field_offsets(spec);
-    let widths: Vec<usize> = spec
-        .fields
-        .iter()
-        .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
-        .collect();
-    let miss_codes: Vec<u8> = spec.fields.iter().map(|f| f.prediction_count() as u8).collect();
-    let pc_index = banks.pc_index();
-    let pc_offset = offsets[pc_index];
-    let pc_width = spec.fields[pc_index].bytes() as usize;
-    let order: Vec<usize> = banks.processing_order().to_vec();
-
-    let block_records = options.block_records.clamp(1, 1 << 24);
+    let mut modeler = Modeler::new(spec, options);
+    let block_records = options.effective_block_records().clamp(1, 1 << 24);
+    let threads = options.effective_threads();
     let mut chunk = vec![0u8; record_len * block_records.min(65_536)];
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    loop {
-        let got = read_exact_or_eof(input, &mut chunk)?;
-        if got % record_len != 0 {
-            return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
-        }
-        for record in chunk[..got].chunks_exact(record_len) {
-            let pc = read_value(&record[pc_offset..], pc_width);
-            for &fi in &order {
-                let bank = banks.bank(fi);
-                let value =
-                    read_value(&record[offsets[fi]..], spec.fields[fi].bytes() as usize)
-                        & bank.width_mask();
-                let code = bank.find_code(pc, value);
-                let fs = &mut streams.fields[fi];
-                fs.codes.push(code);
-                if code == miss_codes[fi] {
-                    write_value(&mut fs.values, value, widths[fi]);
+    if threads <= 1 {
+        let mut scratch = blockzip::Scratch::default();
+        loop {
+            let got = read_exact_or_eof(input, &mut chunk)?;
+            if got % record_len != 0 {
+                return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+            }
+            for record in chunk[..got].chunks_exact(record_len) {
+                modeler.model_record(record, &mut streams, &mut None);
+                if streams.records == block_records {
+                    write_block(output, &streams, options.level, &mut scratch)?;
+                    streams.clear();
                 }
-                banks.bank_mut(fi).update(pc, value);
             }
-            streams.records += 1;
-            if streams.records == block_records {
-                write_block(output, &streams, options)?;
-                streams.clear();
+            if got < chunk.len() {
+                break;
             }
         }
-        if got < chunk.len() {
-            break;
+        if !streams.is_empty() {
+            write_block(output, &streams, options.level, &mut scratch)?;
         }
+        output.write_all(&[0u8])?;
+        output.flush()?;
+        return Ok(());
     }
-    if !streams.is_empty() {
-        write_block(output, &streams, options)?;
-    }
-    output.write_all(&[0u8])?;
-    output.flush()?;
-    Ok(())
+
+    std::thread::scope(|scope| {
+        let level = options.level;
+        let pipe = Pipeline::start(scope, threads, || {
+            let mut scratch = blockzip::Scratch::default();
+            move |payload: Vec<u8>| {
+                blockzip::compress_with_scratch(&payload, level, &mut scratch)
+            }
+        });
+        let segs_per_block = 2 * spec.fields.len();
+        let mut pending: VecDeque<u32> = VecDeque::new();
+        loop {
+            let got = read_exact_or_eof(input, &mut chunk)?;
+            if got % record_len != 0 {
+                return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+            }
+            for record in chunk[..got].chunks_exact(record_len) {
+                modeler.model_record(record, &mut streams, &mut None);
+                if streams.records == block_records {
+                    crate::codec::submit_block(&pipe, &mut streams, &mut pending);
+                    if pending.len() > max_blocks_ahead(threads) {
+                        let n = pending.pop_front().expect("pending is non-empty");
+                        write_packed_block(output, &pipe, n, segs_per_block)?;
+                    }
+                }
+            }
+            if got < chunk.len() {
+                break;
+            }
+        }
+        if !streams.is_empty() {
+            crate::codec::submit_block(&pipe, &mut streams, &mut pending);
+        }
+        while let Some(n) = pending.pop_front() {
+            write_packed_block(output, &pipe, n, segs_per_block)?;
+        }
+        output.write_all(&[0u8])?;
+        output.flush()?;
+        Ok(())
+    })
 }
 
 fn write_block(
     output: &mut impl Write,
     streams: &BlockStreams,
-    options: &EngineOptions,
+    level: blockzip::Level,
+    scratch: &mut blockzip::Scratch,
 ) -> Result<(), StreamError> {
     output.write_all(&[1u8])?;
     output.write_all(&(streams.records as u32).to_le_bytes())?;
     for fs in &streams.fields {
         for payload in [&fs.codes, &fs.values] {
-            let packed = blockzip::compress_with(payload, options.level);
+            let packed = blockzip::compress_with_scratch(payload, level, scratch);
             output.write_all(&(packed.len() as u32).to_le_bytes())?;
             output.write_all(&packed)?;
         }
@@ -165,8 +197,30 @@ fn write_block(
     Ok(())
 }
 
-/// Decompresses a container from `input` to `output`, holding at most
-/// one block in memory.
+fn write_packed_block(
+    output: &mut impl Write,
+    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    n_records: u32,
+    segs_per_block: usize,
+) -> Result<(), StreamError> {
+    output.write_all(&[1u8])?;
+    output.write_all(&n_records.to_le_bytes())?;
+    for _ in 0..segs_per_block {
+        let packed = pipe
+            .next()
+            .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        output.write_all(&(packed.len() as u32).to_le_bytes())?;
+        output.write_all(&packed)?;
+    }
+    Ok(())
+}
+
+/// Decompresses a container from `input` to `output`, holding at most a
+/// bounded number of blocks in memory.
+///
+/// Applies the same hardening as the in-memory decompressor: segment
+/// decodes are capped by the block's record count, value streams must be
+/// consumed exactly, and data after the end marker is rejected.
 ///
 /// # Errors
 ///
@@ -200,93 +254,124 @@ pub fn decompress_stream(
     output.write_all(&header)?;
 
     let effective = options.with_flags(flags);
-    let mut banks = SpecBanks::new(spec, effective.predictor);
-    let offsets = field_offsets(spec);
-    let field_bytes: Vec<usize> = spec.fields.iter().map(|f| f.bytes() as usize).collect();
-    let widths: Vec<usize> = spec
-        .fields
-        .iter()
-        .map(|f| if effective.minimize_types { f.bytes() as usize } else { 8 })
-        .collect();
-    let miss_codes: Vec<usize> =
-        spec.fields.iter().map(|f| f.prediction_count() as usize).collect();
-    let record_len = spec.record_bytes() as usize;
-    let pc_index = banks.pc_index();
-    let order: Vec<usize> = banks.processing_order().to_vec();
+    let mut replayer = Replayer::new(spec, &effective);
     let n_fields = spec.fields.len();
+    let threads = options.effective_threads();
+    let mut out_buf: Vec<u8> = Vec::new();
 
-    let mut record = vec![0u8; record_len];
-    let mut out_buf: Vec<u8> = Vec::with_capacity(record_len * 4096);
-    loop {
-        let mut marker = [0u8; 1];
-        read_all(input, &mut marker)?;
-        if marker[0] == 0 {
-            output.flush()?;
-            return Ok(());
-        }
-        if marker[0] != 1 {
-            return Err(Error::Corrupt(format!("bad marker {:#x}", marker[0])).into());
-        }
-        let mut len4 = [0u8; 4];
-        read_all(input, &mut len4)?;
-        let n_records = u32::from_le_bytes(len4) as usize;
-        let mut codes = Vec::with_capacity(n_fields);
-        let mut values = Vec::with_capacity(n_fields);
-        for _ in 0..n_fields {
-            codes.push(read_segment(input)?);
-            values.push(read_segment(input)?);
-        }
-        for (fi, c) in codes.iter().enumerate() {
-            if c.len() != n_records {
-                return Err(Error::Corrupt(format!(
-                    "field {fi}: {} codes for {n_records} records",
-                    c.len()
-                ))
-                .into());
+    if threads <= 1 {
+        let mut scratch = blockzip::Scratch::default();
+        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        loop {
+            let Some(n_records) = read_block_header(input)? else {
+                expect_eof(input)?;
+                output.flush()?;
+                return Ok(());
+            };
+            codes.clear();
+            values.clear();
+            for fi in 0..n_fields {
+                let width = replayer.widths()[fi];
+                let seg = read_segment(input)?;
+                codes.push(
+                    blockzip::decompress_with_scratch(&seg, n_records, &mut scratch)
+                        .map_err(Error::Post)?,
+                );
+                let seg = read_segment(input)?;
+                values.push(
+                    blockzip::decompress_with_scratch(
+                        &seg,
+                        n_records.saturating_mul(width),
+                        &mut scratch,
+                    )
+                    .map_err(Error::Post)?,
+                );
             }
+            out_buf.clear();
+            replayer.replay_block(n_records, &codes, &values, &mut out_buf)?;
+            output.write_all(&out_buf)?;
         }
-        let mut value_pos = vec![0usize; n_fields];
-        out_buf.clear();
-        // `rec` indexes every field's code stream, so iterating one
-        // stream directly does not apply here.
-        #[allow(clippy::needless_range_loop)]
-        for rec in 0..n_records {
-            let mut pc = 0u64;
-            for &fi in &order {
-                let bank = banks.bank(fi);
-                let code = codes[fi][rec] as usize;
-                let value = if code < miss_codes[fi] {
-                    bank.value_for_code(pc, code as u8).expect("valid code resolves")
-                } else if code == miss_codes[fi] {
-                    let w = widths[fi];
-                    let vs = &values[fi];
-                    if value_pos[fi] + w > vs.len() {
-                        return Err(Error::Corrupt(format!(
-                            "field {fi}: value stream exhausted"
-                        ))
-                        .into());
-                    }
-                    let v = read_value(&vs[value_pos[fi]..], w);
-                    value_pos[fi] += w;
-                    v & bank.width_mask()
-                } else {
-                    return Err(Error::Corrupt(format!("field {fi}: bad code {code}")).into());
-                };
-                if fi == pc_index {
-                    pc = value;
-                }
-                banks.bank_mut(fi).update(pc, value);
-                record[offsets[fi]..offsets[fi] + field_bytes[fi]]
-                    .copy_from_slice(&value.to_le_bytes()[..field_bytes[fi]]);
-            }
-            out_buf.extend_from_slice(&record);
-            if out_buf.len() >= record_len * 4096 {
-                output.write_all(&out_buf)?;
-                out_buf.clear();
-            }
-        }
-        output.write_all(&out_buf)?;
     }
+
+    std::thread::scope(|scope| {
+        let pipe = Pipeline::start(scope, threads, || {
+            let mut scratch = blockzip::Scratch::default();
+            move |(seg, limit): (Vec<u8>, usize)| {
+                blockzip::decompress_with_scratch(&seg, limit, &mut scratch)
+            }
+        });
+        let mut block_queue: VecDeque<usize> = VecDeque::new();
+        let mut end_seen = false;
+        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+        loop {
+            // Read ahead a bounded number of blocks, handing their raw
+            // segments to the workers.
+            while !end_seen && block_queue.len() < max_blocks_ahead(threads) {
+                let Some(n_records) = read_block_header(input)? else {
+                    expect_eof(input)?;
+                    end_seen = true;
+                    break;
+                };
+                for fi in 0..n_fields {
+                    let width = replayer.widths()[fi];
+                    pipe.submit((read_segment(input)?, n_records));
+                    pipe.submit((read_segment(input)?, n_records.saturating_mul(width)));
+                }
+                block_queue.push_back(n_records);
+            }
+            let Some(n_records) = block_queue.pop_front() else {
+                output.flush()?;
+                return Ok(());
+            };
+            codes.clear();
+            values.clear();
+            for _ in 0..n_fields {
+                codes.push(next_segment(&pipe)?);
+                values.push(next_segment(&pipe)?);
+            }
+            out_buf.clear();
+            replayer.replay_block(n_records, &codes, &values, &mut out_buf)?;
+            output.write_all(&out_buf)?;
+        }
+    })
+}
+
+/// Reads a block marker; returns the record count, or `None` at the end
+/// marker.
+fn read_block_header(input: &mut impl Read) -> Result<Option<usize>, StreamError> {
+    let mut marker = [0u8; 1];
+    read_all(input, &mut marker)?;
+    match marker[0] {
+        0 => Ok(None),
+        1 => {
+            let mut len4 = [0u8; 4];
+            read_all(input, &mut len4)?;
+            Ok(Some(u32::from_le_bytes(len4) as usize))
+        }
+        other => Err(Error::Corrupt(format!("bad marker {other:#x}")).into()),
+    }
+}
+
+/// Rejects any bytes after the end marker.
+fn expect_eof(input: &mut impl Read) -> Result<(), StreamError> {
+    let mut probe = [0u8; 1];
+    if read_exact_or_eof(input, &mut probe)? != 0 {
+        return Err(Error::Corrupt("trailing bytes after the end marker".into()).into());
+    }
+    Ok(())
+}
+
+/// A (compressed segment, decode limit) job and its decoded result.
+type SegmentPipe = Pipeline<(Vec<u8>, usize), Result<Vec<u8>, blockzip::Error>>;
+
+fn next_segment(pipe: &SegmentPipe) -> Result<Vec<u8>, StreamError> {
+    Ok(pipe
+        .next()
+        .map_err(|_| Error::Corrupt("internal: decompression worker panicked".into()))
+        .map_err(StreamError::from)?
+        .map_err(Error::Post)?)
 }
 
 fn read_all(r: &mut impl Read, buf: &mut [u8]) -> Result<(), StreamError> {
@@ -297,13 +382,14 @@ fn read_all(r: &mut impl Read, buf: &mut [u8]) -> Result<(), StreamError> {
     Ok(())
 }
 
+/// Reads one length-prefixed compressed segment without decoding it.
 fn read_segment(r: &mut impl Read) -> Result<Vec<u8>, StreamError> {
     let mut len4 = [0u8; 4];
     read_all(r, &mut len4)?;
     let len = u32::from_le_bytes(len4) as usize;
     let mut packed = vec![0u8; len];
     read_all(r, &mut packed)?;
-    Ok(blockzip::decompress(&packed).map_err(Error::Post)?)
+    Ok(packed)
 }
 
 #[cfg(test)]
@@ -324,24 +410,30 @@ mod tests {
     #[test]
     fn streaming_matches_in_memory_byte_for_byte() {
         let spec = parse(presets::TCGEN_A).unwrap();
-        let options = EngineOptions { block_records: 500, ..EngineOptions::tcgen() };
         let raw = demo_trace(3_333);
-        let in_memory = Engine::new(spec.clone(), options).compress(&raw).unwrap();
-        let mut streamed = Vec::new();
-        compress_stream(&spec, &options, &mut raw.as_slice(), &mut streamed).unwrap();
-        assert_eq!(streamed, in_memory);
+        for threads in [1usize, 4] {
+            let options =
+                EngineOptions { block_records: 500, threads, ..EngineOptions::tcgen() };
+            let in_memory = Engine::new(spec.clone(), options).compress(&raw).unwrap();
+            let mut streamed = Vec::new();
+            compress_stream(&spec, &options, &mut raw.as_slice(), &mut streamed).unwrap();
+            assert_eq!(streamed, in_memory, "threads {threads}");
+        }
     }
 
     #[test]
     fn streaming_roundtrip() {
         let spec = parse(presets::TCGEN_A).unwrap();
-        let options = EngineOptions { block_records: 100, ..EngineOptions::tcgen() };
-        let raw = demo_trace(1_501);
-        let mut packed = Vec::new();
-        compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
-        let mut restored = Vec::new();
-        decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored).unwrap();
-        assert_eq!(restored, raw);
+        for threads in [1usize, 3] {
+            let options =
+                EngineOptions { block_records: 100, threads, ..EngineOptions::tcgen() };
+            let raw = demo_trace(1_501);
+            let mut packed = Vec::new();
+            compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+            let mut restored = Vec::new();
+            decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored).unwrap();
+            assert_eq!(restored, raw, "threads {threads}");
+        }
     }
 
     #[test]
@@ -383,6 +475,25 @@ mod tests {
         let cut = &packed[..packed.len() - 2];
         let mut restored = Vec::new();
         assert!(decompress_stream(&spec, &options, &mut &cut[..], &mut restored).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_after_end_marker_rejected() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let raw = demo_trace(50);
+        for threads in [1usize, 2] {
+            let options = EngineOptions { threads, ..EngineOptions::tcgen() };
+            let mut packed = Vec::new();
+            compress_stream(&spec, &options, &mut raw.as_slice(), &mut packed).unwrap();
+            packed.push(0xEE);
+            let mut restored = Vec::new();
+            let err = decompress_stream(&spec, &options, &mut packed.as_slice(), &mut restored)
+                .unwrap_err();
+            assert!(
+                matches!(err, StreamError::Codec(Error::Corrupt(_))),
+                "threads {threads}: {err}"
+            );
+        }
     }
 
     #[test]

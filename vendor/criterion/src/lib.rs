@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this crate implements
+//! the benchmark-harness surface the workspace's benches use: groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is deliberately simple — wall-clock mean over a
+//! fixed sample count after a short warm-up — and results are printed as
+//! `group/bench  time  throughput` lines.
+//!
+//! Like real criterion, a full measurement only runs when the binary is
+//! invoked with `--bench` (as `cargo bench` does); under `cargo test`
+//! every benchmark executes exactly once so benches stay cheap smoke
+//! tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration work attributed to a benchmark, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for [`Bencher::iter_batched`]; only a hint here.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (one batch per measurement).
+    LargeInput,
+    /// Fresh state for every single iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes --bench; cargo test does not.
+        let test_mode = !std::env::args().any(|a| a == "--bench");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: 20 }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let (test_mode, label) = (self.test_mode, name.to_string());
+        run_one(test_mode, &label, None, 20, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput and sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets how many measured iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, &label, self.throughput, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (drop also suffices; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures to drive the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` back-to-back for the sample count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measures `routine` on fresh state from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<S, O, Setup, R>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) where
+        Setup: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if test_mode {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {label}: ok (test mode)");
+        return;
+    }
+    // Warm-up round, then the measured rounds.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mut per_iter = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        per_iter.push(b.elapsed);
+    }
+    let mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+    let min = per_iter.iter().min().copied().unwrap_or_default();
+    let max = per_iter.iter().max().copied().unwrap_or_default();
+    let rate = throughput.map(|t| describe_rate(t, mean)).unwrap_or_default();
+    println!(
+        "bench {label}: mean {} (min {}, max {}){rate}",
+        describe_duration(mean),
+        describe_duration(min),
+        describe_duration(max),
+    );
+}
+
+fn describe_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn describe_rate(throughput: Throughput, mean: Duration) -> String {
+    let secs = mean.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Bytes(n) => {
+            format!(", {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => format!(", {:.2} Melem/s", n as f64 / secs / 1e6),
+    }
+}
+
+/// Declares a group function that runs each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,45 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn uniformly from `len` per sample.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        assert!(self.len.start < self.len.end, "empty length range");
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length in `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_stay_in_range() {
+        let s = vec(any::<u8>(), 3..10);
+        let mut rng = TestRng::deterministic("vec");
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!((3..10).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Deterministic test RNG, configuration, and failure type.
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property case (produced by `prop_assert!` and friends).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+
+    /// Real proptest's "reject this case" — treated as a failure here
+    /// because this stand-in has no case filtering.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64-based RNG seeded from the test's name, so every run of a
+/// given test replays the identical case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds deterministically from an arbitrary label (the test name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in label.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound > 0`).
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        ((self.next() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_give_distinct_reproducible_streams() {
+        let mut a = TestRng::deterministic("alpha");
+        let mut a2 = TestRng::deterministic("alpha");
+        let mut b = TestRng::deterministic("beta");
+        let xs: Vec<u64> = (0..50).map(|_| a.next()).collect();
+        let xs2: Vec<u64> = (0..50).map(|_| a2.next()).collect();
+        let ys: Vec<u64> = (0..50).map(|_| b.next()).collect();
+        assert_eq!(xs, xs2);
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::deterministic("bound");
+        for bound in [1u64, 2, 3, 7, 1000] {
+            for _ in 0..500 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}
