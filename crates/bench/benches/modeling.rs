@@ -1,0 +1,73 @@
+//! Criterion benchmark for the columnar modeling stage in isolation:
+//! predictor modeling (`raw_streams`) and replay (`replay_streams`)
+//! throughput in records per second at 1, 2, 4, and per-CPU model
+//! threads, on the paper's VPC3 specification (`specs/vpc3.tcgen`).
+//!
+//! Unlike the `pipeline` benchmark this one excludes the blockzip
+//! post-compressor entirely, so it measures exactly the stage that
+//! `--model-threads` parallelizes. Under `cargo bench` the trace is
+//! 2 M records; under `cargo test` (criterion's test mode) a small
+//! trace keeps the smoke run fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tcgen_engine::{codec, EngineOptions};
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+const VPC3_SPEC: &str = include_str!("../../../specs/vpc3.tcgen");
+
+fn record_count() -> usize {
+    if std::env::args().any(|a| a == "--bench") {
+        2_000_000
+    } else {
+        20_000
+    }
+}
+
+fn model_thread_counts() -> Vec<usize> {
+    let per_cpu = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2, 4, per_cpu];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn options(model_threads: usize) -> EngineOptions {
+    EngineOptions { model_threads, ..EngineOptions::tcgen() }
+}
+
+fn bench_modeling(c: &mut Criterion) {
+    let spec = tcgen_spec::parse(VPC3_SPEC).expect("spec parses");
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("program exists");
+    let records = record_count();
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+
+    let mut group = c.benchmark_group("modeling/model");
+    group.throughput(Throughput::Elements(records as u64));
+    group.sample_size(10);
+    for model_threads in model_thread_counts() {
+        let opts = options(model_threads);
+        group.bench_with_input(BenchmarkId::from_parameter(model_threads), &raw, |b, raw| {
+            b.iter(|| codec::raw_streams(&spec, &opts, raw).expect("model"))
+        });
+    }
+    group.finish();
+
+    let streams = codec::raw_streams(&spec, &options(1), &raw).expect("model");
+    let mut group = c.benchmark_group("modeling/replay");
+    group.throughput(Throughput::Elements(records as u64));
+    group.sample_size(10);
+    for model_threads in model_thread_counts() {
+        let opts = options(model_threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model_threads),
+            &streams,
+            |b, streams| {
+                b.iter(|| codec::replay_streams(&spec, &opts, streams.clone()).expect("replay"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modeling);
+criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! the synthetic trace corpus.
 //!
 //! ```text
-//! reproduce [--records N] [table1|fig6|fig7|fig8|table2|table3|all]
+//! reproduce [--records N] [--csv FILE] [--json [FILE]]
+//!           [table1|fig6|fig7|fig8|table2|table3|all]
 //! ```
 //!
 //! `--records N` sets the base trace length (default 100000 records;
@@ -10,7 +11,10 @@
 //! both absolute harmonic means and values relative to TCgen, sorted
 //! ascending per trace type exactly like the paper's bar charts.
 //! `--csv FILE` additionally writes the per-trace measurements of the
-//! figures as machine-readable rows.
+//! figures as machine-readable rows. `--json [FILE]` writes the
+//! per-algorithm harmonic-mean summary (compressed sizes plus
+//! compression/decompression throughput) as JSON, defaulting to
+//! `BENCH_pipeline.json`.
 
 use std::collections::BTreeMap;
 
@@ -27,6 +31,7 @@ fn main() {
     let mut records = 100_000usize;
     let mut command = "all".to_string();
     let mut csv: Option<String> = None;
+    let mut json: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +47,24 @@ fn main() {
                     Some(args.get(i + 1).cloned().unwrap_or_else(|| die("--csv needs a path")));
                 i += 2;
             }
+            "--json" => {
+                // The path operand is optional: a following argument that
+                // looks like a flag or a command keeps the default name.
+                const COMMANDS: [&str; 7] =
+                    ["table1", "fig6", "fig7", "fig8", "table2", "table3", "all"];
+                match args.get(i + 1) {
+                    Some(next)
+                        if !next.starts_with("--") && !COMMANDS.contains(&next.as_str()) =>
+                    {
+                        json = Some(next.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        json = Some("BENCH_pipeline.json".to_string());
+                        i += 1;
+                    }
+                }
+            }
             cmd => {
                 command = cmd.to_string();
                 i += 1;
@@ -49,6 +72,7 @@ fn main() {
         }
     }
     CSV_PATH.set(csv).expect("set once");
+    JSON_PATH.set(json).expect("set once");
     match command.as_str() {
         "table1" => table1(records),
         "fig6" => figure(records, Metric::Rate),
@@ -60,6 +84,7 @@ fn main() {
             table1(records);
             let all = measure_all(records);
             dump_csv(&all);
+            dump_json(&all);
             figure_from(&all, Metric::Rate);
             figure_from(&all, Metric::DecompressSpeed);
             figure_from(&all, Metric::CompressSpeed);
@@ -98,6 +123,41 @@ fn dump_csv(all: &AllResults) {
             }
         }
     }
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("reproduce: cannot write {path}: {e}");
+    }
+}
+
+static JSON_PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+
+/// Writes the harmonic-mean summary behind the figures as JSON — one
+/// object per (algorithm, trace kind) with total sizes and throughput —
+/// so CI and scripts can consume the numbers without scraping tables.
+/// Hand-rolled serialization: the shape is flat and fixed, and the
+/// harness takes no serialization dependency for it.
+fn dump_json(all: &AllResults) {
+    let Some(Some(path)) = JSON_PATH.get() else {
+        return;
+    };
+    let mut rows = Vec::new();
+    for (name, per_kind) in all {
+        for (kind, ms) in per_kind {
+            let original: u64 = ms.iter().map(|m| m.original as u64).sum();
+            let compressed: u64 = ms.iter().map(|m| m.compressed as u64).sum();
+            let rate = harmonic_mean(&ms.iter().map(Measurement::rate).collect::<Vec<_>>());
+            let cspd =
+                harmonic_mean(&ms.iter().map(|m| mb(m.compress_speed())).collect::<Vec<_>>());
+            let dspd =
+                harmonic_mean(&ms.iter().map(|m| mb(m.decompress_speed())).collect::<Vec<_>>());
+            rows.push(format!(
+                "    {{\"algorithm\": \"{name}\", \"trace_kind\": \"{kind}\", \
+                 \"original_bytes\": {original}, \"compressed_bytes\": {compressed}, \
+                 \"compression_rate\": {rate:.4}, \"compress_mb_per_s\": {cspd:.4}, \
+                 \"decompress_mb_per_s\": {dspd:.4}}}"
+            ));
+        }
+    }
+    let text = format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
     if let Err(e) = std::fs::write(path, text) {
         eprintln!("reproduce: cannot write {path}: {e}");
     }
@@ -184,6 +244,7 @@ fn table1(records: usize) {
 fn figure(records: usize, metric: Metric) {
     let all = measure_all(records);
     dump_csv(&all);
+    dump_json(&all);
     figure_from(&all, metric);
 }
 

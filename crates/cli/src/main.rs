@@ -3,8 +3,8 @@
 //! ```text
 //! tcgen generate <spec-file> [--lang c|rust]    emit compressor source
 //! tcgen canon <spec-file>                       print the canonical spec
-//! tcgen compress <spec-file> [in [out]] [--threads N] [--block-records N]
-//! tcgen decompress <spec-file> [in [out]] [--threads N]
+//! tcgen compress <spec-file> [in [out]] [--threads N] [--model-threads N] [--block-records N]
+//! tcgen decompress <spec-file> [in [out]] [--threads N] [--model-threads N]
 //! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
 //! ```
@@ -52,13 +52,16 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  tcgen generate <spec-file> [--lang c|rust]\n  \
      tcgen canon <spec-file>\n  \
-     tcgen compress <spec-file> [input [output]] [--threads N] [--block-records N]\n  \
-     tcgen decompress <spec-file> [input [output]] [--threads N]\n  \
+     tcgen compress <spec-file> [input [output]] [--threads N] [--model-threads N] [--block-records N]\n  \
+     tcgen decompress <spec-file> [input [output]] [--threads N] [--model-threads N]\n  \
      tcgen trace <program> <store|miss|load> <records> [output]\n  \
      tcgen prune <spec-file> <trace-file> [threshold]\n\
      \n\
      --threads N        worker threads for block segments (0 = one per CPU,\n\
      \x20                   1 = serial; output is identical for every N)\n\
+     --model-threads N  worker threads for per-field predictor modeling\n\
+     \x20                   (0 = one per CPU, 1 = serial; output is identical\n\
+     \x20                   for every N)\n\
      --block-records N  records per compressed block (0 = whole trace)"
         .to_string()
 }
@@ -108,6 +111,10 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
         match args[i].as_str() {
             "--threads" => {
                 options.threads = parse_count(args.get(i + 1), "--threads")?;
+                i += 2;
+            }
+            "--model-threads" => {
+                options.model_threads = parse_count(args.get(i + 1), "--model-threads")?;
                 i += 2;
             }
             "--block-records" => {

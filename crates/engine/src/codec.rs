@@ -15,28 +15,34 @@
 //!
 //! ## Threading model
 //!
-//! Predictor modeling is inherently serial — every record's prediction
-//! depends on the table state left by all earlier records — but the
-//! post-compression of finished blocks is not. When
-//! [`EngineOptions::threads`] resolves to more than one, the codec runs
-//! the serial stage on the calling thread and fans the `2 * n_fields`
-//! blockzip segments of each finished block out to a scoped worker pool
-//! ([`crate::pool`]), assembling results strictly in submission order.
-//! The container is therefore byte-identical for every thread count.
-//! Decompression mirrors this: a structural pass collects every block's
-//! segment ranges (validating all lengths against the remaining input),
-//! workers inflate segments a bounded number of blocks ahead, and the
-//! calling thread replays the predictors over each block as its segments
-//! arrive.
+//! Predictor modeling is serial *per field* — every record's prediction
+//! depends on the table state left by all earlier records of the same
+//! field — but the fields themselves are independent once each block is
+//! transposed into columns, and the post-compression of finished blocks
+//! is embarrassingly parallel. Two knobs exploit this:
+//!
+//! * [`EngineOptions::model_threads`] fans the per-field column jobs of
+//!   the columnar modeling/replay stage ([`crate::columnar`]) out to a
+//!   worker pool.
+//! * [`EngineOptions::threads`] fans the `2 * n_fields` blockzip
+//!   segments of each finished block out to a second pool, assembling
+//!   results strictly in submission order.
+//!
+//! Both pools hand results back deterministically, so the container is
+//! byte-identical for every setting of either knob. Decompression
+//! mirrors this: a structural pass collects every block's segment ranges
+//! (validating all lengths against the remaining input), workers inflate
+//! segments a bounded number of blocks ahead, and the columnar replay
+//! stage reconstructs each block as its segments arrive.
 
 use std::collections::VecDeque;
 
-use tcgen_predictors::SpecBanks;
 use tcgen_spec::TraceSpec;
 
+use crate::columnar::{Modeler, Replayer};
 use crate::options::EngineOptions;
 use crate::pool::Pipeline;
-use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
+use crate::streams::BlockStreams;
 use crate::usage::UsageReport;
 use crate::Error;
 
@@ -53,7 +59,8 @@ fn max_blocks_ahead(threads: usize) -> usize {
 }
 
 /// FNV-1a hash of the canonical specification text; stored in the
-/// container so mismatched decompressors fail fast.
+/// container so mismatched decompressors fail fast. [`crate::Engine`]
+/// computes this once at construction and reuses it across calls.
 pub fn spec_hash(spec: &TraceSpec) -> u32 {
     let mut h = 0x811c_9dc5u32;
     for b in tcgen_spec::canonical(spec).bytes() {
@@ -62,192 +69,26 @@ pub fn spec_hash(spec: &TraceSpec) -> u32 {
     h
 }
 
-/// The serial modeling stage: feeds records through the predictor banks
-/// and appends predictor codes and miss values to the current block's
-/// streams. Shared by the in-memory codec, the streaming codec, and
-/// [`raw_streams`] so the three can never drift apart.
-pub(crate) struct Modeler {
-    banks: SpecBanks,
-    order: Vec<usize>,
-    offsets: Vec<usize>,
-    field_bytes: Vec<usize>,
-    widths: Vec<usize>,
-    miss_codes: Vec<u8>,
-    pc_offset: usize,
-    pc_width: usize,
-}
-
-impl Modeler {
-    pub(crate) fn new(spec: &TraceSpec, options: &EngineOptions) -> Self {
-        let banks = SpecBanks::new(spec, options.predictor);
-        let offsets = field_offsets(spec);
-        let pc_index = banks.pc_index();
-        Self {
-            order: banks.processing_order().to_vec(),
-            pc_offset: offsets[pc_index],
-            pc_width: spec.fields[pc_index].bytes() as usize,
-            offsets,
-            field_bytes: spec.fields.iter().map(|f| f.bytes() as usize).collect(),
-            widths: spec
-                .fields
-                .iter()
-                .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
-                .collect(),
-            miss_codes: spec.fields.iter().map(|f| f.prediction_count() as u8).collect(),
-            banks,
-        }
-    }
-
-    /// Models one record into `streams` (incrementing its record count).
-    pub(crate) fn model_record(
-        &mut self,
-        record: &[u8],
-        streams: &mut BlockStreams,
-        usage: &mut Option<&mut UsageReport>,
-    ) {
-        let pc = read_value(&record[self.pc_offset..], self.pc_width);
-        for &fi in &self.order {
-            let bank = self.banks.bank(fi);
-            let value = read_value(&record[self.offsets[fi]..], self.field_bytes[fi])
-                & bank.width_mask();
-            let code = bank.find_code(pc, value);
-            let fs = &mut streams.fields[fi];
-            fs.codes.push(code);
-            if code == self.miss_codes[fi] {
-                write_value(&mut fs.values, value, self.widths[fi]);
-            }
-            if let Some(u) = usage.as_deref_mut() {
-                u.record(fi, code);
-            }
-            self.banks.bank_mut(fi).update(pc, value);
-        }
-        streams.records += 1;
-    }
-}
-
-/// The serial replay stage: reconstructs records from decoded code and
-/// value streams, carrying predictor state across blocks. Shared by the
-/// in-memory and streaming decompressors.
-pub(crate) struct Replayer {
-    banks: SpecBanks,
-    order: Vec<usize>,
-    offsets: Vec<usize>,
-    field_bytes: Vec<usize>,
-    widths: Vec<usize>,
-    miss_codes: Vec<usize>,
-    pc_index: usize,
-    record: Vec<u8>,
-}
-
-impl Replayer {
-    /// `options` must already carry the container's semantic flags (see
-    /// [`EngineOptions::with_flags`]).
-    pub(crate) fn new(spec: &TraceSpec, options: &EngineOptions) -> Self {
-        let banks = SpecBanks::new(spec, options.predictor);
-        Self {
-            order: banks.processing_order().to_vec(),
-            pc_index: banks.pc_index(),
-            offsets: field_offsets(spec),
-            field_bytes: spec.fields.iter().map(|f| f.bytes() as usize).collect(),
-            widths: spec
-                .fields
-                .iter()
-                .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
-                .collect(),
-            miss_codes: spec.fields.iter().map(|f| f.prediction_count() as usize).collect(),
-            record: vec![0u8; spec.record_bytes() as usize],
-            banks,
-        }
-    }
-
-    /// The decoded byte width of each field's miss values — the bound on
-    /// a value segment's size for a block of known record count.
-    pub(crate) fn widths(&self) -> &[usize] {
-        &self.widths
-    }
-
-    /// Replays one block, appending reconstructed records to `out`.
-    ///
-    /// Verifies that every code stream holds exactly `n_records` codes,
-    /// that no value stream runs dry, and — trailing-garbage hardening —
-    /// that every value stream is consumed exactly to its end.
-    pub(crate) fn replay_block(
-        &mut self,
-        n_records: usize,
-        codes: &[Vec<u8>],
-        values: &[Vec<u8>],
-        out: &mut Vec<u8>,
-    ) -> Result<(), Error> {
-        for (fi, c) in codes.iter().enumerate() {
-            if c.len() != n_records {
-                return Err(Error::Corrupt(format!(
-                    "field {fi}: {} codes for {n_records} records",
-                    c.len()
-                )));
-            }
-        }
-        let n_fields = codes.len();
-        let mut value_pos = vec![0usize; n_fields];
-        // `rec` indexes every field's code stream, so iterating one
-        // stream directly does not apply here.
-        #[allow(clippy::needless_range_loop)]
-        for rec in 0..n_records {
-            let mut pc = 0u64;
-            for &fi in &self.order {
-                let bank = self.banks.bank(fi);
-                let code = codes[fi][rec] as usize;
-                // The PC field is decoded first; its bank has L1 = 1, so
-                // the not-yet-known PC does not matter for its index.
-                // Only the named slot is evaluated (lazy decompression).
-                let value = if code < self.miss_codes[fi] {
-                    bank.value_for_code(pc, code as u8)
-                        .expect("code below the miss code always resolves")
-                } else if code == self.miss_codes[fi] {
-                    let w = self.widths[fi];
-                    let vs = &values[fi];
-                    if value_pos[fi] + w > vs.len() {
-                        return Err(Error::Corrupt(format!(
-                            "field {fi}: value stream exhausted at record {rec}"
-                        )));
-                    }
-                    let v = read_value(&vs[value_pos[fi]..], w);
-                    value_pos[fi] += w;
-                    v & bank.width_mask()
-                } else {
-                    return Err(Error::Corrupt(format!(
-                        "field {fi}: predictor code {code} out of range at record {rec}"
-                    )));
-                };
-                if fi == self.pc_index {
-                    pc = value;
-                }
-                self.banks.bank_mut(fi).update(pc, value);
-                let (off, width) = (self.offsets[fi], self.field_bytes[fi]);
-                self.record[off..off + width].copy_from_slice(&value.to_le_bytes()[..width]);
-            }
-            out.extend_from_slice(&self.record);
-        }
-        for (fi, vs) in values.iter().enumerate() {
-            if value_pos[fi] != vs.len() {
-                return Err(Error::Corrupt(format!(
-                    "field {fi}: {} trailing bytes in the value stream",
-                    vs.len() - value_pos[fi]
-                )));
-            }
-        }
-        Ok(())
-    }
-}
-
 /// Compresses `raw` (a trace matching `spec`) into a TCGZ container.
 /// When `usage` is given, predictor-usage counters are accumulated.
 ///
-/// With [`EngineOptions::threads`] above one, block segments are
-/// post-compressed on a worker pool; the output bytes do not depend on
-/// the thread count.
+/// With [`EngineOptions::threads`] or [`EngineOptions::model_threads`]
+/// above one, block segments and per-field modeling jobs are fanned out
+/// to worker pools; the output bytes do not depend on either count.
 pub fn compress(
     spec: &TraceSpec,
     options: &EngineOptions,
+    raw: &[u8],
+    usage: Option<&mut UsageReport>,
+) -> Result<Vec<u8>, Error> {
+    compress_with_hash(spec, options, spec_hash(spec), raw, usage)
+}
+
+/// [`compress`] with the spec hash already computed.
+pub(crate) fn compress_with_hash(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    hash: u32,
     raw: &[u8],
     mut usage: Option<&mut UsageReport>,
 ) -> Result<Vec<u8>, Error> {
@@ -261,33 +102,37 @@ pub fn compress(
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
     out.push(options.flags());
-    out.extend_from_slice(&spec_hash(spec).to_le_bytes());
+    out.extend_from_slice(&hash.to_le_bytes());
     out.extend_from_slice(&(header_len as u16).to_le_bytes());
     out.extend_from_slice(&raw[..header_len]);
 
+    let body = &raw[header_len..];
+    let total = body.len() / record_len;
     let block_records = options.effective_block_records();
     let threads = options.effective_threads();
+    let model_threads = options.effective_model_threads();
     let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
-    let records = raw[header_len..].chunks_exact(record_len);
-
-    if threads <= 1 {
-        let mut scratch = blockzip::Scratch::default();
-        for record in records {
-            modeler.model_record(record, &mut streams, &mut usage);
-            if streams.records == block_records {
-                flush_block(&mut out, &streams, options.level, &mut scratch);
-                streams.clear();
-            }
-        }
-        if !streams.is_empty() {
-            flush_block(&mut out, &streams, options.level, &mut scratch);
-        }
-        out.push(END_MARKER);
-        return Ok(out);
-    }
 
     std::thread::scope(|scope| {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+        let model_pipe = model_pipe.as_ref();
+
+        if threads <= 1 {
+            let mut scratch = blockzip::Scratch::default();
+            let mut pos = 0usize;
+            while pos < total {
+                let take = block_records.min(total - pos);
+                let chunk = &body[pos * record_len..(pos + take) * record_len];
+                modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
+                flush_block(&mut out, &streams, options.level, &mut scratch);
+                streams.clear();
+                pos += take;
+            }
+            out.push(END_MARKER);
+            return Ok(out);
+        }
+
         let level = options.level;
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
@@ -298,18 +143,17 @@ pub fn compress(
         let segs_per_block = 2 * spec.fields.len();
         // Record counts of submitted blocks not yet written out.
         let mut pending: VecDeque<u32> = VecDeque::new();
-        for record in records {
-            modeler.model_record(record, &mut streams, &mut usage);
-            if streams.records == block_records {
-                submit_block(&pipe, &mut streams, &mut pending);
-                if pending.len() > max_blocks_ahead(threads) {
-                    let n = pending.pop_front().expect("pending is non-empty");
-                    write_packed_block(&mut out, &pipe, n, segs_per_block)?;
-                }
-            }
-        }
-        if !streams.is_empty() {
+        let mut pos = 0usize;
+        while pos < total {
+            let take = block_records.min(total - pos);
+            let chunk = &body[pos * record_len..(pos + take) * record_len];
+            modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
             submit_block(&pipe, &mut streams, &mut pending);
+            if pending.len() > max_blocks_ahead(threads) {
+                let n = pending.pop_front().expect("pending is non-empty");
+                write_packed_block(&mut out, &pipe, n, segs_per_block)?;
+            }
+            pos += take;
         }
         while let Some(n) = pending.pop_front() {
             write_packed_block(&mut out, &pipe, n, segs_per_block)?;
@@ -337,10 +181,48 @@ pub fn raw_streams(
     }
     let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
-    for record in raw[header_len..].chunks_exact(record_len) {
-        modeler.model_record(record, &mut streams, &mut None);
-    }
+    let model_threads = options.effective_model_threads();
+    std::thread::scope(|scope| {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+        modeler.model_chunk(&raw[header_len..], &mut streams, &mut None, model_pipe.as_ref())
+    })?;
     Ok(streams.fields.into_iter().flat_map(|fs| [fs.codes, fs.values]).collect())
+}
+
+/// The inverse of [`raw_streams`]: reconstructs the record bytes (the
+/// trace body, without its passthrough header) from flattened
+/// `[field0.codes, field0.values, field1.codes, …]` streams. The record
+/// count is taken from the code streams, which must all agree.
+///
+/// Used by the modeling benchmark to measure replay in isolation and by
+/// tests as the stream-level roundtrip check.
+pub fn replay_streams(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    streams: Vec<Vec<u8>>,
+) -> Result<Vec<u8>, Error> {
+    let n_fields = spec.fields.len();
+    if streams.len() != 2 * n_fields {
+        return Err(Error::Corrupt(format!("{} streams for {n_fields} fields", streams.len())));
+    }
+    let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+    let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+    for (i, s) in streams.into_iter().enumerate() {
+        if i % 2 == 0 {
+            codes.push(s);
+        } else {
+            values.push(s);
+        }
+    }
+    let n_records = codes[0].len();
+    let mut replayer = Replayer::new(spec, options);
+    let model_threads = options.effective_model_threads();
+    let mut out = Vec::new();
+    std::thread::scope(|scope| {
+        let pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+        replayer.replay_block(n_records, &mut codes, &mut values, &mut out, pipe.as_ref())
+    })?;
+    Ok(out)
 }
 
 fn flush_block(
@@ -415,6 +297,16 @@ pub fn decompress(
     options: &EngineOptions,
     packed: &[u8],
 ) -> Result<Vec<u8>, Error> {
+    decompress_with_hash(spec, options, spec_hash(spec), packed)
+}
+
+/// [`decompress`] with the spec hash already computed.
+pub(crate) fn decompress_with_hash(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    expected_hash: u32,
+    packed: &[u8],
+) -> Result<Vec<u8>, Error> {
     let mut cur = Cursor { data: packed, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(Error::BadMagic);
@@ -425,7 +317,6 @@ pub fn decompress(
     }
     let flags = cur.take(1)?[0];
     let stored_hash = cur.take_u32()?;
-    let expected_hash = spec_hash(spec);
     if stored_hash != expected_hash {
         return Err(Error::SpecMismatch { expected: expected_hash, found: stored_hash });
     }
@@ -471,34 +362,45 @@ pub fn decompress(
     out.extend_from_slice(header);
 
     let threads = options.effective_threads();
-    if threads <= 1 {
-        let mut scratch = blockzip::Scratch::default();
-        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
-        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
-        for block in &blocks {
-            codes.clear();
-            values.clear();
-            for fi in 0..n_fields {
-                let (limit_c, limit_v) = segment_limits(block.n_records, replayer.widths()[fi]);
-                let (start, len) = block.segments[2 * fi];
-                codes.push(blockzip::decompress_with_scratch(
-                    &packed[start..start + len],
-                    limit_c,
-                    &mut scratch,
-                )?);
-                let (start, len) = block.segments[2 * fi + 1];
-                values.push(blockzip::decompress_with_scratch(
-                    &packed[start..start + len],
-                    limit_v,
-                    &mut scratch,
-                )?);
-            }
-            replayer.replay_block(block.n_records, &codes, &values, &mut out)?;
-        }
-        return Ok(out);
-    }
-
+    let model_threads = options.effective_model_threads();
     std::thread::scope(|scope| {
+        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+        let replay_pipe = replay_pipe.as_ref();
+
+        if threads <= 1 {
+            let mut scratch = blockzip::Scratch::default();
+            let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+            let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+            for block in &blocks {
+                codes.clear();
+                values.clear();
+                for fi in 0..n_fields {
+                    let (limit_c, limit_v) =
+                        segment_limits(block.n_records, replayer.widths()[fi]);
+                    let (start, len) = block.segments[2 * fi];
+                    codes.push(blockzip::decompress_with_scratch(
+                        &packed[start..start + len],
+                        limit_c,
+                        &mut scratch,
+                    )?);
+                    let (start, len) = block.segments[2 * fi + 1];
+                    values.push(blockzip::decompress_with_scratch(
+                        &packed[start..start + len],
+                        limit_v,
+                        &mut scratch,
+                    )?);
+                }
+                replayer.replay_block(
+                    block.n_records,
+                    &mut codes,
+                    &mut values,
+                    &mut out,
+                    replay_pipe,
+                )?;
+            }
+            return Ok(out);
+        }
+
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
             move |(seg, limit): (&[u8], usize)| {
@@ -529,7 +431,13 @@ pub fn decompress(
                 codes.push(next_segment(&pipe)?);
                 values.push(next_segment(&pipe)?);
             }
-            replayer.replay_block(blocks[bi].n_records, &codes, &values, &mut out)?;
+            replayer.replay_block(
+                blocks[bi].n_records,
+                &mut codes,
+                &mut values,
+                &mut out,
+                replay_pipe,
+            )?;
         }
         Ok(out)
     })

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod codec;
+pub(crate) mod columnar;
 pub mod options;
 pub(crate) mod pool;
 pub mod stream_io;
@@ -114,13 +115,17 @@ impl From<blockzip::Error> for Error {
 pub struct Engine {
     spec: TraceSpec,
     options: EngineOptions,
+    /// FNV-1a hash of the canonical spec text, computed once here so
+    /// compress/decompress calls don't re-canonicalize the spec.
+    spec_hash: u32,
 }
 
 impl Engine {
     /// Creates an engine for `spec` under `options`. `spec` must have
     /// passed [`tcgen_spec::validate()`] (as [`tcgen_spec::parse()`] ensures).
     pub fn new(spec: TraceSpec, options: EngineOptions) -> Self {
-        Self { spec, options }
+        let spec_hash = codec::spec_hash(&spec);
+        Self { spec, options, spec_hash }
     }
 
     /// The engine's trace specification.
@@ -140,7 +145,7 @@ impl Engine {
     /// Returns [`Error::PartialRecord`] if `raw` is not a whole number of
     /// records after the header.
     pub fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, Error> {
-        codec::compress(&self.spec, &self.options, raw, None)
+        codec::compress_with_hash(&self.spec, &self.options, self.spec_hash, raw, None)
     }
 
     /// Compresses a raw trace and reports predictor usage (the feedback
@@ -151,7 +156,13 @@ impl Engine {
     /// As for [`Engine::compress`].
     pub fn compress_with_usage(&self, raw: &[u8]) -> Result<(Vec<u8>, UsageReport), Error> {
         let mut report = UsageReport::new(&self.spec);
-        let packed = codec::compress(&self.spec, &self.options, raw, Some(&mut report))?;
+        let packed = codec::compress_with_hash(
+            &self.spec,
+            &self.options,
+            self.spec_hash,
+            raw,
+            Some(&mut report),
+        )?;
         Ok((packed, report))
     }
 
@@ -162,7 +173,7 @@ impl Engine {
     /// Returns [`Error::SpecMismatch`] for containers of other formats
     /// and [`Error::Corrupt`]/[`Error::Truncated`] on damage.
     pub fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, Error> {
-        codec::decompress(&self.spec, &self.options, packed)
+        codec::decompress_with_hash(&self.spec, &self.options, self.spec_hash, packed)
     }
 }
 

@@ -20,6 +20,12 @@ pub struct EngineOptions {
     /// path. The compressed container is byte-identical for every thread
     /// count, so this is a speed-only option and not part of the flags.
     pub threads: usize,
+    /// Worker threads for the columnar modeling/replay stage: per-field
+    /// column jobs are fanned out to this many workers. `0` means one
+    /// thread per available CPU, `1` runs the jobs inline. Like
+    /// [`Self::threads`], speed-only: the container is byte-identical
+    /// for every setting, so it is not part of the flags.
+    pub model_threads: usize,
     /// Post-compressor block-size level.
     pub level: blockzip::Level,
 }
@@ -33,6 +39,7 @@ impl EngineOptions {
             minimize_types: true,
             block_records: 1 << 20,
             threads: 0,
+            model_threads: 0,
             level: blockzip::Level::BEST,
         }
     }
@@ -118,6 +125,16 @@ impl EngineOptions {
         }
     }
 
+    /// The modeling worker count with `0` normalized to the available
+    /// parallelism (falling back to 1 when it cannot be determined).
+    pub fn effective_model_threads(&self) -> usize {
+        if self.model_threads == 0 {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        } else {
+            self.model_threads
+        }
+    }
+
     /// Encodes the semantics-affecting options into a container flag
     /// byte. Speed-only options (fast hash, sharing) are excluded: any
     /// decompressor configuration reproduces the same trace.
@@ -185,18 +202,30 @@ mod tests {
 
     #[test]
     fn zero_values_normalize() {
-        let opts = EngineOptions { block_records: 0, threads: 0, ..EngineOptions::tcgen() };
+        let opts = EngineOptions {
+            block_records: 0,
+            threads: 0,
+            model_threads: 0,
+            ..EngineOptions::tcgen()
+        };
         assert_eq!(opts.effective_block_records(), usize::MAX);
         assert!(opts.effective_threads() >= 1);
-        let opts = EngineOptions { block_records: 7, threads: 3, ..EngineOptions::tcgen() };
+        assert!(opts.effective_model_threads() >= 1);
+        let opts = EngineOptions {
+            block_records: 7,
+            threads: 3,
+            model_threads: 5,
+            ..EngineOptions::tcgen()
+        };
         assert_eq!(opts.effective_block_records(), 7);
         assert_eq!(opts.effective_threads(), 3);
+        assert_eq!(opts.effective_model_threads(), 5);
     }
 
     #[test]
     fn threads_and_block_size_stay_out_of_flags() {
         let base = EngineOptions::tcgen();
-        let tuned = EngineOptions { threads: 8, block_records: 123, ..base };
+        let tuned = EngineOptions { threads: 8, model_threads: 4, block_records: 123, ..base };
         assert_eq!(tuned.flags(), base.flags());
     }
 }

@@ -3,17 +3,18 @@
 //! gigabyte traces never need to fit in memory — the way the paper's
 //! generated tools stream from standard input to standard output.
 //!
-//! The streaming paths share the serial modeling/replay stages
-//! ([`crate::codec::Modeler`], [`crate::codec::Replayer`]) and the worker
-//! pool with the in-memory codec, so streamed output is byte-identical to
-//! [`crate::Engine::compress`] for the same options at any thread count.
+//! The streaming paths share the columnar modeling/replay stages
+//! ([`crate::columnar`]) and the worker pools with the in-memory codec,
+//! so streamed output is byte-identical to [`crate::Engine::compress`]
+//! for the same options at any thread or model-thread count.
 
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 
 use tcgen_spec::TraceSpec;
 
-use crate::codec::{spec_hash, Modeler, Replayer};
+use crate::codec::spec_hash;
+use crate::columnar::{Modeler, Replayer};
 use crate::options::EngineOptions;
 use crate::pool::Pipeline;
 use crate::streams::BlockStreams;
@@ -109,36 +110,48 @@ pub fn compress_stream(
     let mut modeler = Modeler::new(spec, options);
     let block_records = options.effective_block_records().clamp(1, 1 << 24);
     let threads = options.effective_threads();
+    let model_threads = options.effective_model_threads();
     let mut chunk = vec![0u8; record_len * block_records.min(65_536)];
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    if threads <= 1 {
-        let mut scratch = blockzip::Scratch::default();
-        loop {
-            let got = read_exact_or_eof(input, &mut chunk)?;
-            if got % record_len != 0 {
-                return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
-            }
-            for record in chunk[..got].chunks_exact(record_len) {
-                modeler.model_record(record, &mut streams, &mut None);
-                if streams.records == block_records {
-                    write_block(output, &streams, options.level, &mut scratch)?;
-                    streams.clear();
+    std::thread::scope(|scope| {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+        let model_pipe = model_pipe.as_ref();
+
+        if threads <= 1 {
+            let mut scratch = blockzip::Scratch::default();
+            loop {
+                let got = read_exact_or_eof(input, &mut chunk)?;
+                if got % record_len != 0 {
+                    return Err(
+                        Error::PartialRecord { len: got, header_len, record_len }.into()
+                    );
+                }
+                let n_chunk = got / record_len;
+                let mut idx = 0usize;
+                while idx < n_chunk {
+                    // Model up to the block boundary, never past it.
+                    let take = (block_records - streams.records).min(n_chunk - idx);
+                    let span = &chunk[idx * record_len..(idx + take) * record_len];
+                    modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
+                    if streams.records == block_records {
+                        write_block(output, &streams, options.level, &mut scratch)?;
+                        streams.clear();
+                    }
+                    idx += take;
+                }
+                if got < chunk.len() {
+                    break;
                 }
             }
-            if got < chunk.len() {
-                break;
+            if !streams.is_empty() {
+                write_block(output, &streams, options.level, &mut scratch)?;
             }
+            output.write_all(&[0u8])?;
+            output.flush()?;
+            return Ok(());
         }
-        if !streams.is_empty() {
-            write_block(output, &streams, options.level, &mut scratch)?;
-        }
-        output.write_all(&[0u8])?;
-        output.flush()?;
-        return Ok(());
-    }
 
-    std::thread::scope(|scope| {
         let level = options.level;
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
@@ -153,8 +166,12 @@ pub fn compress_stream(
             if got % record_len != 0 {
                 return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
             }
-            for record in chunk[..got].chunks_exact(record_len) {
-                modeler.model_record(record, &mut streams, &mut None);
+            let n_chunk = got / record_len;
+            let mut idx = 0usize;
+            while idx < n_chunk {
+                let take = (block_records - streams.records).min(n_chunk - idx);
+                let span = &chunk[idx * record_len..(idx + take) * record_len];
+                modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
                 if streams.records == block_records {
                     crate::codec::submit_block(&pipe, &mut streams, &mut pending);
                     if pending.len() > max_blocks_ahead(threads) {
@@ -162,6 +179,7 @@ pub fn compress_stream(
                         write_packed_block(output, &pipe, n, segs_per_block)?;
                     }
                 }
+                idx += take;
             }
             if got < chunk.len() {
                 break;
@@ -257,44 +275,54 @@ pub fn decompress_stream(
     let mut replayer = Replayer::new(spec, &effective);
     let n_fields = spec.fields.len();
     let threads = options.effective_threads();
+    let model_threads = options.effective_model_threads();
     let mut out_buf: Vec<u8> = Vec::new();
 
-    if threads <= 1 {
-        let mut scratch = blockzip::Scratch::default();
-        let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
-        let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
-        loop {
-            let Some(n_records) = read_block_header(input)? else {
-                expect_eof(input)?;
-                output.flush()?;
-                return Ok(());
-            };
-            codes.clear();
-            values.clear();
-            for fi in 0..n_fields {
-                let width = replayer.widths()[fi];
-                let seg = read_segment(input)?;
-                codes.push(
-                    blockzip::decompress_with_scratch(&seg, n_records, &mut scratch)
-                        .map_err(Error::Post)?,
-                );
-                let seg = read_segment(input)?;
-                values.push(
-                    blockzip::decompress_with_scratch(
-                        &seg,
-                        n_records.saturating_mul(width),
-                        &mut scratch,
-                    )
-                    .map_err(Error::Post)?,
-                );
-            }
-            out_buf.clear();
-            replayer.replay_block(n_records, &codes, &values, &mut out_buf)?;
-            output.write_all(&out_buf)?;
-        }
-    }
-
     std::thread::scope(|scope| {
+        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+        let replay_pipe = replay_pipe.as_ref();
+
+        if threads <= 1 {
+            let mut scratch = blockzip::Scratch::default();
+            let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+            let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
+            loop {
+                let Some(n_records) = read_block_header(input)? else {
+                    expect_eof(input)?;
+                    output.flush()?;
+                    return Ok(());
+                };
+                codes.clear();
+                values.clear();
+                for fi in 0..n_fields {
+                    let width = replayer.widths()[fi];
+                    let seg = read_segment(input)?;
+                    codes.push(
+                        blockzip::decompress_with_scratch(&seg, n_records, &mut scratch)
+                            .map_err(Error::Post)?,
+                    );
+                    let seg = read_segment(input)?;
+                    values.push(
+                        blockzip::decompress_with_scratch(
+                            &seg,
+                            n_records.saturating_mul(width),
+                            &mut scratch,
+                        )
+                        .map_err(Error::Post)?,
+                    );
+                }
+                out_buf.clear();
+                replayer.replay_block(
+                    n_records,
+                    &mut codes,
+                    &mut values,
+                    &mut out_buf,
+                    replay_pipe,
+                )?;
+                output.write_all(&out_buf)?;
+            }
+        }
+
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
             move |(seg, limit): (Vec<u8>, usize)| {
@@ -332,7 +360,13 @@ pub fn decompress_stream(
                 values.push(next_segment(&pipe)?);
             }
             out_buf.clear();
-            replayer.replay_block(n_records, &codes, &values, &mut out_buf)?;
+            replayer.replay_block(
+                n_records,
+                &mut codes,
+                &mut values,
+                &mut out_buf,
+                replay_pipe,
+            )?;
             output.write_all(&out_buf)?;
         }
     })

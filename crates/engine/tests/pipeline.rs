@@ -23,6 +23,13 @@ fn engine(block_records: usize, threads: usize) -> Engine {
     Engine::new(spec(), EngineOptions { block_records, threads, ..EngineOptions::tcgen() })
 }
 
+fn engine_mt(block_records: usize, threads: usize, model_threads: usize) -> Engine {
+    Engine::new(
+        spec(),
+        EngineOptions { block_records, threads, model_threads, ..EngineOptions::tcgen() },
+    )
+}
+
 fn max_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).max(2)
 }
@@ -48,6 +55,41 @@ fn thread_count_never_changes_the_container() {
                 engine(block_records, threads).decompress(&baseline).expect("decompress"),
                 raw,
                 "roundtrip failed: block_records {block_records}, threads {threads}"
+            );
+        }
+    }
+}
+
+/// The acceptance criterion of the columnar modeling stage: for every
+/// block size, every (segment threads × model threads) combination
+/// yields the same container bytes as the fully serial configuration,
+/// and every combination decompresses them back to the trace.
+#[test]
+fn model_thread_count_never_changes_the_container() {
+    let raw = demo_trace(2_500);
+    let n = max_threads();
+    for block_records in [1usize, 7, 1024, 0] {
+        let baseline = engine_mt(block_records, 1, 1).compress(&raw).expect("serial compress");
+        for threads in [1usize, 2] {
+            for model_threads in [2usize, 3, n] {
+                let packed = engine_mt(block_records, threads, model_threads)
+                    .compress(&raw)
+                    .expect("compress");
+                assert_eq!(
+                    packed, baseline,
+                    "container differs: block_records {block_records}, \
+                     threads {threads}, model_threads {model_threads}"
+                );
+            }
+        }
+        for (threads, model_threads) in [(1, 2), (2, 1), (2, n), (n, n)] {
+            assert_eq!(
+                engine_mt(block_records, threads, model_threads)
+                    .decompress(&baseline)
+                    .expect("decompress"),
+                raw,
+                "roundtrip failed: block_records {block_records}, \
+                 threads {threads}, model_threads {model_threads}"
             );
         }
     }

@@ -2,8 +2,10 @@
 //! arbitrary traces under arbitrary valid specifications and options.
 
 use proptest::prelude::*;
-use tcgen_engine::{Engine, EngineOptions};
-use tcgen_predictors::UpdatePolicy;
+use tcgen_engine::streams::{field_offsets, read_value, write_value};
+use tcgen_engine::{codec, Engine, EngineOptions};
+use tcgen_predictors::{SpecBanks, UpdatePolicy};
+use tcgen_spec::TraceSpec;
 
 /// Strategy producing a small but varied valid spec source.
 fn spec_source() -> impl Strategy<Value = String> {
@@ -66,6 +68,36 @@ fn options_strategy() -> impl Strategy<Value = EngineOptions> {
         })
 }
 
+/// A deliberately naive record-major modeling loop, written directly
+/// against the single-value `FieldBank` API: one `find_code`/`update`
+/// pair per field per record, streams appended in declaration order.
+/// This is the straight-line semantics the columnar batch path must
+/// reproduce exactly.
+fn reference_streams(spec: &TraceSpec, options: &EngineOptions, body: &[u8]) -> Vec<Vec<u8>> {
+    let mut banks = SpecBanks::new(spec, options.predictor);
+    let offsets = field_offsets(spec);
+    let record_len = spec.record_bytes() as usize;
+    let pc_index = spec.pc_index();
+    let pc_bytes = spec.fields[pc_index].bytes() as usize;
+    let mut streams: Vec<Vec<u8>> = vec![Vec::new(); 2 * spec.fields.len()];
+    for rec in body.chunks_exact(record_len) {
+        let pc = read_value(&rec[offsets[pc_index]..], pc_bytes);
+        for (fi, field) in spec.fields.iter().enumerate() {
+            let bytes = field.bytes() as usize;
+            let width = if options.minimize_types { bytes } else { 8 };
+            let value = read_value(&rec[offsets[fi]..], bytes);
+            let bank = banks.bank_mut(fi);
+            let code = bank.find_code(pc, value);
+            streams[2 * fi].push(code);
+            if u32::from(code) == bank.n_predictions() {
+                write_value(&mut streams[2 * fi + 1], value & bank.width_mask(), width);
+            }
+            bank.update(pc, value);
+        }
+    }
+    streams
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -105,6 +137,36 @@ proptest! {
         let packed = engine.compress(&raw).unwrap();
         prop_assert!(packed.len() * 4 < raw.len(),
                      "only {} -> {}", raw.len(), packed.len());
+    }
+
+    /// The columnar batch path — serial and fanned out — produces
+    /// exactly the streams of the naive record-major reference loop,
+    /// and replaying those streams recovers the record bytes.
+    #[test]
+    fn columnar_modeling_matches_record_major_reference(
+        src in spec_source(),
+        options in options_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..4_000),
+    ) {
+        let spec = tcgen_spec::parse(&src).expect("generated specs are valid");
+        let header = spec.header_bytes() as usize;
+        let record = spec.record_bytes() as usize;
+        let usable = header + (payload.len().saturating_sub(header) / record) * record;
+        let raw = &payload[..usable.min(payload.len())];
+        if raw.len() < header {
+            return Ok(());
+        }
+        let body = &raw[header..];
+        let reference = reference_streams(&spec, &options, body);
+        for model_threads in [1usize, 3] {
+            let opts = EngineOptions { model_threads, ..options };
+            let streams = codec::raw_streams(&spec, &opts, raw).unwrap();
+            prop_assert_eq!(&streams, &reference,
+                            "streams diverge at model_threads {}", model_threads);
+            let replayed = codec::replay_streams(&spec, &opts, streams).unwrap();
+            prop_assert_eq!(&replayed[..], body,
+                            "replay diverges at model_threads {}", model_threads);
+        }
     }
 
     /// Truncating a container errors without panicking.

@@ -51,6 +51,28 @@ enum Source {
     St { table: usize, take: usize, lv_table: usize },
 }
 
+/// A corrupt code or value stream detected by [`FieldBank::replay_column`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A predictor code beyond the miss code.
+    CodeOutOfRange {
+        /// Record index within the column.
+        record: usize,
+        /// The offending code.
+        code: u8,
+    },
+    /// The miss-value stream ran dry before the last miss code.
+    MissingValue {
+        /// Record index within the column.
+        record: usize,
+    },
+    /// Miss values were left unconsumed after the last record.
+    TrailingValues {
+        /// Number of unconsumed miss values.
+        left: usize,
+    },
+}
+
 /// All predictor state for one field.
 #[derive(Debug)]
 pub struct FieldBank {
@@ -65,6 +87,9 @@ pub struct FieldBank {
     /// (stride table, lv_table) pairs updated with the observed stride.
     st_updates: Vec<(usize, usize)>,
     sources: Vec<Source>,
+    /// Predictor code -> (source index, offset within the source); lets
+    /// replay jump straight to a slot without walking the source list.
+    slots: Vec<(u32, u32)>,
     n_predictions: u32,
     policy: UpdatePolicy,
 }
@@ -223,7 +248,7 @@ impl FieldBank {
             }
         }
 
-        Self {
+        let mut bank = Self {
             width_mask,
             l1_mask: l1 - 1,
             lv_tables,
@@ -233,9 +258,25 @@ impl FieldBank {
             dfcm_updates,
             st_updates,
             sources,
+            slots: Vec::new(),
             n_predictions: field.prediction_count(),
             policy: options.policy,
+        };
+        bank.slots = bank.build_slots();
+        debug_assert_eq!(bank.slots.len(), bank.n_predictions as usize);
+        bank
+    }
+
+    /// The code -> (source, offset) map; one entry per prediction slot,
+    /// in code order.
+    fn build_slots(&self) -> Vec<(u32, u32)> {
+        let mut slots = Vec::with_capacity(self.n_predictions as usize);
+        for (si, source) in self.sources.iter().enumerate() {
+            for off in 0..self.source_height(source) {
+                slots.push((si as u32, off as u32));
+            }
         }
+        slots
     }
 
     /// Number of predictions per record; predictor codes are
@@ -289,14 +330,60 @@ impl FieldBank {
     /// if/else-if chain. Returns the slot code, or `n_predictions` (the
     /// miss code) when nothing matches.
     pub fn find_code(&self, pc: u64, value: u64) -> u8 {
-        let line = self.line(pc);
+        if value & self.width_mask != value {
+            // Every slot holds a masked value, so an over-wide value can
+            // only miss. (The columnar matcher below relies on masked
+            // inputs for its stride arithmetic.)
+            return self.n_predictions as u8;
+        }
+        self.find_code_in_line(self.line(pc), value)
+    }
+
+    /// [`Self::find_code`] with the L1 line already resolved and `value`
+    /// already masked. One `Source` dispatch per predictor rather than
+    /// per slot: each arm searches all of its slots in one go, with DFCM
+    /// and ST matches done in stride space — `last + stride ≡ value`
+    /// exactly when `stride ≡ value - last` (mod 2^width), and stored
+    /// strides are always masked — so no prediction list is materialized.
+    #[inline]
+    fn find_code_in_line(&self, line: usize, value: u64) -> u8 {
         let mut code = 0u8;
         for source in &self.sources {
-            for offset in 0..self.source_height(source) {
-                if self.slot_value(line, source, offset) == value {
-                    return code;
+            match *source {
+                Source::Lv { table, take } => {
+                    let slots = &self.lv_tables[table].line(line)[..take];
+                    if let Some(k) = slots.iter().position(|&v| v == value) {
+                        return code + k as u8;
+                    }
+                    code += take as u8;
                 }
-                code += 1;
+                Source::Fcm { bank, table } => {
+                    let fcm = &self.fcm_banks[bank];
+                    if let Some(k) = fcm.find_value(line, table, value) {
+                        return code + k as u8;
+                    }
+                    code += fcm.table_height(table) as u8;
+                }
+                Source::Dfcm { bank, table, lv_table } => {
+                    let last = self.lv_tables[lv_table].first(line);
+                    let target = value.wrapping_sub(last) & self.width_mask;
+                    let dfcm = &self.dfcm_banks[bank];
+                    if let Some(k) = dfcm.find_value(line, table, target) {
+                        return code + k as u8;
+                    }
+                    code += dfcm.table_height(table) as u8;
+                }
+                Source::St { table, take, lv_table } => {
+                    let stride = self.stride_tables[table].confirmed(line);
+                    let mut pred = self.lv_tables[lv_table].first(line);
+                    for k in 0..take {
+                        pred = pred.wrapping_add(stride) & self.width_mask;
+                        if pred == value {
+                            return code + k as u8;
+                        }
+                    }
+                    code += take as u8;
+                }
             }
         }
         code
@@ -354,7 +441,12 @@ impl FieldBank {
     /// Updates every table with the actual field value.
     pub fn update(&mut self, pc: u64, actual: u64) {
         let line = self.line(pc);
-        let value = actual & self.width_mask;
+        self.update_line(line, actual & self.width_mask);
+    }
+
+    /// [`Self::update`] with the line resolved and the value masked.
+    #[inline]
+    fn update_line(&mut self, line: usize, value: u64) {
         for bank in &mut self.fcm_banks {
             bank.update(line, value, self.policy);
         }
@@ -372,6 +464,108 @@ impl FieldBank {
         for table in &mut self.lv_tables {
             table.update(line, value, self.policy);
         }
+    }
+
+    /// Models a whole column of values in one pass: for each record,
+    /// finds the predictor code of `values[i]` under `pcs[i]`, appends it
+    /// to `codes_out`, appends the masked value to `misses_out` when no
+    /// slot matched, and updates the tables.
+    ///
+    /// Byte-for-byte equivalent to calling [`Self::find_code`] and
+    /// [`Self::update`] per record, but with the line resolved once, the
+    /// value masked once, and the per-slot `Source` dispatch of the old
+    /// record-major loop hoisted into one per-predictor search
+    /// ([`Self::find_code_in_line`]), keeping this bank's tables hot for
+    /// the whole column.
+    ///
+    /// For the PC field itself, pass the same column as both `pcs` and
+    /// `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcs` and `values` differ in length.
+    pub fn model_column(
+        &mut self,
+        pcs: &[u64],
+        values: &[u64],
+        codes_out: &mut Vec<u8>,
+        misses_out: &mut Vec<u64>,
+    ) {
+        assert_eq!(pcs.len(), values.len(), "pc and value columns must align");
+        let miss = self.n_predictions as u8;
+        codes_out.reserve(values.len());
+        for (&pc, &raw) in pcs.iter().zip(values) {
+            let line = self.line(pc);
+            let value = raw & self.width_mask;
+            let code = self.find_code_in_line(line, value);
+            codes_out.push(code);
+            if code == miss {
+                misses_out.push(value);
+            }
+            self.update_line(line, value);
+        }
+    }
+
+    /// Replays a whole column: for each code, reconstructs the field
+    /// value — a prediction slot for codes below the miss code, the next
+    /// entry of `misses` for the miss code — appends it to `out`, and
+    /// updates the tables. The inverse of [`Self::model_column`].
+    ///
+    /// `pcs` carries the already-decoded PC column; pass `None` for the
+    /// PC field itself, whose L1 size is one (the specification
+    /// validator guarantees it), so its line is always zero and the
+    /// not-yet-known PC cannot matter.
+    ///
+    /// Miss values are masked on the way in, mirroring the record-major
+    /// replay loop this replaces.
+    ///
+    /// # Errors
+    ///
+    /// Fails on codes beyond the miss code, on a miss stream that runs
+    /// dry, and on miss values left over after the last record — the
+    /// trailing-garbage hardening the container format requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcs` is `Some` but shorter than `codes`.
+    pub fn replay_column(
+        &mut self,
+        pcs: Option<&[u64]>,
+        codes: &[u8],
+        misses: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), ReplayError> {
+        if pcs.is_none() {
+            debug_assert_eq!(self.l1_mask, 0, "only the PC field (L1 = 1) replays without PCs");
+        }
+        let miss = self.n_predictions as usize;
+        let mut next_miss = 0usize;
+        out.reserve(codes.len());
+        for (rec, &code) in codes.iter().enumerate() {
+            let line = match pcs {
+                Some(p) => self.line(p[rec]),
+                None => 0,
+            };
+            let c = code as usize;
+            let value = if c < miss {
+                let (si, offset) = self.slots[c];
+                self.slot_value(line, &self.sources[si as usize], offset as usize)
+            } else if c == miss {
+                let Some(&v) = misses.get(next_miss) else {
+                    return Err(ReplayError::MissingValue { record: rec });
+                };
+                next_miss += 1;
+                v & self.width_mask
+            } else {
+                return Err(ReplayError::CodeOutOfRange { record: rec, code });
+            };
+            out.push(value);
+            self.update_line(line, value);
+        }
+        if next_miss != misses.len() {
+            return Err(ReplayError::TrailingValues { left: misses.len() - next_miss });
+        }
+        Ok(())
     }
 
     /// Approximate memory footprint in bytes.
@@ -642,6 +836,147 @@ mod st_tests {
             a.update(pc, value);
             b.update(pc, value);
         }
+    }
+}
+
+#[cfg(test)]
+mod columnar_tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    fn columns(n: usize) -> (Vec<u64>, Vec<u64>) {
+        let mut x = 0x0123_4567_89ab_cdefu64;
+        let mut pcs = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pcs.push(x >> 44);
+            vals.push(if i % 3 == 0 { x >> 8 } else { i * 8 + 5 });
+        }
+        (pcs, vals)
+    }
+
+    fn all_option_sets() -> Vec<PredictorOptions> {
+        let d = PredictorOptions::default();
+        vec![
+            d,
+            PredictorOptions { policy: UpdatePolicy::Always, ..d },
+            PredictorOptions { fast_hash: false, ..d },
+            PredictorOptions { shared_tables: false, ..d },
+            PredictorOptions { adaptive_shift: false, ..d },
+        ]
+    }
+
+    /// The tentpole equivalence: one `model_column` call must produce
+    /// exactly the codes and misses of the per-record find/update loop,
+    /// under every ablation option set.
+    #[test]
+    fn model_column_matches_record_major_loop() {
+        let st_spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 16, L2 = 256: ST[3], DFCM1[1], LV[2]};\nPC = Field 1;",
+        )
+        .unwrap();
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let (pcs, vals) = columns(3_000);
+        for field in spec.fields.iter().chain(&st_spec.fields) {
+            for options in all_option_sets() {
+                let mut reference = FieldBank::new(field, options);
+                let mut columnar = FieldBank::new(field, options);
+                let mut want_codes = Vec::new();
+                let mut want_misses = Vec::new();
+                for (&pc, &raw) in pcs.iter().zip(&vals) {
+                    let value = raw & reference.width_mask();
+                    let code = reference.find_code(pc, value);
+                    want_codes.push(code);
+                    if u32::from(code) == reference.n_predictions() {
+                        want_misses.push(value);
+                    }
+                    reference.update(pc, value);
+                }
+                let mut codes = Vec::new();
+                let mut misses = Vec::new();
+                columnar.model_column(&pcs, &vals, &mut codes, &mut misses);
+                assert_eq!(codes, want_codes, "{options:?}");
+                assert_eq!(misses, want_misses, "{options:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_column_inverts_model_column() {
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let (pcs, vals) = columns(2_000);
+        for field in &spec.fields {
+            let options = PredictorOptions::default();
+            let mut fwd = FieldBank::new(field, options);
+            let mut codes = Vec::new();
+            let mut misses = Vec::new();
+            fwd.model_column(&pcs, &vals, &mut codes, &mut misses);
+            let mut bwd = FieldBank::new(field, options);
+            let mut out = Vec::new();
+            bwd.replay_column(Some(&pcs), &codes, &misses, &mut out).unwrap();
+            let masked: Vec<u64> = vals.iter().map(|&v| v & fwd.width_mask()).collect();
+            assert_eq!(out, masked);
+        }
+    }
+
+    /// The PC field replays without a PC column: its L1 size is one, so
+    /// modeling with the raw column and replaying with `None` agree.
+    #[test]
+    fn pc_field_replays_without_pc_column() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let pc_field = &spec.fields[spec.pc_index()];
+        let (_, vals) = columns(1_500);
+        let options = PredictorOptions::default();
+        let mut fwd = FieldBank::new(pc_field, options);
+        let mut codes = Vec::new();
+        let mut misses = Vec::new();
+        fwd.model_column(&vals, &vals, &mut codes, &mut misses);
+        let mut bwd = FieldBank::new(pc_field, options);
+        let mut out = Vec::new();
+        bwd.replay_column(None, &codes, &misses, &mut out).unwrap();
+        let masked: Vec<u64> = vals.iter().map(|&v| v & fwd.width_mask()).collect();
+        assert_eq!(out, masked);
+    }
+
+    #[test]
+    fn replay_column_rejects_corrupt_streams() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let field = &spec.fields[1];
+        let (pcs, vals) = columns(300);
+        let options = PredictorOptions::default();
+        let mut fwd = FieldBank::new(field, options);
+        let mut codes = Vec::new();
+        let mut misses = Vec::new();
+        fwd.model_column(&pcs, &vals, &mut codes, &mut misses);
+        assert!(!misses.is_empty(), "test needs at least one miss");
+
+        // A code beyond the miss code.
+        let mut bad = codes.clone();
+        bad[7] = fwd.n_predictions() as u8 + 1;
+        let mut bank = FieldBank::new(field, options);
+        assert_eq!(
+            bank.replay_column(Some(&pcs), &bad, &misses, &mut Vec::new()),
+            Err(ReplayError::CodeOutOfRange { record: 7, code: fwd.n_predictions() as u8 + 1 })
+        );
+
+        // A miss stream that runs dry.
+        let mut bank = FieldBank::new(field, options);
+        let err = bank
+            .replay_column(Some(&pcs), &codes, &misses[..misses.len() - 1], &mut Vec::new())
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::MissingValue { .. }));
+
+        // Leftover miss values.
+        let mut extra = misses.clone();
+        extra.push(42);
+        let mut bank = FieldBank::new(field, options);
+        assert_eq!(
+            bank.replay_column(Some(&pcs), &codes, &extra, &mut Vec::new()),
+            Err(ReplayError::TrailingValues { left: 1 })
+        );
     }
 }
 

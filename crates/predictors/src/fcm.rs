@@ -117,6 +117,17 @@ impl ContextBank {
         self.tables[t].table.line(idx)[entry]
     }
 
+    /// Index of the first entry of table `t`'s current line equal to
+    /// `value`, or `None`. The batch-modeling analogue of probing
+    /// [`Self::value_at`] slot by slot: the hash is resolved once per
+    /// probe rather than once per slot.
+    #[inline]
+    pub fn find_value(&self, line: usize, t: usize, value: u64) -> Option<usize> {
+        let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
+        let idx = self.index(line, t, &scratch);
+        self.tables[t].table.line(idx).iter().position(|&v| v == value)
+    }
+
     /// Appends the predictions of table `t` for `line` to `out`.
     pub fn predict_into(&self, line: usize, t: usize, out: &mut Vec<u64>) {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };

@@ -39,7 +39,7 @@ pub mod policy;
 pub mod stride;
 pub mod table;
 
-pub use bank::{FieldBank, PredictorOptions, SpecBanks};
+pub use bank::{FieldBank, PredictorOptions, ReplayError, SpecBanks};
 pub use fcm::ContextBank;
 pub use hash::{fold, HashSpec};
 pub use policy::UpdatePolicy;
