@@ -38,15 +38,19 @@ impl Width {
     ///
     /// # Panics
     ///
-    /// Panics on widths other than 8, 16, 32, 64 (validated specs never
-    /// produce those).
+    /// Panics on widths other than 8, 16, 32, 64. The engine accepts any
+    /// width in 1..=64 (masking values to the field width), but emitted
+    /// standalone compressors use native integer types, so code
+    /// generation is limited to exact machine widths.
     pub fn for_bits(bits: u32) -> Self {
         match bits {
             8 => Width::U8,
             16 => Width::U16,
             32 => Width::U32,
             64 => Width::U64,
-            other => panic!("unsupported field width {other}"),
+            other => panic!(
+                "code generation requires a native field width (8/16/32/64 bits), got {other}"
+            ),
         }
     }
 

@@ -112,6 +112,9 @@ pub(crate) fn compress_with_hash(
     let threads = options.effective_threads();
     let model_threads = options.effective_model_threads();
     let mut modeler = Modeler::new(spec, options);
+    if let Some(u) = usage.as_deref_mut() {
+        modeler.record_table_bytes(u);
+    }
     let mut streams = BlockStreams::new(spec.fields.len());
 
     std::thread::scope(|scope| {
@@ -136,27 +139,31 @@ pub(crate) fn compress_with_hash(
         let level = options.level;
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
-            move |payload: Vec<u8>| {
-                blockzip::compress_with_scratch(&payload, level, &mut scratch)
+            move |mut payload: Vec<u8>| {
+                let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                payload.clear();
+                (payload, packed)
             }
         });
         let segs_per_block = 2 * spec.fields.len();
         // Record counts of submitted blocks not yet written out.
         let mut pending: VecDeque<u32> = VecDeque::new();
+        // Stream buffers that came back from the pool, ready for reuse.
+        let mut free: Vec<Vec<u8>> = Vec::new();
         let mut pos = 0usize;
         while pos < total {
             let take = block_records.min(total - pos);
             let chunk = &body[pos * record_len..(pos + take) * record_len];
             modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
-            submit_block(&pipe, &mut streams, &mut pending);
+            submit_block(&pipe, &mut streams, &mut pending, &mut free);
             if pending.len() > max_blocks_ahead(threads) {
                 let n = pending.pop_front().expect("pending is non-empty");
-                write_packed_block(&mut out, &pipe, n, segs_per_block)?;
+                write_packed_block(&mut out, &pipe, n, segs_per_block, &mut free)?;
             }
             pos += take;
         }
         while let Some(n) = pending.pop_front() {
-            write_packed_block(&mut out, &pipe, n, segs_per_block)?;
+            write_packed_block(&mut out, &pipe, n, segs_per_block, &mut free)?;
         }
         out.push(END_MARKER);
         Ok(out)
@@ -242,35 +249,47 @@ fn flush_block(
     }
 }
 
+/// The threaded post-compression pool: each worker consumes a segment
+/// payload and hands it back (cleared, capacity intact) alongside the
+/// packed bytes, so block stream buffers are recycled instead of
+/// reallocated every block.
+pub(crate) type PackPipe = Pipeline<Vec<u8>, (Vec<u8>, Vec<u8>)>;
+
 /// Hands one finished block's segments to the worker pool, in the exact
-/// order [`flush_block`] would write them, and resets `streams`.
+/// order [`flush_block`] would write them, and resets `streams`. The
+/// outgoing buffers are replaced from `free`, the pool of buffers that
+/// earlier blocks' workers have already handed back.
 pub(crate) fn submit_block(
-    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    pipe: &PackPipe,
     streams: &mut BlockStreams,
     pending: &mut VecDeque<u32>,
+    free: &mut Vec<Vec<u8>>,
 ) {
     pending.push_back(streams.records as u32);
     for fs in &mut streams.fields {
-        pipe.submit(std::mem::take(&mut fs.codes));
-        pipe.submit(std::mem::take(&mut fs.values));
+        pipe.submit(std::mem::replace(&mut fs.codes, free.pop().unwrap_or_default()));
+        pipe.submit(std::mem::replace(&mut fs.values, free.pop().unwrap_or_default()));
     }
     streams.clear();
 }
 
 /// Writes one block frame, consuming `segs_per_block` results from the
-/// pool in submission order.
+/// pool in submission order. The payload buffers ride back with the
+/// packed bytes and are returned to `free` for the next block.
 pub(crate) fn write_packed_block(
     out: &mut Vec<u8>,
-    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    pipe: &PackPipe,
     n_records: u32,
     segs_per_block: usize,
+    free: &mut Vec<Vec<u8>>,
 ) -> Result<(), Error> {
     out.push(BLOCK_MARKER);
     out.extend_from_slice(&n_records.to_le_bytes());
     for _ in 0..segs_per_block {
-        let packed = pipe
+        let (payload, packed) = pipe
             .next()
             .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        free.push(payload);
         out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
         out.extend_from_slice(&packed);
     }
@@ -358,7 +377,26 @@ pub(crate) fn decompress_with_hash(
     // Semantics-affecting options come from the container.
     let effective = options.with_flags(flags);
     let mut replayer = Replayer::new(spec, &effective);
-    let mut out = Vec::with_capacity(packed.len() * 4);
+
+    // The block layout fixes the decoded size exactly, so the output is
+    // allocated once instead of growing through reallocation stalls.
+    let record_len = spec.record_bytes() as usize;
+    let mut total_records = 0usize;
+    for block in &blocks {
+        total_records = total_records
+            .checked_add(block.n_records)
+            .ok_or_else(|| Error::Corrupt("total record count overflows".into()))?;
+    }
+    let out_len = total_records
+        .checked_mul(record_len)
+        .and_then(|body| body.checked_add(header_len))
+        .ok_or_else(|| Error::Corrupt("decoded trace size overflows".into()))?;
+    // Fallible reservation: a forged record count must produce an error,
+    // not an allocation abort.
+    let mut out = Vec::new();
+    out.try_reserve_exact(out_len).map_err(|_| {
+        Error::Corrupt(format!("cannot allocate {out_len} bytes for the decoded trace"))
+    })?;
     out.extend_from_slice(header);
 
     let threads = options.effective_threads();

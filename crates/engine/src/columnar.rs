@@ -4,7 +4,10 @@
 //! column, which is the PC field's own column), and each field's column
 //! is modeled or replayed in one batch call
 //! ([`tcgen_predictors::FieldBank::model_column`] /
-//! [`tcgen_predictors::FieldBank::replay_column`]). A `FieldBank`'s
+//! [`tcgen_predictors::FieldBank::replay_column`]). Each bank is an
+//! enum over width-specialized `TypedBank<u8|u16|u32|u64>` instances,
+//! so the one dispatch per column job lands in a kernel fully
+//! monomorphized for the field's table-element width. A `FieldBank`'s
 //! state depends only on its own value history and the PC column — never
 //! on another field's tables — so the per-field jobs are independent and
 //! can run on the ordered worker pool ([`crate::pool`]) under
@@ -132,6 +135,14 @@ impl Modeler {
         model_threads: usize,
     ) -> ModelPipe {
         Pipeline::start(scope, model_threads, || ModelJob::run)
+    }
+
+    /// Copies each bank's value-table footprint into `usage`, so the
+    /// report reflects the element widths actually selected.
+    pub(crate) fn record_table_bytes(&self, usage: &mut UsageReport) {
+        for (field, bank) in usage.fields.iter_mut().zip(&self.banks) {
+            field.table_bytes = bank.as_ref().expect("bank present").table_bytes() as u64;
+        }
     }
 
     /// Models `chunk` (whole records) into `streams`, incrementing its

@@ -69,9 +69,16 @@ impl EngineOptions {
     }
 
     /// Table 2 row "no type minimization": miss values are written as
-    /// full 8-byte words.
+    /// full 8-byte words and predictor tables store full `u64` elements.
     pub fn no_type_minimization() -> Self {
-        Self { minimize_types: false, ..Self::tcgen() }
+        Self {
+            predictor: PredictorOptions {
+                minimal_elements: false,
+                ..PredictorOptions::default()
+            },
+            minimize_types: false,
+            ..Self::tcgen()
+        }
     }
 
     /// Table 2 row "no shared tables": every predictor owns private
@@ -100,6 +107,7 @@ impl EngineOptions {
                 fast_hash: false,
                 shared_tables: false,
                 adaptive_shift: true,
+                minimal_elements: false,
             },
             minimize_types: false,
             ..Self::tcgen()

@@ -155,12 +155,15 @@ pub fn compress_stream(
         let level = options.level;
         let pipe = Pipeline::start(scope, threads, || {
             let mut scratch = blockzip::Scratch::default();
-            move |payload: Vec<u8>| {
-                blockzip::compress_with_scratch(&payload, level, &mut scratch)
+            move |mut payload: Vec<u8>| {
+                let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                payload.clear();
+                (payload, packed)
             }
         });
         let segs_per_block = 2 * spec.fields.len();
         let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut free: Vec<Vec<u8>> = Vec::new();
         loop {
             let got = read_exact_or_eof(input, &mut chunk)?;
             if got % record_len != 0 {
@@ -173,10 +176,10 @@ pub fn compress_stream(
                 let span = &chunk[idx * record_len..(idx + take) * record_len];
                 modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
                 if streams.records == block_records {
-                    crate::codec::submit_block(&pipe, &mut streams, &mut pending);
+                    crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
                     if pending.len() > max_blocks_ahead(threads) {
                         let n = pending.pop_front().expect("pending is non-empty");
-                        write_packed_block(output, &pipe, n, segs_per_block)?;
+                        write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
                     }
                 }
                 idx += take;
@@ -186,10 +189,10 @@ pub fn compress_stream(
             }
         }
         if !streams.is_empty() {
-            crate::codec::submit_block(&pipe, &mut streams, &mut pending);
+            crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
         }
         while let Some(n) = pending.pop_front() {
-            write_packed_block(output, &pipe, n, segs_per_block)?;
+            write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
         }
         output.write_all(&[0u8])?;
         output.flush()?;
@@ -217,16 +220,18 @@ fn write_block(
 
 fn write_packed_block(
     output: &mut impl Write,
-    pipe: &Pipeline<Vec<u8>, Vec<u8>>,
+    pipe: &crate::codec::PackPipe,
     n_records: u32,
     segs_per_block: usize,
+    free: &mut Vec<Vec<u8>>,
 ) -> Result<(), StreamError> {
     output.write_all(&[1u8])?;
     output.write_all(&n_records.to_le_bytes())?;
     for _ in 0..segs_per_block {
-        let packed = pipe
+        let (payload, packed) = pipe
             .next()
             .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        free.push(payload);
         output.write_all(&(packed.len() as u32).to_le_bytes())?;
         output.write_all(&packed)?;
     }

@@ -18,6 +18,12 @@ pub struct FieldUsage {
     pub counts: Vec<u64>,
     /// How often no predictor was correct.
     pub misses: u64,
+    /// Bytes of predictor value-table storage allocated for this field
+    /// (last-value, FCM/DFCM second-level, and stride tables; excludes
+    /// width-independent hash state). Reflects the element width the
+    /// bank selected: an 8-bit field's tables are one eighth the size
+    /// of their `u64` equivalents.
+    pub table_bytes: u64,
 }
 
 impl FieldUsage {
@@ -62,6 +68,7 @@ impl UsageReport {
                     counts: vec![0; labels.len()],
                     labels,
                     misses: 0,
+                    table_bytes: 0,
                 }
             })
             .collect();
@@ -141,10 +148,11 @@ impl std::fmt::Display for UsageReport {
             let total = field.total().max(1);
             writeln!(
                 f,
-                "Field {} ({} records, {:.1}% predicted):",
+                "Field {} ({} records, {:.1}% predicted, {} table bytes):",
                 field.field_number,
                 field.total(),
-                field.hit_rate() * 100.0
+                field.hit_rate() * 100.0,
+                field.table_bytes
             )?;
             for (label, count) in field.labels.iter().zip(&field.counts) {
                 writeln!(

@@ -1,9 +1,20 @@
 //! Per-field predictor banks: the composition of LV, FCM, and DFCM
 //! predictors a specification attaches to one field, with TCgen's table
 //! sharing, renamed predictor codes, and ablation switches.
+//!
+//! Storage is width-specialized (paper §4): [`FieldBank`] is an enum over
+//! [`TypedBank`] instantiations whose element type is the narrowest
+//! unsigned integer covering the field's declared bit width, picked once
+//! at construction. Every hot loop ([`TypedBank::model_column`],
+//! [`TypedBank::replay_column`]) is monomorphized over that element, so
+//! the inner loops run without per-value widening or double masking; the
+//! enum is dispatched once per column job, not per record. See
+//! [`crate::element`] for the masking argument that makes the narrowing
+//! invisible in the emitted streams.
 
 use tcgen_spec::{FieldSpec, PredictorKind, TraceSpec};
 
+use crate::element::{width_mask, TableElement};
 use crate::fcm::ContextBank;
 use crate::policy::UpdatePolicy;
 use crate::stride::StrideTable;
@@ -23,6 +34,11 @@ pub struct PredictorOptions {
     /// Adapt the hash shift to field width and table size (a §5.3
     /// enhancement over VPC3).
     pub adaptive_shift: bool,
+    /// Store table elements with the narrowest unsigned type covering the
+    /// field width (paper §4, minimal element types). Speed and memory
+    /// only — the emitted streams are byte-identical either way — so it
+    /// is not part of the container flags.
+    pub minimal_elements: bool,
 }
 
 impl Default for PredictorOptions {
@@ -32,6 +48,7 @@ impl Default for PredictorOptions {
             fast_hash: true,
             shared_tables: true,
             adaptive_shift: true,
+            minimal_elements: true,
         }
     }
 }
@@ -73,15 +90,21 @@ pub enum ReplayError {
     },
 }
 
-/// All predictor state for one field.
+/// All predictor state for one field, stored as element type `E`.
+///
+/// Obtained through [`FieldBank::new`], which picks `E`; the methods here
+/// are the monomorphized kernels the enum dispatches into.
 #[derive(Debug)]
-pub struct FieldBank {
-    width_mask: u64,
+pub struct TypedBank<E: TableElement> {
+    /// The field mask within the element domain.
+    mask: E,
+    /// The same mask in the `u64` value domain (for the boundary API).
+    mask_u64: u64,
     l1_mask: u64,
-    lv_tables: Vec<ValueTable>,
-    fcm_banks: Vec<ContextBank>,
-    dfcm_banks: Vec<ContextBank>,
-    stride_tables: Vec<StrideTable>,
+    lv_tables: Vec<ValueTable<E>>,
+    fcm_banks: Vec<ContextBank<E>>,
+    dfcm_banks: Vec<ContextBank<E>>,
+    stride_tables: Vec<StrideTable<E>>,
     /// (bank, lv_table) pairs that need a stride on update.
     dfcm_updates: Vec<(usize, usize)>,
     /// (stride table, lv_table) pairs updated with the observed stride.
@@ -94,15 +117,16 @@ pub struct FieldBank {
     policy: UpdatePolicy,
 }
 
-impl FieldBank {
+impl<E: TableElement> TypedBank<E> {
     /// Builds the predictor state for `field` under `options`.
     ///
     /// # Panics
     ///
-    /// Panics if `field` is invalid (no predictors, bad sizes); validated
-    /// specifications never trigger this.
-    pub fn new(field: &FieldSpec, options: PredictorOptions) -> Self {
-        let width_mask = if field.bits == 64 { u64::MAX } else { (1u64 << field.bits) - 1 };
+    /// Panics if `field` is invalid (no predictors, bad sizes) or wider
+    /// than the element; [`FieldBank::new`] never lets either happen.
+    fn new(field: &FieldSpec, options: PredictorOptions) -> Self {
+        assert!(field.bits <= E::BITS, "field wider than the table element");
+        let mask_u64 = if field.bits == 64 { u64::MAX } else { (1u64 << field.bits) - 1 };
         let l1 = field.l1;
         let mut lv_tables = Vec::new();
         let mut fcm_banks = Vec::new();
@@ -249,7 +273,8 @@ impl FieldBank {
         }
 
         let mut bank = Self {
-            width_mask,
+            mask: width_mask::<E>(field.bits),
+            mask_u64,
             l1_mask: l1 - 1,
             lv_tables,
             fcm_banks,
@@ -279,37 +304,34 @@ impl FieldBank {
         slots
     }
 
-    /// Number of predictions per record; predictor codes are
-    /// `0..n_predictions` and `n_predictions` is the miss code.
-    pub fn n_predictions(&self) -> u32 {
-        self.n_predictions
-    }
-
-    /// The field-width mask applied to every value.
-    pub fn width_mask(&self) -> u64 {
-        self.width_mask
-    }
-
     #[inline]
     fn line(&self, pc: u64) -> usize {
         (pc & self.l1_mask) as usize
     }
 
+    /// Truncates a `u64`-domain value to the element and masks it to the
+    /// field width — the only conversion on the enum boundary.
+    #[inline]
+    fn narrow(&self, v: u64) -> E {
+        E::from_u64(v) & self.mask
+    }
+
     /// The value of one prediction slot, computed lazily.
     #[inline]
-    fn slot_value(&self, line: usize, source: &Source, offset: usize) -> u64 {
+    fn slot_value(&self, line: usize, source: &Source, offset: usize) -> E {
         match *source {
             Source::Lv { table, .. } => self.lv_tables[table].line(line)[offset],
             Source::Fcm { bank, table } => self.fcm_banks[bank].value_at(line, table, offset),
             Source::Dfcm { bank, table, lv_table } => {
                 let last = self.lv_tables[lv_table].first(line);
                 let stride = self.dfcm_banks[bank].value_at(line, table, offset);
-                last.wrapping_add(stride) & self.width_mask
+                last.wrapping_add(stride) & self.mask
             }
             Source::St { table, lv_table, .. } => {
                 let last = self.lv_tables[lv_table].first(line);
                 let stride = self.stride_tables[table].confirmed(line);
-                last.wrapping_add(stride.wrapping_mul(offset as u64 + 1)) & self.width_mask
+                last.wrapping_add(stride.wrapping_mul(E::from_u64(offset as u64 + 1)))
+                    & self.mask
             }
         }
     }
@@ -325,28 +347,14 @@ impl FieldBank {
         }
     }
 
-    /// Finds the first prediction slot matching `value`, evaluating slots
-    /// lazily in code order — the engine analogue of the generated code's
-    /// if/else-if chain. Returns the slot code, or `n_predictions` (the
-    /// miss code) when nothing matches.
-    pub fn find_code(&self, pc: u64, value: u64) -> u8 {
-        if value & self.width_mask != value {
-            // Every slot holds a masked value, so an over-wide value can
-            // only miss. (The columnar matcher below relies on masked
-            // inputs for its stride arithmetic.)
-            return self.n_predictions as u8;
-        }
-        self.find_code_in_line(self.line(pc), value)
-    }
-
-    /// [`Self::find_code`] with the L1 line already resolved and `value`
-    /// already masked. One `Source` dispatch per predictor rather than
-    /// per slot: each arm searches all of its slots in one go, with DFCM
-    /// and ST matches done in stride space — `last + stride ≡ value`
+    /// [`FieldBank::find_code`] with the L1 line already resolved and
+    /// `value` already masked. One `Source` dispatch per predictor rather
+    /// than per slot: each arm searches all of its slots in one go, with
+    /// DFCM and ST matches done in stride space — `last + stride ≡ value`
     /// exactly when `stride ≡ value - last` (mod 2^width), and stored
     /// strides are always masked — so no prediction list is materialized.
     #[inline]
-    fn find_code_in_line(&self, line: usize, value: u64) -> u8 {
+    fn find_code_in_line(&self, line: usize, value: E) -> u8 {
         let mut code = 0u8;
         for source in &self.sources {
             match *source {
@@ -366,7 +374,7 @@ impl FieldBank {
                 }
                 Source::Dfcm { bank, table, lv_table } => {
                     let last = self.lv_tables[lv_table].first(line);
-                    let target = value.wrapping_sub(last) & self.width_mask;
+                    let target = value.wrapping_sub(last) & self.mask;
                     let dfcm = &self.dfcm_banks[bank];
                     if let Some(k) = dfcm.find_value(line, table, target) {
                         return code + k as u8;
@@ -377,7 +385,7 @@ impl FieldBank {
                     let stride = self.stride_tables[table].confirmed(line);
                     let mut pred = self.lv_tables[lv_table].first(line);
                     for k in 0..take {
-                        pred = pred.wrapping_add(stride) & self.width_mask;
+                        pred = pred.wrapping_add(stride) & self.mask;
                         if pred == value {
                             return code + k as u8;
                         }
@@ -389,9 +397,8 @@ impl FieldBank {
         code
     }
 
-    /// The predicted value for `code`, or `None` for the miss code —
-    /// the lazy decompression path (one slot, not all of them).
-    pub fn value_for_code(&self, pc: u64, code: u8) -> Option<u64> {
+    /// The predicted value for `code`, or `None` for the miss code.
+    fn value_for_code(&self, pc: u64, code: u8) -> Option<u64> {
         if u32::from(code) >= self.n_predictions {
             return None;
         }
@@ -400,7 +407,7 @@ impl FieldBank {
         for source in &self.sources {
             let height = self.source_height(source);
             if remaining < height {
-                return Some(self.slot_value(line, source, remaining));
+                return Some(self.slot_value(line, source, remaining).to_u64());
             }
             remaining -= height;
         }
@@ -408,13 +415,15 @@ impl FieldBank {
     }
 
     /// Appends all predictions for the record whose PC is `pc` to `out`,
-    /// in predictor-code order.
-    pub fn predict_into(&self, pc: u64, out: &mut Vec<u64>) {
+    /// in predictor-code order, widened to the `u64` value domain.
+    fn predict_into(&self, pc: u64, out: &mut Vec<u64>) {
         let line = self.line(pc);
         for source in &self.sources {
             match *source {
                 Source::Lv { table, take } => {
-                    out.extend_from_slice(&self.lv_tables[table].line(line)[..take]);
+                    out.extend(
+                        self.lv_tables[table].line(line)[..take].iter().map(|v| v.to_u64()),
+                    );
                 }
                 Source::Fcm { bank, table } => {
                     self.fcm_banks[bank].predict_into(line, table, out);
@@ -424,41 +433,36 @@ impl FieldBank {
                     let before = out.len();
                     self.dfcm_banks[bank].predict_into(line, table, out);
                     for v in &mut out[before..] {
-                        *v = last.wrapping_add(*v) & self.width_mask;
+                        *v = (last.wrapping_add(E::from_u64(*v)) & self.mask).to_u64();
                     }
                 }
                 Source::St { table, take, lv_table } => {
-                    let last = self.lv_tables[lv_table].first(line);
                     let stride = self.stride_tables[table].confirmed(line);
-                    for k in 1..=take as u64 {
-                        out.push(last.wrapping_add(stride.wrapping_mul(k)) & self.width_mask);
+                    let mut pred = self.lv_tables[lv_table].first(line);
+                    for _ in 0..take {
+                        pred = pred.wrapping_add(stride) & self.mask;
+                        out.push(pred.to_u64());
                     }
                 }
             }
         }
     }
 
-    /// Updates every table with the actual field value.
-    pub fn update(&mut self, pc: u64, actual: u64) {
-        let line = self.line(pc);
-        self.update_line(line, actual & self.width_mask);
-    }
-
-    /// [`Self::update`] with the line resolved and the value masked.
+    /// [`FieldBank::update`] with the line resolved and the value masked.
     #[inline]
-    fn update_line(&mut self, line: usize, value: u64) {
+    fn update_line(&mut self, line: usize, value: E) {
         for bank in &mut self.fcm_banks {
             bank.update(line, value, self.policy);
         }
         // Strides use the pre-update last values.
         for &(bank, lv_table) in &self.dfcm_updates {
             let last = self.lv_tables[lv_table].first(line);
-            let stride = value.wrapping_sub(last) & self.width_mask;
+            let stride = value.wrapping_sub(last) & self.mask;
             self.dfcm_banks[bank].update(line, stride, self.policy);
         }
         for &(table, lv_table) in &self.st_updates {
             let last = self.lv_tables[lv_table].first(line);
-            let stride = value.wrapping_sub(last) & self.width_mask;
+            let stride = value.wrapping_sub(last) & self.mask;
             self.stride_tables[table].update(line, stride);
         }
         for table in &mut self.lv_tables {
@@ -466,25 +470,12 @@ impl FieldBank {
         }
     }
 
-    /// Models a whole column of values in one pass: for each record,
-    /// finds the predictor code of `values[i]` under `pcs[i]`, appends it
-    /// to `codes_out`, appends the masked value to `misses_out` when no
-    /// slot matched, and updates the tables.
-    ///
-    /// Byte-for-byte equivalent to calling [`Self::find_code`] and
-    /// [`Self::update`] per record, but with the line resolved once, the
-    /// value masked once, and the per-slot `Source` dispatch of the old
-    /// record-major loop hoisted into one per-predictor search
-    /// ([`Self::find_code_in_line`]), keeping this bank's tables hot for
-    /// the whole column.
-    ///
-    /// For the PC field itself, pass the same column as both `pcs` and
-    /// `values`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pcs` and `values` differ in length.
-    pub fn model_column(
+    /// The monomorphized modeling kernel behind
+    /// [`FieldBank::model_column`]: columns arrive as `u64` (the
+    /// transpose stage is width-agnostic), each value is truncated to the
+    /// element once, and the whole search/update loop then runs at the
+    /// element width.
+    fn model_column(
         &mut self,
         pcs: &[u64],
         values: &[u64],
@@ -496,39 +487,19 @@ impl FieldBank {
         codes_out.reserve(values.len());
         for (&pc, &raw) in pcs.iter().zip(values) {
             let line = self.line(pc);
-            let value = raw & self.width_mask;
+            let value = E::from_u64(raw) & self.mask;
             let code = self.find_code_in_line(line, value);
             codes_out.push(code);
             if code == miss {
-                misses_out.push(value);
+                misses_out.push(value.to_u64());
             }
             self.update_line(line, value);
         }
     }
 
-    /// Replays a whole column: for each code, reconstructs the field
-    /// value — a prediction slot for codes below the miss code, the next
-    /// entry of `misses` for the miss code — appends it to `out`, and
-    /// updates the tables. The inverse of [`Self::model_column`].
-    ///
-    /// `pcs` carries the already-decoded PC column; pass `None` for the
-    /// PC field itself, whose L1 size is one (the specification
-    /// validator guarantees it), so its line is always zero and the
-    /// not-yet-known PC cannot matter.
-    ///
-    /// Miss values are masked on the way in, mirroring the record-major
-    /// replay loop this replaces.
-    ///
-    /// # Errors
-    ///
-    /// Fails on codes beyond the miss code, on a miss stream that runs
-    /// dry, and on miss values left over after the last record — the
-    /// trailing-garbage hardening the container format requires.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pcs` is `Some` but shorter than `codes`.
-    pub fn replay_column(
+    /// The monomorphized replay kernel behind
+    /// [`FieldBank::replay_column`].
+    fn replay_column(
         &mut self,
         pcs: Option<&[u64]>,
         codes: &[u8],
@@ -555,11 +526,11 @@ impl FieldBank {
                     return Err(ReplayError::MissingValue { record: rec });
                 };
                 next_miss += 1;
-                v & self.width_mask
+                E::from_u64(v) & self.mask
             } else {
                 return Err(ReplayError::CodeOutOfRange { record: rec, code });
             };
-            out.push(value);
+            out.push(value.to_u64());
             self.update_line(line, value);
         }
         if next_miss != misses.len() {
@@ -568,12 +539,211 @@ impl FieldBank {
         Ok(())
     }
 
+    /// Approximate memory footprint in bytes, including hash state.
+    fn memory_bytes(&self) -> usize {
+        self.hash_state_bytes() + self.table_bytes()
+    }
+
+    /// First-level hash/history bytes (width-independent).
+    fn hash_state_bytes(&self) -> usize {
+        self.fcm_banks
+            .iter()
+            .chain(&self.dfcm_banks)
+            .map(|b| b.memory_bytes() - b.table_memory_bytes())
+            .sum()
+    }
+
+    /// Bytes held by value tables alone — the storage the minimal
+    /// element types shrink (last-value, (D)FCM second-level, stride).
+    fn table_bytes(&self) -> usize {
+        self.lv_tables.iter().map(|t| t.memory_bytes()).sum::<usize>()
+            + self.fcm_banks.iter().map(|b| b.table_memory_bytes()).sum::<usize>()
+            + self.dfcm_banks.iter().map(|b| b.table_memory_bytes()).sum::<usize>()
+            + self.stride_tables.iter().map(|t| t.memory_bytes()).sum::<usize>()
+    }
+}
+
+/// All predictor state for one field, dispatched over the minimal
+/// element type picked at construction (paper §4).
+///
+/// The enum is resolved once per call — and the columnar calls process a
+/// whole column per dispatch — so the per-record loops run fully
+/// monomorphized.
+#[derive(Debug)]
+pub enum FieldBank {
+    /// Fields up to 8 bits wide.
+    U8(TypedBank<u8>),
+    /// Fields of 9..=16 bits.
+    U16(TypedBank<u16>),
+    /// Fields of 17..=32 bits.
+    U32(TypedBank<u32>),
+    /// Fields of 33..=64 bits, and every field when
+    /// [`PredictorOptions::minimal_elements`] is off.
+    U64(TypedBank<u64>),
+}
+
+/// Runs `$body` with `$bank` bound to the inner [`TypedBank`], whatever
+/// its element type.
+macro_rules! dispatch {
+    ($self:expr, $bank:ident => $body:expr) => {
+        match $self {
+            FieldBank::U8($bank) => $body,
+            FieldBank::U16($bank) => $body,
+            FieldBank::U32($bank) => $body,
+            FieldBank::U64($bank) => $body,
+        }
+    };
+}
+
+impl FieldBank {
+    /// Builds the predictor state for `field` under `options`, storing
+    /// table elements with the narrowest type that holds the field's bit
+    /// width (or `u64` for everything when
+    /// [`PredictorOptions::minimal_elements`] is off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `field` is invalid (no predictors, bad sizes); validated
+    /// specifications never trigger this.
+    pub fn new(field: &FieldSpec, options: PredictorOptions) -> Self {
+        let element_bits = if options.minimal_elements { field.bits } else { 64 };
+        match element_bits {
+            0..=8 => FieldBank::U8(TypedBank::new(field, options)),
+            9..=16 => FieldBank::U16(TypedBank::new(field, options)),
+            17..=32 => FieldBank::U32(TypedBank::new(field, options)),
+            _ => FieldBank::U64(TypedBank::new(field, options)),
+        }
+    }
+
+    /// Width in bits of the table element this bank stores.
+    pub fn element_bits(&self) -> u32 {
+        match self {
+            FieldBank::U8(_) => 8,
+            FieldBank::U16(_) => 16,
+            FieldBank::U32(_) => 32,
+            FieldBank::U64(_) => 64,
+        }
+    }
+
+    /// Number of predictions per record; predictor codes are
+    /// `0..n_predictions` and `n_predictions` is the miss code.
+    pub fn n_predictions(&self) -> u32 {
+        dispatch!(self, b => b.n_predictions)
+    }
+
+    /// The field-width mask applied to every value.
+    pub fn width_mask(&self) -> u64 {
+        dispatch!(self, b => b.mask_u64)
+    }
+
+    /// Finds the first prediction slot matching `value`, evaluating slots
+    /// lazily in code order — the engine analogue of the generated code's
+    /// if/else-if chain. Returns the slot code, or `n_predictions` (the
+    /// miss code) when nothing matches.
+    pub fn find_code(&self, pc: u64, value: u64) -> u8 {
+        dispatch!(self, b => {
+            if value & b.mask_u64 != value {
+                // Every slot holds a masked value, so an over-wide value
+                // can only miss. (The columnar matcher relies on masked
+                // inputs for its stride arithmetic.)
+                return b.n_predictions as u8;
+            }
+            b.find_code_in_line(b.line(pc), b.narrow(value))
+        })
+    }
+
+    /// The predicted value for `code`, or `None` for the miss code —
+    /// the lazy decompression path (one slot, not all of them).
+    pub fn value_for_code(&self, pc: u64, code: u8) -> Option<u64> {
+        dispatch!(self, b => b.value_for_code(pc, code))
+    }
+
+    /// Appends all predictions for the record whose PC is `pc` to `out`,
+    /// in predictor-code order.
+    pub fn predict_into(&self, pc: u64, out: &mut Vec<u64>) {
+        dispatch!(self, b => b.predict_into(pc, out))
+    }
+
+    /// Updates every table with the actual field value.
+    pub fn update(&mut self, pc: u64, actual: u64) {
+        dispatch!(self, b => {
+            let line = b.line(pc);
+            b.update_line(line, b.narrow(actual));
+        })
+    }
+
+    /// Models a whole column of values in one pass: for each record,
+    /// finds the predictor code of `values[i]` under `pcs[i]`, appends it
+    /// to `codes_out`, appends the masked value to `misses_out` when no
+    /// slot matched, and updates the tables.
+    ///
+    /// Byte-for-byte equivalent to calling [`Self::find_code`] and
+    /// [`Self::update`] per record, but with the line resolved once, the
+    /// value masked once, the per-slot `Source` dispatch hoisted into one
+    /// per-predictor search, and — since the element dispatch happens
+    /// here, once — the whole loop monomorphized at the field's storage
+    /// width, keeping this bank's tables hot and narrow for the whole
+    /// column.
+    ///
+    /// For the PC field itself, pass the same column as both `pcs` and
+    /// `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcs` and `values` differ in length.
+    pub fn model_column(
+        &mut self,
+        pcs: &[u64],
+        values: &[u64],
+        codes_out: &mut Vec<u8>,
+        misses_out: &mut Vec<u64>,
+    ) {
+        dispatch!(self, b => b.model_column(pcs, values, codes_out, misses_out))
+    }
+
+    /// Replays a whole column: for each code, reconstructs the field
+    /// value — a prediction slot for codes below the miss code, the next
+    /// entry of `misses` for the miss code — appends it to `out`, and
+    /// updates the tables. The inverse of [`Self::model_column`], and
+    /// monomorphized the same way.
+    ///
+    /// `pcs` carries the already-decoded PC column; pass `None` for the
+    /// PC field itself, whose L1 size is one (the specification
+    /// validator guarantees it), so its line is always zero and the
+    /// not-yet-known PC cannot matter.
+    ///
+    /// Miss values are masked on the way in, mirroring the record-major
+    /// replay loop this replaces.
+    ///
+    /// # Errors
+    ///
+    /// Fails on codes beyond the miss code, on a miss stream that runs
+    /// dry, and on miss values left over after the last record — the
+    /// trailing-garbage hardening the container format requires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pcs` is `Some` but shorter than `codes`.
+    pub fn replay_column(
+        &mut self,
+        pcs: Option<&[u64]>,
+        codes: &[u8],
+        misses: &[u64],
+        out: &mut Vec<u64>,
+    ) -> Result<(), ReplayError> {
+        dispatch!(self, b => b.replay_column(pcs, codes, misses, out))
+    }
+
     /// Approximate memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.lv_tables.iter().map(ValueTable::memory_bytes).sum::<usize>()
-            + self.fcm_banks.iter().map(ContextBank::memory_bytes).sum::<usize>()
-            + self.dfcm_banks.iter().map(ContextBank::memory_bytes).sum::<usize>()
-            + self.stride_tables.iter().map(StrideTable::memory_bytes).sum::<usize>()
+        dispatch!(self, b => b.memory_bytes())
+    }
+
+    /// Bytes held by value tables alone (last-value, (D)FCM second-level,
+    /// stride) — the storage minimal element types shrink; excludes the
+    /// width-independent first-level hash state.
+    pub fn table_bytes(&self) -> usize {
+        dispatch!(self, b => b.table_bytes())
     }
 }
 
@@ -677,6 +847,61 @@ mod tests {
             bank.update(0, v);
         }
         assert_eq!(hits, 97);
+    }
+
+    #[test]
+    fn element_width_follows_field_width() {
+        for (bits, expected) in [(8u32, 8u32), (16, 16), (32, 32), (64, 64)] {
+            let src = format!(
+                "TCgen Trace Specification;\n{bits}-Bit Field 1 = {{: LV[1]}};\nPC = Field 1;"
+            );
+            let bank = field_bank(&src, PredictorOptions::default());
+            assert_eq!(bank.element_bits(), expected, "{bits}-bit field");
+            let wide = field_bank(
+                &src,
+                PredictorOptions { minimal_elements: false, ..Default::default() },
+            );
+            assert_eq!(wide.element_bits(), 64, "{bits}-bit field, minimization off");
+        }
+    }
+
+    /// The tentpole invariant at the unit level: a narrow bank and the
+    /// deoptimized u64 bank emit identical codes and misses.
+    #[test]
+    fn minimal_elements_do_not_change_streams() {
+        let spec = parse(
+            "TCgen Trace Specification;\n\
+             8-Bit Field 1 = {: LV[1]};\n\
+             16-Bit Field 2 = {L1 = 16, L2 = 256: DFCM2[2], FCM1[2], ST[2], LV[2]};\n\
+             PC = Field 1;",
+        )
+        .unwrap();
+        let minimal = PredictorOptions::default();
+        let wide = PredictorOptions { minimal_elements: false, ..minimal };
+        let mut x = 0x2468_ace0_1357_9bdfu64;
+        let mut pcs = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..4_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pcs.push(x >> 40);
+            vals.push(if i % 3 == 0 { x >> 13 } else { i.wrapping_mul(12) });
+        }
+        for field in &spec.fields {
+            let mut a = FieldBank::new(field, minimal);
+            let mut b = FieldBank::new(field, wide);
+            assert!(a.table_bytes() < b.table_bytes(), "narrow tables must be smaller");
+            let (mut ca, mut ma) = (Vec::new(), Vec::new());
+            let (mut cb, mut mb) = (Vec::new(), Vec::new());
+            a.model_column(&pcs, &vals, &mut ca, &mut ma);
+            b.model_column(&pcs, &vals, &mut cb, &mut mb);
+            assert_eq!(ca, cb, "codes diverge on {}-bit field", field.bits);
+            assert_eq!(ma, mb, "misses diverge on {}-bit field", field.bits);
+            let mut ra = FieldBank::new(field, minimal);
+            let mut out = Vec::new();
+            ra.replay_column(Some(&pcs), &ca, &ma, &mut out).unwrap();
+            let masked: Vec<u64> = vals.iter().map(|&v| v & a.width_mask()).collect();
+            assert_eq!(out, masked, "narrow replay diverges on {}-bit field", field.bits);
+        }
     }
 
     #[test]
@@ -864,6 +1089,7 @@ mod columnar_tests {
             PredictorOptions { fast_hash: false, ..d },
             PredictorOptions { shared_tables: false, ..d },
             PredictorOptions { adaptive_shift: false, ..d },
+            PredictorOptions { minimal_elements: false, ..d },
         ]
     }
 

@@ -1,0 +1,144 @@
+//! Minimal table element types (paper §4): predictor tables store each
+//! value with the narrowest unsigned integer that holds the field's
+//! declared bit width, so a 1-byte field's second-level tables occupy an
+//! eighth of the memory a `u64`-element table would — the storage
+//! optimization TCgen bakes into its generated compressors, applied here
+//! at bank construction time.
+//!
+//! Shrinking the element is lossless for every predictor: all stored
+//! values (including DFCM strides and ST strides, which live in the same
+//! modular domain) are masked to the field width before they enter a
+//! table, and wrapping arithmetic modulo `2^E::BITS` followed by a mask
+//! to `2^field_bits` equals arithmetic modulo `2^field_bits` whenever
+//! `field_bits <= E::BITS`. The emitted streams are therefore
+//! byte-identical regardless of the element width.
+
+use std::fmt::Debug;
+use std::ops::BitAnd;
+
+/// An unsigned integer usable as a predictor-table element.
+///
+/// Implemented for `u8`, `u16`, `u32`, and `u64`; the bank picks the
+/// narrowest implementor whose [`Self::BITS`] covers the field width.
+pub trait TableElement:
+    Copy + Eq + Default + Debug + Send + Sync + BitAnd<Output = Self> + 'static
+{
+    /// Width of the element in bits.
+    const BITS: u32;
+
+    /// Truncates `v` to the element width.
+    fn from_u64(v: u64) -> Self;
+
+    /// Widens back to the `u64` value domain.
+    fn to_u64(self) -> u64;
+
+    /// Addition modulo `2^BITS`.
+    fn wrapping_add(self, rhs: Self) -> Self;
+
+    /// Subtraction modulo `2^BITS`.
+    fn wrapping_sub(self, rhs: Self) -> Self;
+
+    /// Multiplication modulo `2^BITS`.
+    fn wrapping_mul(self, rhs: Self) -> Self;
+}
+
+macro_rules! impl_table_element {
+    ($($ty:ty),*) => {$(
+        impl TableElement for $ty {
+            const BITS: u32 = <$ty>::BITS;
+
+            #[inline(always)]
+            fn from_u64(v: u64) -> Self {
+                v as $ty
+            }
+
+            #[inline(always)]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+
+            #[inline(always)]
+            fn wrapping_add(self, rhs: Self) -> Self {
+                <$ty>::wrapping_add(self, rhs)
+            }
+
+            #[inline(always)]
+            fn wrapping_sub(self, rhs: Self) -> Self {
+                <$ty>::wrapping_sub(self, rhs)
+            }
+
+            #[inline(always)]
+            fn wrapping_mul(self, rhs: Self) -> Self {
+                <$ty>::wrapping_mul(self, rhs)
+            }
+        }
+    )*};
+}
+
+impl_table_element!(u8, u16, u32, u64);
+
+/// The mask selecting a field's `bits` low bits within element `E`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `bits` exceeds the element width; the
+/// bank's element selection guarantees it never does.
+#[inline]
+pub fn width_mask<E: TableElement>(bits: u32) -> E {
+    debug_assert!(
+        bits <= E::BITS,
+        "field of {bits} bits cannot live in a {}-bit element",
+        E::BITS
+    );
+    if bits >= 64 {
+        E::from_u64(u64::MAX)
+    } else {
+        E::from_u64((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_roundtrips_masked_values() {
+        assert_eq!(u8::from_u64(0x1234).to_u64(), 0x34);
+        assert_eq!(u16::from_u64(0xdead_beef).to_u64(), 0xbeef);
+        assert_eq!(u32::from_u64(u64::MAX).to_u64(), 0xffff_ffff);
+        assert_eq!(u64::from_u64(u64::MAX).to_u64(), u64::MAX);
+    }
+
+    #[test]
+    fn width_masks_cover_partial_and_full_elements() {
+        assert_eq!(width_mask::<u8>(8), 0xff);
+        assert_eq!(width_mask::<u16>(12), 0x0fff);
+        assert_eq!(width_mask::<u32>(32), 0xffff_ffff);
+        assert_eq!(width_mask::<u64>(64), u64::MAX);
+    }
+
+    /// The masking argument behind byte-identity: wrapping arithmetic in
+    /// a narrow element, masked to the field width, equals the same
+    /// arithmetic in u64 masked to the field width.
+    #[test]
+    fn narrow_arithmetic_matches_masked_u64() {
+        let bits = 12u32;
+        let m64 = (1u64 << bits) - 1;
+        let m16 = width_mask::<u16>(bits);
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let (a, b) = (x >> 7, x >> 31);
+            let (ea, eb) = (u16::from_u64(a & m64), u16::from_u64(b & m64));
+            assert_eq!((ea.wrapping_add(eb) & m16).to_u64(), a.wrapping_add(b) & m64);
+            assert_eq!(
+                (ea.wrapping_sub(eb) & m16).to_u64(),
+                (a & m64).wrapping_sub(b & m64) & m64
+            );
+            assert_eq!(
+                (ea.wrapping_mul(eb) & m16).to_u64(),
+                (a & m64).wrapping_mul(b & m64) & m64
+            );
+        }
+    }
+}

@@ -7,23 +7,30 @@
 //! predictors utilize whatever fraction of that table they need"), and
 //! each selected predictor owns a second-level value table of
 //! `L2 * 2^(order-1)` lines.
+//!
+//! The second-level tables store the field's minimal element type `E`
+//! (paper §4); the first-level hash state is width-independent (`u32`
+//! running hashes / `u64` folded history), so only the value storage
+//! narrows. Hash folding sees `value.to_u64()`, which is numerically the
+//! value that was stored, so indices are identical at every width.
 
+use crate::element::TableElement;
 use crate::hash::HashSpec;
 use crate::policy::UpdatePolicy;
 use crate::table::ValueTable;
 
 /// A second-level table belonging to one (D)FCM predictor.
 #[derive(Debug, Clone)]
-pub struct OrderTable {
+pub struct OrderTable<E: TableElement = u64> {
     /// Context order `x` of the owning predictor.
     pub order: u32,
     /// Value storage: `l2 << (order-1)` lines of `height` values.
-    pub table: ValueTable,
+    pub table: ValueTable<E>,
 }
 
 /// First-level state plus the second-level tables of one (D)FCM family.
 #[derive(Debug, Clone)]
-pub struct ContextBank {
+pub struct ContextBank<E: TableElement = u64> {
     spec: HashSpec,
     max_order: usize,
     /// Running hashes per L1 line (fast mode): `l1 × max_order`.
@@ -32,10 +39,10 @@ pub struct ContextBank {
     /// most recent first.
     history: Vec<u64>,
     fast_hash: bool,
-    tables: Vec<OrderTable>,
+    tables: Vec<OrderTable<E>>,
 }
 
-impl ContextBank {
+impl<E: TableElement> ContextBank<E> {
     /// Builds a bank for predictors with the given `(order, height)`
     /// selections over a field of `field_bits` bits.
     ///
@@ -111,7 +118,7 @@ impl ContextBank {
 
     /// One entry of table `t`'s current line for `line` (lazy access for
     /// decompression, which needs a single slot rather than all of them).
-    pub fn value_at(&self, line: usize, t: usize, entry: usize) -> u64 {
+    pub fn value_at(&self, line: usize, t: usize, entry: usize) -> E {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         let idx = self.index(line, t, &scratch);
         self.tables[t].table.line(idx)[entry]
@@ -122,17 +129,18 @@ impl ContextBank {
     /// [`Self::value_at`] slot by slot: the hash is resolved once per
     /// probe rather than once per slot.
     #[inline]
-    pub fn find_value(&self, line: usize, t: usize, value: u64) -> Option<usize> {
+    pub fn find_value(&self, line: usize, t: usize, value: E) -> Option<usize> {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         let idx = self.index(line, t, &scratch);
         self.tables[t].table.line(idx).iter().position(|&v| v == value)
     }
 
-    /// Appends the predictions of table `t` for `line` to `out`.
+    /// Appends the predictions of table `t` for `line` to `out`, widened
+    /// to the `u64` value domain.
     pub fn predict_into(&self, line: usize, t: usize, out: &mut Vec<u64>) {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         let idx = self.index(line, t, &scratch);
-        out.extend_from_slice(self.tables[t].table.line(idx));
+        out.extend(self.tables[t].table.line(idx).iter().map(|v| v.to_u64()));
     }
 
     /// Appends the predictions of every table, in table order, to `out`.
@@ -140,19 +148,19 @@ impl ContextBank {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         for t in 0..self.tables.len() {
             let idx = self.index(line, t, &scratch);
-            out.extend_from_slice(self.tables[t].table.line(idx));
+            out.extend(self.tables[t].table.line(idx).iter().map(|v| v.to_u64()));
         }
     }
 
     /// Updates every second-level table with `value` at the current
     /// indices, then advances the first-level hashes with `value`.
-    pub fn update(&mut self, line: usize, value: u64, policy: UpdatePolicy) {
+    pub fn update(&mut self, line: usize, value: E, policy: UpdatePolicy) {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         for t in 0..self.tables.len() {
             let idx = self.index(line, t, &scratch);
             self.tables[t].table.update(idx, value, policy);
         }
-        let f = self.spec.fold_value(value);
+        let f = self.spec.fold_value(value.to_u64());
         if self.fast_hash {
             let start = line * self.max_order;
             self.spec.advance(&mut self.hashes[start..start + self.max_order], f);
@@ -169,6 +177,11 @@ impl ContextBank {
         self.hashes.len() * 4
             + self.history.len() * 8
             + self.tables.iter().map(|t| t.table.memory_bytes()).sum::<usize>()
+    }
+
+    /// Memory footprint of the second-level value tables alone.
+    pub fn table_memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.table.memory_bytes()).sum()
     }
 }
 
@@ -191,7 +204,7 @@ mod tests {
     fn fcm_learns_repeating_sequences() {
         // Order-2 FCM must predict a repeating A,B,C,A,B,C... pattern
         // once it has seen each context once.
-        let mut bank = ContextBank::new(64, 1, 256, &[(2, 1)], 2, true, true);
+        let mut bank = ContextBank::<u64>::new(64, 1, 256, &[(2, 1)], 2, true, true);
         let pattern: Vec<u64> = [11u64, 22, 33].iter().cycle().take(30).copied().collect();
         let preds = drive(&mut bank, &pattern);
         // After the first full cycle plus warmup, predictions are exact.
@@ -206,8 +219,8 @@ mod tests {
         // order-1 FCM (context "2" precedes both 9 and 7) but exact for
         // order 2.
         let seq: Vec<u64> = [1u64, 2, 9, 3, 2, 7].iter().cycle().take(60).copied().collect();
-        let mut o1 = ContextBank::new(64, 1, 1024, &[(1, 1)], 1, true, true);
-        let mut o2 = ContextBank::new(64, 1, 1024, &[(2, 1)], 2, true, true);
+        let mut o1 = ContextBank::<u64>::new(64, 1, 1024, &[(1, 1)], 1, true, true);
+        let mut o2 = ContextBank::<u64>::new(64, 1, 1024, &[(2, 1)], 2, true, true);
         let p1 = drive(&mut o1, &seq);
         let p2 = drive(&mut o2, &seq);
         let hits = |ps: &[Vec<u64>]| {
@@ -220,8 +233,8 @@ mod tests {
     #[test]
     fn scratch_mode_matches_fast_mode() {
         let values: Vec<u64> = (0..200).map(|i| (i * i * 2654435761u64) >> 7).collect();
-        let mut fast = ContextBank::new(64, 4, 512, &[(1, 2), (3, 2)], 3, true, true);
-        let mut slow = ContextBank::new(64, 4, 512, &[(1, 2), (3, 2)], 3, true, false);
+        let mut fast = ContextBank::<u64>::new(64, 4, 512, &[(1, 2), (3, 2)], 3, true, true);
+        let mut slow = ContextBank::<u64>::new(64, 4, 512, &[(1, 2), (3, 2)], 3, true, false);
         for (i, &v) in values.iter().enumerate() {
             let line = i % 4;
             let mut pf = Vec::new();
@@ -236,7 +249,7 @@ mod tests {
 
     #[test]
     fn per_line_contexts_are_independent() {
-        let mut bank = ContextBank::new(64, 2, 256, &[(1, 1)], 1, true, true);
+        let mut bank = ContextBank::<u64>::new(64, 2, 256, &[(1, 1)], 1, true, true);
         // Line 0 sees 5,5,5... line 1 sees 9,9,9...
         for _ in 0..10 {
             bank.update(0, 5, UpdatePolicy::Smart);
@@ -250,10 +263,34 @@ mod tests {
         assert_eq!(p1, vec![9]);
     }
 
+    /// A narrow-element bank must walk exactly the same table indices as
+    /// the u64 bank: the hash folds the numeric value, which masking to
+    /// the field width already fixed.
+    #[test]
+    fn narrow_bank_matches_wide_bank_at_field_width() {
+        let mut narrow = ContextBank::<u8>::new(8, 2, 512, &[(1, 2), (2, 1)], 2, true, true);
+        let mut wide = ContextBank::<u64>::new(8, 2, 512, &[(1, 2), (2, 1)], 2, true, true);
+        let mut x = 0xfeed_beefu64;
+        for i in 0..500usize {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 23) & 0xff;
+            let line = i % 2;
+            let mut pn = Vec::new();
+            let mut pw = Vec::new();
+            narrow.predict_all_into(line, &mut pn);
+            wide.predict_all_into(line, &mut pw);
+            assert_eq!(pn, pw, "divergence at step {i}");
+            assert_eq!(narrow.find_value(line, 0, v as u8), wide.find_value(line, 0, v));
+            narrow.update(line, v as u8, UpdatePolicy::Smart);
+            wide.update(line, v, UpdatePolicy::Smart);
+        }
+        assert!(narrow.table_memory_bytes() * 8 == wide.table_memory_bytes());
+    }
+
     #[test]
     fn memory_accounting_scales_with_order() {
-        let small = ContextBank::new(64, 1, 1024, &[(1, 1)], 1, true, true);
-        let big = ContextBank::new(64, 1, 1024, &[(3, 1)], 3, true, true);
+        let small = ContextBank::<u64>::new(64, 1, 1024, &[(1, 1)], 1, true, true);
+        let big = ContextBank::<u64>::new(64, 1, 1024, &[(3, 1)], 3, true, true);
         assert!(big.memory_bytes() > small.memory_bytes() * 3);
     }
 }

@@ -18,6 +18,12 @@
 //! policy — each individually toggleable via [`PredictorOptions`] to
 //! reproduce the Table 2 ablation.
 //!
+//! Table storage is width-specialized (paper §4): every table is generic
+//! over a [`TableElement`] and [`FieldBank`] instantiates it with the
+//! narrowest unsigned type covering the field's bit width, so a 1-byte
+//! field's second-level tables are 8× smaller than `u64`-element tables
+//! while emitting byte-identical streams (see [`element`]).
+//!
 //! ```
 //! use tcgen_predictors::{FieldBank, PredictorOptions};
 //!
@@ -33,13 +39,15 @@
 //! ```
 
 pub mod bank;
+pub mod element;
 pub mod fcm;
 pub mod hash;
 pub mod policy;
 pub mod stride;
 pub mod table;
 
-pub use bank::{FieldBank, PredictorOptions, ReplayError, SpecBanks};
+pub use bank::{FieldBank, PredictorOptions, ReplayError, SpecBanks, TypedBank};
+pub use element::TableElement;
 pub use fcm::ContextBank;
 pub use hash::{fold, HashSpec};
 pub use policy::UpdatePolicy;

@@ -16,9 +16,10 @@ pub enum UpdatePolicy {
 
 impl UpdatePolicy {
     /// Whether a line whose first entry is `first` should be updated with
-    /// `incoming`.
+    /// `incoming`. Generic over the table element so the comparison is
+    /// done at the stored width, with no widening on the hot path.
     #[inline]
-    pub fn should_update(self, first: u64, incoming: u64) -> bool {
+    pub fn should_update<E: Eq>(self, first: E, incoming: E) -> bool {
         match self {
             UpdatePolicy::Smart => first != incoming,
             UpdatePolicy::Always => true,

@@ -6,14 +6,21 @@
 //! one-off jumps (function calls, allocation boundaries) from polluting
 //! the prediction.
 
+use crate::element::TableElement;
+
 /// Per-line `(last_stride, confirmed_stride)` state.
+///
+/// Strides live in the same modular domain as the field's values, so
+/// they share the field's minimal element type `E` (see
+/// [`crate::element`]): `value - last` masked to the field width fits
+/// any element that holds the width.
 #[derive(Debug, Clone)]
-pub struct StrideTable {
+pub struct StrideTable<E: TableElement = u64> {
     /// Interleaved pairs: `[last_stride, confirmed_stride]` per line.
-    values: Vec<u64>,
+    values: Vec<E>,
 }
 
-impl StrideTable {
+impl<E: TableElement> StrideTable<E> {
     /// Allocates a zeroed table with `lines` lines.
     ///
     /// # Panics
@@ -21,18 +28,18 @@ impl StrideTable {
     /// Panics if `lines` is zero.
     pub fn new(lines: usize) -> Self {
         assert!(lines > 0, "stride table needs at least one line");
-        Self { values: vec![0; lines * 2] }
+        Self { values: vec![E::default(); lines * 2] }
     }
 
     /// The confirmed stride of `line`.
     #[inline]
-    pub fn confirmed(&self, line: usize) -> u64 {
+    pub fn confirmed(&self, line: usize) -> E {
         self.values[line * 2 + 1]
     }
 
     /// Observes a new stride: confirms it if it repeats the previous one.
     #[inline]
-    pub fn update(&mut self, line: usize, stride: u64) {
+    pub fn update(&mut self, line: usize, stride: E) {
         let base = line * 2;
         if self.values[base] == stride {
             self.values[base + 1] = stride;
@@ -42,7 +49,7 @@ impl StrideTable {
 
     /// Approximate memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.values.len() * std::mem::size_of::<u64>()
+        self.values.len() * std::mem::size_of::<E>()
     }
 }
 
@@ -52,7 +59,7 @@ mod tests {
 
     #[test]
     fn stride_confirms_on_second_sighting() {
-        let mut t = StrideTable::new(1);
+        let mut t = StrideTable::<u64>::new(1);
         assert_eq!(t.confirmed(0), 0);
         t.update(0, 8);
         assert_eq!(t.confirmed(0), 0, "single sighting is not confirmed");
@@ -62,7 +69,7 @@ mod tests {
 
     #[test]
     fn one_off_jump_does_not_disturb_confirmed_stride() {
-        let mut t = StrideTable::new(1);
+        let mut t = StrideTable::<u64>::new(1);
         t.update(0, 8);
         t.update(0, 8);
         t.update(0, 4096); // a call or allocation jump
@@ -73,7 +80,7 @@ mod tests {
 
     #[test]
     fn lines_are_independent() {
-        let mut t = StrideTable::new(2);
+        let mut t = StrideTable::<u16>::new(2);
         t.update(0, 8);
         t.update(0, 8);
         t.update(1, 16);

@@ -1,16 +1,21 @@
 //! Flat value tables: `lines × height` slots of most-recent-first values.
 
+use crate::element::TableElement;
 use crate::policy::UpdatePolicy;
 
 /// A table of `lines` lines, each holding `height` values ordered most
 /// recent first. Backs last-value tables and (D)FCM second-level tables.
+///
+/// The element type `E` is the narrowest unsigned integer covering the
+/// owning field's bit width (paper §4, minimal element types); see
+/// [`crate::element`] for why narrowing never changes stored values.
 #[derive(Debug, Clone)]
-pub struct ValueTable {
-    values: Vec<u64>,
+pub struct ValueTable<E: TableElement = u64> {
+    values: Vec<E>,
     height: usize,
 }
 
-impl ValueTable {
+impl<E: TableElement> ValueTable<E> {
     /// Allocates a zero-initialized table.
     ///
     /// # Panics
@@ -18,7 +23,7 @@ impl ValueTable {
     /// Panics if `lines` or `height` is zero.
     pub fn new(lines: usize, height: usize) -> Self {
         assert!(lines > 0 && height > 0, "table dimensions must be nonzero");
-        Self { values: vec![0; lines * height], height }
+        Self { values: vec![E::default(); lines * height], height }
     }
 
     /// Values per line.
@@ -33,14 +38,14 @@ impl ValueTable {
 
     /// The values of `line`, most recent first.
     #[inline]
-    pub fn line(&self, line: usize) -> &[u64] {
+    pub fn line(&self, line: usize) -> &[E] {
         let start = line * self.height;
         &self.values[start..start + self.height]
     }
 
     /// First (most recent) entry of `line`.
     #[inline]
-    pub fn first(&self, line: usize) -> u64 {
+    pub fn first(&self, line: usize) -> E {
         self.values[line * self.height]
     }
 
@@ -48,7 +53,7 @@ impl ValueTable {
     /// entries shift right one slot (dropping the oldest) and `value`
     /// enters at the front. Returns whether an update happened.
     #[inline]
-    pub fn update(&mut self, line: usize, value: u64, policy: UpdatePolicy) -> bool {
+    pub fn update(&mut self, line: usize, value: E, policy: UpdatePolicy) -> bool {
         let start = line * self.height;
         let slots = &mut self.values[start..start + self.height];
         if !policy.should_update(slots[0], value) {
@@ -61,7 +66,7 @@ impl ValueTable {
 
     /// Approximate memory footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.values.len() * std::mem::size_of::<u64>()
+        self.values.len() * std::mem::size_of::<E>()
     }
 }
 
@@ -71,7 +76,7 @@ mod tests {
 
     #[test]
     fn update_shifts_most_recent_first() {
-        let mut t = ValueTable::new(2, 3);
+        let mut t = ValueTable::<u64>::new(2, 3);
         t.update(0, 10, UpdatePolicy::Smart);
         t.update(0, 20, UpdatePolicy::Smart);
         t.update(0, 30, UpdatePolicy::Smart);
@@ -81,7 +86,7 @@ mod tests {
 
     #[test]
     fn smart_update_keeps_first_two_distinct() {
-        let mut t = ValueTable::new(1, 2);
+        let mut t = ValueTable::<u64>::new(1, 2);
         t.update(0, 5, UpdatePolicy::Smart);
         assert!(!t.update(0, 5, UpdatePolicy::Smart), "repeat is skipped");
         t.update(0, 6, UpdatePolicy::Smart);
@@ -92,7 +97,7 @@ mod tests {
 
     #[test]
     fn always_update_retains_duplicates() {
-        let mut t = ValueTable::new(1, 2);
+        let mut t = ValueTable::<u64>::new(1, 2);
         t.update(0, 5, UpdatePolicy::Always);
         t.update(0, 5, UpdatePolicy::Always);
         assert_eq!(t.line(0), &[5, 5]);
@@ -100,7 +105,7 @@ mod tests {
 
     #[test]
     fn height_one_lines() {
-        let mut t = ValueTable::new(4, 1);
+        let mut t = ValueTable::<u64>::new(4, 1);
         t.update(3, 9, UpdatePolicy::Smart);
         assert_eq!(t.first(3), 9);
         t.update(3, 9, UpdatePolicy::Always);
@@ -108,8 +113,21 @@ mod tests {
     }
 
     #[test]
+    fn narrow_elements_shrink_footprint_not_behaviour() {
+        let mut narrow = ValueTable::<u8>::new(4, 2);
+        let mut wide = ValueTable::<u64>::new(4, 2);
+        for v in [3u64, 3, 250, 7, 250] {
+            narrow.update(1, v as u8, UpdatePolicy::Smart);
+            wide.update(1, v, UpdatePolicy::Smart);
+        }
+        let widened: Vec<u64> = narrow.line(1).iter().map(|&v| u64::from(v)).collect();
+        assert_eq!(widened, wide.line(1));
+        assert_eq!(narrow.memory_bytes() * 8, wide.memory_bytes());
+    }
+
+    #[test]
     #[should_panic(expected = "nonzero")]
     fn zero_height_panics() {
-        let _ = ValueTable::new(4, 0);
+        let _ = ValueTable::<u64>::new(4, 0);
     }
 }

@@ -84,9 +84,11 @@ pub struct FieldSpec {
 }
 
 impl FieldSpec {
-    /// Field width in bytes.
+    /// Bytes the field occupies in a record: its bit width rounded up to
+    /// a whole byte, so sub-byte fields (e.g. 12-bit) are stored in the
+    /// smallest byte-aligned slot.
     pub fn bytes(&self) -> u32 {
-        self.bits / 8
+        self.bits.div_ceil(8)
     }
 
     /// Total number of predictions produced for this field per record

@@ -21,7 +21,9 @@ fn err(message: String) -> SpecError {
 
 /// Checks every semantic rule from the paper's §4:
 ///
-/// * field widths are 8, 16, 32, or 64 bits; the header is byte-aligned
+/// * field widths are between 1 and 64 bits (sub-byte fields occupy a
+///   whole number of bytes in the record, see [`crate::ast::FieldSpec::bytes`]);
+///   the header is byte-aligned
 /// * field numbers are unique and the PC definition names a real field
 /// * L1 and L2 sizes are powers of two within supported bounds
 /// * every field selects at least one predictor
@@ -48,9 +50,9 @@ pub fn validate(spec: &TraceSpec) -> Result<(), SpecError> {
         if !seen.insert(id) {
             return Err(err(format!("duplicate field number {id}")));
         }
-        if !matches!(field.bits, 8 | 16 | 32 | 64) {
+        if field.bits == 0 || field.bits > 64 {
             return Err(err(format!(
-                "field {id}: width must be 8, 16, 32, or 64 bits, got {}",
+                "field {id}: width must be between 1 and 64 bits, got {}",
                 field.bits
             )));
         }
@@ -118,10 +120,19 @@ mod tests {
     }
 
     #[test]
-    fn odd_field_width_rejected() {
-        let e = check("TCgen Trace Specification;\n12-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+    fn out_of_range_field_width_rejected() {
+        let e = check("TCgen Trace Specification;\n0-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
             .unwrap_err();
         assert!(e.message.contains("width"));
+        let e = check("TCgen Trace Specification;\n65-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+            .unwrap_err();
+        assert!(e.message.contains("width"));
+    }
+
+    #[test]
+    fn sub_byte_field_width_accepted() {
+        check("TCgen Trace Specification;\n12-Bit Field 1 = {: LV[1]};\nPC = Field 1;")
+            .unwrap();
     }
 
     #[test]

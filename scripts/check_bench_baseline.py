@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Compare a fresh `reproduce --json` run against the committed baseline.
+
+Usage: check_bench_baseline.py BASELINE.json CURRENT.json
+
+Every algorithm in the suite is implemented in-repo and deterministic,
+so per-(algorithm, trace kind) compressed sizes must match the baseline
+exactly; any deviation means an engine change altered the emitted
+streams and fails the check. Throughput numbers vary with the runner's
+hardware and are printed for information only.
+"""
+
+import json
+import sys
+
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {(r["algorithm"], r["trace_kind"]): r for r in data["results"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = rows(sys.argv[1])
+    current = rows(sys.argv[2])
+    failed = False
+    for key in sorted(baseline.keys() | current.keys()):
+        name = "/".join(key)
+        b = baseline.get(key)
+        c = current.get(key)
+        if b is None or c is None:
+            side = "baseline" if b is None else "current run"
+            print(f"FAIL {name}: missing from the {side}")
+            failed = True
+            continue
+        if b["compressed_bytes"] != c["compressed_bytes"]:
+            print(
+                f"FAIL {name}: compressed size {c['compressed_bytes']} deviates "
+                f"from baseline {b['compressed_bytes']}"
+            )
+            failed = True
+        else:
+            print(
+                f"ok   {name}: {c['compressed_bytes']} bytes "
+                f"({c['compress_mb_per_s']:.1f} MB/s compress, "
+                f"baseline {b['compress_mb_per_s']:.1f} MB/s; informational)"
+            )
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()
