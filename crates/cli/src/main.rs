@@ -7,6 +7,8 @@
 //! tcgen decompress <spec-file> [in [out]] [--threads N] [--model-threads N]
 //! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
+//! tcgen usage <spec-file> <trace> [--json [FILE]]   predictor-usage report
+//! tcgen tune <spec-file> <trace> [out-spec] [--json [FILE]] [...]  auto-tune
 //! ```
 //!
 //! `compress` prints predictor-usage feedback to standard error, exactly
@@ -17,7 +19,9 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use tcgen_core::{EngineOptions, Tcgen};
+use tcgen_engine::UsageReport;
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
+use tcgen_tuner::TunerOptions;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +45,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "decompress" => codec(&args[1..], false),
         "trace" => trace(&args[1..]),
         "prune" => prune(&args[1..]),
+        "usage" => usage_report(&args[1..]),
+        "tune" => tune(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -55,7 +61,10 @@ fn usage() -> String {
      tcgen compress <spec-file> [input [output]] [--threads N] [--model-threads N] [--block-records N]\n  \
      tcgen decompress <spec-file> [input [output]] [--threads N] [--model-threads N]\n  \
      tcgen trace <program> <store|miss|load> <records> [output]\n  \
-     tcgen prune <spec-file> <trace-file> [threshold]\n\
+     tcgen prune <spec-file> <trace-file> [threshold]\n  \
+     tcgen usage <spec-file> <trace-file> [--json [FILE]] [--threads N] [--model-threads N]\n  \
+     tcgen tune <spec-file> <trace-file> [output-spec] [--sample-records N]\n\
+     \x20          [--budget-evals N] [--seed N] [--json [FILE]] [--threads N] [--model-threads N]\n\
      \n\
      --threads N        worker threads for block segments (0 = one per CPU,\n\
      \x20                   1 = serial; output is identical for every N)\n\
@@ -186,6 +195,180 @@ fn prune(args: &[String]) -> Result<(), String> {
     let pruned = usage.pruned_spec(tcgen.spec(), threshold);
     print!("{}", tcgen_spec::canonical(&pruned));
     Ok(())
+}
+
+/// Parses the optional path operand of `--json`, mirroring the bench
+/// harness: a following argument that looks like a flag keeps the
+/// default name.
+fn parse_json_flag(args: &[String], i: usize, default: &str) -> (String, usize) {
+    match args.get(i + 1) {
+        Some(next) if !next.starts_with("--") => (next.clone(), i + 2),
+        _ => (default.to_string(), i + 1),
+    }
+}
+
+/// `tcgen usage` — compress once and report predictor usage, including
+/// the per-table occupancy counters that flag oversized tables.
+fn usage_report(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let trace_path = args.get(1).ok_or_else(usage)?;
+    let mut options = EngineOptions::tcgen();
+    let mut json: Option<String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                options.threads = parse_count(args.get(i + 1), "--threads")?;
+                i += 2;
+            }
+            "--model-threads" => {
+                options.model_threads = parse_count(args.get(i + 1), "--model-threads")?;
+                i += 2;
+            }
+            "--json" => {
+                let (path, next) = parse_json_flag(args, i, "usage.json");
+                json = Some(path);
+                i = next;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let raw =
+        std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let (_, report) = tcgen.compress_with_usage(&raw).map_err(|e| e.to_string())?;
+    print!("{report}");
+    if let Some(path) = json {
+        std::fs::write(&path, usage_json(&report))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON for a [`UsageReport`], shaped like the bench
+/// harness's `reproduce --json` output (flat objects, stable key order).
+fn usage_json(report: &UsageReport) -> String {
+    let mut fields = Vec::new();
+    for f in &report.fields {
+        let predictors: Vec<String> = f
+            .labels
+            .iter()
+            .zip(&f.counts)
+            .map(|(label, count)| {
+                format!("{{\"label\": \"{}\", \"count\": {count}}}", json_escape(label))
+            })
+            .collect();
+        let occupancy: Vec<String> = f
+            .occupancy
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"table\": \"{}\", \"lines_written\": {}, \"lines_total\": {}}}",
+                    json_escape(&o.label()),
+                    o.lines_written,
+                    o.lines_total
+                )
+            })
+            .collect();
+        fields.push(format!(
+            "    {{\"field\": {}, \"records\": {}, \"hit_rate\": {:.4}, \
+             \"misses\": {}, \"table_bytes\": {},\n     \"predictors\": [{}],\n     \
+             \"occupancy\": [{}]}}",
+            f.field_number,
+            f.total(),
+            f.hit_rate(),
+            f.misses,
+            f.table_bytes,
+            predictors.join(", "),
+            occupancy.join(", ")
+        ));
+    }
+    format!("{{\n  \"fields\": [\n{}\n  ]\n}}\n", fields.join(",\n"))
+}
+
+/// `tcgen tune` — search the predictor-configuration space against a
+/// trace and emit the winning spec (canonical form) plus an optional
+/// JSON log of every candidate evaluated.
+fn tune(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let trace_path = args.get(1).ok_or_else(usage)?;
+    let mut options = TunerOptions::default();
+    let mut json: Option<String> = None;
+    let mut out_spec: Option<&String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sample-records" => {
+                options.sample_records = parse_count(args.get(i + 1), "--sample-records")?;
+                i += 2;
+            }
+            "--budget-evals" => {
+                options.budget_evals = parse_count(args.get(i + 1), "--budget-evals")?;
+                i += 2;
+            }
+            "--seed" => {
+                options.seed = parse_count(args.get(i + 1), "--seed")? as u64;
+                i += 2;
+            }
+            "--threads" => {
+                options.engine.threads = parse_count(args.get(i + 1), "--threads")?;
+                i += 2;
+            }
+            "--model-threads" => {
+                options.engine.model_threads = parse_count(args.get(i + 1), "--model-threads")?;
+                i += 2;
+            }
+            "--json" => {
+                let (path, next) = parse_json_flag(args, i, "tune.json");
+                json = Some(path);
+                i = next;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument '{other}'"));
+            }
+            _ => {
+                if out_spec.is_some() {
+                    return Err(format!("unexpected argument '{}'", args[i]));
+                }
+                out_spec = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let tcgen = load_tcgen(spec_path)?;
+    let raw =
+        std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
+    let outcome = tcgen_tuner::tune(tcgen.spec(), &raw, &options).map_err(|e| e.to_string())?;
+    eprintln!(
+        "tuned {} of {} records in {} evaluations: base {} bytes, tuned {} bytes{}",
+        outcome.sampled_records,
+        outcome.total_records,
+        outcome.evals,
+        outcome.base_container_bytes,
+        outcome.tuned_container_bytes,
+        if outcome.used_base { " (keeping the base spec)" } else { "" }
+    );
+    if let Some(path) = json {
+        std::fs::write(&path, tcgen_tuner::report_json(&outcome, &options))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    write_output(out_spec, tcgen_spec::canonical(&outcome.tuned).as_bytes())
 }
 
 fn read_input(path: Option<&String>) -> Result<Vec<u8>, String> {

@@ -154,3 +154,65 @@ fn prune_emits_a_smaller_valid_spec() {
         "pruning should drop predictors: {pruned_text}"
     );
 }
+
+#[test]
+fn usage_reports_occupancy_and_writes_json() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let trace = dir.join("u.trace");
+    let json = dir.join("u.json");
+    assert!(tcgen()
+        .args(["trace", "gzip", "store", "5000"])
+        .arg(&trace)
+        .status()
+        .expect("trace")
+        .success());
+    let out = tcgen()
+        .arg("usage")
+        .arg(&spec)
+        .arg(&trace)
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("usage");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("lines touched"), "occupancy missing: {text}");
+    let report = std::fs::read_to_string(&json).expect("json written");
+    assert!(report.contains("\"lines_written\""), "{report}");
+    assert!(report.contains("\"hit_rate\""), "{report}");
+    assert_eq!(report.matches('{').count(), report.matches('}').count());
+}
+
+#[test]
+fn tune_emits_a_valid_spec_and_report() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let trace = dir.join("tn.trace");
+    let tuned = dir.join("tuned.tcgen");
+    let json = dir.join("tune.json");
+    assert!(tcgen()
+        .args(["trace", "gzip", "store", "8000"])
+        .arg(&trace)
+        .status()
+        .expect("trace")
+        .success());
+    let out = tcgen()
+        .arg("tune")
+        .arg(&spec)
+        .arg(&trace)
+        .arg(&tuned)
+        .args(["--sample-records", "2000", "--budget-evals", "24", "--seed", "1", "--json"])
+        .arg(&json)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("tune");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let summary = String::from_utf8(out.stderr).unwrap();
+    assert!(summary.contains("evaluations"), "{summary}");
+    let tuned_text = std::fs::read_to_string(&tuned).expect("tuned spec written");
+    let parsed = tcgen_spec::parse(&tuned_text).expect("tuned spec parses");
+    assert_eq!(tcgen_spec::canonical(&parsed), tuned_text, "canonical fixpoint");
+    let report = std::fs::read_to_string(&json).expect("json written");
+    assert!(report.contains("\"chosen\": true"), "{report}");
+}

@@ -112,12 +112,9 @@ pub(crate) fn compress_with_hash(
     let threads = options.effective_threads();
     let model_threads = options.effective_model_threads();
     let mut modeler = Modeler::new(spec, options);
-    if let Some(u) = usage.as_deref_mut() {
-        modeler.record_table_bytes(u);
-    }
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    std::thread::scope(|scope| {
+    let out = std::thread::scope(|scope| -> Result<Vec<u8>, Error> {
         let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
         let model_pipe = model_pipe.as_ref();
 
@@ -167,7 +164,13 @@ pub(crate) fn compress_with_hash(
         }
         out.push(END_MARKER);
         Ok(out)
-    })
+    })?;
+    // Table stats are taken after the run so the occupancy counters
+    // reflect every record modeled.
+    if let Some(u) = usage {
+        modeler.record_table_stats(u);
+    }
+    Ok(out)
 }
 
 /// Runs the compression loop over the whole trace as a single block and

@@ -137,11 +137,15 @@ impl Modeler {
         Pipeline::start(scope, model_threads, || ModelJob::run)
     }
 
-    /// Copies each bank's value-table footprint into `usage`, so the
-    /// report reflects the element widths actually selected.
-    pub(crate) fn record_table_bytes(&self, usage: &mut UsageReport) {
+    /// Copies each bank's value-table footprint and table occupancy into
+    /// `usage`. The footprint reflects the element widths actually
+    /// selected; the occupancy reflects the lines written so far, so
+    /// this runs after modeling.
+    pub(crate) fn record_table_stats(&self, usage: &mut UsageReport) {
         for (field, bank) in usage.fields.iter_mut().zip(&self.banks) {
-            field.table_bytes = bank.as_ref().expect("bank present").table_bytes() as u64;
+            let bank = bank.as_ref().expect("bank present");
+            field.table_bytes = bank.table_bytes() as u64;
+            field.occupancy = bank.occupancy();
         }
     }
 

@@ -29,14 +29,17 @@
 
 pub mod codec;
 pub(crate) mod columnar;
+pub mod evaluate;
 pub mod options;
 pub(crate) mod pool;
 pub mod stream_io;
 pub mod streams;
 pub mod usage;
 
+pub use evaluate::{score_candidates, CandidateScore};
 pub use options::EngineOptions;
 pub use stream_io::{compress_stream, decompress_stream, StreamError};
+pub use tcgen_predictors::{OccTable, TableOccupancy};
 pub use usage::{FieldUsage, UsageReport};
 
 use tcgen_spec::TraceSpec;

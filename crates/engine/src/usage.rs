@@ -5,7 +5,8 @@
 //! select the most effective predictors." (§4). This module collects and
 //! formats those statistics.
 
-use tcgen_spec::TraceSpec;
+use tcgen_predictors::{OccTable, TableOccupancy};
+use tcgen_spec::{PredictorKind, TraceSpec};
 
 /// Usage counters for one field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +25,12 @@ pub struct FieldUsage {
     /// bank selected: an 8-bit field's tables are one eighth the size
     /// of their `u64` equivalents.
     pub table_bytes: u64,
+    /// Per-table occupancy — how many lines were ever written out of each
+    /// table's capacity. Empty until the bank fills it in at the end of a
+    /// compression run; a fill ratio far below one flags an oversized
+    /// table. The first entry is the field's first-level table, followed
+    /// by one entry per FCM and DFCM second-level table.
+    pub occupancy: Vec<TableOccupancy>,
 }
 
 impl FieldUsage {
@@ -69,6 +76,7 @@ impl UsageReport {
                     labels,
                     misses: 0,
                     table_bytes: 0,
+                    occupancy: Vec::new(),
                 }
             })
             .collect();
@@ -85,6 +93,14 @@ impl UsageReport {
     /// `threshold` (a fraction, e.g. `0.02` for 2%) of a field's codes.
     /// Every field retains at least its most productive predictor, so
     /// the result always validates.
+    ///
+    /// When the report carries table [`FieldUsage::occupancy`], the L1
+    /// and L2 sizes are also shrunk to fit: a table whose touched-line
+    /// count — doubled for headroom and rounded up to a power of two —
+    /// comes out below its capacity is resized to that power of two.
+    /// The doubling makes the shrink self-limiting: tables more than a
+    /// quarter full are left alone, and sizes never grow. Occupancy of
+    /// second-level tables whose predictors were pruned away is ignored.
     ///
     /// # Panics
     ///
@@ -126,6 +142,44 @@ impl UsageReport {
                 keep_index += 1;
                 keep
             });
+
+            // L2 is shared by every (D)FCM table of the field, so it can
+            // only shrink to the largest demand among the kept tables.
+            let mut l2_demand: Option<u64> = None;
+            for occ in &usage.occupancy {
+                // 2x headroom, so only tables under a quarter full shrink.
+                let required = occ.lines_written.saturating_mul(2).next_power_of_two().max(1);
+                match occ.table {
+                    // The PC field's L1 is pinned to 1 by validation and
+                    // never enters here (1 is not > 1).
+                    OccTable::L1 => {
+                        if field.l1 > 1 && required < field.l1 {
+                            field.l1 = required;
+                        }
+                    }
+                    OccTable::FcmL2 { order } | OccTable::DfcmL2 { order } => {
+                        let family = if matches!(occ.table, OccTable::FcmL2 { .. }) {
+                            PredictorKind::Fcm
+                        } else {
+                            PredictorKind::Dfcm
+                        };
+                        // Only tables the pruned field still allocates
+                        // constrain its L2.
+                        if field.predictors.iter().any(|p| p.kind == family && p.order == order)
+                        {
+                            // The table holds `l2 << (order - 1)` lines,
+                            // so the base L2 it demands is scaled down.
+                            let base = (required >> (order - 1)).max(1);
+                            l2_demand = Some(l2_demand.unwrap_or(0).max(base));
+                        }
+                    }
+                }
+            }
+            if let Some(demand) = l2_demand {
+                if demand < field.l2 {
+                    field.l2 = demand;
+                }
+            }
         }
         pruned
     }
@@ -170,6 +224,16 @@ impl std::fmt::Display for UsageReport {
                 field.misses,
                 field.misses as f64 / total as f64 * 100.0
             )?;
+            for occ in &field.occupancy {
+                writeln!(
+                    f,
+                    "  {:>12}  {:>10} of {} lines touched  {:5.1}%",
+                    occ.label(),
+                    occ.lines_written,
+                    occ.lines_total,
+                    occ.fill() * 100.0
+                )?;
+            }
         }
         Ok(())
     }
@@ -269,6 +333,75 @@ mod prune_tests {
         let report = UsageReport::new(&spec);
         let pruned = report.pruned_spec(&spec, 0.0);
         assert_eq!(pruned, spec);
+    }
+
+    #[test]
+    fn occupancy_shrinks_oversized_tables() {
+        let spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 4096, L2 = 65536: FCM2[2], LV[2]};\n\
+             PC = Field 1;",
+        )
+        .unwrap();
+        let mut report = UsageReport::new(&spec);
+        report.fields[0].counts = vec![1000];
+        // Both predictors busy, so the threshold keeps them.
+        report.fields[1].counts = vec![500, 100, 400, 80];
+        report.fields[1].misses = 20;
+        // 10 of 4096 L1 lines and 100 of the FCM2 table's 131072 lines.
+        report.fields[1].occupancy = vec![
+            TableOccupancy { table: OccTable::L1, lines_written: 10, lines_total: 4096 },
+            TableOccupancy {
+                table: OccTable::FcmL2 { order: 2 },
+                lines_written: 100,
+                lines_total: 131_072,
+            },
+        ];
+        let pruned = report.pruned_spec(&spec, 0.02);
+        tcgen_spec::validate(&pruned).unwrap();
+        assert_eq!(pruned.fields[1].predictors.len(), 2, "nothing pruned");
+        assert_eq!(pruned.fields[1].l1, 32, "next_pow2(2 * 10)");
+        assert_eq!(pruned.fields[1].l2, 128, "next_pow2(2 * 100) >> (order - 1)");
+        assert_eq!(pruned.fields[0].l1, 1, "PC field untouched");
+    }
+
+    #[test]
+    fn occupancy_never_shrinks_busy_or_pruned_tables() {
+        let spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 256, L2 = 1024: FCM1[2], DFCM1[2]};\n\
+             PC = Field 1;",
+        )
+        .unwrap();
+        let mut report = UsageReport::new(&spec);
+        report.fields[0].counts = vec![1000];
+        // Only FCM1 fires; DFCM1 gets pruned at a 2% threshold.
+        report.fields[1].counts = vec![900, 60, 0, 0];
+        report.fields[1].misses = 40;
+        report.fields[1].occupancy = vec![
+            // Half full: 2x headroom rounds back up to capacity.
+            TableOccupancy { table: OccTable::L1, lines_written: 128, lines_total: 256 },
+            TableOccupancy {
+                table: OccTable::FcmL2 { order: 1 },
+                lines_written: 700,
+                lines_total: 1024,
+            },
+            // Nearly empty, but its predictor is pruned away: ignored.
+            TableOccupancy {
+                table: OccTable::DfcmL2 { order: 1 },
+                lines_written: 3,
+                lines_total: 1024,
+            },
+        ];
+        let pruned = report.pruned_spec(&spec, 0.02);
+        tcgen_spec::validate(&pruned).unwrap();
+        let names: Vec<String> =
+            pruned.fields[1].predictors.iter().map(|p| p.to_string()).collect();
+        assert_eq!(names, vec!["FCM1[2]"]);
+        assert_eq!(pruned.fields[1].l1, 256, "half-full L1 kept");
+        assert_eq!(pruned.fields[1].l2, 1024, "busy FCM1 table pins L2");
     }
 
     #[test]

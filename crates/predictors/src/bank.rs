@@ -16,6 +16,7 @@ use tcgen_spec::{FieldSpec, PredictorKind, TraceSpec};
 
 use crate::element::{width_mask, TableElement};
 use crate::fcm::ContextBank;
+use crate::occupancy::{OccTable, Occupancy, TableOccupancy};
 use crate::policy::UpdatePolicy;
 use crate::stride::StrideTable;
 use crate::table::ValueTable;
@@ -115,6 +116,8 @@ pub struct TypedBank<E: TableElement> {
     slots: Vec<(u32, u32)>,
     n_predictions: u32,
     policy: UpdatePolicy,
+    /// First-level lines ever touched (shared by every L1-indexed table).
+    l1_occ: Occupancy,
 }
 
 impl<E: TableElement> TypedBank<E> {
@@ -286,6 +289,7 @@ impl<E: TableElement> TypedBank<E> {
             slots: Vec::new(),
             n_predictions: field.prediction_count(),
             policy: options.policy,
+            l1_occ: Occupancy::new(l1 as usize),
         };
         bank.slots = bank.build_slots();
         debug_assert_eq!(bank.slots.len(), bank.n_predictions as usize);
@@ -451,6 +455,7 @@ impl<E: TableElement> TypedBank<E> {
     /// [`FieldBank::update`] with the line resolved and the value masked.
     #[inline]
     fn update_line(&mut self, line: usize, value: E) {
+        self.l1_occ.mark(line);
         for bank in &mut self.fcm_banks {
             bank.update(line, value, self.policy);
         }
@@ -560,6 +565,35 @@ impl<E: TableElement> TypedBank<E> {
             + self.fcm_banks.iter().map(|b| b.table_memory_bytes()).sum::<usize>()
             + self.dfcm_banks.iter().map(|b| b.table_memory_bytes()).sum::<usize>()
             + self.stride_tables.iter().map(|t| t.memory_bytes()).sum::<usize>()
+    }
+
+    /// Occupancy of every table: the shared L1 line space first, then
+    /// each (D)FCM second-level table in predictor order.
+    fn occupancy(&self) -> Vec<TableOccupancy> {
+        let mut out = vec![TableOccupancy {
+            table: OccTable::L1,
+            lines_written: self.l1_occ.written(),
+            lines_total: self.l1_occ.lines(),
+        }];
+        for bank in &self.fcm_banks {
+            for (order, lines_written, lines_total) in bank.occupancies() {
+                out.push(TableOccupancy {
+                    table: OccTable::FcmL2 { order },
+                    lines_written,
+                    lines_total,
+                });
+            }
+        }
+        for bank in &self.dfcm_banks {
+            for (order, lines_written, lines_total) in bank.occupancies() {
+                out.push(TableOccupancy {
+                    table: OccTable::DfcmL2 { order },
+                    lines_written,
+                    lines_total,
+                });
+            }
+        }
+        out
     }
 }
 
@@ -744,6 +778,13 @@ impl FieldBank {
     /// width-independent first-level hash state.
     pub fn table_bytes(&self) -> usize {
         dispatch!(self, b => b.table_bytes())
+    }
+
+    /// Per-table occupancy summaries: the shared first-level line space,
+    /// then each (D)FCM second-level table in predictor order. Counters
+    /// accumulate across every update this bank has seen.
+    pub fn occupancy(&self) -> Vec<TableOccupancy> {
+        dispatch!(self, b => b.occupancy())
     }
 }
 
@@ -960,6 +1001,37 @@ mod tests {
         let banks = SpecBanks::new(&spec, PredictorOptions::default());
         assert_eq!(banks.bank(0).n_predictions(), 4);
         assert_eq!(banks.bank(1).n_predictions(), 10);
+    }
+
+    #[test]
+    fn occupancy_tracks_touched_lines() {
+        let spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 64, L2 = 256: DFCM2[1], FCM1[1], LV[1]};\n\
+             PC = Field 1;",
+        )
+        .unwrap();
+        let mut bank = FieldBank::new(&spec.fields[1], PredictorOptions::default());
+        let occ = bank.occupancy();
+        // L1, FCM1 L2, DFCM2 L2 — in that order.
+        assert_eq!(occ.len(), 3);
+        assert_eq!(occ[0].table, OccTable::L1);
+        assert_eq!(occ[0].lines_total, 64);
+        assert_eq!(occ[1].table, OccTable::FcmL2 { order: 1 });
+        assert_eq!(occ[1].lines_total, 256);
+        assert_eq!(occ[2].table, OccTable::DfcmL2 { order: 2 });
+        assert_eq!(occ[2].lines_total, 512, "DFCM2 scales L2 by 2^(order-1)");
+        assert!(occ.iter().all(|t| t.lines_written == 0), "fresh bank is empty");
+
+        // Three distinct PCs touch exactly three L1 lines, however often.
+        for step in 0..300u64 {
+            bank.update(step % 3, step * 8);
+        }
+        let occ = bank.occupancy();
+        assert_eq!(occ[0].lines_written, 3);
+        assert!(occ[1].lines_written > 0 && occ[1].lines_written <= 300);
+        assert!(occ[2].lines_written > 0 && occ[2].lines_written <= 300);
     }
 
     #[test]

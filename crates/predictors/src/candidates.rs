@@ -1,0 +1,90 @@
+//! Candidate predictor enumeration for the spec auto-tuner.
+//!
+//! The tuner's per-field search walks a fixed, deterministically ordered
+//! menu of predictor selections — `LV[n]`, `ST[n]`, `FCMx[n]`, and
+//! `DFCMx[n]` for bounded orders and heights. Enumerating the menu here,
+//! next to the predictors themselves, keeps the search space honest: it
+//! covers exactly the families the runtime implements, within the bounds
+//! the spec validator accepts.
+
+use tcgen_spec::{PredictorKind, PredictorSpec};
+
+/// Bounds of the predictor-candidate menu.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSpace {
+    /// Highest FCM/DFCM context order to try (the paper's configurations
+    /// top out at 3; higher orders multiply table sizes by `2^(order-1)`).
+    pub max_order: u32,
+    /// Line heights to try, ascending.
+    pub heights: Vec<u32>,
+    /// Whether to offer the `ST[n]` stride extension.
+    pub include_stride: bool,
+}
+
+impl Default for CandidateSpace {
+    fn default() -> Self {
+        Self { max_order: 3, heights: vec![1, 2, 4], include_stride: true }
+    }
+}
+
+/// Enumerates every candidate predictor in the space, in a fixed order:
+/// all `LV` heights, then `ST`, then `FCM` by order then height, then
+/// `DFCM` likewise. The order never depends on anything but `space`, so
+/// tuner runs are reproducible.
+pub fn predictor_candidates(space: &CandidateSpace) -> Vec<PredictorSpec> {
+    let mut out = Vec::new();
+    for &h in &space.heights {
+        out.push(PredictorSpec { kind: PredictorKind::Lv, order: 0, height: h });
+    }
+    if space.include_stride {
+        for &h in &space.heights {
+            out.push(PredictorSpec { kind: PredictorKind::St, order: 0, height: h });
+        }
+    }
+    for kind in [PredictorKind::Fcm, PredictorKind::Dfcm] {
+        for order in 1..=space.max_order {
+            for &h in &space.heights {
+                out.push(PredictorSpec { kind, order, height: h });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_size_and_order() {
+        let all = predictor_candidates(&CandidateSpace::default());
+        // 3 LV + 3 ST + 3 orders × 3 heights × 2 families.
+        assert_eq!(all.len(), 24);
+        assert_eq!(all[0].to_string(), "LV[1]");
+        assert_eq!(all[3].to_string(), "ST[1]");
+        assert_eq!(all[6].to_string(), "FCM1[1]");
+        assert_eq!(all[23].to_string(), "DFCM3[4]");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let space = CandidateSpace::default();
+        assert_eq!(predictor_candidates(&space), predictor_candidates(&space));
+    }
+
+    #[test]
+    fn stride_can_be_excluded() {
+        let space = CandidateSpace { include_stride: false, ..Default::default() };
+        assert!(predictor_candidates(&space).iter().all(|p| p.kind != PredictorKind::St));
+    }
+
+    #[test]
+    fn candidates_validate_in_a_spec() {
+        for p in predictor_candidates(&CandidateSpace::default()) {
+            let src = format!(
+                "TCgen Trace Specification;\n32-Bit Field 1 = {{: {p}}};\nPC = Field 1;"
+            );
+            tcgen_spec::parse(&src).unwrap_or_else(|e| panic!("{p}: {e}"));
+        }
+    }
+}

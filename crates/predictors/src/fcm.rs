@@ -16,6 +16,7 @@
 
 use crate::element::TableElement;
 use crate::hash::HashSpec;
+use crate::occupancy::Occupancy;
 use crate::policy::UpdatePolicy;
 use crate::table::ValueTable;
 
@@ -40,6 +41,8 @@ pub struct ContextBank<E: TableElement = u64> {
     history: Vec<u64>,
     fast_hash: bool,
     tables: Vec<OrderTable<E>>,
+    /// Lines-ever-written tracking, one map per second-level table.
+    occ: Vec<Occupancy>,
 }
 
 impl<E: TableElement> ContextBank<E> {
@@ -72,12 +75,16 @@ impl<E: TableElement> ContextBank<E> {
         assert!(hash_order >= selected_max, "hash_order below the largest selected order");
         let max_order = hash_order as usize;
         let spec = HashSpec::new(field_bits, l2, max_order as u32, adaptive_shift);
-        let tables = orders
+        let tables: Vec<OrderTable<E>> = orders
             .iter()
             .map(|&(order, height)| OrderTable {
                 order,
                 table: ValueTable::new((l2 << (order - 1)) as usize, height as usize),
             })
+            .collect();
+        let occ = orders
+            .iter()
+            .map(|&(order, _)| Occupancy::new((l2 << (order - 1)) as usize))
             .collect();
         Self {
             spec,
@@ -86,6 +93,7 @@ impl<E: TableElement> ContextBank<E> {
             history: if fast_hash { Vec::new() } else { vec![0; l1 as usize * max_order] },
             fast_hash,
             tables,
+            occ,
         }
     }
 
@@ -158,6 +166,7 @@ impl<E: TableElement> ContextBank<E> {
         let scratch = if self.fast_hash { Vec::new() } else { self.scratch_hashes(line) };
         for t in 0..self.tables.len() {
             let idx = self.index(line, t, &scratch);
+            self.occ[t].mark(idx);
             self.tables[t].table.update(idx, value, policy);
         }
         let f = self.spec.fold_value(value.to_u64());
@@ -182,6 +191,16 @@ impl<E: TableElement> ContextBank<E> {
     /// Memory footprint of the second-level value tables alone.
     pub fn table_memory_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.table.memory_bytes()).sum()
+    }
+
+    /// Per-table occupancy: `(order, lines_written, lines_total)` in
+    /// table order.
+    pub fn occupancies(&self) -> Vec<(u32, u64, u64)> {
+        self.tables
+            .iter()
+            .zip(&self.occ)
+            .map(|(t, occ)| (t.order, occ.written(), occ.lines()))
+            .collect()
     }
 }
 

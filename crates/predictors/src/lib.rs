@@ -39,17 +39,21 @@
 //! ```
 
 pub mod bank;
+pub mod candidates;
 pub mod element;
 pub mod fcm;
 pub mod hash;
+pub mod occupancy;
 pub mod policy;
 pub mod stride;
 pub mod table;
 
 pub use bank::{FieldBank, PredictorOptions, ReplayError, SpecBanks, TypedBank};
+pub use candidates::{predictor_candidates, CandidateSpace};
 pub use element::TableElement;
 pub use fcm::ContextBank;
 pub use hash::{fold, HashSpec};
+pub use occupancy::{OccTable, Occupancy, TableOccupancy};
 pub use policy::UpdatePolicy;
 pub use stride::StrideTable;
 pub use table::ValueTable;

@@ -1,0 +1,132 @@
+//! Programmatic construction and mutation of trace specifications.
+//!
+//! The parser is the entry point for human-written specs; the auto-tuner
+//! and the pruning workflow instead *derive* specs from existing ones —
+//! swap a field's predictor set, resize its tables — and re-validate the
+//! result. These helpers keep such derivations terse and value-oriented
+//! (each returns a new value, so candidate specs can fan out from one
+//! base without aliasing).
+
+use crate::ast::{FieldSpec, PredictorKind, PredictorSpec, TraceSpec};
+
+impl PredictorSpec {
+    /// A last-value predictor `LV[height]`.
+    pub fn lv(height: u32) -> Self {
+        Self { kind: PredictorKind::Lv, order: 0, height }
+    }
+
+    /// A stride predictor `ST[height]`.
+    pub fn st(height: u32) -> Self {
+        Self { kind: PredictorKind::St, order: 0, height }
+    }
+
+    /// A finite-context-method predictor `FCM<order>[height]`.
+    pub fn fcm(order: u32, height: u32) -> Self {
+        Self { kind: PredictorKind::Fcm, order, height }
+    }
+
+    /// A differential FCM predictor `DFCM<order>[height]`.
+    pub fn dfcm(order: u32, height: u32) -> Self {
+        Self { kind: PredictorKind::Dfcm, order, height }
+    }
+}
+
+impl FieldSpec {
+    /// This field with `predictors` substituted.
+    #[must_use]
+    pub fn with_predictors(&self, predictors: Vec<PredictorSpec>) -> Self {
+        Self { predictors, ..self.clone() }
+    }
+
+    /// This field with one more predictor appended.
+    #[must_use]
+    pub fn with_predictor(&self, predictor: PredictorSpec) -> Self {
+        let mut next = self.clone();
+        next.predictors.push(predictor);
+        next
+    }
+
+    /// This field with its first-level table size replaced.
+    #[must_use]
+    pub fn with_l1(&self, l1: u64) -> Self {
+        Self { l1, ..self.clone() }
+    }
+
+    /// This field with its base second-level table size replaced.
+    #[must_use]
+    pub fn with_l2(&self, l2: u64) -> Self {
+        Self { l2, ..self.clone() }
+    }
+}
+
+impl TraceSpec {
+    /// This specification with the field of `field`'s number replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no field with that number exists — replacement never
+    /// changes the record layout, it only retunes one field.
+    #[must_use]
+    pub fn with_field(&self, field: FieldSpec) -> Self {
+        let mut next = self.clone();
+        let slot = next
+            .fields
+            .iter_mut()
+            .find(|f| f.number == field.number)
+            .expect("with_field replaces an existing field");
+        assert_eq!(slot.bits, field.bits, "replacement must keep the field width");
+        *slot = field;
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, presets, validate};
+
+    #[test]
+    fn predictor_constructors_display_correctly() {
+        assert_eq!(PredictorSpec::lv(4).to_string(), "LV[4]");
+        assert_eq!(PredictorSpec::st(2).to_string(), "ST[2]");
+        assert_eq!(PredictorSpec::fcm(1, 2).to_string(), "FCM1[2]");
+        assert_eq!(PredictorSpec::dfcm(3, 2).to_string(), "DFCM3[2]");
+    }
+
+    #[test]
+    fn field_mutations_are_value_oriented() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let base = &spec.fields[1];
+        let resized = base.with_l1(1024).with_l2(4096);
+        assert_eq!(resized.l1, 1024);
+        assert_eq!(resized.l2, 4096);
+        assert_eq!(base.l1, 65_536, "the original is untouched");
+        let swapped = base.with_predictors(vec![PredictorSpec::lv(2)]);
+        assert_eq!(swapped.prediction_count(), 2);
+        let grown = swapped.with_predictor(PredictorSpec::dfcm(1, 2));
+        assert_eq!(grown.prediction_count(), 4);
+    }
+
+    #[test]
+    fn with_field_replaces_by_number_and_revalidates() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let tuned = spec.with_field(
+            spec.fields[1]
+                .with_l2(1024)
+                .with_predictors(vec![PredictorSpec::dfcm(1, 2), PredictorSpec::lv(2)]),
+        );
+        validate(&tuned).unwrap();
+        assert_eq!(tuned.fields[1].l2, 1024);
+        assert_eq!(tuned.fields[1].prediction_count(), 4);
+        assert_eq!(tuned.fields[0], spec.fields[0], "other fields unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the field width")]
+    fn with_field_rejects_width_changes() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let mut wrong = spec.fields[1].clone();
+        wrong.bits = 32;
+        let _ = spec.with_field(wrong);
+    }
+}

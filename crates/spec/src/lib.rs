@@ -25,6 +25,7 @@
 //! ```
 
 pub mod ast;
+pub mod build;
 pub mod canon;
 pub mod error;
 pub mod lexer;

@@ -1,0 +1,65 @@
+//! The JSON tuning report.
+//!
+//! Mirrors the reproduction harness's hand-rolled JSON (the workspace
+//! has no serialization dependency): stable key order, one evaluation
+//! object per candidate, so runs can be diffed and the bench baseline
+//! script can track the tuned-vs-default ratio.
+
+use crate::{TuneOutcome, TunerOptions};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a tuning run as a JSON document: the parameters, the winning
+/// spec (canonical text), the full-trace sizes, and every candidate
+/// evaluated per field with its stage and score.
+pub fn report_json(outcome: &TuneOutcome, options: &TunerOptions) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"seed\": {},\n", options.seed));
+    s.push_str(&format!("  \"budget_evals\": {},\n", options.budget_evals));
+    s.push_str(&format!("  \"sample_records\": {},\n", outcome.sampled_records));
+    s.push_str(&format!("  \"total_records\": {},\n", outcome.total_records));
+    s.push_str(&format!("  \"evals\": {},\n", outcome.evals));
+    s.push_str(&format!("  \"base_container_bytes\": {},\n", outcome.base_container_bytes));
+    s.push_str(&format!("  \"tuned_container_bytes\": {},\n", outcome.tuned_container_bytes));
+    s.push_str(&format!("  \"used_base\": {},\n", outcome.used_base));
+    s.push_str(&format!(
+        "  \"tuned_spec\": \"{}\",\n",
+        escape(&tcgen_spec::canonical(&outcome.tuned))
+    ));
+    s.push_str("  \"fields\": [\n");
+    for (i, field) in outcome.fields.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"field\": {},\n", field.field_number));
+        s.push_str("      \"evaluations\": [\n");
+        for (j, e) in field.evaluations.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"label\": \"{}\", \"stage\": \"{}\", \"packed_bytes\": {}, \
+                 \"table_bytes\": {}, \"misses\": {}, \"chosen\": {}}}{}\n",
+                escape(&e.label),
+                e.stage.as_str(),
+                e.packed_bytes,
+                e.table_bytes,
+                e.misses,
+                e.chosen,
+                if j + 1 < field.evaluations.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!("    }}{}\n", if i + 1 < outcome.fields.len() { "," } else { "" }));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

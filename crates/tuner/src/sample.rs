@@ -1,0 +1,140 @@
+//! Deterministic trace sampling and column transposition.
+//!
+//! Scoring every candidate on a multi-gigabyte trace would make tuning
+//! cost hundreds of full compressions. Instead the tuner scores against
+//! a bounded sample, taken as evenly spaced contiguous chunks so it sees
+//! program phases beyond the warmup; a seed-derived phase offsets each
+//! chunk within its stride so repeated runs can be decorrelated by
+//! choice of seed while any fixed seed stays perfectly reproducible.
+
+use std::sync::Arc;
+
+use tcgen_engine::streams::{field_offsets, read_value};
+use tcgen_engine::Error;
+use tcgen_spec::TraceSpec;
+
+/// Chunks the sample is split into when the trace is larger than it.
+const SAMPLE_CHUNKS: usize = 16;
+
+/// One `u64` column per field, plus the sampled and total record counts.
+pub(crate) type SampledColumns = (Vec<Arc<Vec<u64>>>, usize, usize);
+
+/// The splitmix64 sequence: the standard seed expander, here driving the
+/// per-chunk phase offsets.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Samples up to `sample_records` records of `raw` and transposes them
+/// into one `u64` column per field. Returns the columns, the sampled
+/// record count, and the total record count.
+///
+/// Traces no larger than the sample are taken whole. Larger traces
+/// contribute [`SAMPLE_CHUNKS`] contiguous chunks, one per equal stride,
+/// each placed at a `seed`-derived phase within its stride.
+pub(crate) fn sample_columns(
+    spec: &TraceSpec,
+    raw: &[u8],
+    sample_records: usize,
+    seed: u64,
+) -> Result<SampledColumns, Error> {
+    let header_len = spec.header_bytes() as usize;
+    let record_len = spec.record_bytes() as usize;
+    if raw.len() < header_len || !(raw.len() - header_len).is_multiple_of(record_len) {
+        return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
+    }
+    let body = &raw[header_len..];
+    let total = body.len() / record_len;
+
+    // The record ranges to take, in trace order.
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    if total <= sample_records.max(1) || total <= SAMPLE_CHUNKS {
+        if total > 0 {
+            ranges.push((0, total));
+        }
+    } else {
+        let chunk = (sample_records / SAMPLE_CHUNKS).max(1);
+        let stride = total / SAMPLE_CHUNKS;
+        let chunk = chunk.min(stride);
+        let mut state = seed;
+        for i in 0..SAMPLE_CHUNKS {
+            let base = i * stride;
+            let slack = stride - chunk;
+            let phase = if slack == 0 {
+                0
+            } else {
+                (splitmix64(&mut state) % (slack as u64 + 1)) as usize
+            };
+            ranges.push((base + phase, chunk));
+        }
+    }
+    let sampled: usize = ranges.iter().map(|&(_, n)| n).sum();
+
+    let offsets = field_offsets(spec);
+    let widths: Vec<usize> = spec.fields.iter().map(|f| f.bytes() as usize).collect();
+    let mut columns: Vec<Vec<u64>> =
+        (0..spec.fields.len()).map(|_| Vec::with_capacity(sampled)).collect();
+    for &(start, n) in &ranges {
+        let slice = &body[start * record_len..(start + n) * record_len];
+        for (fi, col) in columns.iter_mut().enumerate() {
+            let (off, w) = (offsets[fi], widths[fi]);
+            for rec in slice.chunks_exact(record_len) {
+                col.push(read_value(&rec[off..], w));
+            }
+        }
+    }
+    Ok((columns.into_iter().map(Arc::new).collect(), sampled, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcgen_spec::{parse, presets};
+
+    fn trace(n: usize) -> Vec<u8> {
+        let mut raw = vec![9, 9, 9, 9];
+        for i in 0..n as u64 {
+            raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 5) * 4).to_le_bytes());
+            raw.extend_from_slice(&(i * 16).to_le_bytes());
+        }
+        raw
+    }
+
+    #[test]
+    fn small_traces_are_taken_whole() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let (cols, sampled, total) = sample_columns(&spec, &trace(100), 1000, 7).unwrap();
+        assert_eq!((sampled, total), (100, 100));
+        assert_eq!(cols[0].len(), 100);
+        assert_eq!(cols[1][3], 48);
+    }
+
+    #[test]
+    fn large_traces_sample_evenly_and_deterministically() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let raw = trace(10_000);
+        let (a, sampled, total) = sample_columns(&spec, &raw, 1_600, 42).unwrap();
+        assert_eq!(total, 10_000);
+        assert_eq!(sampled, 1_600, "16 chunks of 100");
+        let (b, _, _) = sample_columns(&spec, &raw, 1_600, 42).unwrap();
+        assert_eq!(a[1], b[1], "same seed, same sample");
+        let (c, _, _) = sample_columns(&spec, &raw, 1_600, 43).unwrap();
+        assert_ne!(a[1], c[1], "phase moves with the seed");
+    }
+
+    #[test]
+    fn partial_records_rejected_and_empty_tolerated() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        assert!(matches!(
+            sample_columns(&spec, &[1, 2, 3, 4, 5], 100, 0),
+            Err(Error::PartialRecord { .. })
+        ));
+        let (cols, sampled, total) = sample_columns(&spec, &trace(0), 100, 0).unwrap();
+        assert_eq!((sampled, total), (0, 0));
+        assert!(cols.iter().all(|c| c.is_empty()));
+    }
+}

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
 """Compare a fresh `reproduce --json` run against the committed baseline.
 
-Usage: check_bench_baseline.py BASELINE.json CURRENT.json
+Usage:
+  check_bench_baseline.py BASELINE.json CURRENT.json
+  check_bench_baseline.py --tune-report TUNE.json
 
 Every algorithm in the suite is implemented in-repo and deterministic,
 so per-(algorithm, trace kind) compressed sizes must match the baseline
 exactly; any deviation means an engine change altered the emitted
 streams and fails the check. Throughput numbers vary with the runner's
 hardware and are printed for information only.
+
+The --tune-report mode summarizes a `tcgen tune --json` report instead:
+it prints the tuned-vs-default compressed-size ratio and the evaluation
+spend. The ratio tracks auto-tuner quality over time but depends on the
+trace and budget, so this mode is informational and always exits 0 (a
+malformed report still fails).
 """
 
 import json
@@ -20,7 +28,29 @@ def rows(path):
     return {(r["algorithm"], r["trace_kind"]): r for r in data["results"]}
 
 
+def tune_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    base = report["base_container_bytes"]
+    tuned = report["tuned_container_bytes"]
+    final = base if report["used_base"] else tuned
+    ratio = final / base if base else 1.0
+    print(
+        f"tune {path}: base {base} bytes, tuned {tuned} bytes, "
+        f"ratio {ratio:.4f} ({report['evals']} evaluations over "
+        f"{report['sample_records']} of {report['total_records']} records"
+        f"{', kept base spec' if report['used_base'] else ''}; informational)"
+    )
+    if final > base:
+        # The tuner's full-trace guard makes this impossible; reaching it
+        # means the report is inconsistent.
+        sys.exit(f"FAIL {path}: emitted spec is worse than the base spec")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--tune-report":
+        tune_report(sys.argv[2])
+        return
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     baseline = rows(sys.argv[1])
