@@ -7,7 +7,7 @@
 //! trace keeps the smoke run fast.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tcgen_engine::{Engine, EngineOptions};
+use tcgen_engine::{Engine, EngineOptions, Recorder};
 use tcgen_spec::{parse, presets};
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 
@@ -43,6 +43,19 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
     for threads in thread_counts() {
         let engine = engine(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &raw, |b, raw| {
+            b.iter(|| engine.compress(raw).expect("compress"))
+        });
+    }
+    group.finish();
+
+    // The same compression with a telemetry recorder attached, to keep
+    // the observation overhead visibly near zero in bench reports.
+    let mut group = c.benchmark_group("pipeline/compress-stats-on");
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    group.sample_size(10);
+    for threads in thread_counts() {
+        let engine = engine(threads).with_telemetry(Recorder::new());
         group.bench_with_input(BenchmarkId::from_parameter(threads), &raw, |b, raw| {
             b.iter(|| engine.compress(raw).expect("compress"))
         });

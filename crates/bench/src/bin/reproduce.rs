@@ -2,7 +2,8 @@
 //! the synthetic trace corpus.
 //!
 //! ```text
-//! reproduce [--records N] [--csv FILE] [--json [FILE]]
+//! reproduce [--records N] [--csv FILE] [--json [FILE]] [--verbose]
+//!           [--stats] [--trace-out FILE]
 //!           [table1|fig6|fig7|fig8|table2|table3|all]
 //! ```
 //!
@@ -14,15 +15,20 @@
 //! figures as machine-readable rows. `--json [FILE]` writes the
 //! per-algorithm harmonic-mean summary (compressed sizes plus
 //! compression/decompression throughput) as JSON, defaulting to
-//! `BENCH_pipeline.json`.
+//! `BENCH_pipeline.json`, plus an informational `telemetry_overhead`
+//! object comparing TCgen throughput with and without a recorder.
+//! `--verbose` restores the per-step progress notes on stderr.
+//! `--stats` prints a per-stage telemetry summary of one instrumented
+//! TCgen run after the tables; `--trace-out FILE` writes that run as a
+//! Chrome trace-event file (open in Perfetto).
 
 use std::collections::BTreeMap;
 
 use tcgen_bench::{
-    ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, tcgen_b, EngineCodec,
-    Measurement,
+    ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, measure_telemetry_overhead,
+    tcgen_b, EngineCodec, Measurement,
 };
-use tcgen_engine::EngineOptions;
+use tcgen_engine::{EngineOptions, Recorder};
 use tcgen_spec::presets;
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 
@@ -32,6 +38,9 @@ fn main() {
     let mut command = "all".to_string();
     let mut csv: Option<String> = None;
     let mut json: Option<String> = None;
+    let mut verbose = false;
+    let mut stats = false;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -65,6 +74,20 @@ fn main() {
                     }
                 }
             }
+            "--verbose" => {
+                verbose = true;
+                i += 1;
+            }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(
+                    args.get(i + 1).cloned().unwrap_or_else(|| die("--trace-out needs a path")),
+                );
+                i += 2;
+            }
             cmd => {
                 command = cmd.to_string();
                 i += 1;
@@ -73,6 +96,9 @@ fn main() {
     }
     CSV_PATH.set(csv).expect("set once");
     JSON_PATH.set(json).expect("set once");
+    // Progress notes ride the verbosity switches; plain runs stay quiet
+    // on stderr so scripted pipelines see only the tables on stdout.
+    VERBOSE.set(verbose || stats).expect("set once");
     match command.as_str() {
         "table1" => table1(records),
         "fig6" => figure(records, Metric::Rate),
@@ -84,7 +110,7 @@ fn main() {
             table1(records);
             let all = measure_all(records);
             dump_csv(&all);
-            dump_json(&all);
+            dump_json(&all, records);
             figure_from(&all, Metric::Rate);
             figure_from(&all, Metric::DecompressSpeed);
             figure_from(&all, Metric::CompressSpeed);
@@ -92,6 +118,39 @@ fn main() {
             table3(records);
         }
         other => die(&format!("unknown command '{other}'")),
+    }
+    telemetry_pass(records, stats, trace_out.as_deref());
+}
+
+static VERBOSE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// Progress note on stderr, shown only under `--verbose` or `--stats`.
+fn progress(message: std::fmt::Arguments<'_>) {
+    if VERBOSE.get().copied().unwrap_or(false) {
+        eprintln!("{message}");
+    }
+}
+
+/// One instrumented TCgen compress + decompress over a representative
+/// trace, feeding the `--stats` summary and the `--trace-out` Chrome
+/// trace. Skipped entirely when neither sink is requested.
+fn telemetry_pass(records: usize, stats: bool, trace_out: Option<&str>) {
+    if !stats && trace_out.is_none() {
+        return;
+    }
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+    let rec = Recorder::new();
+    let codec = EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen())
+        .with_telemetry(rec.clone());
+    measure(&codec, &raw);
+    if stats {
+        eprint!("{}", rec.report());
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(path, rec.chrome_trace()) {
+            eprintln!("reproduce: cannot write {path}: {e}");
+        }
     }
 }
 
@@ -135,7 +194,7 @@ static JSON_PATH: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new
 /// so CI and scripts can consume the numbers without scraping tables.
 /// Hand-rolled serialization: the shape is flat and fixed, and the
 /// harness takes no serialization dependency for it.
-fn dump_json(all: &AllResults) {
+fn dump_json(all: &AllResults, records: usize) {
     let Some(Some(path)) = JSON_PATH.get() else {
         return;
     };
@@ -157,7 +216,22 @@ fn dump_json(all: &AllResults) {
             ));
         }
     }
-    let text = format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    // Informational: the cost of leaving a telemetry recorder attached,
+    // on one gzip store-address trace. Never gated on — the byte-identity
+    // guarantee is tested elsewhere; this just tracks the time cost.
+    progress(format_args!("[measuring telemetry overhead]"));
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+    let overhead = measure_telemetry_overhead(&raw, 3);
+    let text = format!(
+        "{{\n  \"results\": [\n{}\n  ],\n  \"telemetry_overhead\": {{\
+         \"stats_off_mb_per_s\": {:.4}, \"stats_on_mb_per_s\": {:.4}, \
+         \"overhead_fraction\": {:.4}}}\n}}\n",
+        rows.join(",\n"),
+        mb(overhead.stats_off),
+        mb(overhead.stats_on),
+        overhead.overhead_fraction()
+    );
     if let Err(e) = std::fs::write(path, text) {
         eprintln!("reproduce: cannot write {path}: {e}");
     }
@@ -198,10 +272,10 @@ fn measure_all(records: usize) -> AllResults {
     let codecs = algorithms();
     let mut results: AllResults = BTreeMap::new();
     for kind in KINDS {
-        eprintln!("[generating {} traces]", kind.label());
+        progress(format_args!("[generating {} traces]", kind.label()));
         let traces = corpus(kind, records);
         for codec in &codecs {
-            eprintln!("[measuring {} on {}]", codec.name(), kind.label());
+            progress(format_args!("[measuring {} on {}]", codec.name(), kind.label()));
             let entry =
                 results.entry(codec.name()).or_default().entry(kind.label()).or_default();
             for (_, trace) in &traces {
@@ -244,7 +318,7 @@ fn table1(records: usize) {
 fn figure(records: usize, metric: Metric) {
     let all = measure_all(records);
     dump_csv(&all);
-    dump_json(&all);
+    dump_json(&all, records);
     figure_from(&all, metric);
 }
 

@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use tcgen_baselines::{BzipOnly, CodecError, Mache, Pdats2, Sbc, Sequitur, TraceCompressor};
-use tcgen_engine::{Engine, EngineOptions};
+use tcgen_engine::{Engine, EngineOptions, Recorder};
 use tcgen_spec::presets;
 use tcgen_tracegen::{generate_trace, suite, ProgramSpec, TraceKind, VpcTrace};
 
@@ -23,6 +23,14 @@ impl EngineCodec {
     pub fn new(name: &'static str, spec_source: &str, options: EngineOptions) -> Self {
         let spec = tcgen_spec::parse(spec_source).expect("preset specs are valid");
         Self { name, engine: Engine::new(spec, options) }
+    }
+
+    /// Attaches a telemetry recorder to the wrapped engine; measurements
+    /// then feed its spans and counters without changing their bytes.
+    #[must_use]
+    pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
+        self.engine = self.engine.with_telemetry(recorder);
+        self
     }
 }
 
@@ -120,6 +128,42 @@ pub fn measure(codec: &dyn TraceCompressor, raw: &[u8]) -> Measurement {
         compress_seconds,
         decompress_seconds,
     }
+}
+
+/// Measured cost of leaving telemetry attached: TCgen compression
+/// throughput (bytes/s) without and with a recorder, best of `runs`
+/// passes each so scheduler noise doesn't masquerade as overhead.
+/// Informational — the recorder's atomics tick at block boundaries, so
+/// the two numbers should agree to within a couple of percent.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryOverhead {
+    /// Best compression speed with no recorder attached (bytes/s).
+    pub stats_off: f64,
+    /// Best compression speed with a recorder attached (bytes/s).
+    pub stats_on: f64,
+}
+
+impl TelemetryOverhead {
+    /// Fractional slowdown: `0.02` means stats-on ran 2% slower.
+    pub fn overhead_fraction(&self) -> f64 {
+        (1.0 - self.stats_on / self.stats_off).max(0.0)
+    }
+}
+
+/// Times TCgen compression of `raw` without and with a recorder.
+///
+/// # Panics
+///
+/// Panics if compression fails or `runs` is zero.
+pub fn measure_telemetry_overhead(raw: &[u8], runs: usize) -> TelemetryOverhead {
+    assert!(runs > 0, "need at least one run");
+    let best = |codec: &EngineCodec| {
+        (0..runs).map(|_| measure(codec, raw).compress_speed()).fold(f64::MIN, f64::max)
+    };
+    let plain = EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen());
+    let observed = EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen())
+        .with_telemetry(Recorder::new());
+    TelemetryOverhead { stats_off: best(&plain), stats_on: best(&observed) }
 }
 
 /// The harmonic mean, the paper's aggregation for inversely normalized

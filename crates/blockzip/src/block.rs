@@ -2,6 +2,10 @@
 //! BWT → MTF → RLE2 → Huffman, and frames the result with lengths and a
 //! CRC-32 so corruption is detected on decompression.
 
+use std::time::Instant;
+
+use tcgen_telemetry::{Counter, Recorder};
+
 use crate::bitio::{BitReader, BitWriter};
 use crate::bwt;
 use crate::crc::crc32;
@@ -71,6 +75,57 @@ pub struct Scratch {
     bwt: bwt::Scratch,
     ranks: Vec<u8>,
     symbols: Vec<u16>,
+    probes: Option<Probes>,
+}
+
+impl Scratch {
+    /// Attaches sub-stage timing probes; subsequent calls through this
+    /// scratch accumulate per-stage nanoseconds into `recorder`'s
+    /// `blockzip.*` counters. Timing is observation-only: output bytes
+    /// are identical with probes attached or not.
+    pub fn attach_probes(&mut self, recorder: &Recorder) {
+        self.probes = Some(Probes::new(recorder));
+    }
+}
+
+/// Counter handles for the three compress stages (BWT, MTF+RLE, entropy)
+/// and their three inverses, plus block counts. Held by a [`Scratch`] so
+/// a worker thread resolves the counters once and then pays one `Instant`
+/// read per stage per 100–900 kB block — nothing on the byte-level paths.
+#[derive(Debug)]
+struct Probes {
+    bwt_ns: Counter,
+    mtf_rle_ns: Counter,
+    entropy_ns: Counter,
+    blocks: Counter,
+    entropy_decode_ns: Counter,
+    unrle_ns: Counter,
+    unbwt_ns: Counter,
+    blocks_decoded: Counter,
+}
+
+impl Probes {
+    fn new(rec: &Recorder) -> Self {
+        Self {
+            bwt_ns: rec.counter("blockzip.bwt_ns"),
+            mtf_rle_ns: rec.counter("blockzip.mtf_rle_ns"),
+            entropy_ns: rec.counter("blockzip.entropy_ns"),
+            blocks: rec.counter("blockzip.blocks"),
+            entropy_decode_ns: rec.counter("blockzip.entropy_decode_ns"),
+            unrle_ns: rec.counter("blockzip.unrle_ns"),
+            unbwt_ns: rec.counter("blockzip.unbwt_ns"),
+            blocks_decoded: rec.counter("blockzip.blocks_decoded"),
+        }
+    }
+}
+
+/// Advances the stage clock: charges the time since `*mark` to the
+/// counter `pick` selects and restarts the mark. No-ops without probes.
+fn lap(probes: &Option<Probes>, mark: &mut Option<Instant>, pick: fn(&Probes) -> &Counter) {
+    if let (Some(p), Some(start)) = (probes.as_ref(), *mark) {
+        pick(p).add(start.elapsed().as_nanos() as u64);
+        *mark = Some(Instant::now());
+    }
 }
 
 /// Like [`compress_with`], but reuses `scratch` across calls, avoiding the
@@ -87,13 +142,20 @@ pub fn compress_with_scratch(data: &[u8], level: Level, scratch: &mut Scratch) -
 }
 
 fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) {
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
     let transformed = bwt::forward_with(chunk, &mut scratch.bwt);
+    lap(&scratch.probes, &mut mark, |p| &p.bwt_ns);
     mtf::encode_into(&transformed.data, &mut scratch.ranks);
     rle::encode_into(&scratch.ranks, &mut scratch.symbols);
+    lap(&scratch.probes, &mut mark, |p| &p.mtf_rle_ns);
 
     let mut bits = BitWriter::new();
     groups::encode_symbols(&scratch.symbols, rle::ALPHABET, &mut bits);
     let payload = bits.into_bytes();
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks.add(1);
+    }
 
     out.push(BLOCK_MARKER);
     out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
@@ -165,9 +227,12 @@ fn decompress_block(
         )));
     }
 
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
     let mut bits = BitReader::new(payload);
     let symbols = groups::decode_symbols(&mut bits, rle::ALPHABET).map_err(Error::Corrupt)?;
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_decode_ns);
     rle::decode_into(&symbols, raw_len, &mut scratch.ranks).map_err(Error::Corrupt)?;
+    lap(&scratch.probes, &mut mark, |p| &p.unrle_ns);
     let ranks = &scratch.ranks;
     if ranks.len() != raw_len {
         return Err(Error::Corrupt(format!(
@@ -183,6 +248,10 @@ fn decompress_block(
     }
     let block = bwt::inverse(&transformed).map_err(Error::Corrupt)?;
     let actual_crc = crc32(&block);
+    lap(&scratch.probes, &mut mark, |p| &p.unbwt_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks_decoded.add(1);
+    }
     if actual_crc != expected_crc {
         return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
     }
@@ -338,6 +407,27 @@ mod tests {
         forged.extend_from_slice(&0u32.to_le_bytes()); // payload_len
         forged.push(0x45);
         assert!(matches!(decompress_with_limit(&forged, 1 << 20), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn probes_observe_without_perturbing_output() {
+        let rec = Recorder::new();
+        let mut probed = Scratch::default();
+        probed.attach_probes(&rec);
+        let data = b"probe me gently ".repeat(20_000); // multi-block at FAST
+        let plain = compress_with_scratch(&data, Level::FAST, &mut Scratch::default());
+        let observed = compress_with_scratch(&data, Level::FAST, &mut probed);
+        assert_eq!(plain, observed, "probes must not perturb output bytes");
+        assert_eq!(decompress_with_scratch(&observed, usize::MAX, &mut probed).unwrap(), data);
+        let report = rec.report();
+        assert!(report.counter("blockzip.blocks").unwrap() >= 2);
+        assert_eq!(
+            report.counter("blockzip.blocks"),
+            report.counter("blockzip.blocks_decoded")
+        );
+        for stage in ["blockzip.bwt_ns", "blockzip.mtf_rle_ns", "blockzip.entropy_ns"] {
+            assert!(report.counter(stage).is_some(), "{stage} missing");
+        }
     }
 
     #[test]

@@ -18,8 +18,7 @@
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use tcgen_core::{EngineOptions, Tcgen};
-use tcgen_engine::UsageReport;
+use tcgen_core::{EngineOptions, Recorder, Tcgen};
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 use tcgen_tuner::TunerOptions;
 
@@ -71,8 +70,73 @@ fn usage() -> String {
      --model-threads N  worker threads for per-field predictor modeling\n\
      \x20                   (0 = one per CPU, 1 = serial; output is identical\n\
      \x20                   for every N)\n\
-     --block-records N  records per compressed block (0 = whole trace)"
+     --block-records N  records per compressed block (0 = whole trace)\n\
+     \n\
+     telemetry (compress, decompress, usage, tune; never changes output bytes):\n\
+     --stats            print a per-stage timing/throughput summary to stderr\n\
+     \x20                   (also enables the usage and tune progress reports)\n\
+     --stats-json [FILE] write the summary as JSON (default telemetry.json)\n\
+     --trace-out FILE   write a Chrome trace-event file (open in Perfetto)"
         .to_string()
+}
+
+/// The shared telemetry flags: `--stats`, `--stats-json [FILE]`, and
+/// `--trace-out FILE`. Any of them attaches a [`Recorder`] to the run;
+/// none of them changes the bytes a command emits.
+#[derive(Default)]
+struct StatsOpts {
+    stats: bool,
+    stats_json: Option<String>,
+    trace_out: Option<String>,
+}
+
+impl StatsOpts {
+    /// Consumes the telemetry flag at `args[i]` (one of the three arms
+    /// the caller matched) and returns the index after it.
+    fn parse(&mut self, args: &[String], i: usize) -> Result<usize, String> {
+        match args[i].as_str() {
+            "--stats" => {
+                self.stats = true;
+                Ok(i + 1)
+            }
+            "--stats-json" => {
+                let (path, next) = parse_json_flag(args, i, "telemetry.json");
+                self.stats_json = Some(path);
+                Ok(next)
+            }
+            "--trace-out" => {
+                let path = args.get(i + 1).ok_or("--trace-out needs a file")?;
+                self.trace_out = Some(path.clone());
+                Ok(i + 2)
+            }
+            other => Err(format!("unexpected argument '{other}'")),
+        }
+    }
+
+    /// A recorder when any telemetry sink is requested, else `None` —
+    /// the instrumented paths then skip all bookkeeping.
+    fn recorder(&self) -> Option<Recorder> {
+        (self.stats || self.stats_json.is_some() || self.trace_out.is_some())
+            .then(Recorder::new)
+    }
+
+    /// Drains the recorder into the requested sinks: the human summary
+    /// to stderr, the JSON report and the Chrome trace to their files.
+    fn emit(&self, recorder: Option<&Recorder>) -> Result<(), String> {
+        let Some(rec) = recorder else { return Ok(()) };
+        if self.stats {
+            eprint!("{}", rec.report());
+        }
+        if let Some(path) = &self.stats_json {
+            std::fs::write(path, rec.report().to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, rec.chrome_trace())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        Ok(())
+    }
 }
 
 fn load_tcgen(spec_path: &str) -> Result<Tcgen, String> {
@@ -114,6 +178,7 @@ fn canon(args: &[String]) -> Result<(), String> {
 fn codec(args: &[String], compressing: bool) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
     let mut options = EngineOptions::tcgen();
+    let mut stats = StatsOpts::default();
     let mut files: Vec<&String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -130,6 +195,9 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
                 options.block_records = parse_count(args.get(i + 1), "--block-records")?;
                 i += 2;
             }
+            "--stats" | "--stats-json" | "--trace-out" => {
+                i = stats.parse(args, i)?;
+            }
             _ => {
                 files.push(&args[i]);
                 i += 1;
@@ -141,16 +209,25 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
     }
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let mut tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let recorder = stats.recorder();
+    if let Some(rec) = &recorder {
+        tcgen = tcgen.with_telemetry(rec.clone());
+    }
     let input = read_input(files.first().copied())?;
     let output = if compressing {
         let (packed, usage) = tcgen.compress_with_usage(&input).map_err(|e| e.to_string())?;
-        eprint!("{usage}");
+        // The paper's generated tools print this after every run; here it
+        // rides on the telemetry switch so plain pipelines stay quiet.
+        if stats.stats {
+            eprint!("{usage}");
+        }
         packed
     } else {
         tcgen.decompress(&input).map_err(|e| e.to_string())?
     };
-    write_output(files.get(1).copied(), &output)
+    write_output(files.get(1).copied(), &output)?;
+    stats.emit(recorder.as_ref())
 }
 
 fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
@@ -183,18 +260,39 @@ fn trace(args: &[String]) -> Result<(), String> {
 fn prune(args: &[String]) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
     let trace_path = args.get(1).ok_or_else(usage)?;
-    let threshold: f64 = match args.get(2) {
-        Some(t) => t.parse().map_err(|e| format!("bad threshold '{t}': {e}"))?,
-        None => 0.02,
-    };
-    let tcgen = load_tcgen(spec_path)?;
+    let mut stats = StatsOpts::default();
+    let mut threshold = 0.02f64;
+    let mut threshold_seen = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" | "--stats-json" | "--trace-out" => {
+                i = stats.parse(args, i)?;
+            }
+            t => {
+                if threshold_seen {
+                    return Err(format!("unexpected argument '{t}'"));
+                }
+                threshold = t.parse().map_err(|e| format!("bad threshold '{t}': {e}"))?;
+                threshold_seen = true;
+                i += 1;
+            }
+        }
+    }
+    let mut tcgen = load_tcgen(spec_path)?;
+    let recorder = stats.recorder();
+    if let Some(rec) = &recorder {
+        tcgen = tcgen.with_telemetry(rec.clone());
+    }
     let raw =
         std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let (_, usage) = tcgen.compress_with_usage(&raw).map_err(|e| e.to_string())?;
-    eprint!("{usage}");
+    if stats.stats {
+        eprint!("{usage}");
+    }
     let pruned = usage.pruned_spec(tcgen.spec(), threshold);
     print!("{}", tcgen_spec::canonical(&pruned));
-    Ok(())
+    stats.emit(recorder.as_ref())
 }
 
 /// Parses the optional path operand of `--json`, mirroring the bench
@@ -213,6 +311,7 @@ fn usage_report(args: &[String]) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
     let trace_path = args.get(1).ok_or_else(usage)?;
     let mut options = EngineOptions::tcgen();
+    let mut stats = StatsOpts::default();
     let mut json: Option<String> = None;
     let mut i = 2;
     while i < args.len() {
@@ -230,76 +329,28 @@ fn usage_report(args: &[String]) -> Result<(), String> {
                 json = Some(path);
                 i = next;
             }
+            "--stats" | "--stats-json" | "--trace-out" => {
+                i = stats.parse(args, i)?;
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
     let source = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
-    let tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let mut tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let recorder = stats.recorder();
+    if let Some(rec) = &recorder {
+        tcgen = tcgen.with_telemetry(rec.clone());
+    }
     let raw =
         std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
     let (_, report) = tcgen.compress_with_usage(&raw).map_err(|e| e.to_string())?;
     print!("{report}");
     if let Some(path) = json {
-        std::fs::write(&path, usage_json(&report))
+        std::fs::write(&path, report.to_json())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    Ok(())
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Hand-rolled JSON for a [`UsageReport`], shaped like the bench
-/// harness's `reproduce --json` output (flat objects, stable key order).
-fn usage_json(report: &UsageReport) -> String {
-    let mut fields = Vec::new();
-    for f in &report.fields {
-        let predictors: Vec<String> = f
-            .labels
-            .iter()
-            .zip(&f.counts)
-            .map(|(label, count)| {
-                format!("{{\"label\": \"{}\", \"count\": {count}}}", json_escape(label))
-            })
-            .collect();
-        let occupancy: Vec<String> = f
-            .occupancy
-            .iter()
-            .map(|o| {
-                format!(
-                    "{{\"table\": \"{}\", \"lines_written\": {}, \"lines_total\": {}}}",
-                    json_escape(&o.label()),
-                    o.lines_written,
-                    o.lines_total
-                )
-            })
-            .collect();
-        fields.push(format!(
-            "    {{\"field\": {}, \"records\": {}, \"hit_rate\": {:.4}, \
-             \"misses\": {}, \"table_bytes\": {},\n     \"predictors\": [{}],\n     \
-             \"occupancy\": [{}]}}",
-            f.field_number,
-            f.total(),
-            f.hit_rate(),
-            f.misses,
-            f.table_bytes,
-            predictors.join(", "),
-            occupancy.join(", ")
-        ));
-    }
-    format!("{{\n  \"fields\": [\n{}\n  ]\n}}\n", fields.join(",\n"))
+    stats.emit(recorder.as_ref())
 }
 
 /// `tcgen tune` — search the predictor-configuration space against a
@@ -309,6 +360,7 @@ fn tune(args: &[String]) -> Result<(), String> {
     let spec_path = args.first().ok_or_else(usage)?;
     let trace_path = args.get(1).ok_or_else(usage)?;
     let mut options = TunerOptions::default();
+    let mut stats = StatsOpts::default();
     let mut json: Option<String> = None;
     let mut out_spec: Option<&String> = None;
     let mut i = 2;
@@ -339,6 +391,9 @@ fn tune(args: &[String]) -> Result<(), String> {
                 json = Some(path);
                 i = next;
             }
+            "--stats" | "--stats-json" | "--trace-out" => {
+                i = stats.parse(args, i)?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unexpected argument '{other}'"));
             }
@@ -354,21 +409,29 @@ fn tune(args: &[String]) -> Result<(), String> {
     let tcgen = load_tcgen(spec_path)?;
     let raw =
         std::fs::read(trace_path).map_err(|e| format!("cannot read {trace_path}: {e}"))?;
-    let outcome = tcgen_tuner::tune(tcgen.spec(), &raw, &options).map_err(|e| e.to_string())?;
-    eprintln!(
-        "tuned {} of {} records in {} evaluations: base {} bytes, tuned {} bytes{}",
-        outcome.sampled_records,
-        outcome.total_records,
-        outcome.evals,
-        outcome.base_container_bytes,
-        outcome.tuned_container_bytes,
-        if outcome.used_base { " (keeping the base spec)" } else { "" }
-    );
+    let recorder = stats.recorder();
+    let outcome =
+        tcgen_tuner::tune_with_telemetry(tcgen.spec(), &raw, &options, recorder.as_ref())
+            .map_err(|e| e.to_string())?;
+    // Progress feedback rides on the telemetry switch so scripted
+    // pipelines stay quiet by default.
+    if stats.stats {
+        eprintln!(
+            "tuned {} of {} records in {} evaluations: base {} bytes, tuned {} bytes{}",
+            outcome.sampled_records,
+            outcome.total_records,
+            outcome.evals,
+            outcome.base_container_bytes,
+            outcome.tuned_container_bytes,
+            if outcome.used_base { " (keeping the base spec)" } else { "" }
+        );
+    }
     if let Some(path) = json {
         std::fs::write(&path, tcgen_tuner::report_json(&outcome, &options))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    write_output(out_spec, tcgen_spec::canonical(&outcome.tuned).as_bytes())
+    write_output(out_spec, tcgen_spec::canonical(&outcome.tuned).as_bytes())?;
+    stats.emit(recorder.as_ref())
 }
 
 fn read_input(path: Option<&String>) -> Result<Vec<u8>, String> {

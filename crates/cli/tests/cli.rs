@@ -67,13 +67,15 @@ fn trace_compress_decompress_roundtrip_via_files() {
         .arg(&spec)
         .arg(&trace)
         .arg(&packed)
+        .arg("--stats")
         .stderr(Stdio::piped())
         .output()
         .expect("compress");
     assert!(out.status.success());
-    // Usage feedback lands on stderr.
+    // Under --stats, usage feedback and the stage summary land on stderr.
     let feedback = String::from_utf8(out.stderr).unwrap();
     assert!(feedback.contains("Field 1"), "missing usage feedback: {feedback}");
+    assert!(feedback.contains("compress"), "missing stage summary: {feedback}");
     assert!(
         std::fs::metadata(&packed).unwrap().len() < std::fs::metadata(&trace).unwrap().len(),
         "compression should shrink the trace"
@@ -92,6 +94,85 @@ fn trace_compress_decompress_roundtrip_via_files() {
         std::fs::read(&restored).unwrap(),
         "roundtrip through the CLI must be lossless"
     );
+}
+
+#[test]
+fn compress_is_quiet_without_stats() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let trace = dir.join("q.trace");
+    let packed = dir.join("q.tcgz");
+    assert!(tcgen()
+        .args(["trace", "mcf", "store", "2000"])
+        .arg(&trace)
+        .status()
+        .expect("trace")
+        .success());
+    let out = tcgen()
+        .arg("compress")
+        .arg(&spec)
+        .arg(&trace)
+        .arg(&packed)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("compress");
+    assert!(out.status.success());
+    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn telemetry_sinks_write_valid_files_without_changing_output() {
+    let dir = tempdir();
+    let spec = write_spec(&dir);
+    let trace = dir.join("tel.trace");
+    let plain = dir.join("tel-plain.tcgz");
+    let observed = dir.join("tel-observed.tcgz");
+    let report = dir.join("telemetry.json");
+    let chrome = dir.join("tel.trace.json");
+    assert!(tcgen()
+        .args(["trace", "gzip", "store", "6000"])
+        .arg(&trace)
+        .status()
+        .expect("trace")
+        .success());
+
+    assert!(tcgen()
+        .arg("compress")
+        .arg(&spec)
+        .arg(&trace)
+        .arg(&plain)
+        .args(["--threads", "2", "--block-records", "512"])
+        .status()
+        .expect("compress")
+        .success());
+    let out = tcgen()
+        .arg("compress")
+        .arg(&spec)
+        .arg(&trace)
+        .arg(&observed)
+        .args(["--threads", "2", "--block-records", "512", "--stats-json"])
+        .arg(&report)
+        .arg("--trace-out")
+        .arg(&chrome)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("compress with telemetry");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // File sinks alone keep stderr quiet.
+    assert!(out.stderr.is_empty(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    assert_eq!(
+        std::fs::read(&plain).unwrap(),
+        std::fs::read(&observed).unwrap(),
+        "telemetry must never perturb the container bytes"
+    );
+    let report = std::fs::read_to_string(&report).expect("json report written");
+    for key in ["\"wall_seconds\"", "\"counters\"", "\"stages\"", "\"pools\""] {
+        assert!(report.contains(key), "missing {key}: {report}");
+    }
+    let chrome = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("pack-0"), "worker track missing: {chrome}");
 }
 
 #[test]
@@ -202,7 +283,16 @@ fn tune_emits_a_valid_spec_and_report() {
         .arg(&spec)
         .arg(&trace)
         .arg(&tuned)
-        .args(["--sample-records", "2000", "--budget-evals", "24", "--seed", "1", "--json"])
+        .args([
+            "--sample-records",
+            "2000",
+            "--budget-evals",
+            "24",
+            "--seed",
+            "1",
+            "--stats",
+            "--json",
+        ])
         .arg(&json)
         .stderr(Stdio::piped())
         .output()

@@ -34,6 +34,9 @@ use tcgen_spec::TraceSpec;
 // Re-exported so callers of [`Tcgen::with_options`] can name the options
 // type without depending on the engine crate directly.
 pub use tcgen_engine::EngineOptions;
+// Re-exported so callers of [`Tcgen::with_telemetry`] can build a
+// recorder without depending on the telemetry crate directly.
+pub use tcgen_engine::Recorder;
 
 /// The paper's Figure 5 specification (TCgen(A) / the VPC3 format).
 pub const TCGEN_A_SPEC: &str = tcgen_spec::presets::TCGEN_A;
@@ -105,6 +108,21 @@ impl Tcgen {
     pub fn with_options(spec_source: &str, options: EngineOptions) -> Result<Self, Error> {
         let spec = tcgen_spec::parse(spec_source)?;
         Ok(Self { engine: Engine::new(spec, options) })
+    }
+
+    /// Attaches a telemetry recorder: every compression and
+    /// decompression through this instance records per-stage spans and
+    /// throughput counters into it. Purely observational — output bytes
+    /// are identical with and without a recorder.
+    #[must_use]
+    pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
+        self.engine = self.engine.with_telemetry(recorder);
+        self
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&Recorder> {
+        self.engine.telemetry()
     }
 
     /// The parsed trace specification.

@@ -38,10 +38,11 @@
 use std::collections::VecDeque;
 
 use tcgen_spec::TraceSpec;
+use tcgen_telemetry::{driver_span, OpCounters, Recorder};
 
 use crate::columnar::{Modeler, Replayer};
 use crate::options::EngineOptions;
-use crate::pool::Pipeline;
+use crate::pool::{Pipeline, PoolTelemetry};
 use crate::streams::BlockStreams;
 use crate::usage::UsageReport;
 use crate::Error;
@@ -81,22 +82,27 @@ pub fn compress(
     raw: &[u8],
     usage: Option<&mut UsageReport>,
 ) -> Result<Vec<u8>, Error> {
-    compress_with_hash(spec, options, spec_hash(spec), raw, usage)
+    compress_with_hash(spec, options, spec_hash(spec), raw, usage, None)
 }
 
-/// [`compress`] with the spec hash already computed.
+/// [`compress`] with the spec hash already computed and an optional
+/// telemetry recorder. Telemetry is purely observational: the container
+/// bytes are identical with and without a recorder attached.
 pub(crate) fn compress_with_hash(
     spec: &TraceSpec,
     options: &EngineOptions,
     hash: u32,
     raw: &[u8],
     mut usage: Option<&mut UsageReport>,
+    tel: Option<&Recorder>,
 ) -> Result<Vec<u8>, Error> {
     let header_len = spec.header_bytes() as usize;
     let record_len = spec.record_bytes() as usize;
     if raw.len() < header_len || !(raw.len() - header_len).is_multiple_of(record_len) {
         return Err(Error::PartialRecord { len: raw.len(), header_len, record_len });
     }
+    let _op_span = driver_span(tel, "compress");
+    let counters = tel.map(OpCounters::compress);
 
     let mut out = Vec::with_capacity(raw.len() / 8 + 64);
     out.extend_from_slice(MAGIC);
@@ -115,17 +121,29 @@ pub(crate) fn compress_with_hash(
     let mut streams = BlockStreams::new(spec.fields.len());
 
     let out = std::thread::scope(|scope| -> Result<Vec<u8>, Error> {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, tel));
         let model_pipe = model_pipe.as_ref();
 
         if threads <= 1 {
             let mut scratch = blockzip::Scratch::default();
+            if let Some(rec) = tel {
+                scratch.attach_probes(rec);
+            }
             let mut pos = 0usize;
             while pos < total {
                 let take = block_records.min(total - pos);
                 let chunk = &body[pos * record_len..(pos + take) * record_len];
-                modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
-                flush_block(&mut out, &streams, options.level, &mut scratch);
+                {
+                    let _s = driver_span(tel, "model.chunk");
+                    modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
+                }
+                {
+                    let _s = driver_span(tel, "block.flush");
+                    flush_block(&mut out, &streams, options.level, &mut scratch);
+                }
+                if let Some(c) = &counters {
+                    c.blocks.add(1);
+                }
                 streams.clear();
                 pos += take;
             }
@@ -134,14 +152,22 @@ pub(crate) fn compress_with_hash(
         }
 
         let level = options.level;
-        let pipe = Pipeline::start(scope, threads, || {
-            let mut scratch = blockzip::Scratch::default();
-            move |mut payload: Vec<u8>| {
-                let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
-                payload.clear();
-                (payload, packed)
-            }
-        });
+        let pipe = Pipeline::start_instrumented(
+            scope,
+            threads,
+            PoolTelemetry::from(tel, "pack", "pack.segment"),
+            || {
+                let mut scratch = blockzip::Scratch::default();
+                if let Some(rec) = tel {
+                    scratch.attach_probes(rec);
+                }
+                move |mut payload: Vec<u8>| {
+                    let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                    payload.clear();
+                    (payload, packed)
+                }
+            },
+        );
         let segs_per_block = 2 * spec.fields.len();
         // Record counts of submitted blocks not yet written out.
         let mut pending: VecDeque<u32> = VecDeque::new();
@@ -151,16 +177,27 @@ pub(crate) fn compress_with_hash(
         while pos < total {
             let take = block_records.min(total - pos);
             let chunk = &body[pos * record_len..(pos + take) * record_len];
-            modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
+            {
+                let _s = driver_span(tel, "model.chunk");
+                modeler.model_chunk(chunk, &mut streams, &mut usage, model_pipe)?;
+            }
             submit_block(&pipe, &mut streams, &mut pending, &mut free);
             if pending.len() > max_blocks_ahead(threads) {
                 let n = pending.pop_front().expect("pending is non-empty");
+                let _s = driver_span(tel, "block.flush");
                 write_packed_block(&mut out, &pipe, n, segs_per_block, &mut free)?;
+                if let Some(c) = &counters {
+                    c.blocks.add(1);
+                }
             }
             pos += take;
         }
         while let Some(n) = pending.pop_front() {
+            let _s = driver_span(tel, "block.flush");
             write_packed_block(&mut out, &pipe, n, segs_per_block, &mut free)?;
+            if let Some(c) = &counters {
+                c.blocks.add(1);
+            }
         }
         out.push(END_MARKER);
         Ok(out)
@@ -169,6 +206,11 @@ pub(crate) fn compress_with_hash(
     // reflect every record modeled.
     if let Some(u) = usage {
         modeler.record_table_stats(u);
+    }
+    if let Some(c) = &counters {
+        c.bytes_in.add(raw.len() as u64);
+        c.records.add(total as u64);
+        c.bytes_out.add(out.len() as u64);
     }
     Ok(out)
 }
@@ -193,7 +235,7 @@ pub fn raw_streams(
     let mut streams = BlockStreams::new(spec.fields.len());
     let model_threads = options.effective_model_threads();
     std::thread::scope(|scope| {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, None));
         modeler.model_chunk(&raw[header_len..], &mut streams, &mut None, model_pipe.as_ref())
     })?;
     Ok(streams.fields.into_iter().flat_map(|fs| [fs.codes, fs.values]).collect())
@@ -229,7 +271,7 @@ pub fn replay_streams(
     let model_threads = options.effective_model_threads();
     let mut out = Vec::new();
     std::thread::scope(|scope| {
-        let pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+        let pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, None));
         replayer.replay_block(n_records, &mut codes, &mut values, &mut out, pipe.as_ref())
     })?;
     Ok(out)
@@ -319,16 +361,20 @@ pub fn decompress(
     options: &EngineOptions,
     packed: &[u8],
 ) -> Result<Vec<u8>, Error> {
-    decompress_with_hash(spec, options, spec_hash(spec), packed)
+    decompress_with_hash(spec, options, spec_hash(spec), packed, None)
 }
 
-/// [`decompress`] with the spec hash already computed.
+/// [`decompress`] with the spec hash already computed and an optional
+/// telemetry recorder (observation-only, like compression's).
 pub(crate) fn decompress_with_hash(
     spec: &TraceSpec,
     options: &EngineOptions,
     expected_hash: u32,
     packed: &[u8],
+    tel: Option<&Recorder>,
 ) -> Result<Vec<u8>, Error> {
+    let _op_span = driver_span(tel, "decompress");
+    let counters = tel.map(OpCounters::decompress);
     let mut cur = Cursor { data: packed, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(Error::BadMagic);
@@ -404,12 +450,16 @@ pub(crate) fn decompress_with_hash(
 
     let threads = options.effective_threads();
     let model_threads = options.effective_model_threads();
-    std::thread::scope(|scope| {
-        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+    let out = std::thread::scope(|scope| -> Result<Vec<u8>, Error> {
+        let replay_pipe =
+            (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, tel));
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
             let mut scratch = blockzip::Scratch::default();
+            if let Some(rec) = tel {
+                scratch.attach_probes(rec);
+            }
             let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             for block in &blocks {
@@ -419,18 +469,25 @@ pub(crate) fn decompress_with_hash(
                     let (limit_c, limit_v) =
                         segment_limits(block.n_records, replayer.widths()[fi]);
                     let (start, len) = block.segments[2 * fi];
-                    codes.push(blockzip::decompress_with_scratch(
-                        &packed[start..start + len],
-                        limit_c,
-                        &mut scratch,
-                    )?);
+                    codes.push({
+                        let _s = driver_span(tel, "unpack.segment");
+                        blockzip::decompress_with_scratch(
+                            &packed[start..start + len],
+                            limit_c,
+                            &mut scratch,
+                        )?
+                    });
                     let (start, len) = block.segments[2 * fi + 1];
-                    values.push(blockzip::decompress_with_scratch(
-                        &packed[start..start + len],
-                        limit_v,
-                        &mut scratch,
-                    )?);
+                    values.push({
+                        let _s = driver_span(tel, "unpack.segment");
+                        blockzip::decompress_with_scratch(
+                            &packed[start..start + len],
+                            limit_v,
+                            &mut scratch,
+                        )?
+                    });
                 }
+                let _s = driver_span(tel, "replay.block");
                 replayer.replay_block(
                     block.n_records,
                     &mut codes,
@@ -442,12 +499,20 @@ pub(crate) fn decompress_with_hash(
             return Ok(out);
         }
 
-        let pipe = Pipeline::start(scope, threads, || {
-            let mut scratch = blockzip::Scratch::default();
-            move |(seg, limit): (&[u8], usize)| {
-                blockzip::decompress_with_scratch(seg, limit, &mut scratch)
-            }
-        });
+        let pipe = Pipeline::start_instrumented(
+            scope,
+            threads,
+            PoolTelemetry::from(tel, "unpack", "unpack.segment"),
+            || {
+                let mut scratch = blockzip::Scratch::default();
+                if let Some(rec) = tel {
+                    scratch.attach_probes(rec);
+                }
+                move |(seg, limit): (&[u8], usize)| {
+                    blockzip::decompress_with_scratch(seg, limit, &mut scratch)
+                }
+            },
+        );
         let mut submitted = 0usize;
         let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
         let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
@@ -472,6 +537,7 @@ pub(crate) fn decompress_with_hash(
                 codes.push(next_segment(&pipe)?);
                 values.push(next_segment(&pipe)?);
             }
+            let _s = driver_span(tel, "replay.block");
             replayer.replay_block(
                 blocks[bi].n_records,
                 &mut codes,
@@ -481,7 +547,14 @@ pub(crate) fn decompress_with_hash(
             )?;
         }
         Ok(out)
-    })
+    })?;
+    if let Some(c) = &counters {
+        c.bytes_in.add(packed.len() as u64);
+        c.bytes_out.add(out.len() as u64);
+        c.records.add(total_records as u64);
+        c.blocks.add(blocks.len() as u64);
+    }
+    Ok(out)
 }
 
 /// The maximum decoded sizes a block of `n_records` records admits: codes

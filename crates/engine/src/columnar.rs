@@ -27,9 +27,10 @@ use std::sync::Arc;
 
 use tcgen_predictors::{FieldBank, ReplayError};
 use tcgen_spec::TraceSpec;
+use tcgen_telemetry::Recorder;
 
 use crate::options::EngineOptions;
-use crate::pool::Pipeline;
+use crate::pool::{Pipeline, PoolTelemetry};
 use crate::streams::{field_offsets, read_value, write_value, BlockStreams};
 use crate::usage::UsageReport;
 use crate::Error;
@@ -129,12 +130,19 @@ impl Modeler {
         }
     }
 
-    /// Spawns the model-thread pool on `scope`.
+    /// Spawns the model-thread pool on `scope`; with a recorder, each
+    /// worker traces its per-field jobs as `model.field` spans.
     pub(crate) fn pipe<'scope>(
         scope: &'scope std::thread::Scope<'scope, '_>,
         model_threads: usize,
+        tel: Option<&Recorder>,
     ) -> ModelPipe {
-        Pipeline::start(scope, model_threads, || ModelJob::run)
+        Pipeline::start_instrumented(
+            scope,
+            model_threads,
+            PoolTelemetry::from(tel, "model", "model.field"),
+            || ModelJob::run,
+        )
     }
 
     /// Copies each bank's value-table footprint and table occupancy into
@@ -334,12 +342,19 @@ impl Replayer {
         &self.layout.widths
     }
 
-    /// Spawns the replay pool on `scope`.
+    /// Spawns the replay pool on `scope`; with a recorder, each worker
+    /// traces its per-field jobs as `replay.field` spans.
     pub(crate) fn pipe<'scope>(
         scope: &'scope std::thread::Scope<'scope, '_>,
         model_threads: usize,
+        tel: Option<&Recorder>,
     ) -> ReplayPipe {
-        Pipeline::start(scope, model_threads, || ReplayJob::run)
+        Pipeline::start_instrumented(
+            scope,
+            model_threads,
+            PoolTelemetry::from(tel, "replay", "replay.field"),
+            || ReplayJob::run,
+        )
     }
 
     /// Replays one block, appending reconstructed records to `out`. The

@@ -19,9 +19,10 @@ use std::sync::Arc;
 
 use tcgen_predictors::{FieldBank, TableOccupancy};
 use tcgen_spec::FieldSpec;
+use tcgen_telemetry::{driver_span, Recorder};
 
 use crate::options::EngineOptions;
-use crate::pool::Pipeline;
+use crate::pool::{Pipeline, PoolTelemetry};
 use crate::streams::write_value;
 use crate::Error;
 
@@ -112,6 +113,23 @@ pub fn score_candidates(
     values: &Arc<Vec<u64>>,
     options: &EngineOptions,
 ) -> Result<Vec<CandidateScore>, Error> {
+    score_candidates_with_telemetry(candidates, pcs, values, options, None)
+}
+
+/// [`score_candidates`] with an optional telemetry recorder: each
+/// candidate evaluation is traced as a `tune.eval` span (on the
+/// `tune-eval` pool's worker tracks when fanned out, on the driver track
+/// otherwise) and counted under `tune.evals`. Scores are unaffected.
+pub fn score_candidates_with_telemetry(
+    candidates: &[FieldSpec],
+    pcs: &Arc<Vec<u64>>,
+    values: &Arc<Vec<u64>>,
+    options: &EngineOptions,
+    tel: Option<&Recorder>,
+) -> Result<Vec<CandidateScore>, Error> {
+    if let Some(rec) = tel {
+        rec.counter("tune.evals").add(candidates.len() as u64);
+    }
     let jobs: Vec<EvalJob> = candidates
         .iter()
         .map(|f| EvalJob { field: f.clone(), pcs: Arc::clone(pcs), values: Arc::clone(values) })
@@ -119,13 +137,24 @@ pub fn score_candidates(
     let threads = options.effective_model_threads().min(jobs.len().max(1));
     if threads <= 1 {
         let mut scratch = blockzip::Scratch::default();
-        return Ok(jobs.iter().map(|j| evaluate(j, options, &mut scratch)).collect());
+        return Ok(jobs
+            .iter()
+            .map(|j| {
+                let _s = driver_span(tel, "tune.eval");
+                evaluate(j, options, &mut scratch)
+            })
+            .collect());
     }
     std::thread::scope(|scope| {
-        let pipe: Pipeline<EvalJob, CandidateScore> = Pipeline::start(scope, threads, || {
-            let mut scratch = blockzip::Scratch::default();
-            move |job: EvalJob| evaluate(&job, options, &mut scratch)
-        });
+        let pipe: Pipeline<EvalJob, CandidateScore> = Pipeline::start_instrumented(
+            scope,
+            threads,
+            PoolTelemetry::from(tel, "tune-eval", "tune.eval"),
+            || {
+                let mut scratch = blockzip::Scratch::default();
+                move |job: EvalJob| evaluate(&job, options, &mut scratch)
+            },
+        );
         let n = jobs.len();
         for job in jobs {
             pipe.submit(job);

@@ -36,10 +36,17 @@ pub mod stream_io;
 pub mod streams;
 pub mod usage;
 
-pub use evaluate::{score_candidates, CandidateScore};
+pub use evaluate::{score_candidates, score_candidates_with_telemetry, CandidateScore};
 pub use options::EngineOptions;
-pub use stream_io::{compress_stream, decompress_stream, StreamError};
+pub use stream_io::{
+    compress_stream, compress_stream_with_telemetry, decompress_stream,
+    decompress_stream_with_telemetry, StreamError,
+};
 pub use tcgen_predictors::{OccTable, TableOccupancy};
+/// The telemetry subsystem, re-exported so engine users need not depend
+/// on `tcgen-telemetry` directly.
+pub use tcgen_telemetry as telemetry;
+pub use tcgen_telemetry::Recorder;
 pub use usage::{FieldUsage, UsageReport};
 
 use tcgen_spec::TraceSpec;
@@ -121,6 +128,10 @@ pub struct Engine {
     /// FNV-1a hash of the canonical spec text, computed once here so
     /// compress/decompress calls don't re-canonicalize the spec.
     spec_hash: u32,
+    /// When attached, compress/decompress runs record spans, counters,
+    /// and pool stats into this recorder. Observation-only: containers
+    /// are byte-identical with or without it.
+    telemetry: Option<Recorder>,
 }
 
 impl Engine {
@@ -128,7 +139,20 @@ impl Engine {
     /// passed [`tcgen_spec::validate()`] (as [`tcgen_spec::parse()`] ensures).
     pub fn new(spec: TraceSpec, options: EngineOptions) -> Self {
         let spec_hash = codec::spec_hash(&spec);
-        Self { spec, options, spec_hash }
+        Self { spec, options, spec_hash, telemetry: None }
+    }
+
+    /// Attaches a telemetry recorder; subsequent compress/decompress
+    /// calls trace into it. Telemetry never changes output bytes.
+    #[must_use]
+    pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = Some(recorder);
+        self
+    }
+
+    /// The attached telemetry recorder, if any.
+    pub fn telemetry(&self) -> Option<&Recorder> {
+        self.telemetry.as_ref()
     }
 
     /// The engine's trace specification.
@@ -148,7 +172,14 @@ impl Engine {
     /// Returns [`Error::PartialRecord`] if `raw` is not a whole number of
     /// records after the header.
     pub fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, Error> {
-        codec::compress_with_hash(&self.spec, &self.options, self.spec_hash, raw, None)
+        codec::compress_with_hash(
+            &self.spec,
+            &self.options,
+            self.spec_hash,
+            raw,
+            None,
+            self.telemetry.as_ref(),
+        )
     }
 
     /// Compresses a raw trace and reports predictor usage (the feedback
@@ -165,6 +196,7 @@ impl Engine {
             self.spec_hash,
             raw,
             Some(&mut report),
+            self.telemetry.as_ref(),
         )?;
         Ok((packed, report))
     }
@@ -176,7 +208,13 @@ impl Engine {
     /// Returns [`Error::SpecMismatch`] for containers of other formats
     /// and [`Error::Corrupt`]/[`Error::Truncated`] on damage.
     pub fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, Error> {
-        codec::decompress_with_hash(&self.spec, &self.options, self.spec_hash, packed)
+        codec::decompress_with_hash(
+            &self.spec,
+            &self.options,
+            self.spec_hash,
+            packed,
+            self.telemetry.as_ref(),
+        )
     }
 }
 

@@ -20,10 +20,43 @@ use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::Scope;
+use std::time::Instant;
+
+use tcgen_telemetry::{PoolStats, Recorder, TrackId};
 
 /// Error returned by [`Pipeline::next`] after a job panicked on a worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct WorkerPanicked;
+
+/// How an instrumented pipeline reports itself: `label` names the pool
+/// (and its queue-depth stats and worker tracks, `label-0`, `label-1`,
+/// …), `span` names the per-job spans recorded on those tracks.
+pub(crate) struct PoolTelemetry {
+    pub rec: Recorder,
+    pub label: &'static str,
+    pub span: &'static str,
+}
+
+impl PoolTelemetry {
+    /// Builds the hookup when a recorder is attached; `None` otherwise,
+    /// which makes [`Pipeline::start_instrumented`] behave exactly like
+    /// [`Pipeline::start`].
+    pub fn from(
+        tel: Option<&Recorder>,
+        label: &'static str,
+        span: &'static str,
+    ) -> Option<Self> {
+        tel.map(|rec| Self { rec: rec.clone(), label, span })
+    }
+}
+
+/// Per-worker telemetry state, resolved once at spawn.
+struct WorkerTelemetry {
+    rec: Recorder,
+    track: TrackId,
+    span: &'static str,
+    stats: Arc<PoolStats>,
+}
 
 /// An ordered fan-out/fan-in queue over scoped worker threads.
 pub(crate) struct Pipeline<I, O> {
@@ -36,6 +69,8 @@ struct Shared<I, O> {
     work_ready: Condvar,
     /// Signalled when a result lands in `done` or the pipeline poisons.
     done_ready: Condvar,
+    /// Queue-depth/throughput stats when the pipeline is instrumented.
+    stats: Option<Arc<PoolStats>>,
 }
 
 struct State<I, O> {
@@ -52,6 +87,7 @@ impl<I: Send, O: Send> Pipeline<I, O> {
     /// worker on the spawning thread and returns that worker's job
     /// function, which lets each thread own private mutable state (e.g. a
     /// [`blockzip::Scratch`] reused across jobs).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn start<'scope, F, W>(
         scope: &'scope Scope<'scope, '_>,
         threads: usize,
@@ -63,6 +99,27 @@ impl<I: Send, O: Send> Pipeline<I, O> {
         F: Fn() -> W,
         W: FnMut(I) -> O + Send + 'scope,
     {
+        Self::start_instrumented(scope, threads, None, make_worker)
+    }
+
+    /// [`Pipeline::start`] with optional telemetry: each worker gets its
+    /// own timeline track named `{label}-{index}` and wraps every job in
+    /// a span, and submissions record the queue depth they join. With
+    /// `tel` of `None` this is exactly [`Pipeline::start`].
+    pub fn start_instrumented<'scope, F, W>(
+        scope: &'scope Scope<'scope, '_>,
+        threads: usize,
+        tel: Option<PoolTelemetry>,
+        make_worker: F,
+    ) -> Self
+    where
+        I: 'scope,
+        O: 'scope,
+        F: Fn() -> W,
+        W: FnMut(I) -> O + Send + 'scope,
+    {
+        let threads = threads.max(1);
+        let stats = tel.as_ref().map(|t| t.rec.pool(t.label, threads));
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -74,11 +131,19 @@ impl<I: Send, O: Send> Pipeline<I, O> {
             }),
             work_ready: Condvar::new(),
             done_ready: Condvar::new(),
+            stats: stats.clone(),
         });
-        for _ in 0..threads.max(1) {
+        for i in 0..threads {
             let shared = Arc::clone(&shared);
             let worker = make_worker();
-            scope.spawn(move || worker_loop(&shared, worker));
+            let worker_tel =
+                tel.as_ref().zip(stats.as_ref()).map(|(t, stats)| WorkerTelemetry {
+                    rec: t.rec.clone(),
+                    track: t.rec.track(format!("{}-{i}", t.label)),
+                    span: t.span,
+                    stats: Arc::clone(stats),
+                });
+            scope.spawn(move || worker_loop(&shared, worker, worker_tel));
         }
         Self { shared }
     }
@@ -87,6 +152,10 @@ impl<I: Send, O: Send> Pipeline<I, O> {
     /// bounding how far submission runs ahead of consumption.
     pub fn submit(&self, input: I) {
         let mut st = self.shared.state.lock().unwrap();
+        if let Some(stats) = &self.shared.stats {
+            // Depth of the backlog this job joins, before it is queued.
+            stats.on_submit(st.queue.len());
+        }
         let seq = st.next_in;
         st.next_in += 1;
         st.queue.push_back((seq, input));
@@ -130,7 +199,11 @@ impl<I, O> Drop for Pipeline<I, O> {
     }
 }
 
-fn worker_loop<I, O, W: FnMut(I) -> O>(shared: &Shared<I, O>, mut worker: W) {
+fn worker_loop<I, O, W: FnMut(I) -> O>(
+    shared: &Shared<I, O>,
+    mut worker: W,
+    tel: Option<WorkerTelemetry>,
+) {
     loop {
         let (seq, input) = {
             let mut st = shared.state.lock().unwrap();
@@ -147,7 +220,18 @@ fn worker_loop<I, O, W: FnMut(I) -> O>(shared: &Shared<I, O>, mut worker: W) {
                 st = shared.work_ready.wait(st).unwrap();
             }
         };
-        let result = catch_unwind(AssertUnwindSafe(|| worker(input)));
+        // The span covers only the job, not the queue wait, so a track's
+        // busy time is a faithful per-worker CPU-time proxy.
+        let result = match &tel {
+            Some(t) => {
+                let start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| worker(input)));
+                t.rec.record_span(t.track, t.span, start);
+                t.stats.on_complete();
+                result
+            }
+            None => catch_unwind(AssertUnwindSafe(|| worker(input))),
+        };
         let mut st = shared.state.lock().unwrap();
         match result {
             Ok(out) => {
@@ -257,6 +341,36 @@ mod tests {
             "8 × 100 ms jobs on 4 workers took {:?} — not overlapping",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn instrumented_pool_records_tracks_spans_and_depth() {
+        let rec = Recorder::new();
+        std::thread::scope(|s| {
+            let pipe = Pipeline::start_instrumented(
+                s,
+                3,
+                PoolTelemetry::from(Some(&rec), "pack", "pack.segment"),
+                || |n: u64| n + 1,
+            );
+            for n in 0..30u64 {
+                pipe.submit(n);
+            }
+            for n in 0..30u64 {
+                assert_eq!(pipe.next().unwrap(), n + 1);
+            }
+        });
+        let report = rec.report();
+        // One track per worker, named after the pool.
+        let names: Vec<&str> = report.tracks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["driver", "pack-0", "pack-1", "pack-2"]);
+        let stage = report.stage("pack.segment").expect("job spans recorded");
+        assert_eq!(stage.count, 30);
+        assert_eq!(report.pools.len(), 1);
+        assert_eq!(report.pools[0].label, "pack");
+        assert_eq!(report.pools[0].workers, 3);
+        assert_eq!(report.pools[0].submitted, 30);
+        assert_eq!(report.pools[0].completed, 30);
     }
 
     #[test]

@@ -12,11 +12,12 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 
 use tcgen_spec::TraceSpec;
+use tcgen_telemetry::{driver_span, OpCounters, Recorder};
 
 use crate::codec::spec_hash;
 use crate::columnar::{Modeler, Replayer};
 use crate::options::EngineOptions;
-use crate::pool::Pipeline;
+use crate::pool::{Pipeline, PoolTelemetry};
 use crate::streams::BlockStreams;
 use crate::Error;
 
@@ -77,6 +78,40 @@ fn max_blocks_ahead(threads: usize) -> usize {
     2 * threads
 }
 
+/// Tallies bytes flowing to the inner writer; feeds the `*.bytes_out`
+/// counter after the run. One integer add per `write` call — noise next
+/// to the write itself, telemetry attached or not.
+struct CountingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    written: u64,
+}
+
+impl<W: Write> Write for CountingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The read-side mirror of [`CountingWriter`].
+struct CountingReader<'a, R: Read> {
+    inner: &'a mut R,
+    read: u64,
+}
+
+impl<R: Read> Read for CountingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
 /// Compresses a trace from `input` to `output`, holding at most a
 /// bounded number of blocks in memory. Block records are clamped to
 /// `1..=2^24` so a whole-trace setting still streams.
@@ -91,13 +126,34 @@ pub fn compress_stream(
     input: &mut impl Read,
     output: &mut impl Write,
 ) -> Result<(), StreamError> {
+    compress_stream_with_telemetry(spec, options, input, output, None)
+}
+
+/// [`compress_stream`] with an optional telemetry recorder: reads and
+/// block flushes are traced as `io.read`/`model.chunk`/`block.flush`
+/// spans and the `compress.*` counters are fed. Output bytes are
+/// identical with and without a recorder.
+pub fn compress_stream_with_telemetry(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    input: &mut impl Read,
+    output: &mut impl Write,
+    tel: Option<&Recorder>,
+) -> Result<(), StreamError> {
+    let _op_span = driver_span(tel, "compress");
+    let counters = tel.map(OpCounters::compress);
     let header_len = spec.header_bytes() as usize;
     let record_len = spec.record_bytes() as usize;
+    let mut output = CountingWriter { inner: output, written: 0 };
+    let output = &mut output;
 
     let mut header = vec![0u8; header_len];
     let got = read_exact_or_eof(input, &mut header)?;
     if got != header_len {
         return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+    }
+    if let Some(c) = &counters {
+        c.bytes_in.add(got as u64);
     }
 
     // Container prelude (same format as the in-memory codec).
@@ -114,18 +170,28 @@ pub fn compress_stream(
     let mut chunk = vec![0u8; record_len * block_records.min(65_536)];
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    std::thread::scope(|scope| {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads));
+    std::thread::scope(|scope| -> Result<(), StreamError> {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, tel));
         let model_pipe = model_pipe.as_ref();
 
         if threads <= 1 {
             let mut scratch = blockzip::Scratch::default();
+            if let Some(rec) = tel {
+                scratch.attach_probes(rec);
+            }
             loop {
-                let got = read_exact_or_eof(input, &mut chunk)?;
+                let got = {
+                    let _s = driver_span(tel, "io.read");
+                    read_exact_or_eof(input, &mut chunk)?
+                };
                 if got % record_len != 0 {
                     return Err(
                         Error::PartialRecord { len: got, header_len, record_len }.into()
                     );
+                }
+                if let Some(c) = &counters {
+                    c.bytes_in.add(got as u64);
+                    c.records.add((got / record_len) as u64);
                 }
                 let n_chunk = got / record_len;
                 let mut idx = 0usize;
@@ -133,10 +199,17 @@ pub fn compress_stream(
                     // Model up to the block boundary, never past it.
                     let take = (block_records - streams.records).min(n_chunk - idx);
                     let span = &chunk[idx * record_len..(idx + take) * record_len];
-                    modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
+                    {
+                        let _s = driver_span(tel, "model.chunk");
+                        modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
+                    }
                     if streams.records == block_records {
+                        let _s = driver_span(tel, "block.flush");
                         write_block(output, &streams, options.level, &mut scratch)?;
                         streams.clear();
+                        if let Some(c) = &counters {
+                            c.blocks.add(1);
+                        }
                     }
                     idx += take;
                 }
@@ -145,7 +218,11 @@ pub fn compress_stream(
                 }
             }
             if !streams.is_empty() {
+                let _s = driver_span(tel, "block.flush");
                 write_block(output, &streams, options.level, &mut scratch)?;
+                if let Some(c) = &counters {
+                    c.blocks.add(1);
+                }
             }
             output.write_all(&[0u8])?;
             output.flush()?;
@@ -153,33 +230,55 @@ pub fn compress_stream(
         }
 
         let level = options.level;
-        let pipe = Pipeline::start(scope, threads, || {
-            let mut scratch = blockzip::Scratch::default();
-            move |mut payload: Vec<u8>| {
-                let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
-                payload.clear();
-                (payload, packed)
-            }
-        });
+        let pipe = Pipeline::start_instrumented(
+            scope,
+            threads,
+            PoolTelemetry::from(tel, "pack", "pack.segment"),
+            || {
+                let mut scratch = blockzip::Scratch::default();
+                if let Some(rec) = tel {
+                    scratch.attach_probes(rec);
+                }
+                move |mut payload: Vec<u8>| {
+                    let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                    payload.clear();
+                    (payload, packed)
+                }
+            },
+        );
         let segs_per_block = 2 * spec.fields.len();
         let mut pending: VecDeque<u32> = VecDeque::new();
         let mut free: Vec<Vec<u8>> = Vec::new();
         loop {
-            let got = read_exact_or_eof(input, &mut chunk)?;
+            let got = {
+                let _s = driver_span(tel, "io.read");
+                read_exact_or_eof(input, &mut chunk)?
+            };
             if got % record_len != 0 {
                 return Err(Error::PartialRecord { len: got, header_len, record_len }.into());
+            }
+            if let Some(c) = &counters {
+                c.bytes_in.add(got as u64);
+                c.records.add((got / record_len) as u64);
             }
             let n_chunk = got / record_len;
             let mut idx = 0usize;
             while idx < n_chunk {
                 let take = (block_records - streams.records).min(n_chunk - idx);
                 let span = &chunk[idx * record_len..(idx + take) * record_len];
-                modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
+                {
+                    let _s = driver_span(tel, "model.chunk");
+                    modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
+                }
                 if streams.records == block_records {
                     crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
                     if pending.len() > max_blocks_ahead(threads) {
                         let n = pending.pop_front().expect("pending is non-empty");
+                        let _s = driver_span(tel, "block.flush");
                         write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
+                        if let Some(c) = &counters {
+                            c.blocks.add(1);
+                        }
                     }
                 }
                 idx += take;
@@ -192,12 +291,20 @@ pub fn compress_stream(
             crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
         }
         while let Some(n) = pending.pop_front() {
+            let _s = driver_span(tel, "block.flush");
             write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
+            if let Some(c) = &counters {
+                c.blocks.add(1);
+            }
         }
         output.write_all(&[0u8])?;
         output.flush()?;
         Ok(())
-    })
+    })?;
+    if let Some(c) = &counters {
+        c.bytes_out.add(output.written);
+    }
+    Ok(())
 }
 
 fn write_block(
@@ -254,6 +361,27 @@ pub fn decompress_stream(
     input: &mut impl Read,
     output: &mut impl Write,
 ) -> Result<(), StreamError> {
+    decompress_stream_with_telemetry(spec, options, input, output, None)
+}
+
+/// [`decompress_stream`] with an optional telemetry recorder: segment
+/// reads, decodes, replays, and writes are traced as spans and the
+/// `decompress.*` counters are fed. Output bytes are identical with and
+/// without a recorder.
+pub fn decompress_stream_with_telemetry(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    input: &mut impl Read,
+    output: &mut impl Write,
+    tel: Option<&Recorder>,
+) -> Result<(), StreamError> {
+    let _op_span = driver_span(tel, "decompress");
+    let counters = tel.map(OpCounters::decompress);
+    let mut input = CountingReader { inner: input, read: 0 };
+    let input = &mut input;
+    let mut output = CountingWriter { inner: output, written: 0 };
+    let output = &mut output;
+
     let mut prelude = [0u8; 12];
     read_all(input, &mut prelude)?;
     if &prelude[..4] != b"TCGZ" {
@@ -283,12 +411,16 @@ pub fn decompress_stream(
     let model_threads = options.effective_model_threads();
     let mut out_buf: Vec<u8> = Vec::new();
 
-    std::thread::scope(|scope| {
-        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads));
+    std::thread::scope(|scope| -> Result<(), StreamError> {
+        let replay_pipe =
+            (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, tel));
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
             let mut scratch = blockzip::Scratch::default();
+            if let Some(rec) = tel {
+                scratch.attach_probes(rec);
+            }
             let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             loop {
@@ -301,39 +433,65 @@ pub fn decompress_stream(
                 values.clear();
                 for fi in 0..n_fields {
                     let width = replayer.widths()[fi];
-                    let seg = read_segment(input)?;
-                    codes.push(
+                    let seg = {
+                        let _s = driver_span(tel, "io.read");
+                        read_segment(input)?
+                    };
+                    codes.push({
+                        let _s = driver_span(tel, "unpack.segment");
                         blockzip::decompress_with_scratch(&seg, n_records, &mut scratch)
-                            .map_err(Error::Post)?,
-                    );
-                    let seg = read_segment(input)?;
-                    values.push(
+                            .map_err(Error::Post)?
+                    });
+                    let seg = {
+                        let _s = driver_span(tel, "io.read");
+                        read_segment(input)?
+                    };
+                    values.push({
+                        let _s = driver_span(tel, "unpack.segment");
                         blockzip::decompress_with_scratch(
                             &seg,
                             n_records.saturating_mul(width),
                             &mut scratch,
                         )
-                        .map_err(Error::Post)?,
-                    );
+                        .map_err(Error::Post)?
+                    });
                 }
                 out_buf.clear();
-                replayer.replay_block(
-                    n_records,
-                    &mut codes,
-                    &mut values,
-                    &mut out_buf,
-                    replay_pipe,
-                )?;
-                output.write_all(&out_buf)?;
+                {
+                    let _s = driver_span(tel, "replay.block");
+                    replayer.replay_block(
+                        n_records,
+                        &mut codes,
+                        &mut values,
+                        &mut out_buf,
+                        replay_pipe,
+                    )?;
+                }
+                {
+                    let _s = driver_span(tel, "io.write");
+                    output.write_all(&out_buf)?;
+                }
+                if let Some(c) = &counters {
+                    c.records.add(n_records as u64);
+                    c.blocks.add(1);
+                }
             }
         }
 
-        let pipe = Pipeline::start(scope, threads, || {
-            let mut scratch = blockzip::Scratch::default();
-            move |(seg, limit): (Vec<u8>, usize)| {
-                blockzip::decompress_with_scratch(&seg, limit, &mut scratch)
-            }
-        });
+        let pipe = Pipeline::start_instrumented(
+            scope,
+            threads,
+            PoolTelemetry::from(tel, "unpack", "unpack.segment"),
+            || {
+                let mut scratch = blockzip::Scratch::default();
+                if let Some(rec) = tel {
+                    scratch.attach_probes(rec);
+                }
+                move |(seg, limit): (Vec<u8>, usize)| {
+                    blockzip::decompress_with_scratch(&seg, limit, &mut scratch)
+                }
+            },
+        );
         let mut block_queue: VecDeque<usize> = VecDeque::new();
         let mut end_seen = false;
         let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
@@ -347,6 +505,7 @@ pub fn decompress_stream(
                     end_seen = true;
                     break;
                 };
+                let _s = driver_span(tel, "io.read");
                 for fi in 0..n_fields {
                     let width = replayer.widths()[fi];
                     pipe.submit((read_segment(input)?, n_records));
@@ -365,16 +524,31 @@ pub fn decompress_stream(
                 values.push(next_segment(&pipe)?);
             }
             out_buf.clear();
-            replayer.replay_block(
-                n_records,
-                &mut codes,
-                &mut values,
-                &mut out_buf,
-                replay_pipe,
-            )?;
-            output.write_all(&out_buf)?;
+            {
+                let _s = driver_span(tel, "replay.block");
+                replayer.replay_block(
+                    n_records,
+                    &mut codes,
+                    &mut values,
+                    &mut out_buf,
+                    replay_pipe,
+                )?;
+            }
+            {
+                let _s = driver_span(tel, "io.write");
+                output.write_all(&out_buf)?;
+            }
+            if let Some(c) = &counters {
+                c.records.add(n_records as u64);
+                c.blocks.add(1);
+            }
         }
-    })
+    })?;
+    if let Some(c) = &counters {
+        c.bytes_in.add(input.read);
+        c.bytes_out.add(output.written);
+    }
+    Ok(())
 }
 
 /// Reads a block marker; returns the record count, or `None` at the end

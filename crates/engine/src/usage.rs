@@ -7,6 +7,7 @@
 
 use tcgen_predictors::{OccTable, TableOccupancy};
 use tcgen_spec::{PredictorKind, TraceSpec};
+use tcgen_telemetry::json::JsonWriter;
 
 /// Usage counters for one field.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,9 +35,11 @@ pub struct FieldUsage {
 }
 
 impl FieldUsage {
-    /// Total records observed for this field.
+    /// Total records observed for this field. Saturates at `u64::MAX`
+    /// like the counters themselves, so a pathological run degrades to a
+    /// pinned total instead of a wrapped (and nonsensical) one.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum::<u64>() + self.misses
+        self.counts.iter().fold(self.misses, |acc, &c| acc.saturating_add(c))
     }
 
     /// Fraction of records at least one predictor got right.
@@ -185,14 +188,68 @@ impl UsageReport {
     }
 
     /// Records the code emitted for one record of field `field_idx`.
+    /// Counters saturate at `u64::MAX` rather than wrapping.
     #[inline]
     pub fn record(&mut self, field_idx: usize, code: u8) {
         let f = &mut self.fields[field_idx];
         if (code as usize) < f.counts.len() {
-            f.counts[code as usize] += 1;
+            f.counts[code as usize] = f.counts[code as usize].saturating_add(1);
         } else {
-            f.misses += 1;
+            f.misses = f.misses.saturating_add(1);
         }
+    }
+
+    /// The report as JSON: a `fields` array of flat objects with stable
+    /// key order, matching the shape `tcgen usage --json` has always
+    /// written. Counter values are exact — no float round-trip.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_obj();
+        w.key("fields");
+        w.begin_arr();
+        for f in &self.fields {
+            w.begin_obj();
+            w.key("field");
+            w.int(u64::from(f.field_number));
+            w.key("records");
+            w.int(f.total());
+            w.key("hit_rate");
+            w.num((f.hit_rate() * 10_000.0).round() / 10_000.0);
+            w.key("misses");
+            w.int(f.misses);
+            w.key("table_bytes");
+            w.int(f.table_bytes);
+            w.key("predictors");
+            w.begin_arr();
+            for (label, &count) in f.labels.iter().zip(&f.counts) {
+                w.begin_obj();
+                w.key("label");
+                w.str(label);
+                w.key("count");
+                w.int(count);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.key("occupancy");
+            w.begin_arr();
+            for occ in &f.occupancy {
+                w.begin_obj();
+                w.key("table");
+                w.str(&occ.label());
+                w.key("lines_written");
+                w.int(occ.lines_written);
+                w.key("lines_total");
+                w.int(occ.lines_total);
+                w.end_obj();
+            }
+            w.end_arr();
+            w.end_obj();
+        }
+        w.end_arr();
+        w.end_obj();
+        let mut out = w.finish();
+        out.push('\n');
+        out
     }
 }
 
@@ -277,6 +334,78 @@ mod tests {
         assert!(text.contains("FCM3[2].0"));
         assert!(text.contains("LV[4].3"));
         assert!(text.contains("miss"));
+    }
+
+    /// A small single-field report with known numbers.
+    fn golden_report() -> UsageReport {
+        let spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[2]};\n\
+             PC = Field 1;",
+        )
+        .unwrap();
+        let mut report = UsageReport::new(&spec);
+        report.fields[0].counts = vec![750, 150];
+        report.fields[0].misses = 100;
+        report.fields[0].table_bytes = 8;
+        report.fields[0].occupancy =
+            vec![TableOccupancy { table: OccTable::L1, lines_written: 1, lines_total: 1 }];
+        report
+    }
+
+    #[test]
+    fn display_golden_snapshot() {
+        assert_eq!(
+            golden_report().to_string(),
+            "Field 1 (1000 records, 90.0% predicted, 8 table bytes):\n\
+             \x20      LV[2].0         750   75.0%\n\
+             \x20      LV[2].1         150   15.0%\n\
+             \x20         miss         100   10.0%\n\
+             \x20           L1           1 of 1 lines touched  100.0%\n"
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_the_telemetry_parser() {
+        let text = golden_report().to_json();
+        let value = tcgen_telemetry::json::parse(&text).unwrap();
+        let fields = value.get("fields").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(fields.len(), 1);
+        let f = &fields[0];
+        assert_eq!(f.get("field").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(f.get("records").and_then(|v| v.as_u64()), Some(1000));
+        assert_eq!(f.get("misses").and_then(|v| v.as_u64()), Some(100));
+        assert_eq!(f.get("hit_rate").and_then(|v| v.as_f64()), Some(0.9));
+        let predictors = f.get("predictors").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(predictors[0].get("label").and_then(|v| v.as_str()), Some("LV[2].0"));
+        assert_eq!(predictors[1].get("count").and_then(|v| v.as_u64()), Some(150));
+        let occupancy = f.get("occupancy").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(occupancy[0].get("table").and_then(|v| v.as_str()), Some("L1"));
+        assert_eq!(occupancy[0].get("lines_total").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn counters_saturate_near_u64_max() {
+        let spec = parse(presets::TCGEN_A).unwrap();
+        let mut report = UsageReport::new(&spec);
+        report.fields[0].counts[0] = u64::MAX - 1;
+        report.fields[0].misses = u64::MAX - 1;
+        report.record(0, 0);
+        report.record(0, 0); // would wrap without saturation
+        report.record(0, 255);
+        report.record(0, 255);
+        assert_eq!(report.fields[0].counts[0], u64::MAX);
+        assert_eq!(report.fields[0].misses, u64::MAX);
+        // The total saturates too, and the hit rate stays in [0, 1].
+        assert_eq!(report.fields[0].total(), u64::MAX);
+        let rate = report.fields[0].hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "{rate}");
+        // Saturated counters survive the JSON round trip exactly.
+        let value = tcgen_telemetry::json::parse(&report.to_json()).unwrap();
+        let fields = value.get("fields").and_then(|v| v.as_arr()).unwrap();
+        let first = fields[0].get("predictors").and_then(|v| v.as_arr()).unwrap();
+        assert_eq!(first[0].get("count").and_then(|v| v.as_u64()), Some(u64::MAX));
+        assert_eq!(fields[0].get("misses").and_then(|v| v.as_u64()), Some(u64::MAX));
     }
 }
 

@@ -39,6 +39,7 @@ use std::sync::Arc;
 use tcgen_engine::{Engine, EngineOptions};
 use tcgen_predictors::CandidateSpace;
 use tcgen_spec::{SpecError, TraceSpec};
+use tcgen_telemetry::{driver_span, Recorder};
 
 mod report;
 mod sample;
@@ -179,8 +180,25 @@ pub fn tune(
     raw: &[u8],
     options: &TunerOptions,
 ) -> Result<TuneOutcome, TuneError> {
-    let (columns, sampled_records, total_records) =
-        sample::sample_columns(base, raw, options.sample_records, options.seed)?;
+    tune_with_telemetry(base, raw, options, None)
+}
+
+/// [`tune`] with an optional telemetry recorder: sampling, each field's
+/// search, and the full-trace guard are traced as `tune.sample` /
+/// `tune.field` / `tune.guard` spans, candidate evaluations show up as
+/// `tune.eval` spans and the `tune.evals` counter, and the guard
+/// compressions feed the `compress.*` stages. The emitted spec is
+/// byte-identical with and without a recorder.
+pub fn tune_with_telemetry(
+    base: &TraceSpec,
+    raw: &[u8],
+    options: &TunerOptions,
+    tel: Option<&Recorder>,
+) -> Result<TuneOutcome, TuneError> {
+    let (columns, sampled_records, total_records) = {
+        let _s = driver_span(tel, "tune.sample");
+        sample::sample_columns(base, raw, options.sample_records, options.seed)?
+    };
     let pc_index = base.pc_index();
 
     let mut tuned = base.clone();
@@ -190,7 +208,9 @@ pub fn tune(
         // The PC field models against its own column (its L1 is one, so
         // the line is always zero); everyone else against the PC column.
         let pcs: &Arc<Vec<u64>> = &columns[if fi == pc_index { fi } else { pc_index }];
-        let result = search::search_field(field, pcs, &columns[fi], fi == pc_index, options)?;
+        let _s = driver_span(tel, "tune.field");
+        let result =
+            search::search_field(field, pcs, &columns[fi], fi == pc_index, options, tel)?;
         evals += result.search.evaluations.len();
         tuned = tuned.with_field(result.field);
         fields.push(result.search);
@@ -198,10 +218,17 @@ pub fn tune(
     tcgen_spec::validate(&tuned)?;
 
     // Full-trace guard: a sample can mislead, the emitted spec must not.
-    let base_container_bytes =
-        Engine::new(base.clone(), options.engine).compress(raw)?.len() as u64;
-    let tuned_container_bytes =
-        Engine::new(tuned.clone(), options.engine).compress(raw)?.len() as u64;
+    let guard_span = driver_span(tel, "tune.guard");
+    let guard_engine = |spec: &TraceSpec| {
+        let engine = Engine::new(spec.clone(), options.engine);
+        match tel {
+            Some(rec) => engine.with_telemetry(rec.clone()),
+            None => engine,
+        }
+    };
+    let base_container_bytes = guard_engine(base).compress(raw)?.len() as u64;
+    let tuned_container_bytes = guard_engine(&tuned).compress(raw)?.len() as u64;
+    drop(guard_span);
     let used_base = tuned_container_bytes > base_container_bytes;
     if used_base {
         tuned = base.clone();

@@ -9,10 +9,11 @@
 
 use std::sync::Arc;
 
-use tcgen_engine::{score_candidates, CandidateScore, OccTable};
+use tcgen_engine::{score_candidates_with_telemetry, CandidateScore, OccTable};
 use tcgen_predictors::predictor_candidates;
 use tcgen_spec::validate::{MAX_HEIGHT, MAX_L1, MAX_L2, MAX_ORDER};
 use tcgen_spec::{FieldSpec, PredictorSpec};
+use tcgen_telemetry::Recorder;
 
 use crate::{TuneError, TunerOptions};
 
@@ -102,6 +103,7 @@ struct SearchState<'a> {
     pcs: &'a Arc<Vec<u64>>,
     values: &'a Arc<Vec<u64>>,
     options: &'a TunerOptions,
+    tel: Option<&'a Recorder>,
 }
 
 impl SearchState<'_> {
@@ -125,7 +127,13 @@ impl SearchState<'_> {
         if accepted.is_empty() {
             return Ok(());
         }
-        let scores = score_candidates(&accepted, self.pcs, self.values, &self.options.engine)?;
+        let scores = score_candidates_with_telemetry(
+            &accepted,
+            self.pcs,
+            self.values,
+            &self.options.engine,
+            self.tel,
+        )?;
         for (field, score) in accepted.into_iter().zip(scores) {
             self.entries.push(Entry { field, score, stage });
         }
@@ -210,6 +218,7 @@ pub(crate) fn search_field(
     values: &Arc<Vec<u64>>,
     is_pc: bool,
     options: &TunerOptions,
+    tel: Option<&Recorder>,
 ) -> Result<FieldResult, TuneError> {
     let mut state = SearchState {
         entries: Vec::new(),
@@ -218,6 +227,7 @@ pub(crate) fn search_field(
         pcs,
         values,
         options,
+        tel,
     };
 
     // Stage A: the base, then every menu predictor on its own.

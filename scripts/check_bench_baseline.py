@@ -28,6 +28,24 @@ def rows(path):
     return {(r["algorithm"], r["trace_kind"]): r for r in data["results"]}
 
 
+def telemetry_overhead(path):
+    """Prints the run's stats-on vs stats-off throughput, if recorded.
+
+    Informational only: the byte-identity of telemetry is CI-gated
+    elsewhere; this line just tracks the time cost of leaving a
+    recorder attached so regressions are visible in the job log.
+    """
+    with open(path) as f:
+        overhead = json.load(f).get("telemetry_overhead")
+    if overhead is None:
+        return
+    print(
+        f"telemetry overhead: {overhead['stats_off_mb_per_s']:.1f} MB/s stats-off, "
+        f"{overhead['stats_on_mb_per_s']:.1f} MB/s stats-on, "
+        f"fraction {overhead['overhead_fraction']:.4f} (informational)"
+    )
+
+
 def tune_report(path):
     with open(path) as f:
         report = json.load(f)
@@ -77,6 +95,7 @@ def main():
                 f"({c['compress_mb_per_s']:.1f} MB/s compress, "
                 f"baseline {b['compress_mb_per_s']:.1f} MB/s; informational)"
             )
+    telemetry_overhead(sys.argv[2])
     sys.exit(1 if failed else 0)
 
 

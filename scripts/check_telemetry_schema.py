@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate the telemetry sinks' JSON output.
+
+Usage:
+  check_telemetry_schema.py SCHEMA.json REPORT.json
+  check_telemetry_schema.py --chrome TRACE.json
+
+The first form checks a `--stats-json` report (`Report::to_json`)
+against `scripts/telemetry_schema.json`. The schema uses a small subset
+of JSON Schema, implemented below so the check needs nothing outside
+the standard library: `type`, `required`, `properties`,
+`additionalProperties` (a schema applied to keys not named under
+`properties`), `items`, and `minimum`.
+
+The second form sanity-checks a `--trace-out` Chrome trace-event file:
+it must carry a `traceEvents` array whose `ph == "M"` metadata events
+name the process and its threads (including a `driver` track), and
+whose `ph == "X"` duration events carry `name`/`ts`/`dur` and land on a
+named track — the shape Perfetto and chrome://tracing render as one
+lane per pool worker.
+
+Both forms exit non-zero with the path of the first offending node.
+"""
+
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; a flag is never a valid count.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+}
+
+
+def validate(instance, schema, path="$"):
+    """Returns a list of "path: problem" strings; empty means valid."""
+    expected = schema.get("type")
+    if expected and not TYPE_CHECKS[expected](instance):
+        return [f"{path}: expected {expected}, got {type(instance).__name__}"]
+    errors = []
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} is below minimum {schema['minimum']}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in instance:
+                errors += validate(instance[key], sub, f"{path}.{key}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, value in instance.items():
+                if key not in props:
+                    errors += validate(value, extra, f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors += validate(item, schema["items"], f"{path}[{i}]")
+    return errors
+
+
+def check_report(schema_path, report_path):
+    with open(schema_path) as f:
+        schema = json.load(f)
+    with open(report_path) as f:
+        report = json.load(f)
+    errors = validate(report, schema)
+    if errors:
+        print(f"FAIL {report_path}: does not match {schema_path}")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    stages = len(report["stages"])
+    counters = len(report["counters"])
+    print(f"ok   {report_path}: schema valid ({stages} stages, {counters} counters)")
+
+
+def check_chrome(trace_path):
+    with open(trace_path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        sys.exit(f"FAIL {trace_path}: no traceEvents array")
+    tracks = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            tracks[(e.get("pid"), e.get("tid"))] = e["args"]["name"]
+    if "driver" not in tracks.values():
+        sys.exit(f"FAIL {trace_path}: no 'driver' thread_name metadata event")
+    durations = [e for e in events if e.get("ph") == "X"]
+    if not durations:
+        sys.exit(f"FAIL {trace_path}: no X duration events")
+    for i, e in enumerate(durations):
+        if not isinstance(e.get("name"), str):
+            sys.exit(f"FAIL {trace_path}: X event {i} has no name")
+        for key in ("ts", "dur"):
+            v = e.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                sys.exit(f"FAIL {trace_path}: X event {i} has bad {key}: {v!r}")
+        if (e.get("pid"), e.get("tid")) not in tracks:
+            sys.exit(f"FAIL {trace_path}: X event {i} targets an unnamed track")
+    print(
+        f"ok   {trace_path}: {len(durations)} duration events on "
+        f"{len(tracks)} named tracks ({', '.join(sorted(tracks.values()))})"
+    )
+
+
+def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--chrome":
+        check_chrome(sys.argv[2])
+        return
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    check_report(sys.argv[1], sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
