@@ -131,15 +131,19 @@ pub fn read_varint(data: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
 
 /// Frames named byte streams and post-compresses each with blockzip:
 /// `u8 n_streams { u32 len, blockzip bytes }*`.
-pub fn pack_streams(streams: &[&[u8]]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Propagates blockzip failures (a stream beyond its framing limit).
+pub fn pack_streams(streams: &[&[u8]]) -> Result<Vec<u8>, CodecError> {
     let mut out = Vec::new();
     out.push(streams.len() as u8);
     for s in streams {
-        let packed = blockzip::compress(s);
+        let packed = blockzip::compress(s)?;
         out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
         out.extend_from_slice(&packed);
     }
-    out
+    Ok(out)
 }
 
 /// Reverses [`pack_streams`].
@@ -258,7 +262,7 @@ mod tests {
     fn stream_packing_roundtrip() {
         let a = vec![1u8; 1000];
         let b: Vec<u8> = (0..=255).collect();
-        let packed = pack_streams(&[&a, &b]);
+        let packed = pack_streams(&[&a, &b]).unwrap();
         let unpacked = unpack_streams(&packed, 2).unwrap();
         assert_eq!(unpacked, vec![a, b]);
         assert!(unpack_streams(&packed, 3).is_err());

@@ -55,7 +55,7 @@ impl TraceCompressor for BzipOnly {
     }
 
     fn compress(&self, raw: &[u8]) -> Result<Vec<u8>, CodecError> {
-        Ok(blockzip::compress(raw))
+        Ok(blockzip::compress(raw)?)
     }
 
     fn decompress(&self, packed: &[u8]) -> Result<Vec<u8>, CodecError> {

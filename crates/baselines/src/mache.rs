@@ -50,7 +50,7 @@ impl TraceCompressor for Mache {
             data_base = data; // adapted policy: always update
         }
         let mut out = header.to_vec();
-        out.extend_from_slice(&pack_streams(&[&body]));
+        out.extend_from_slice(&pack_streams(&[&body])?);
         Ok(out)
     }
 

@@ -175,7 +175,7 @@ impl TraceCompressor for Pdats2 {
         }
 
         let mut out = header.to_vec();
-        out.extend_from_slice(&pack_streams(&[&body]));
+        out.extend_from_slice(&pack_streams(&[&body])?);
         Ok(out)
     }
 

@@ -104,7 +104,7 @@ impl TraceCompressor for Sbc {
 
         let mut out = header.to_vec();
         out.extend_from_slice(&(records.len() as u32).to_le_bytes());
-        out.extend_from_slice(&pack_streams(&[&indices, &definitions, &controls, &values]));
+        out.extend_from_slice(&pack_streams(&[&indices, &definitions, &controls, &values])?);
         Ok(out)
     }
 

@@ -133,7 +133,7 @@ impl TraceCompressor for Sequitur {
             encode_grammar(segment.iter().map(|&(_, d)| d), &mut body);
         }
         let mut out = header.to_vec();
-        out.extend_from_slice(&pack_streams(&[&body]));
+        out.extend_from_slice(&pack_streams(&[&body])?);
         Ok(out)
     }
 
@@ -240,7 +240,7 @@ mod tests {
         write_varint(&mut body, 1);
         write_varint(&mut body, (99 << 1) | 1);
         let mut packed = vec![0, 0, 0, 0];
-        packed.extend_from_slice(&pack_streams(&[&body]));
+        packed.extend_from_slice(&pack_streams(&[&body]).unwrap());
         assert!(Sequitur::default().decompress(&packed).is_err());
     }
 }

@@ -21,11 +21,13 @@ fn stream_like_data(n: usize) -> Vec<u8> {
 
 fn bench_end_to_end(c: &mut Criterion) {
     let data = stream_like_data(900_000);
-    let packed = blockzip::compress(&data);
+    let packed = blockzip::compress(&data).expect("compress");
     let mut group = c.benchmark_group("blockzip");
     group.throughput(Throughput::Bytes(data.len() as u64));
     group.sample_size(10);
-    group.bench_function("compress", |b| b.iter(|| blockzip::compress(&data)));
+    group.bench_function("compress", |b| {
+        b.iter(|| blockzip::compress(&data).expect("compress"))
+    });
     group.bench_function("decompress", |b| {
         b.iter(|| blockzip::decompress(&packed).expect("decompress"))
     });

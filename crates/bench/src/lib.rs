@@ -8,7 +8,7 @@
 use std::time::Instant;
 
 use tcgen_baselines::{BzipOnly, CodecError, Mache, Pdats2, Sbc, Sequitur, TraceCompressor};
-use tcgen_engine::{Engine, EngineOptions, Recorder};
+use tcgen_engine::{Backend, Engine, EngineOptions, Recorder};
 use tcgen_spec::presets;
 use tcgen_tracegen::{generate_trace, suite, ProgramSpec, TraceKind, VpcTrace};
 
@@ -48,10 +48,23 @@ impl TraceCompressor for EngineCodec {
     }
 }
 
-/// The seven §7 algorithms, in a fixed display order.
+/// The seven §7 algorithms plus the two non-default TCgen post-
+/// compression profiles, in a fixed display order. `TCgen` itself is
+/// `--profile max`; the `TCgen-balanced` and `TCgen-fast` rows measure
+/// the ratio/speed trade the other backends buy.
 pub fn algorithms() -> Vec<Box<dyn TraceCompressor>> {
     vec![
         Box::new(EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen())),
+        Box::new(EngineCodec::new(
+            "TCgen-balanced",
+            presets::TCGEN_A,
+            EngineOptions { backend: Backend::Balanced, ..EngineOptions::tcgen() },
+        )),
+        Box::new(EngineCodec::new(
+            "TCgen-fast",
+            presets::TCGEN_A,
+            EngineOptions { backend: Backend::Fast, ..EngineOptions::tcgen() },
+        )),
         Box::new(EngineCodec::new("VPC3", presets::TCGEN_A, EngineOptions::vpc3())),
         Box::new(Sbc),
         Box::new(Sequitur::default()),
@@ -166,6 +179,82 @@ pub fn measure_telemetry_overhead(raw: &[u8], runs: usize) -> TelemetryOverhead 
     TelemetryOverhead { stats_off: best(&plain), stats_on: best(&observed) }
 }
 
+/// One row of [`measure_profile_speed`]: how one post-compression
+/// backend fared on the reference trace.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileSpeedRow {
+    /// CLI profile name (`max`, `balanced`, `fast`).
+    pub profile: &'static str,
+    /// Compressed size in bytes.
+    pub compressed: usize,
+    /// Best compression wall time in seconds.
+    pub compress_seconds: f64,
+    /// `max`'s best time divided by this profile's best time.
+    pub speedup_vs_max: f64,
+}
+
+/// The profile trade-off measurement: each backend compressing the same
+/// large gzip store-address trace in memory.
+#[derive(Debug, Clone)]
+pub struct ProfileSpeed {
+    /// Base record count handed to the trace generator.
+    pub records: usize,
+    /// Uncompressed trace size in bytes.
+    pub original: usize,
+    /// One row per profile, in `max`, `balanced`, `fast` order.
+    pub rows: Vec<ProfileSpeedRow>,
+}
+
+/// Times every post-compression profile on a gzip store-address trace of
+/// `records` base records, interleaving the profiles across `runs`
+/// passes so machine-load drift hits them evenly, and keeping each
+/// profile's best. Losslessness is asserted on every pass by
+/// [`measure`].
+///
+/// # Panics
+///
+/// Panics if `runs` is zero or any profile fails to round-trip.
+pub fn measure_profile_speed(records: usize, runs: usize) -> ProfileSpeed {
+    assert!(runs > 0, "need at least one run");
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+    let profiles: Vec<(&'static str, EngineCodec)> =
+        [("max", Backend::Max), ("balanced", Backend::Balanced), ("fast", Backend::Fast)]
+            .into_iter()
+            .map(|(name, backend)| {
+                (
+                    name,
+                    EngineCodec::new(
+                        name,
+                        presets::TCGEN_A,
+                        EngineOptions { backend, ..EngineOptions::tcgen() },
+                    ),
+                )
+            })
+            .collect();
+    let mut best: Vec<(usize, f64)> = vec![(0, f64::MAX); profiles.len()];
+    for _ in 0..runs {
+        for (slot, (_, codec)) in best.iter_mut().zip(&profiles) {
+            let m = measure(codec, &raw);
+            if m.compress_seconds < slot.1 {
+                *slot = (m.compressed, m.compress_seconds);
+            }
+        }
+    }
+    let max_seconds = best[0].1;
+    let rows = profiles
+        .iter()
+        .zip(&best)
+        .map(|(&(profile, _), &(compressed, compress_seconds))| ProfileSpeedRow {
+            profile,
+            compressed,
+            compress_seconds,
+            speedup_vs_max: max_seconds / compress_seconds,
+        })
+        .collect();
+    ProfileSpeed { records, original: raw.len(), rows }
+}
+
 /// The harmonic mean, the paper's aggregation for inversely normalized
 /// metrics (§6.5).
 ///
@@ -216,7 +305,7 @@ mod tests {
     }
 
     #[test]
-    fn all_seven_algorithms_measure_losslessly() {
+    fn all_algorithms_measure_losslessly() {
         let trace = generate_trace(&suite()[6], TraceKind::StoreAddress, 2_000).to_bytes();
         for codec in algorithms() {
             let m = measure(codec.as_ref(), &trace);

@@ -49,20 +49,31 @@ impl Default for Level {
 
 /// Compresses `data` at [`Level::BEST`].
 ///
+/// # Errors
+///
+/// Returns [`Error::TooLarge`] if a block's framing field would
+/// overflow — unreachable through the level-bounded chunking, but checked
+/// rather than silently truncated.
+///
 /// # Examples
 ///
 /// ```
 /// let data = b"compress me ".repeat(1000);
-/// let packed = blockzip::compress(&data);
+/// let packed = blockzip::compress(&data)?;
 /// assert!(packed.len() < data.len() / 10);
 /// assert_eq!(blockzip::decompress(&packed).unwrap(), data);
+/// # Ok::<(), blockzip::Error>(())
 /// ```
-pub fn compress(data: &[u8]) -> Vec<u8> {
+pub fn compress(data: &[u8]) -> Result<Vec<u8>, Error> {
     compress_with(data, Level::BEST)
 }
 
 /// Compresses `data` with an explicit block-size level.
-pub fn compress_with(data: &[u8], level: Level) -> Vec<u8> {
+///
+/// # Errors
+///
+/// As for [`compress`].
+pub fn compress_with(data: &[u8], level: Level) -> Result<Vec<u8>, Error> {
     compress_with_scratch(data, level, &mut Scratch::default())
 }
 
@@ -73,9 +84,10 @@ pub fn compress_with(data: &[u8], level: Level) -> Vec<u8> {
 #[derive(Debug, Default)]
 pub struct Scratch {
     bwt: bwt::Scratch,
-    ranks: Vec<u8>,
-    symbols: Vec<u16>,
-    probes: Option<Probes>,
+    pub(crate) ranks: Vec<u8>,
+    pub(crate) symbols: Vec<u16>,
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) probes: Option<Probes>,
 }
 
 impl Scratch {
@@ -93,15 +105,15 @@ impl Scratch {
 /// a worker thread resolves the counters once and then pays one `Instant`
 /// read per stage per 100–900 kB block — nothing on the byte-level paths.
 #[derive(Debug)]
-struct Probes {
+pub(crate) struct Probes {
     bwt_ns: Counter,
-    mtf_rle_ns: Counter,
-    entropy_ns: Counter,
-    blocks: Counter,
-    entropy_decode_ns: Counter,
-    unrle_ns: Counter,
+    pub(crate) mtf_rle_ns: Counter,
+    pub(crate) entropy_ns: Counter,
+    pub(crate) blocks: Counter,
+    pub(crate) entropy_decode_ns: Counter,
+    pub(crate) unrle_ns: Counter,
     unbwt_ns: Counter,
-    blocks_decoded: Counter,
+    pub(crate) blocks_decoded: Counter,
 }
 
 impl Probes {
@@ -121,7 +133,11 @@ impl Probes {
 
 /// Advances the stage clock: charges the time since `*mark` to the
 /// counter `pick` selects and restarts the mark. No-ops without probes.
-fn lap(probes: &Option<Probes>, mark: &mut Option<Instant>, pick: fn(&Probes) -> &Counter) {
+pub(crate) fn lap(
+    probes: &Option<Probes>,
+    mark: &mut Option<Instant>,
+    pick: fn(&Probes) -> &Counter,
+) {
     if let (Some(p), Some(start)) = (probes.as_ref(), *mark) {
         pick(p).add(start.elapsed().as_nanos() as u64);
         *mark = Some(Instant::now());
@@ -131,17 +147,30 @@ fn lap(probes: &Option<Probes>, mark: &mut Option<Instant>, pick: fn(&Probes) ->
 /// Like [`compress_with`], but reuses `scratch` across calls, avoiding the
 /// per-block working allocations (~9 bytes of scratch per input byte).
 /// Output is byte-identical to [`compress_with`].
-pub fn compress_with_scratch(data: &[u8], level: Level, scratch: &mut Scratch) -> Vec<u8> {
+///
+/// # Errors
+///
+/// As for [`compress`].
+pub fn compress_with_scratch(
+    data: &[u8],
+    level: Level,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
     let mut out = Vec::with_capacity(data.len() / 4 + 64);
     out.extend_from_slice(MAGIC);
     for chunk in data.chunks(level.block_size().max(1)) {
-        compress_block(chunk, &mut out, scratch);
+        compress_block(chunk, &mut out, scratch)?;
     }
     out.push(END_MARKER);
-    out
+    Ok(out)
 }
 
-fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) {
+/// Converts a length into its `u32` framing field, refusing to truncate.
+pub(crate) fn frame_len(len: usize) -> Result<u32, Error> {
+    u32::try_from(len).map_err(|_| Error::TooLarge { len })
+}
+
+fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) -> Result<(), Error> {
     let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
     let transformed = bwt::forward_with(chunk, &mut scratch.bwt);
     lap(&scratch.probes, &mut mark, |p| &p.bwt_ns);
@@ -158,11 +187,12 @@ fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) {
     }
 
     out.push(BLOCK_MARKER);
-    out.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_len(chunk.len())?.to_le_bytes());
     out.extend_from_slice(&transformed.sentinel.to_le_bytes());
     out.extend_from_slice(&crc32(chunk).to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&frame_len(payload.len())?.to_le_bytes());
     out.extend_from_slice(&payload);
+    Ok(())
 }
 
 /// Decompresses a blockzip container produced by [`compress`].
@@ -259,13 +289,13 @@ fn decompress_block(
     Ok(())
 }
 
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) data: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
         if self.pos + n > self.data.len() {
             return Err(Error::Truncated);
         }
@@ -274,7 +304,7 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn take_u32(&mut self) -> Result<u32, Error> {
+    pub(crate) fn take_u32(&mut self) -> Result<u32, Error> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
@@ -285,13 +315,13 @@ mod tests {
     use super::*;
 
     fn roundtrip(data: &[u8]) {
-        let packed = compress(data);
+        let packed = compress(data).unwrap();
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
     #[test]
     fn empty_input() {
-        let packed = compress(b"");
+        let packed = compress(b"").unwrap();
         assert_eq!(decompress(&packed).unwrap(), b"");
         // magic + end marker only
         assert_eq!(packed.len(), 5);
@@ -313,14 +343,14 @@ mod tests {
     #[test]
     fn multi_block_input() {
         let data = b"0123456789".repeat(30_000); // 300 kB > FAST block size
-        let packed = compress_with(&data, Level::FAST);
+        let packed = compress_with(&data, Level::FAST).unwrap();
         assert_eq!(decompress(&packed).unwrap(), data);
     }
 
     #[test]
     fn compresses_repetitive_data_well() {
         let data = b"the same line over and over\n".repeat(10_000);
-        let packed = compress(&data);
+        let packed = compress(&data).unwrap();
         assert!(
             packed.len() * 100 < data.len(),
             "expected >100x on trivial data, got {} -> {}",
@@ -338,7 +368,7 @@ mod tests {
                 (x >> 33) as u8
             })
             .collect();
-        let packed = compress(&data);
+        let packed = compress(&data).unwrap();
         assert!(packed.len() < data.len() + data.len() / 8 + 1024);
         assert_eq!(decompress(&packed).unwrap(), data);
     }
@@ -350,7 +380,7 @@ mod tests {
 
     #[test]
     fn truncated_rejected() {
-        let packed = compress(b"some data to compress");
+        let packed = compress(b"some data to compress").unwrap();
         for cut in [3, 5, 10, packed.len() - 1] {
             assert!(decompress(&packed[..cut]).is_err(), "cut at {cut} accepted");
         }
@@ -359,7 +389,7 @@ mod tests {
     #[test]
     fn corruption_detected_by_crc() {
         let data = b"integrity matters ".repeat(500);
-        let mut packed = compress(&data);
+        let mut packed = compress(&data).unwrap();
         // Flip a bit somewhere inside the entropy payload.
         let idx = packed.len() / 2;
         packed[idx] ^= 0x10;
@@ -372,8 +402,8 @@ mod tests {
         let inputs: [&[u8]; 4] =
             [b"first block of data", b"", b"x", &b"longer repetitive payload ".repeat(9_000)];
         for data in inputs {
-            let fresh = compress_with(data, Level::FAST);
-            let reused = compress_with_scratch(data, Level::FAST, &mut scratch);
+            let fresh = compress_with(data, Level::FAST).unwrap();
+            let reused = compress_with_scratch(data, Level::FAST, &mut scratch).unwrap();
             assert_eq!(fresh, reused);
             assert_eq!(
                 decompress_with_scratch(&reused, usize::MAX, &mut scratch).unwrap(),
@@ -385,7 +415,7 @@ mod tests {
     #[test]
     fn output_limit_is_enforced() {
         let data = b"0123456789".repeat(5_000);
-        let packed = compress(&data);
+        let packed = compress(&data).unwrap();
         assert_eq!(decompress_with_limit(&packed, data.len()).unwrap(), data);
         assert!(matches!(
             decompress_with_limit(&packed, data.len() - 1),
@@ -415,8 +445,8 @@ mod tests {
         let mut probed = Scratch::default();
         probed.attach_probes(&rec);
         let data = b"probe me gently ".repeat(20_000); // multi-block at FAST
-        let plain = compress_with_scratch(&data, Level::FAST, &mut Scratch::default());
-        let observed = compress_with_scratch(&data, Level::FAST, &mut probed);
+        let plain = compress_with_scratch(&data, Level::FAST, &mut Scratch::default()).unwrap();
+        let observed = compress_with_scratch(&data, Level::FAST, &mut probed).unwrap();
         assert_eq!(plain, observed, "probes must not perturb output bytes");
         assert_eq!(decompress_with_scratch(&observed, usize::MAX, &mut probed).unwrap(), data);
         let report = rec.report();

@@ -222,6 +222,13 @@ pub fn decode_symbols(r: &mut BitReader<'_>, alphabet: usize) -> Result<Vec<u16>
         return Err(format!("bad table count {n_tables}"));
     }
     let n_groups = r.read(32)? as usize;
+    // Every selector costs at least one bit and every group codes at
+    // least one symbol, so a group count beyond the remaining payload is
+    // corrupt. Checking before the reservations below keeps a forged
+    // count from forcing a multi-gigabyte allocation.
+    if n_groups as u64 > r.remaining_bits() {
+        return Err(format!("group count {n_groups} exceeds the remaining payload"));
+    }
     let mut selectors = Vec::with_capacity(n_groups);
     let mut mtf: Vec<u8> = (0..n_tables as u8).collect();
     for _ in 0..n_groups {
@@ -242,7 +249,10 @@ pub fn decode_symbols(r: &mut BitReader<'_>, alphabet: usize) -> Result<Vec<u16>
         let lengths = read_lengths(&dense, alphabet, r)?;
         decoders.push(HuffmanDecoder::from_lengths(&lengths)?);
     }
-    let mut out = Vec::with_capacity(n_groups * GROUP_SIZE);
+    // Each decoded symbol consumes at least one payload bit, so the
+    // bit budget also caps the reservation for adversarial selectors.
+    let cap = (n_groups * GROUP_SIZE).min(r.remaining_bits() as usize + 1);
+    let mut out = Vec::with_capacity(cap);
     'groups: for &sel in &selectors {
         let dec = &decoders[sel as usize];
         for _ in 0..GROUP_SIZE {
@@ -344,6 +354,22 @@ mod tests {
             })
             .collect();
         roundtrip(&with_eob(symbols));
+    }
+
+    #[test]
+    fn forged_group_count_rejected_before_allocating() {
+        // Hand-built header claiming u32::MAX selector groups with an
+        // empty payload: the bit-budget check must fire before the
+        // selector and symbol buffers are reserved.
+        let mut w = BitWriter::new();
+        w.write(1, ALPHABET.div_ceil(16) as u32); // coarse map: word 0 used
+        w.write(1, 16); // fine map: symbol 0 used
+        w.write(2, 3); // n_tables
+        w.write(u64::from(u32::MAX), 32); // n_groups
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let err = decode_symbols(&mut r, ALPHABET).unwrap_err();
+        assert!(err.contains("group count"), "{err}");
     }
 
     #[test]

@@ -11,11 +11,17 @@
 //! the post-compression stage every trace compressor feeds its streams
 //! through.
 //!
+//! Two lighter sibling pipelines share the block framing: [`nosort`]
+//! keeps MTF + RLE + Huffman but skips the suffix sort, and [`range`] is
+//! an order-0 adaptive binary range coder with a stored-block fallback.
+//! They trade ratio for throughput and back the engine's `balanced` and
+//! `fast` profiles.
+//!
 //! ## Quick start
 //!
 //! ```
 //! let original = b"tobeornottobe".repeat(100);
-//! let packed = blockzip::compress(&original);
+//! let packed = blockzip::compress(&original)?;
 //! let unpacked = blockzip::decompress(&packed)?;
 //! assert_eq!(unpacked, original);
 //! # Ok::<(), blockzip::Error>(())
@@ -28,6 +34,8 @@ pub mod crc;
 pub mod groups;
 pub mod huffman;
 pub mod mtf;
+pub mod nosort;
+pub mod range;
 pub mod rle;
 pub mod sais;
 
@@ -52,6 +60,12 @@ pub enum Error {
         /// Checksum of the block actually decoded.
         actual: u32,
     },
+    /// A block's raw or payload length does not fit the 32-bit framing
+    /// fields, so the block cannot be written without corrupting it.
+    TooLarge {
+        /// The length that overflowed the field.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -62,6 +76,9 @@ impl std::fmt::Display for Error {
             Error::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
             Error::CrcMismatch { expected, actual } => {
                 write!(f, "crc mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            Error::TooLarge { len } => {
+                write!(f, "block of {len} bytes exceeds the 32-bit framing limit")
             }
         }
     }

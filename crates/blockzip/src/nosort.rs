@@ -1,0 +1,235 @@
+//! The sort-free sibling of the [`crate::block`] pipeline: MTF → RLE2 →
+//! multi-table Huffman over the raw bytes, with the Burrows–Wheeler
+//! transform (and its SA-IS suffix sort, the measured hot spot of the
+//! full pipeline) removed. Trace streams arrive pre-clustered — predictor
+//! codes repeat and miss-value bytes are column-sliced — so MTF alone
+//! already produces the zero-heavy rank stream the later stages want,
+//! at a fraction of the CPU cost.
+//!
+//! Framing mirrors [`crate::block`]: a magic, then per block the raw
+//! length, a CRC-32 of the raw bytes, and the entropy payload length.
+//! There is no sentinel field because there is no BWT to invert.
+
+use std::time::Instant;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::block::{frame_len, lap, Cursor, Level, Scratch};
+use crate::crc::crc32;
+use crate::groups;
+use crate::{mtf, rle, Error};
+
+/// File magic for the sort-free container.
+const MAGIC: &[u8; 4] = b"BZN1";
+/// Marker byte that introduces a block.
+const BLOCK_MARKER: u8 = 0x42;
+/// Marker byte that terminates the stream.
+const END_MARKER: u8 = 0x45;
+
+/// Compresses `data` without the block-sorting stage, reusing `scratch`
+/// across calls. Blocks are sized by `level` exactly as in
+/// [`crate::compress_with_scratch`].
+///
+/// # Errors
+///
+/// Returns [`Error::TooLarge`] if a block's framing field would overflow.
+pub fn compress_with_scratch(
+    data: &[u8],
+    level: Level,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 64);
+    out.extend_from_slice(MAGIC);
+    for chunk in data.chunks(level.block_size().max(1)) {
+        compress_block(chunk, &mut out, scratch)?;
+    }
+    out.push(END_MARKER);
+    Ok(out)
+}
+
+fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) -> Result<(), Error> {
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
+    mtf::encode_into(chunk, &mut scratch.ranks);
+    rle::encode_into(&scratch.ranks, &mut scratch.symbols);
+    lap(&scratch.probes, &mut mark, |p| &p.mtf_rle_ns);
+
+    let mut bits = BitWriter::new();
+    groups::encode_symbols(&scratch.symbols, rle::ALPHABET, &mut bits);
+    let payload = bits.into_bytes();
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks.add(1);
+    }
+
+    out.push(BLOCK_MARKER);
+    out.extend_from_slice(&frame_len(chunk.len())?.to_le_bytes());
+    out.extend_from_slice(&crc32(chunk).to_le_bytes());
+    out.extend_from_slice(&frame_len(payload.len())?.to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(())
+}
+
+/// Decompresses a container produced by [`compress_with_scratch`],
+/// failing if the output would exceed `max_len` bytes.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the magic, framing, entropy stream, or CRC is
+/// invalid, or the declared output exceeds `max_len`.
+pub fn decompress_with_scratch(
+    data: &[u8],
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
+    let mut cursor = Cursor { data, pos: 0 };
+    if cursor.take(4)? != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let mut out = Vec::new();
+    loop {
+        match cursor.take(1)?[0] {
+            END_MARKER => return Ok(out),
+            BLOCK_MARKER => decompress_block(&mut cursor, &mut out, max_len, scratch)?,
+            other => return Err(Error::Corrupt(format!("unexpected marker byte {other:#x}"))),
+        }
+    }
+}
+
+fn decompress_block(
+    cursor: &mut Cursor<'_>,
+    out: &mut Vec<u8>,
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<(), Error> {
+    let raw_len = cursor.take_u32()? as usize;
+    let expected_crc = cursor.take_u32()?;
+    let payload_len = cursor.take_u32()? as usize;
+    let payload = cursor.take(payload_len)?;
+    // `out` never exceeds max_len, so the subtraction cannot underflow.
+    if raw_len > max_len - out.len() {
+        return Err(Error::Corrupt(format!(
+            "block claims {raw_len} bytes, exceeding the {max_len}-byte output limit"
+        )));
+    }
+
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
+    let mut bits = BitReader::new(payload);
+    let symbols = groups::decode_symbols(&mut bits, rle::ALPHABET).map_err(Error::Corrupt)?;
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_decode_ns);
+    rle::decode_into(&symbols, raw_len, &mut scratch.ranks).map_err(Error::Corrupt)?;
+    if scratch.ranks.len() != raw_len {
+        return Err(Error::Corrupt(format!(
+            "block length mismatch: header {raw_len}, decoded {}",
+            scratch.ranks.len()
+        )));
+    }
+    mtf::decode_into(&scratch.ranks, &mut scratch.bytes);
+    lap(&scratch.probes, &mut mark, |p| &p.unrle_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks_decoded.add(1);
+    }
+    let actual_crc = crc32(&scratch.bytes);
+    if actual_crc != expected_crc {
+        return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    out.extend_from_slice(&scratch.bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(data, Level::BEST, &mut scratch).unwrap();
+        let unpacked =
+            decompress_with_scratch(&packed, usize::MAX, &mut Scratch::default()).unwrap();
+        assert_eq!(unpacked, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello, hello, hello");
+    }
+
+    #[test]
+    fn multi_block_repetitive_input() {
+        let data = b"0123456789".repeat(30_000); // 300 kB > FAST block size
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::FAST, &mut scratch).unwrap();
+        assert!(packed.len() < data.len());
+        assert_eq!(decompress_with_scratch(&packed, usize::MAX, &mut scratch).unwrap(), data);
+    }
+
+    #[test]
+    fn code_stream_shaped_input_compresses_well() {
+        // Predictor-code streams are long runs of the same small byte.
+        let mut data = Vec::new();
+        for phase in 0..50 {
+            data.extend(std::iter::repeat_n((phase % 3) as u8, 2_000));
+        }
+        let packed =
+            compress_with_scratch(&data, Level::BEST, &mut Scratch::default()).unwrap();
+        assert!(packed.len() * 50 < data.len(), "{} -> {}", data.len(), packed.len());
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn pseudorandom_input_roundtrips() {
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let data: Vec<u8> = (0..150_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let err = decompress_with_scratch(b"BZR1\x45", usize::MAX, &mut Scratch::default());
+        assert!(matches!(err, Err(Error::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_and_corruption_rejected() {
+        let data = b"integrity matters ".repeat(500);
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::BEST, &mut scratch).unwrap();
+        for cut in [3, 5, 10, packed.len() - 1] {
+            assert!(
+                decompress_with_scratch(&packed[..cut], usize::MAX, &mut scratch).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        let mut flipped = packed.clone();
+        let idx = flipped.len() / 2;
+        flipped[idx] ^= 0x10;
+        assert!(decompress_with_scratch(&flipped, usize::MAX, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn output_limit_is_enforced() {
+        let data = b"0123456789".repeat(5_000);
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::BEST, &mut scratch).unwrap();
+        assert_eq!(decompress_with_scratch(&packed, data.len(), &mut scratch).unwrap(), data);
+        assert!(decompress_with_scratch(&packed, data.len() - 1, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_byte_identical() {
+        let mut scratch = Scratch::default();
+        let inputs: [&[u8]; 4] =
+            [b"first block of data", b"", b"x", &b"longer repetitive payload ".repeat(9_000)];
+        for data in inputs {
+            let fresh =
+                compress_with_scratch(data, Level::FAST, &mut Scratch::default()).unwrap();
+            let reused = compress_with_scratch(data, Level::FAST, &mut scratch).unwrap();
+            assert_eq!(fresh, reused);
+        }
+    }
+}

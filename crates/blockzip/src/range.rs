@@ -1,0 +1,472 @@
+//! An adaptive binary range coder — the throughput-first
+//! post-compression pipeline. Each byte first pays a single "same as
+//! the previous byte?" bit (one adaptive probability per previous-byte
+//! value); a mismatch next tries "same as the byte eight back?" (the
+//! lag divides every fixed record width in the packed streams, so it
+//! compares like byte positions across records); only double misses
+//! descend the order-0 255-node bit-tree. Trace streams are dominated
+//! by runs and by slowly-drifting positional bytes — predictor codes
+//! are mostly one value, miss values share their high bytes — so the
+//! common byte costs one or two near-certain bits instead of eight,
+//! and the coder spends most of its time in a four-instruction path.
+//! Blocks that do not shrink — high-entropy miss-value segments — are
+//! stored verbatim, so the worst case costs only the frame header.
+//!
+//! The coder is the classic carry-counting construction: a 32-bit
+//! `range`, a 64-bit `low` whose overflow bit propagates through a cache
+//! of pending `0xff` bytes, 11-bit probabilities nudged by 1/32 of the
+//! distance per update, and a 5-byte tail flush. The decoder mirrors the
+//! arithmetic exactly, so adaptation stays in lock-step.
+
+use std::time::Instant;
+
+use crate::block::{frame_len, lap, Cursor, Level, Scratch};
+use crate::crc::crc32;
+use crate::Error;
+
+/// File magic for the range-coded container.
+const MAGIC: &[u8; 4] = b"BZF1";
+/// Marker byte that introduces a block.
+const BLOCK_MARKER: u8 = 0x42;
+/// Marker byte that terminates the stream.
+const END_MARKER: u8 = 0x45;
+/// Block mode: range-coded payload.
+const MODE_CODED: u8 = 0;
+/// Block mode: payload stored verbatim (the coded form was no smaller).
+const MODE_STORED: u8 = 1;
+
+/// Probability precision in bits.
+const PROB_BITS: u32 = 11;
+/// Initial (even-odds) probability of a zero bit.
+const PROB_INIT: u16 = 1 << (PROB_BITS - 1);
+/// Adaptation speed: each update moves 1/2^MOVE_BITS of the distance.
+const MOVE_BITS: u32 = 5;
+/// Renormalization threshold for the 32-bit range.
+const TOP: u32 = 1 << 24;
+/// Distance of the second match model. Eight divides every fixed record
+/// width the packed streams use (1-, 2-, 4-, and 8-byte elements), so
+/// the referenced byte sits at the same position in an earlier record.
+const FAR_LAG: usize = 8;
+
+/// Compresses `data` with the adaptive range coder, reusing `scratch`
+/// across calls. Blocks are sized by `level` exactly as in
+/// [`crate::compress_with_scratch`]; each block restarts the probability
+/// model, keeping blocks independently decodable.
+///
+/// # Errors
+///
+/// Returns [`Error::TooLarge`] if a block's framing field would overflow.
+pub fn compress_with_scratch(
+    data: &[u8],
+    level: Level,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 64);
+    out.extend_from_slice(MAGIC);
+    for chunk in data.chunks(level.block_size().max(1)) {
+        compress_block(chunk, &mut out, scratch)?;
+    }
+    out.push(END_MARKER);
+    Ok(out)
+}
+
+fn compress_block(chunk: &[u8], out: &mut Vec<u8>, scratch: &mut Scratch) -> Result<(), Error> {
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
+    let coded = encode_block(chunk);
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks.add(1);
+    }
+
+    out.push(BLOCK_MARKER);
+    let (mode, payload) = match &coded {
+        Some(bytes) => (MODE_CODED, bytes.as_slice()),
+        None => (MODE_STORED, chunk),
+    };
+    out.push(mode);
+    out.extend_from_slice(&frame_len(chunk.len())?.to_le_bytes());
+    out.extend_from_slice(&crc32(chunk).to_le_bytes());
+    out.extend_from_slice(&frame_len(payload.len())?.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Range-codes one block, or returns `None` when the coded form would be
+/// at least as large as the input (the caller stores the block verbatim).
+/// The size check runs as the encoder streams, so incompressible blocks
+/// abort early instead of paying for a full pass.
+fn encode_block(chunk: &[u8]) -> Option<Vec<u8>> {
+    let mut match_probs = [PROB_INIT; 256];
+    let mut far_probs = [PROB_INIT; 256];
+    let mut probs = [PROB_INIT; 256];
+    let mut enc = Encoder::new(chunk.len());
+    let mut prev = 0u8;
+    for (i, &byte) in chunk.iter().enumerate() {
+        // Fast path: one "same as previous byte?" bit, conditioned on
+        // the previous byte. Runs converge it to near-certainty, so the
+        // bulk of a skewed stream never touches the bit-tree.
+        let matched = u32::from(byte == prev);
+        enc.encode_bit(&mut match_probs[prev as usize], matched);
+        if matched == 0 {
+            // Second chance: the byte one record back. When it equals
+            // `prev` the answer is already known to be "no", so neither
+            // side codes the bit (and the context stays unpolluted).
+            let far = if i >= FAR_LAG { chunk[i - FAR_LAG] } else { 0 };
+            let far_matched = far != prev && {
+                let hit = u32::from(byte == far);
+                enc.encode_bit(&mut far_probs[far as usize], hit);
+                hit == 1
+            };
+            if !far_matched {
+                // Bit-tree walk: context 1 is the root, each coded bit
+                // extends the path, contexts 256..511 would be the
+                // (unused) leaves.
+                let mut ctx = 1usize;
+                for shift in (0..8).rev() {
+                    let bit = u32::from(byte >> shift) & 1;
+                    enc.encode_bit(&mut probs[ctx], bit);
+                    ctx = (ctx << 1) | bit as usize;
+                }
+            }
+            prev = byte;
+        }
+        if enc.out.len() + 5 >= chunk.len() {
+            return None;
+        }
+    }
+    let coded = enc.finish();
+    (coded.len() < chunk.len()).then_some(coded)
+}
+
+struct Encoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Encoder {
+    fn new(capacity: usize) -> Self {
+        // cache_size starts at 1: the first shift emits the zero cache
+        // byte, which the decoder skips unconditionally.
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Branch-free except for renormalization: literal bytes carry
+    /// near-random bits, so a data-dependent branch here would mispredict
+    /// constantly. The mask select computes both outcomes and keeps the
+    /// probability evolution bit-identical to the branching form.
+    #[inline(always)]
+    fn encode_bit(&mut self, prob: &mut u16, bit: u32) {
+        let p = u32::from(*prob);
+        let bound = (self.range >> PROB_BITS) * p;
+        let m = bit.wrapping_neg(); // all ones for a one bit
+        self.low += u64::from(bound & m);
+        self.range = (bound & !m) | ((self.range - bound) & m);
+        let up = ((1 << PROB_BITS) - p) >> MOVE_BITS;
+        let down = p >> MOVE_BITS;
+        *prob = (p + (up & !m) - (down & m)) as u16;
+        while self.range < TOP {
+            self.shift_low();
+            self.range <<= 8;
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if self.low < 0xff00_0000 || self.low > 0xffff_ffff {
+            let carry = (self.low >> 32) as u8;
+            self.out.push(self.cache.wrapping_add(carry));
+            for _ in 1..self.cache_size {
+                self.out.push(0xffu8.wrapping_add(carry));
+            }
+            self.cache = (self.low >> 24) as u8;
+            self.cache_size = 0;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xffff_ffff;
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+struct Decoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(input: &'a [u8]) -> Result<Self, Error> {
+        // Skip the encoder's leading cache byte, then load the first
+        // 32 code bits.
+        let mut d = Decoder { code: 0, range: u32::MAX, input, pos: 1 };
+        if input.is_empty() {
+            return Err(Error::Truncated);
+        }
+        for _ in 0..4 {
+            d.code = (d.code << 8) | u32::from(d.next_byte()?);
+        }
+        Ok(d)
+    }
+
+    fn next_byte(&mut self) -> Result<u8, Error> {
+        let b = self.input.get(self.pos).copied().ok_or(Error::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// The mirror of [`Encoder::encode_bit`], with the same branch-free
+    /// select (the comparison compiles to a flag set, not a jump).
+    #[inline(always)]
+    fn decode_bit(&mut self, prob: &mut u16) -> Result<u32, Error> {
+        let p = u32::from(*prob);
+        let bound = (self.range >> PROB_BITS) * p;
+        let bit = u32::from(self.code >= bound);
+        let m = bit.wrapping_neg();
+        self.code -= bound & m;
+        self.range = (bound & !m) | ((self.range - bound) & m);
+        let up = ((1 << PROB_BITS) - p) >> MOVE_BITS;
+        let down = p >> MOVE_BITS;
+        *prob = (p + (up & !m) - (down & m)) as u16;
+        while self.range < TOP {
+            self.code = (self.code << 8) | u32::from(self.next_byte()?);
+            self.range <<= 8;
+        }
+        Ok(bit)
+    }
+}
+
+/// Decompresses a container produced by [`compress_with_scratch`],
+/// failing if the output would exceed `max_len` bytes.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the magic, framing, coded stream, or CRC is
+/// invalid, or the declared output exceeds `max_len`.
+pub fn decompress_with_scratch(
+    data: &[u8],
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<Vec<u8>, Error> {
+    let mut cursor = Cursor { data, pos: 0 };
+    if cursor.take(4)? != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let mut out = Vec::new();
+    loop {
+        match cursor.take(1)?[0] {
+            END_MARKER => return Ok(out),
+            BLOCK_MARKER => decompress_block(&mut cursor, &mut out, max_len, scratch)?,
+            other => return Err(Error::Corrupt(format!("unexpected marker byte {other:#x}"))),
+        }
+    }
+}
+
+fn decompress_block(
+    cursor: &mut Cursor<'_>,
+    out: &mut Vec<u8>,
+    max_len: usize,
+    scratch: &mut Scratch,
+) -> Result<(), Error> {
+    let mode = cursor.take(1)?[0];
+    let raw_len = cursor.take_u32()? as usize;
+    let expected_crc = cursor.take_u32()?;
+    let payload_len = cursor.take_u32()? as usize;
+    let payload = cursor.take(payload_len)?;
+    // `out` never exceeds max_len, so the subtraction cannot underflow.
+    if raw_len > max_len - out.len() {
+        return Err(Error::Corrupt(format!(
+            "block claims {raw_len} bytes, exceeding the {max_len}-byte output limit"
+        )));
+    }
+
+    let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
+    match mode {
+        MODE_STORED => {
+            if payload.len() != raw_len {
+                return Err(Error::Corrupt(format!(
+                    "stored block length mismatch: header {raw_len}, payload {}",
+                    payload.len()
+                )));
+            }
+            let actual_crc = crc32(payload);
+            if actual_crc != expected_crc {
+                return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
+            }
+            out.extend_from_slice(payload);
+        }
+        MODE_CODED => {
+            decode_block(payload, raw_len, &mut scratch.bytes)?;
+            let actual_crc = crc32(&scratch.bytes);
+            if actual_crc != expected_crc {
+                return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
+            }
+            out.extend_from_slice(&scratch.bytes);
+        }
+        other => return Err(Error::Corrupt(format!("unknown block mode {other:#x}"))),
+    }
+    lap(&scratch.probes, &mut mark, |p| &p.entropy_decode_ns);
+    if let Some(p) = &scratch.probes {
+        p.blocks_decoded.add(1);
+    }
+    Ok(())
+}
+
+fn decode_block(payload: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(), Error> {
+    out.clear();
+    // The reservation is capped by the payload we actually hold; a forged
+    // raw_len cannot force a large up-front allocation, and growth beyond
+    // it only happens as decoding genuinely succeeds.
+    out.reserve(raw_len.min(payload.len().saturating_mul(16).max(1 << 12)));
+    let mut match_probs = [PROB_INIT; 256];
+    let mut far_probs = [PROB_INIT; 256];
+    let mut probs = [PROB_INIT; 256];
+    let mut dec = Decoder::new(payload)?;
+    let mut prev = 0u8;
+    for i in 0..raw_len {
+        if dec.decode_bit(&mut match_probs[prev as usize])? == 0 {
+            let far = if i >= FAR_LAG { out[i - FAR_LAG] } else { 0 };
+            let far_matched = far != prev && dec.decode_bit(&mut far_probs[far as usize])? == 1;
+            if far_matched {
+                prev = far;
+            } else {
+                let mut ctx = 1usize;
+                for _ in 0..8 {
+                    ctx = (ctx << 1) | dec.decode_bit(&mut probs[ctx])? as usize;
+                }
+                prev = (ctx & 0xff) as u8;
+            }
+        }
+        out.push(prev);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(data, Level::BEST, &mut scratch).unwrap();
+        let unpacked =
+            decompress_with_scratch(&packed, usize::MAX, &mut Scratch::default()).unwrap();
+        assert_eq!(unpacked, data);
+        packed
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello, hello, hello");
+    }
+
+    #[test]
+    fn skewed_code_stream_compresses_sharply() {
+        // A predictor-code stream: 95% one symbol, occasional others.
+        let data: Vec<u8> = (0..200_000).map(|i| if i % 20 == 0 { 3u8 } else { 0 }).collect();
+        let packed = roundtrip(&data);
+        assert!(packed.len() * 4 < data.len(), "{} -> {}", data.len(), packed.len());
+    }
+
+    #[test]
+    fn multi_block_input_roundtrips() {
+        let data = b"0123456789".repeat(30_000); // 300 kB > FAST block size
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::FAST, &mut scratch).unwrap();
+        assert_eq!(decompress_with_scratch(&packed, usize::MAX, &mut scratch).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_is_stored_with_bounded_overhead() {
+        let mut x = 0x853c49e6748fea9bu64;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let packed = roundtrip(&data);
+        // Store-mode fallback: per-block header overhead only.
+        assert!(packed.len() < data.len() + 64, "{} -> {}", data.len(), packed.len());
+        assert!(packed[4..].contains(&MODE_STORED));
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let err = decompress_with_scratch(b"BZR1\x45", usize::MAX, &mut Scratch::default());
+        assert!(matches!(err, Err(Error::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_and_corruption_rejected() {
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 7) as u8).collect();
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::BEST, &mut scratch).unwrap();
+        for cut in [3, 5, 12, packed.len() / 2, packed.len() - 1] {
+            assert!(
+                decompress_with_scratch(&packed[..cut], usize::MAX, &mut scratch).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+        let mut flipped = packed.clone();
+        let idx = packed.len() / 2;
+        flipped[idx] ^= 0x01;
+        assert!(decompress_with_scratch(&flipped, usize::MAX, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn output_limit_is_enforced() {
+        let data = vec![7u8; 10_000];
+        let mut scratch = Scratch::default();
+        let packed = compress_with_scratch(&data, Level::BEST, &mut scratch).unwrap();
+        assert_eq!(decompress_with_scratch(&packed, data.len(), &mut scratch).unwrap(), data);
+        assert!(decompress_with_scratch(&packed, data.len() - 1, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn forged_giant_block_rejected_cheaply() {
+        let mut forged = Vec::new();
+        forged.extend_from_slice(MAGIC);
+        forged.push(BLOCK_MARKER);
+        forged.push(MODE_CODED);
+        forged.extend_from_slice(&u32::MAX.to_le_bytes()); // raw_len
+        forged.extend_from_slice(&0u32.to_le_bytes()); // crc
+        forged.extend_from_slice(&2u32.to_le_bytes()); // payload_len
+        forged.extend_from_slice(&[0, 0]);
+        forged.push(END_MARKER);
+        // With a limit the size check fires; without one the two-byte
+        // payload runs dry almost immediately.
+        assert!(decompress_with_scratch(&forged, 1 << 20, &mut Scratch::default()).is_err());
+        assert!(decompress_with_scratch(&forged, usize::MAX, &mut Scratch::default()).is_err());
+    }
+
+    #[test]
+    fn decoder_adaptation_matches_encoder() {
+        // Data whose statistics drift mid-block, exercising adaptation.
+        let mut data = vec![0u8; 40_000];
+        data.extend(std::iter::repeat_n(0xaau8, 40_000));
+        data.extend((0..40_000u32).map(|i| (i % 13) as u8));
+        roundtrip(&data);
+    }
+}

@@ -8,21 +8,21 @@ proptest! {
     /// compress ∘ decompress is the identity on arbitrary bytes.
     #[test]
     fn compress_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
-        let packed = blockzip::compress(&data);
+        let packed = blockzip::compress(&data).unwrap();
         prop_assert_eq!(blockzip::decompress(&packed).unwrap(), data);
     }
 
     /// Roundtrip with small blocks exercises the multi-block path.
     #[test]
     fn multiblock_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..4_000)) {
-        let packed = blockzip::compress_with(&data, blockzip::Level::FAST);
+        let packed = blockzip::compress_with(&data, blockzip::Level::FAST).unwrap();
         prop_assert_eq!(blockzip::decompress(&packed).unwrap(), data);
     }
 
     /// Low-entropy inputs (tiny alphabet) exercise deep SA-IS recursion.
     #[test]
     fn low_entropy_roundtrip(data in proptest::collection::vec(0u8..3, 0..30_000)) {
-        let packed = blockzip::compress(&data);
+        let packed = blockzip::compress(&data).unwrap();
         prop_assert_eq!(blockzip::decompress(&packed).unwrap(), data);
     }
 
@@ -62,8 +62,53 @@ proptest! {
     #[test]
     fn truncation_is_graceful(data in proptest::collection::vec(any::<u8>(), 1..2_000),
                               frac in 0.0f64..1.0) {
-        let packed = blockzip::compress(&data);
+        let packed = blockzip::compress(&data).unwrap();
         let cut = ((packed.len() - 1) as f64 * frac) as usize;
         let _ = blockzip::decompress(&packed[..cut]); // must not panic
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The sort-free pipeline is the identity on arbitrary bytes.
+    #[test]
+    fn nosort_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let mut scratch = blockzip::Scratch::default();
+        let packed =
+            blockzip::nosort::compress_with_scratch(&data, blockzip::Level::FAST, &mut scratch)
+                .unwrap();
+        let unpacked =
+            blockzip::nosort::decompress_with_scratch(&packed, usize::MAX, &mut scratch).unwrap();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// The range-coder pipeline is the identity on arbitrary bytes.
+    #[test]
+    fn range_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        let mut scratch = blockzip::Scratch::default();
+        let packed =
+            blockzip::range::compress_with_scratch(&data, blockzip::Level::FAST, &mut scratch)
+                .unwrap();
+        let unpacked =
+            blockzip::range::decompress_with_scratch(&packed, usize::MAX, &mut scratch).unwrap();
+        prop_assert_eq!(unpacked, data);
+    }
+
+    /// Truncating either sibling container never panics — it errors.
+    #[test]
+    fn sibling_truncation_is_graceful(data in proptest::collection::vec(any::<u8>(), 1..2_000),
+                                      frac in 0.0f64..1.0) {
+        let mut scratch = blockzip::Scratch::default();
+        for packed in [
+            blockzip::nosort::compress_with_scratch(&data, blockzip::Level::FAST, &mut scratch)
+                .unwrap(),
+            blockzip::range::compress_with_scratch(&data, blockzip::Level::FAST, &mut scratch)
+                .unwrap(),
+        ] {
+            let cut = ((packed.len() - 1) as f64 * frac) as usize;
+            let _ = blockzip::nosort::decompress_with_scratch(&packed[..cut], usize::MAX, &mut scratch);
+            let _ = blockzip::range::decompress_with_scratch(&packed[..cut], usize::MAX, &mut scratch);
+        }
     }
 }

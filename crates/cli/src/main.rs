@@ -3,7 +3,7 @@
 //! ```text
 //! tcgen generate <spec-file> [--lang c|rust]    emit compressor source
 //! tcgen canon <spec-file>                       print the canonical spec
-//! tcgen compress <spec-file> [in [out]] [--threads N] [--model-threads N] [--block-records N]
+//! tcgen compress <spec-file> [in [out]] [--profile P] [--threads N] [--model-threads N] [--block-records N]
 //! tcgen decompress <spec-file> [in [out]] [--threads N] [--model-threads N]
 //! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
@@ -18,7 +18,7 @@
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use tcgen_core::{EngineOptions, Recorder, Tcgen};
+use tcgen_core::{Backend, EngineOptions, Recorder, Tcgen};
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 use tcgen_tuner::TunerOptions;
 
@@ -57,14 +57,20 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  tcgen generate <spec-file> [--lang c|rust]\n  \
      tcgen canon <spec-file>\n  \
-     tcgen compress <spec-file> [input [output]] [--threads N] [--model-threads N] [--block-records N]\n  \
+     tcgen compress <spec-file> [input [output]] [--profile P] [--threads N] [--model-threads N] [--block-records N]\n  \
      tcgen decompress <spec-file> [input [output]] [--threads N] [--model-threads N]\n  \
      tcgen trace <program> <store|miss|load> <records> [output]\n  \
      tcgen prune <spec-file> <trace-file> [threshold]\n  \
      tcgen usage <spec-file> <trace-file> [--json [FILE]] [--threads N] [--model-threads N]\n  \
      tcgen tune <spec-file> <trace-file> [output-spec] [--sample-records N]\n\
-     \x20          [--budget-evals N] [--seed N] [--json [FILE]] [--threads N] [--model-threads N]\n\
+     \x20          [--budget-evals N] [--seed N] [--json [FILE]] [--profile P]\n\
+     \x20          [--threads N] [--model-threads N]\n\
      \n\
+     --profile P        post-compression backend: max (best ratio, the\n\
+     \x20                   default), balanced (no block sort), or fast\n\
+     \x20                   (adaptive range coder). The chosen backend is\n\
+     \x20                   recorded in the container, so decompress needs\n\
+     \x20                   no flag — any build reads any profile\n\
      --threads N        worker threads for block segments (0 = one per CPU,\n\
      \x20                   1 = serial; output is identical for every N)\n\
      --model-threads N  worker threads for per-field predictor modeling\n\
@@ -183,6 +189,10 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--profile" => {
+                options.backend = parse_profile(args.get(i + 1))?;
+                i += 2;
+            }
             "--threads" => {
                 options.threads = parse_count(args.get(i + 1), "--threads")?;
                 i += 2;
@@ -233,6 +243,12 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
 fn parse_count(value: Option<&String>, flag: &str) -> Result<usize, String> {
     let value = value.ok_or(format!("{flag} needs a value"))?;
     value.parse().map_err(|e| format!("bad value '{value}' for {flag}: {e}"))
+}
+
+fn parse_profile(value: Option<&String>) -> Result<Backend, String> {
+    let value = value.ok_or("--profile needs a value")?;
+    Backend::from_profile(value)
+        .ok_or_else(|| format!("unknown profile '{value}' (use fast, balanced, or max)"))
 }
 
 fn trace(args: &[String]) -> Result<(), String> {
@@ -376,6 +392,10 @@ fn tune(args: &[String]) -> Result<(), String> {
             }
             "--seed" => {
                 options.seed = parse_count(args.get(i + 1), "--seed")? as u64;
+                i += 2;
+            }
+            "--profile" => {
+                options.engine.backend = parse_profile(args.get(i + 1))?;
                 i += 2;
             }
             "--threads" => {

@@ -34,6 +34,9 @@ use tcgen_spec::TraceSpec;
 // Re-exported so callers of [`Tcgen::with_options`] can name the options
 // type without depending on the engine crate directly.
 pub use tcgen_engine::EngineOptions;
+// Re-exported so callers can select a post-compression backend (the
+// CLI's `--profile`) without depending on the engine crate directly.
+pub use tcgen_engine::Backend;
 // Re-exported so callers of [`Tcgen::with_telemetry`] can build a
 // recorder without depending on the telemetry crate directly.
 pub use tcgen_engine::Recorder;

@@ -41,16 +41,13 @@ use tcgen_spec::TraceSpec;
 use tcgen_telemetry::{driver_span, OpCounters, Recorder};
 
 use crate::columnar::{Modeler, Replayer};
+use crate::container::{self, BLOCK_MARKER, END_MARKER, PRELUDE_LEN};
 use crate::options::EngineOptions;
 use crate::pool::{Pipeline, PoolTelemetry};
+use crate::postcodec::PostCodec;
 use crate::streams::BlockStreams;
 use crate::usage::UsageReport;
 use crate::Error;
-
-const MAGIC: &[u8; 4] = b"TCGZ";
-const VERSION: u8 = 1;
-const BLOCK_MARKER: u8 = 0x01;
-const END_MARKER: u8 = 0x00;
 
 /// How many blocks the parallel pipelines run ahead of the serial stage.
 /// Bounds peak memory at roughly this many blocks of streams per thread
@@ -105,11 +102,7 @@ pub(crate) fn compress_with_hash(
     let counters = tel.map(OpCounters::compress);
 
     let mut out = Vec::with_capacity(raw.len() / 8 + 64);
-    out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    out.push(options.flags());
-    out.extend_from_slice(&hash.to_le_bytes());
-    out.extend_from_slice(&(header_len as u16).to_le_bytes());
+    out.extend_from_slice(&container::prelude(options.flags(), hash, header_len as u16));
     out.extend_from_slice(&raw[..header_len]);
 
     let body = &raw[header_len..];
@@ -125,9 +118,9 @@ pub(crate) fn compress_with_hash(
         let model_pipe = model_pipe.as_ref();
 
         if threads <= 1 {
-            let mut scratch = blockzip::Scratch::default();
+            let mut codec = options.backend.codec(options.level);
             if let Some(rec) = tel {
-                scratch.attach_probes(rec);
+                codec.attach_probes(rec);
             }
             let mut pos = 0usize;
             while pos < total {
@@ -139,7 +132,7 @@ pub(crate) fn compress_with_hash(
                 }
                 {
                     let _s = driver_span(tel, "block.flush");
-                    flush_block(&mut out, &streams, options.level, &mut scratch);
+                    flush_block(&mut out, &streams, codec.as_mut())?;
                 }
                 if let Some(c) = &counters {
                     c.blocks.add(1);
@@ -151,18 +144,19 @@ pub(crate) fn compress_with_hash(
             return Ok(out);
         }
 
+        let backend = options.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
             scope,
             threads,
-            PoolTelemetry::from(tel, "pack", "pack.segment"),
+            PoolTelemetry::from(tel, "pack", backend.pack_span()),
             || {
-                let mut scratch = blockzip::Scratch::default();
+                let mut codec = backend.codec(level);
                 if let Some(rec) = tel {
-                    scratch.attach_probes(rec);
+                    codec.attach_probes(rec);
                 }
                 move |mut payload: Vec<u8>| {
-                    let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                    let packed = codec.compress(&payload);
                     payload.clear();
                     (payload, packed)
                 }
@@ -280,25 +274,25 @@ pub fn replay_streams(
 fn flush_block(
     out: &mut Vec<u8>,
     streams: &BlockStreams,
-    level: blockzip::Level,
-    scratch: &mut blockzip::Scratch,
-) {
+    codec: &mut dyn PostCodec,
+) -> Result<(), Error> {
     out.push(BLOCK_MARKER);
     out.extend_from_slice(&(streams.records as u32).to_le_bytes());
     for fs in &streams.fields {
         for payload in [&fs.codes, &fs.values] {
-            let packed = blockzip::compress_with_scratch(payload, level, scratch);
+            let packed = codec.compress(payload).map_err(Error::Post)?;
             out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
             out.extend_from_slice(&packed);
         }
     }
+    Ok(())
 }
 
 /// The threaded post-compression pool: each worker consumes a segment
 /// payload and hands it back (cleared, capacity intact) alongside the
 /// packed bytes, so block stream buffers are recycled instead of
 /// reallocated every block.
-pub(crate) type PackPipe = Pipeline<Vec<u8>, (Vec<u8>, Vec<u8>)>;
+pub(crate) type PackPipe = Pipeline<Vec<u8>, (Vec<u8>, Result<Vec<u8>, blockzip::Error>)>;
 
 /// Hands one finished block's segments to the worker pool, in the exact
 /// order [`flush_block`] would write them, and resets `streams`. The
@@ -335,6 +329,7 @@ pub(crate) fn write_packed_block(
             .next()
             .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
         free.push(payload);
+        let packed = packed.map_err(Error::Post)?;
         out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
         out.extend_from_slice(&packed);
     }
@@ -376,24 +371,27 @@ pub(crate) fn decompress_with_hash(
     let _op_span = driver_span(tel, "decompress");
     let counters = tel.map(OpCounters::decompress);
     let mut cur = Cursor { data: packed, pos: 0 };
-    if cur.take(4)? != MAGIC {
+    // A wrong magic beats a truncation report even for tiny inputs:
+    // "not our container" is the more useful diagnosis.
+    if !packed.starts_with(container::MAGIC) {
         return Err(Error::BadMagic);
     }
-    let version = cur.take(1)?[0];
-    if version != VERSION {
-        return Err(Error::Corrupt(format!("unsupported container version {version}")));
+    let prelude_bytes: &[u8; PRELUDE_LEN] =
+        cur.take(PRELUDE_LEN)?.try_into().expect("take returns exactly PRELUDE_LEN bytes");
+    let prelude = container::parse_prelude(prelude_bytes)?;
+    if prelude.spec_hash != expected_hash {
+        return Err(Error::SpecMismatch { expected: expected_hash, found: prelude.spec_hash });
     }
-    let flags = cur.take(1)?[0];
-    let stored_hash = cur.take_u32()?;
-    if stored_hash != expected_hash {
-        return Err(Error::SpecMismatch { expected: expected_hash, found: stored_hash });
-    }
-    let header_len = cur.take_u16()? as usize;
+    let header_len = prelude.header_len;
     if header_len != spec.header_bytes() as usize {
         return Err(Error::Corrupt(format!(
             "header length {header_len} does not match the specification"
         )));
     }
+    // Semantics-affecting options — including the post-compression
+    // backend every segment decode dispatches on — come from the
+    // container; unknown flag bits fail here, before any decoding.
+    let effective = options.with_flags(prelude.flags)?;
     let header = cur.take(header_len)?;
     let n_fields = spec.fields.len();
 
@@ -423,8 +421,6 @@ pub(crate) fn decompress_with_hash(
         )));
     }
 
-    // Semantics-affecting options come from the container.
-    let effective = options.with_flags(flags);
     let mut replayer = Replayer::new(spec, &effective);
 
     // The block layout fixes the decoded size exactly, so the output is
@@ -456,9 +452,9 @@ pub(crate) fn decompress_with_hash(
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
-            let mut scratch = blockzip::Scratch::default();
+            let mut codec = effective.backend.codec(options.level);
             if let Some(rec) = tel {
-                scratch.attach_probes(rec);
+                codec.attach_probes(rec);
             }
             let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
@@ -470,21 +466,13 @@ pub(crate) fn decompress_with_hash(
                         segment_limits(block.n_records, replayer.widths()[fi]);
                     let (start, len) = block.segments[2 * fi];
                     codes.push({
-                        let _s = driver_span(tel, "unpack.segment");
-                        blockzip::decompress_with_scratch(
-                            &packed[start..start + len],
-                            limit_c,
-                            &mut scratch,
-                        )?
+                        let _s = driver_span(tel, effective.backend.unpack_span());
+                        codec.decompress(&packed[start..start + len], limit_c)?
                     });
                     let (start, len) = block.segments[2 * fi + 1];
                     values.push({
-                        let _s = driver_span(tel, "unpack.segment");
-                        blockzip::decompress_with_scratch(
-                            &packed[start..start + len],
-                            limit_v,
-                            &mut scratch,
-                        )?
+                        let _s = driver_span(tel, effective.backend.unpack_span());
+                        codec.decompress(&packed[start..start + len], limit_v)?
                     });
                 }
                 let _s = driver_span(tel, "replay.block");
@@ -499,18 +487,18 @@ pub(crate) fn decompress_with_hash(
             return Ok(out);
         }
 
+        let backend = effective.backend;
+        let level = options.level;
         let pipe = Pipeline::start_instrumented(
             scope,
             threads,
-            PoolTelemetry::from(tel, "unpack", "unpack.segment"),
+            PoolTelemetry::from(tel, "unpack", backend.unpack_span()),
             || {
-                let mut scratch = blockzip::Scratch::default();
+                let mut codec = backend.codec(level);
                 if let Some(rec) = tel {
-                    scratch.attach_probes(rec);
+                    codec.attach_probes(rec);
                 }
-                move |(seg, limit): (&[u8], usize)| {
-                    blockzip::decompress_with_scratch(seg, limit, &mut scratch)
-                }
+                move |(seg, limit): (&[u8], usize)| codec.decompress(seg, limit)
             },
         );
         let mut submitted = 0usize;
@@ -585,11 +573,6 @@ impl<'a> Cursor<'a> {
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
-    }
-
-    fn take_u16(&mut self) -> Result<u16, Error> {
-        let b = self.take(2)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn take_u32(&mut self) -> Result<u32, Error> {

@@ -1,0 +1,82 @@
+//! The TCGZ container prelude, shared by the in-memory codec
+//! ([`crate::codec`]) and the streaming codec ([`crate::stream_io`]) so
+//! the two writers can never desynchronize on magic or version.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "TCGZ"  u8 version  u8 flags  u32 spec_hash  u16 header_len
+//! ```
+//!
+//! followed by `header_len` passthrough header bytes, then block frames.
+
+use crate::Error;
+
+/// Container magic.
+pub(crate) const MAGIC: &[u8; 4] = b"TCGZ";
+/// Container format version.
+pub(crate) const VERSION: u8 = 1;
+/// Marker byte that introduces a block frame.
+pub(crate) const BLOCK_MARKER: u8 = 0x01;
+/// Marker byte that terminates the container.
+pub(crate) const END_MARKER: u8 = 0x00;
+/// Fixed prelude size: magic, version, flags, spec hash, header length.
+pub(crate) const PRELUDE_LEN: usize = 12;
+
+/// Encodes the fixed-size prelude both writers emit verbatim.
+pub(crate) fn prelude(flags: u8, spec_hash: u32, header_len: u16) -> [u8; PRELUDE_LEN] {
+    let mut p = [0u8; PRELUDE_LEN];
+    p[..4].copy_from_slice(MAGIC);
+    p[4] = VERSION;
+    p[5] = flags;
+    p[6..10].copy_from_slice(&spec_hash.to_le_bytes());
+    p[10..12].copy_from_slice(&header_len.to_le_bytes());
+    p
+}
+
+/// The decoded prelude fields.
+pub(crate) struct Prelude {
+    pub(crate) flags: u8,
+    pub(crate) spec_hash: u32,
+    pub(crate) header_len: usize,
+}
+
+/// Parses and validates a prelude: magic and version are checked here,
+/// the spec hash and flags are the caller's to interpret.
+pub(crate) fn parse_prelude(bytes: &[u8; PRELUDE_LEN]) -> Result<Prelude, Error> {
+    if &bytes[..4] != MAGIC {
+        return Err(Error::BadMagic);
+    }
+    if bytes[4] != VERSION {
+        return Err(Error::Corrupt(format!("unsupported container version {}", bytes[4])));
+    }
+    Ok(Prelude {
+        flags: bytes[5],
+        spec_hash: u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]),
+        header_len: u16::from_le_bytes([bytes[10], bytes[11]]) as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_roundtrips() {
+        let p = prelude(0b0000_1111, 0xdead_beef, 513);
+        let parsed = parse_prelude(&p).unwrap();
+        assert_eq!(parsed.flags, 0b0000_1111);
+        assert_eq!(parsed.spec_hash, 0xdead_beef);
+        assert_eq!(parsed.header_len, 513);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let mut p = prelude(0, 0, 0);
+        p[0] = b'X';
+        assert!(matches!(parse_prelude(&p), Err(Error::BadMagic)));
+        let mut p = prelude(0, 0, 0);
+        p[4] = VERSION + 1;
+        assert!(matches!(parse_prelude(&p), Err(Error::Corrupt(_))));
+    }
+}

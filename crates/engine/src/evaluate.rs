@@ -23,6 +23,7 @@ use tcgen_telemetry::{driver_span, Recorder};
 
 use crate::options::EngineOptions;
 use crate::pool::{Pipeline, PoolTelemetry};
+use crate::postcodec::PostCodec;
 use crate::streams::write_value;
 use crate::Error;
 
@@ -54,8 +55,8 @@ struct EvalJob {
 fn evaluate(
     job: &EvalJob,
     options: &EngineOptions,
-    scratch: &mut blockzip::Scratch,
-) -> CandidateScore {
+    codec: &mut dyn PostCodec,
+) -> Result<CandidateScore, Error> {
     let mut bank = FieldBank::new(&job.field, options.predictor);
     let mut codes: Vec<u8> = Vec::with_capacity(job.values.len());
     let mut misses: Vec<u64> = Vec::new();
@@ -78,11 +79,9 @@ fn evaluate(
         }
     }
 
-    let packed_codes =
-        blockzip::compress_with_scratch(&codes, options.level, scratch).len() as u64;
-    let packed_values =
-        blockzip::compress_with_scratch(&value_bytes, options.level, scratch).len() as u64;
-    CandidateScore {
+    let packed_codes = codec.compress(&codes).map_err(Error::Post)?.len() as u64;
+    let packed_values = codec.compress(&value_bytes).map_err(Error::Post)?.len() as u64;
+    Ok(CandidateScore {
         packed_bytes: packed_codes + packed_values,
         packed_codes,
         packed_values,
@@ -90,7 +89,7 @@ fn evaluate(
         misses: miss_count,
         table_bytes: bank.table_bytes() as u64,
         occupancy: bank.occupancy(),
-    }
+    })
 }
 
 /// Scores each candidate configuration of one field against a sampled
@@ -136,36 +135,35 @@ pub fn score_candidates_with_telemetry(
         .collect();
     let threads = options.effective_model_threads().min(jobs.len().max(1));
     if threads <= 1 {
-        let mut scratch = blockzip::Scratch::default();
-        return Ok(jobs
+        let mut codec = options.backend.codec(options.level);
+        return jobs
             .iter()
             .map(|j| {
                 let _s = driver_span(tel, "tune.eval");
-                evaluate(j, options, &mut scratch)
+                evaluate(j, options, codec.as_mut())
             })
-            .collect());
+            .collect();
     }
     std::thread::scope(|scope| {
-        let pipe: Pipeline<EvalJob, CandidateScore> = Pipeline::start_instrumented(
-            scope,
-            threads,
-            PoolTelemetry::from(tel, "tune-eval", "tune.eval"),
-            || {
-                let mut scratch = blockzip::Scratch::default();
-                move |job: EvalJob| evaluate(&job, options, &mut scratch)
-            },
-        );
+        let pipe: Pipeline<EvalJob, Result<CandidateScore, Error>> =
+            Pipeline::start_instrumented(
+                scope,
+                threads,
+                PoolTelemetry::from(tel, "tune-eval", "tune.eval"),
+                || {
+                    let mut codec = options.backend.codec(options.level);
+                    move |job: EvalJob| evaluate(&job, options, codec.as_mut())
+                },
+            );
         let n = jobs.len();
         for job in jobs {
             pipe.submit(job);
         }
         let mut scores = Vec::with_capacity(n);
         for _ in 0..n {
-            scores.push(
-                pipe.next().map_err(|_| {
-                    Error::Corrupt("internal: evaluation worker panicked".into())
-                })?,
-            );
+            scores.push(pipe.next().map_err(|_| {
+                Error::Corrupt("internal: evaluation worker panicked".into())
+            })??);
         }
         Ok(scores)
     })

@@ -29,15 +29,18 @@
 
 pub mod codec;
 pub(crate) mod columnar;
+pub(crate) mod container;
 pub mod evaluate;
 pub mod options;
 pub(crate) mod pool;
+pub mod postcodec;
 pub mod stream_io;
 pub mod streams;
 pub mod usage;
 
 pub use evaluate::{score_candidates, score_candidates_with_telemetry, CandidateScore};
 pub use options::EngineOptions;
+pub use postcodec::{Backend, PostCodec};
 pub use stream_io::{
     compress_stream, compress_stream_with_telemetry, decompress_stream,
     decompress_stream_with_telemetry, StreamError,

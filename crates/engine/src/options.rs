@@ -3,6 +3,9 @@
 
 use tcgen_predictors::{PredictorOptions, UpdatePolicy};
 
+use crate::postcodec::Backend;
+use crate::Error;
+
 /// Full configuration of the compression engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -28,6 +31,11 @@ pub struct EngineOptions {
     pub model_threads: usize,
     /// Post-compressor block-size level.
     pub level: blockzip::Level,
+    /// Post-compression backend (the CLI's `--profile`). Semantics-
+    /// affecting in the sense that it selects the segment format, so it
+    /// travels in the container flags; any configuration can decompress
+    /// any container because decode dispatches on the recorded id.
+    pub backend: Backend,
 }
 
 impl EngineOptions {
@@ -41,6 +49,7 @@ impl EngineOptions {
             threads: 0,
             model_threads: 0,
             level: blockzip::Level::BEST,
+            backend: Backend::Max,
         }
     }
 
@@ -143,8 +152,15 @@ impl EngineOptions {
         }
     }
 
+    /// Flag bits this build understands: bits 0–2 are the semantic
+    /// predictor options, bits 3–4 the post-compression backend id.
+    /// Bits 5–7 are reserved and must be zero.
+    const KNOWN_FLAGS: u8 = 0b0001_1111;
+
     /// Encodes the semantics-affecting options into a container flag
-    /// byte. Speed-only options (fast hash, sharing) are excluded: any
+    /// byte: bit 0 smart update, bit 1 adaptive shift, bit 2 type
+    /// minimization, bits 3–4 the post-compression backend id. Speed-only
+    /// options (fast hash, sharing, threads) are excluded: any
     /// decompressor configuration reproduces the same trace.
     pub fn flags(&self) -> u8 {
         let mut f = 0u8;
@@ -157,17 +173,33 @@ impl EngineOptions {
         if self.minimize_types {
             f |= 4;
         }
-        f
+        f | (self.backend.id() << 3)
     }
 
-    /// Reconstructs semantics-affecting options from a flag byte,
-    /// keeping this configuration's speed-only settings.
-    pub fn with_flags(mut self, flags: u8) -> Self {
+    /// Reconstructs semantics-affecting options from a container flag
+    /// byte, keeping this configuration's speed-only settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] if the byte uses reserved bits or a
+    /// backend id this build does not understand — a forward-compat
+    /// guard, so a newer container fails loudly instead of being
+    /// misdecoded.
+    pub fn with_flags(mut self, flags: u8) -> Result<Self, Error> {
+        if flags & !Self::KNOWN_FLAGS != 0 {
+            return Err(Error::Corrupt(format!(
+                "container flags {flags:#04x} use reserved bits this build does not understand"
+            )));
+        }
+        let backend_id = (flags >> 3) & 0b11;
+        self.backend = Backend::from_id(backend_id).ok_or_else(|| {
+            Error::Corrupt(format!("unknown post-compression backend id {backend_id}"))
+        })?;
         self.predictor.policy =
             if flags & 1 != 0 { UpdatePolicy::Smart } else { UpdatePolicy::Always };
         self.predictor.adaptive_shift = flags & 2 != 0;
         self.minimize_types = flags & 4 != 0;
-        self
+        Ok(self)
     }
 }
 
@@ -183,18 +215,44 @@ mod tests {
 
     #[test]
     fn flags_roundtrip_semantic_options() {
-        for opts in [
-            EngineOptions::tcgen(),
-            EngineOptions::vpc3(),
-            EngineOptions::no_smart_update(),
-            EngineOptions::no_type_minimization(),
-            EngineOptions::all_deoptimized(),
-        ] {
-            let rebuilt = EngineOptions::tcgen().with_flags(opts.flags());
-            assert_eq!(rebuilt.predictor.policy, opts.predictor.policy);
-            assert_eq!(rebuilt.predictor.adaptive_shift, opts.predictor.adaptive_shift);
-            assert_eq!(rebuilt.minimize_types, opts.minimize_types);
+        for backend in Backend::ALL {
+            for opts in [
+                EngineOptions::tcgen(),
+                EngineOptions::vpc3(),
+                EngineOptions::no_smart_update(),
+                EngineOptions::no_type_minimization(),
+                EngineOptions::all_deoptimized(),
+            ] {
+                let opts = EngineOptions { backend, ..opts };
+                let rebuilt = EngineOptions::tcgen().with_flags(opts.flags()).unwrap();
+                assert_eq!(rebuilt.predictor.policy, opts.predictor.policy);
+                assert_eq!(rebuilt.predictor.adaptive_shift, opts.predictor.adaptive_shift);
+                assert_eq!(rebuilt.minimize_types, opts.minimize_types);
+                assert_eq!(rebuilt.backend, backend);
+            }
         }
+    }
+
+    #[test]
+    fn legacy_flag_bytes_decode_to_the_max_backend() {
+        // Containers written before backends existed carry flags 0..=7;
+        // those must keep decoding as full blockzip, bit-for-bit.
+        assert_eq!(EngineOptions::tcgen().flags(), 0b111);
+        for flags in 0u8..=7 {
+            let opts = EngineOptions::tcgen().with_flags(flags).unwrap();
+            assert_eq!(opts.backend, Backend::Max, "flags {flags:#04x}");
+        }
+    }
+
+    #[test]
+    fn reserved_flag_bits_and_backend_ids_rejected() {
+        for flags in [0b0010_0000u8, 0b0100_0111, 0b1000_0000, 0xff] {
+            let err = EngineOptions::tcgen().with_flags(flags).unwrap_err();
+            assert!(matches!(err, Error::Corrupt(_)), "flags {flags:#04x}");
+        }
+        // Backend id 3 sits inside the known bits but names no backend.
+        let err = EngineOptions::tcgen().with_flags(0b0001_1111).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)));
     }
 
     #[test]

@@ -16,8 +16,10 @@ use tcgen_telemetry::{driver_span, OpCounters, Recorder};
 
 use crate::codec::spec_hash;
 use crate::columnar::{Modeler, Replayer};
+use crate::container::{self, BLOCK_MARKER, END_MARKER, PRELUDE_LEN};
 use crate::options::EngineOptions;
 use crate::pool::{Pipeline, PoolTelemetry};
+use crate::postcodec::PostCodec;
 use crate::streams::BlockStreams;
 use crate::Error;
 
@@ -156,11 +158,13 @@ pub fn compress_stream_with_telemetry(
         c.bytes_in.add(got as u64);
     }
 
-    // Container prelude (same format as the in-memory codec).
-    output.write_all(b"TCGZ")?;
-    output.write_all(&[1u8, options.flags()])?;
-    output.write_all(&spec_hash(spec).to_le_bytes())?;
-    output.write_all(&(header_len as u16).to_le_bytes())?;
+    // Container prelude, byte-identical to the in-memory codec's by
+    // construction: both writers emit [`container::prelude`].
+    output.write_all(&container::prelude(
+        options.flags(),
+        spec_hash(spec),
+        header_len as u16,
+    ))?;
     output.write_all(&header)?;
 
     let mut modeler = Modeler::new(spec, options);
@@ -175,9 +179,9 @@ pub fn compress_stream_with_telemetry(
         let model_pipe = model_pipe.as_ref();
 
         if threads <= 1 {
-            let mut scratch = blockzip::Scratch::default();
+            let mut codec = options.backend.codec(options.level);
             if let Some(rec) = tel {
-                scratch.attach_probes(rec);
+                codec.attach_probes(rec);
             }
             loop {
                 let got = {
@@ -205,7 +209,7 @@ pub fn compress_stream_with_telemetry(
                     }
                     if streams.records == block_records {
                         let _s = driver_span(tel, "block.flush");
-                        write_block(output, &streams, options.level, &mut scratch)?;
+                        write_block(output, &streams, codec.as_mut())?;
                         streams.clear();
                         if let Some(c) = &counters {
                             c.blocks.add(1);
@@ -219,28 +223,29 @@ pub fn compress_stream_with_telemetry(
             }
             if !streams.is_empty() {
                 let _s = driver_span(tel, "block.flush");
-                write_block(output, &streams, options.level, &mut scratch)?;
+                write_block(output, &streams, codec.as_mut())?;
                 if let Some(c) = &counters {
                     c.blocks.add(1);
                 }
             }
-            output.write_all(&[0u8])?;
+            output.write_all(&[END_MARKER])?;
             output.flush()?;
             return Ok(());
         }
 
+        let backend = options.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
             scope,
             threads,
-            PoolTelemetry::from(tel, "pack", "pack.segment"),
+            PoolTelemetry::from(tel, "pack", backend.pack_span()),
             || {
-                let mut scratch = blockzip::Scratch::default();
+                let mut codec = backend.codec(level);
                 if let Some(rec) = tel {
-                    scratch.attach_probes(rec);
+                    codec.attach_probes(rec);
                 }
                 move |mut payload: Vec<u8>| {
-                    let packed = blockzip::compress_with_scratch(&payload, level, &mut scratch);
+                    let packed = codec.compress(&payload);
                     payload.clear();
                     (payload, packed)
                 }
@@ -297,7 +302,7 @@ pub fn compress_stream_with_telemetry(
                 c.blocks.add(1);
             }
         }
-        output.write_all(&[0u8])?;
+        output.write_all(&[END_MARKER])?;
         output.flush()?;
         Ok(())
     })?;
@@ -310,14 +315,13 @@ pub fn compress_stream_with_telemetry(
 fn write_block(
     output: &mut impl Write,
     streams: &BlockStreams,
-    level: blockzip::Level,
-    scratch: &mut blockzip::Scratch,
+    codec: &mut dyn PostCodec,
 ) -> Result<(), StreamError> {
-    output.write_all(&[1u8])?;
+    output.write_all(&[BLOCK_MARKER])?;
     output.write_all(&(streams.records as u32).to_le_bytes())?;
     for fs in &streams.fields {
         for payload in [&fs.codes, &fs.values] {
-            let packed = blockzip::compress_with_scratch(payload, level, scratch);
+            let packed = codec.compress(payload).map_err(Error::Post)?;
             output.write_all(&(packed.len() as u32).to_le_bytes())?;
             output.write_all(&packed)?;
         }
@@ -332,13 +336,14 @@ fn write_packed_block(
     segs_per_block: usize,
     free: &mut Vec<Vec<u8>>,
 ) -> Result<(), StreamError> {
-    output.write_all(&[1u8])?;
+    output.write_all(&[BLOCK_MARKER])?;
     output.write_all(&n_records.to_le_bytes())?;
     for _ in 0..segs_per_block {
         let (payload, packed) = pipe
             .next()
             .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
         free.push(payload);
+        let packed = packed.map_err(Error::Post)?;
         output.write_all(&(packed.len() as u32).to_le_bytes())?;
         output.write_all(&packed)?;
     }
@@ -382,21 +387,14 @@ pub fn decompress_stream_with_telemetry(
     let mut output = CountingWriter { inner: output, written: 0 };
     let output = &mut output;
 
-    let mut prelude = [0u8; 12];
+    let mut prelude = [0u8; PRELUDE_LEN];
     read_all(input, &mut prelude)?;
-    if &prelude[..4] != b"TCGZ" {
-        return Err(Error::BadMagic.into());
-    }
-    if prelude[4] != 1 {
-        return Err(Error::Corrupt(format!("unsupported version {}", prelude[4])).into());
-    }
-    let flags = prelude[5];
-    let stored_hash = u32::from_le_bytes([prelude[6], prelude[7], prelude[8], prelude[9]]);
+    let prelude = container::parse_prelude(&prelude)?;
     let expected = spec_hash(spec);
-    if stored_hash != expected {
-        return Err(Error::SpecMismatch { expected, found: stored_hash }.into());
+    if prelude.spec_hash != expected {
+        return Err(Error::SpecMismatch { expected, found: prelude.spec_hash }.into());
     }
-    let header_len = u16::from_le_bytes([prelude[10], prelude[11]]) as usize;
+    let header_len = prelude.header_len;
     if header_len != spec.header_bytes() as usize {
         return Err(Error::Corrupt("header length mismatch".into()).into());
     }
@@ -404,7 +402,7 @@ pub fn decompress_stream_with_telemetry(
     read_all(input, &mut header)?;
     output.write_all(&header)?;
 
-    let effective = options.with_flags(flags);
+    let effective = options.with_flags(prelude.flags)?;
     let mut replayer = Replayer::new(spec, &effective);
     let n_fields = spec.fields.len();
     let threads = options.effective_threads();
@@ -417,9 +415,9 @@ pub fn decompress_stream_with_telemetry(
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
-            let mut scratch = blockzip::Scratch::default();
+            let mut codec = effective.backend.codec(options.level);
             if let Some(rec) = tel {
-                scratch.attach_probes(rec);
+                codec.attach_probes(rec);
             }
             let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
@@ -438,22 +436,18 @@ pub fn decompress_stream_with_telemetry(
                         read_segment(input)?
                     };
                     codes.push({
-                        let _s = driver_span(tel, "unpack.segment");
-                        blockzip::decompress_with_scratch(&seg, n_records, &mut scratch)
-                            .map_err(Error::Post)?
+                        let _s = driver_span(tel, effective.backend.unpack_span());
+                        codec.decompress(&seg, n_records).map_err(Error::Post)?
                     });
                     let seg = {
                         let _s = driver_span(tel, "io.read");
                         read_segment(input)?
                     };
                     values.push({
-                        let _s = driver_span(tel, "unpack.segment");
-                        blockzip::decompress_with_scratch(
-                            &seg,
-                            n_records.saturating_mul(width),
-                            &mut scratch,
-                        )
-                        .map_err(Error::Post)?
+                        let _s = driver_span(tel, effective.backend.unpack_span());
+                        codec
+                            .decompress(&seg, n_records.saturating_mul(width))
+                            .map_err(Error::Post)?
                     });
                 }
                 out_buf.clear();
@@ -478,18 +472,18 @@ pub fn decompress_stream_with_telemetry(
             }
         }
 
+        let backend = effective.backend;
+        let level = options.level;
         let pipe = Pipeline::start_instrumented(
             scope,
             threads,
-            PoolTelemetry::from(tel, "unpack", "unpack.segment"),
+            PoolTelemetry::from(tel, "unpack", backend.unpack_span()),
             || {
-                let mut scratch = blockzip::Scratch::default();
+                let mut codec = backend.codec(level);
                 if let Some(rec) = tel {
-                    scratch.attach_probes(rec);
+                    codec.attach_probes(rec);
                 }
-                move |(seg, limit): (Vec<u8>, usize)| {
-                    blockzip::decompress_with_scratch(&seg, limit, &mut scratch)
-                }
+                move |(seg, limit): (Vec<u8>, usize)| codec.decompress(&seg, limit)
             },
         );
         let mut block_queue: VecDeque<usize> = VecDeque::new();
@@ -557,8 +551,8 @@ fn read_block_header(input: &mut impl Read) -> Result<Option<usize>, StreamError
     let mut marker = [0u8; 1];
     read_all(input, &mut marker)?;
     match marker[0] {
-        0 => Ok(None),
-        1 => {
+        END_MARKER => Ok(None),
+        BLOCK_MARKER => {
             let mut len4 = [0u8; 4];
             read_all(input, &mut len4)?;
             Ok(Some(u32::from_le_bytes(len4) as usize))

@@ -129,7 +129,9 @@ fn json_report_is_valid_and_complete() {
     let stages = value.get("stages").and_then(|v| v.as_arr()).expect("stages array");
     let stage_names: Vec<&str> =
         stages.iter().filter_map(|s| s.get("stage").and_then(|v| v.as_str())).collect();
-    for expected in ["compress", "decompress", "model.chunk", "pack.segment", "replay.block"] {
+    for expected in
+        ["compress", "decompress", "model.chunk", "pack.segment.max", "replay.block"]
+    {
         assert!(stage_names.contains(&expected), "stage {expected} missing: {stage_names:?}");
     }
     let pools = value.get("pools").and_then(|v| v.as_arr()).expect("pools array");

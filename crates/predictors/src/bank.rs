@@ -69,6 +69,17 @@ enum Source {
     St { table: usize, take: usize, lv_table: usize },
 }
 
+/// Records per two-pass modeling sub-batch: long enough to keep many
+/// independent table-line fetches in flight, short enough that every
+/// prefetched line survives in L2 until pass B probes it.
+const PLAN_SUB: usize = 1024;
+
+/// Hash-indexed table footprint below which modeling stays one-pass:
+/// tables that fit comfortably in L2 serve their probes from cache
+/// anyway, so resolving and prefetching indices ahead of time would be
+/// pure overhead.
+const PLAN_MIN_HASHED_BYTES: usize = 1 << 20;
+
 /// A corrupt code or value stream detected by [`FieldBank::replay_column`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReplayError {
@@ -118,6 +129,18 @@ pub struct TypedBank<E: TableElement> {
     policy: UpdatePolicy,
     /// First-level lines ever touched (shared by every L1-indexed table).
     l1_occ: Occupancy,
+    /// Two-pass modeling scratch ([`Self::model_column`]): the current
+    /// sub-batch's table indices, flattened record-major.
+    plan_idx: Vec<u32>,
+    /// Pass-A per-line last-value tracking (mirrors what the last-value
+    /// tables will hold when pass B catches up); lazily revalidated per
+    /// column via `plan_stamp`/`plan_gen`. Empty when no DFCM needs it.
+    plan_last: Vec<E>,
+    plan_stamp: Vec<u32>,
+    plan_gen: u32,
+    /// Whether [`Self::model_column`] runs the two-pass planned schedule
+    /// (hash-indexed tables larger than [`PLAN_MIN_HASHED_BYTES`]).
+    plan: bool,
 }
 
 impl<E: TableElement> TypedBank<E> {
@@ -275,6 +298,8 @@ impl<E: TableElement> TypedBank<E> {
             }
         }
 
+        let hashed_bytes: usize =
+            fcm_banks.iter().chain(dfcm_banks.iter()).map(|b| b.memory_bytes()).sum();
         let mut bank = Self {
             mask: width_mask::<E>(field.bits),
             mask_u64,
@@ -283,13 +308,22 @@ impl<E: TableElement> TypedBank<E> {
             fcm_banks,
             dfcm_banks,
             stride_tables,
-            dfcm_updates,
-            st_updates,
             sources,
             slots: Vec::new(),
             n_predictions: field.prediction_count(),
             policy: options.policy,
             l1_occ: Occupancy::new(l1 as usize),
+            plan_idx: Vec::new(),
+            plan_last: if dfcm_updates.is_empty() {
+                Vec::new()
+            } else {
+                vec![E::default(); l1 as usize]
+            },
+            plan_stamp: if dfcm_updates.is_empty() { Vec::new() } else { vec![0; l1 as usize] },
+            plan_gen: 0,
+            plan: hashed_bytes >= PLAN_MIN_HASHED_BYTES,
+            dfcm_updates,
+            st_updates,
         };
         bank.slots = bank.build_slots();
         debug_assert_eq!(bank.slots.len(), bank.n_predictions as usize);
@@ -480,6 +514,19 @@ impl<E: TableElement> TypedBank<E> {
     /// transpose stage is width-agnostic), each value is truncated to the
     /// element once, and the whole search/update loop then runs at the
     /// element width.
+    ///
+    /// Fields with hash-indexed tables run a two-pass schedule over
+    /// [`PLAN_SUB`]-record sub-batches. Pass A touches only the
+    /// first-level hash state — every (D)FCM table index depends on
+    /// nothing but the value sequence, because the running hashes fold
+    /// the incoming values (or strides, reconstructible from the column
+    /// and the per-line last value) and never read a table — so it can
+    /// resolve a whole batch of indices and prefetch their lines. Pass B
+    /// then probes and updates at the recorded indices with the lines
+    /// already in cache, turning a chain of dependent multi-megabyte
+    /// table misses into overlapped ones. The codes, misses, and final
+    /// table state are identical to the one-pass loop; the equivalence
+    /// test drives both against each other.
     fn model_column(
         &mut self,
         pcs: &[u64],
@@ -490,15 +537,186 @@ impl<E: TableElement> TypedBank<E> {
         assert_eq!(pcs.len(), values.len(), "pc and value columns must align");
         let miss = self.n_predictions as u8;
         codes_out.reserve(values.len());
-        for (&pc, &raw) in pcs.iter().zip(values) {
-            let line = self.line(pc);
-            let value = E::from_u64(raw) & self.mask;
-            let code = self.find_code_in_line(line, value);
-            codes_out.push(code);
-            if code == miss {
-                misses_out.push(value.to_u64());
+        if !self.plan {
+            // No hash-indexed tables, or tables small enough to live in
+            // L2: probes hit cache without help, so plan one-pass.
+            for (&pc, &raw) in pcs.iter().zip(values) {
+                let line = self.line(pc);
+                let value = E::from_u64(raw) & self.mask;
+                let code = self.find_code_in_line(line, value);
+                codes_out.push(code);
+                if code == miss {
+                    misses_out.push(value.to_u64());
+                }
+                self.update_line(line, value);
             }
-            self.update_line(line, value);
+            return;
+        }
+
+        // Flat per-record index layout: the fcm banks' tables in bank
+        // order, then the dfcm banks' tables in update order.
+        let mut fcm_base = vec![0usize; self.fcm_banks.len()];
+        let mut off = 0usize;
+        for (b, bank) in self.fcm_banks.iter().enumerate() {
+            fcm_base[b] = off;
+            off += bank.table_count();
+        }
+        let mut dfcm_base = vec![0usize; self.dfcm_banks.len()];
+        for &(b, _) in &self.dfcm_updates {
+            dfcm_base[b] = off;
+            off += self.dfcm_banks[b].table_count();
+        }
+        let per_rec = off;
+
+        // One generation per column: pass A's last-value tracking starts
+        // from the tables' current state, not a previous column's.
+        self.plan_gen = self.plan_gen.wrapping_add(1);
+        if self.plan_gen == 0 {
+            self.plan_stamp.fill(0);
+            self.plan_gen = 1;
+        }
+        let gen = self.plan_gen;
+
+        let mut idx_buf = std::mem::take(&mut self.plan_idx);
+        for (pc_sub, val_sub) in pcs.chunks(PLAN_SUB).zip(values.chunks(PLAN_SUB)) {
+            // Pass A: resolve and prefetch every table index.
+            idx_buf.clear();
+            idx_buf.reserve(pc_sub.len() * per_rec);
+            for (&pc, &raw) in pc_sub.iter().zip(val_sub) {
+                let line = self.line(pc);
+                let value = E::from_u64(raw) & self.mask;
+                for bank in &mut self.fcm_banks {
+                    bank.plan_record(line, value.to_u64(), &mut idx_buf);
+                }
+                if !self.dfcm_updates.is_empty() {
+                    let last = if self.plan_stamp[line] == gen {
+                        self.plan_last[line]
+                    } else {
+                        self.plan_stamp[line] = gen;
+                        let lv = self.dfcm_updates[0].1;
+                        let v = self.lv_tables[lv].first(line);
+                        self.plan_last[line] = v;
+                        v
+                    };
+                    let stride = value.wrapping_sub(last) & self.mask;
+                    for &(b, _) in &self.dfcm_updates {
+                        self.dfcm_banks[b].plan_record(line, stride.to_u64(), &mut idx_buf);
+                    }
+                    self.plan_last[line] = value;
+                }
+            }
+            // Pass B: probe and update at the planned indices.
+            for (k, (&pc, &raw)) in pc_sub.iter().zip(val_sub).enumerate() {
+                let line = self.line(pc);
+                let value = E::from_u64(raw) & self.mask;
+                let idx_row = &idx_buf[k * per_rec..(k + 1) * per_rec];
+                let code = self.find_code_planned(line, value, idx_row, &fcm_base, &dfcm_base);
+                codes_out.push(code);
+                if code == miss {
+                    misses_out.push(value.to_u64());
+                }
+                self.update_line_planned(line, value, idx_row, &fcm_base, &dfcm_base);
+            }
+        }
+        self.plan_idx = idx_buf;
+    }
+
+    /// [`Self::find_code_in_line`] with every hash-indexed probe taken
+    /// from the planned `idx_row` instead of the live hash state (which
+    /// pass A has already advanced past this record).
+    #[inline]
+    fn find_code_planned(
+        &self,
+        line: usize,
+        value: E,
+        idx_row: &[u32],
+        fcm_base: &[usize],
+        dfcm_base: &[usize],
+    ) -> u8 {
+        let mut code = 0u8;
+        for source in &self.sources {
+            match *source {
+                Source::Lv { table, take } => {
+                    let slots = &self.lv_tables[table].line(line)[..take];
+                    if let Some(k) = slots.iter().position(|&v| v == value) {
+                        return code + k as u8;
+                    }
+                    code += take as u8;
+                }
+                Source::Fcm { bank, table } => {
+                    let fcm = &self.fcm_banks[bank];
+                    let idx = idx_row[fcm_base[bank] + table] as usize;
+                    if let Some(k) = fcm.find_value_at(table, idx, value) {
+                        return code + k as u8;
+                    }
+                    code += fcm.table_height(table) as u8;
+                }
+                Source::Dfcm { bank, table, lv_table } => {
+                    let last = self.lv_tables[lv_table].first(line);
+                    let target = value.wrapping_sub(last) & self.mask;
+                    let dfcm = &self.dfcm_banks[bank];
+                    let idx = idx_row[dfcm_base[bank] + table] as usize;
+                    if let Some(k) = dfcm.find_value_at(table, idx, target) {
+                        return code + k as u8;
+                    }
+                    code += dfcm.table_height(table) as u8;
+                }
+                Source::St { table, take, lv_table } => {
+                    let stride = self.stride_tables[table].confirmed(line);
+                    let mut pred = self.lv_tables[lv_table].first(line);
+                    for k in 0..take {
+                        pred = pred.wrapping_add(stride) & self.mask;
+                        if pred == value {
+                            return code + k as u8;
+                        }
+                    }
+                    code += take as u8;
+                }
+            }
+        }
+        code
+    }
+
+    /// [`Self::update_line`] with the (D)FCM table indices planned by
+    /// pass A; the hash state is untouched here because
+    /// [`ContextBank::plan_record`] already advanced it.
+    #[inline]
+    fn update_line_planned(
+        &mut self,
+        line: usize,
+        value: E,
+        idx_row: &[u32],
+        fcm_base: &[usize],
+        dfcm_base: &[usize],
+    ) {
+        self.l1_occ.mark(line);
+        for (b, bank) in self.fcm_banks.iter_mut().enumerate() {
+            let base = fcm_base[b];
+            bank.update_tables_at(
+                &idx_row[base..base + bank.table_count()],
+                value,
+                self.policy,
+            );
+        }
+        // Strides use the pre-update last values.
+        for &(bank, lv_table) in &self.dfcm_updates {
+            let last = self.lv_tables[lv_table].first(line);
+            let stride = value.wrapping_sub(last) & self.mask;
+            let dfcm = &mut self.dfcm_banks[bank];
+            let base = dfcm_base[bank];
+            dfcm.update_tables_at(
+                &idx_row[base..base + dfcm.table_count()],
+                stride,
+                self.policy,
+            );
+        }
+        for &(table, lv_table) in &self.st_updates {
+            let last = self.lv_tables[lv_table].first(line);
+            let stride = value.wrapping_sub(last) & self.mask;
+            self.stride_tables[table].update(line, stride);
+        }
+        for table in &mut self.lv_tables {
+            table.update(line, value, self.policy);
         }
     }
 

@@ -160,6 +160,62 @@ impl<E: TableElement> ContextBank<E> {
         }
     }
 
+    /// Resolves this record's table indices *before* the hash state
+    /// advances: pushes one index per second-level table (in table
+    /// order) onto `idx_out`, prefetches each indexed line, then
+    /// advances the first-level hashes with the folded `input` — the
+    /// exact index/advance schedule of [`Self::update`], split out so
+    /// the columnar kernel can plan a whole batch of records and probe
+    /// the tables later with their lines already in cache.
+    ///
+    /// A record planned this way must be finished with
+    /// [`Self::update_tables_at`], never [`Self::update`], or the hashes
+    /// would advance twice.
+    #[inline]
+    pub fn plan_record(&mut self, line: usize, input: u64, idx_out: &mut Vec<u32>) {
+        let f = self.spec.fold_value(input);
+        let start = line * self.max_order;
+        if self.fast_hash {
+            let hashes = &mut self.hashes[start..start + self.max_order];
+            for t in &self.tables {
+                let idx = hashes[t.order as usize - 1];
+                t.table.prefetch(idx as usize);
+                idx_out.push(idx);
+            }
+            self.spec.advance(hashes, f);
+        } else {
+            let scratch = self.scratch_hashes(line);
+            for t in &self.tables {
+                let idx = scratch[t.order as usize - 1];
+                t.table.prefetch(idx as usize);
+                idx_out.push(idx);
+            }
+            let hist = &mut self.history[start..start + self.max_order];
+            hist.rotate_right(1);
+            hist[0] = f;
+        }
+    }
+
+    /// [`Self::find_value`] with the hash already resolved to `idx` by
+    /// [`Self::plan_record`].
+    #[inline]
+    pub fn find_value_at(&self, t: usize, idx: usize, value: E) -> Option<usize> {
+        self.tables[t].table.line(idx).iter().position(|&v| v == value)
+    }
+
+    /// The table-update half of [`Self::update`], at indices resolved by
+    /// an earlier [`Self::plan_record`] call (one per table, in table
+    /// order). The hash state is not touched — `plan_record` already
+    /// advanced it.
+    #[inline]
+    pub fn update_tables_at(&mut self, idxs: &[u32], value: E, policy: UpdatePolicy) {
+        for (t, &idx) in idxs.iter().enumerate() {
+            let idx = idx as usize;
+            self.occ[t].mark(idx);
+            self.tables[t].table.update(idx, value, policy);
+        }
+    }
+
     /// Updates every second-level table with `value` at the current
     /// indices, then advances the first-level hashes with `value`.
     pub fn update(&mut self, line: usize, value: E, policy: UpdatePolicy) {

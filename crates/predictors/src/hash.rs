@@ -18,7 +18,11 @@ pub fn fold(value: u64, bits: u32) -> u64 {
     let mask = (1u64 << bits) - 1;
     let mut v = value;
     let mut acc = 0u64;
-    while v != 0 {
+    // Fixed trip count covering all 64 input bits: folding the zeros a
+    // short value leaves behind is a no-op, while a data-dependent exit
+    // would mispredict on every value-magnitude change in the hot
+    // modeling loop.
+    for _ in 0..64u32.div_ceil(bits) {
         acc ^= v & mask;
         v >>= bits;
     }

@@ -59,9 +59,32 @@ impl<E: TableElement> ValueTable<E> {
         if !policy.should_update(slots[0], value) {
             return false;
         }
-        slots.copy_within(0..self.height - 1, 1);
+        // Shift by hand: heights are tiny (1–4), so an explicit reverse
+        // loop beats the `memmove` a `copy_within` would issue per line.
+        for k in (1..slots.len()).rev() {
+            slots[k] = slots[k - 1];
+        }
         slots[0] = value;
         true
+    }
+
+    /// Hints the CPU to pull `line` into cache ahead of a probe; a no-op
+    /// on architectures without a stable prefetch intrinsic.
+    #[inline(always)]
+    pub fn prefetch(&self, line: usize) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let ptr = self.values.as_ptr().wrapping_add(line * self.height);
+            // SAFETY: prefetch is a pure cache hint, valid for any address.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch(
+                    ptr.cast::<i8>(),
+                    core::arch::x86_64::_MM_HINT_T0,
+                )
+            };
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = line;
     }
 
     /// Approximate memory footprint in bytes.

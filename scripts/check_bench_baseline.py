@@ -11,6 +11,11 @@ exactly; any deviation means an engine change altered the emitted
 streams and fails the check. Throughput numbers vary with the runner's
 hardware and are printed for information only.
 
+The `TCgen-fast` and `TCgen-balanced` profile rows are the exception:
+their backends are free to improve their encodings, so their sizes are
+reported but not enforced. Only the default `--profile max` container
+(the `TCgen` row) is golden-pinned.
+
 The --tune-report mode summarizes a `tcgen tune --json` report instead:
 it prints the tuned-vs-default compressed-size ratio and the evaluation
 spend. The ratio tracks auto-tuner quality over time but depends on the
@@ -20,6 +25,11 @@ malformed report still fails).
 
 import json
 import sys
+
+
+# Profile rows whose compressed sizes are informational, not enforced:
+# only the default max-profile container format is golden-pinned.
+SIZE_INFORMATIONAL = {"TCgen-fast", "TCgen-balanced"}
 
 
 def rows(path):
@@ -43,6 +53,29 @@ def telemetry_overhead(path):
         f"telemetry overhead: {overhead['stats_off_mb_per_s']:.1f} MB/s stats-off, "
         f"{overhead['stats_on_mb_per_s']:.1f} MB/s stats-on, "
         f"fraction {overhead['overhead_fraction']:.4f} (informational)"
+    )
+
+
+def profile_speed(path):
+    """Prints the per-profile timing on the big reference trace, if recorded.
+
+    Informational only: wall times depend on the runner, and the fast
+    and balanced encodings are free to evolve. The line keeps the
+    measured trade-off visible in the job log next to the sizes it
+    buys.
+    """
+    with open(path) as f:
+        speed = json.load(f).get("profile_speed")
+    if speed is None:
+        return
+    per = ", ".join(
+        f"{p['profile']} {p['compress_s']:.3f}s/{p['compressed_bytes']}B"
+        f" ({p['speedup_vs_max']:.2f}x)"
+        for p in speed["profiles"]
+    )
+    print(
+        f"profile speed on {speed['trace']} ({speed['records']} records, "
+        f"{speed['original_bytes']} bytes): {per} (informational)"
     )
 
 
@@ -84,6 +117,12 @@ def main():
             failed = True
             continue
         if b["compressed_bytes"] != c["compressed_bytes"]:
+            if key[0] in SIZE_INFORMATIONAL:
+                print(
+                    f"note {name}: compressed size {c['compressed_bytes']} differs "
+                    f"from baseline {b['compressed_bytes']} (informational profile row)"
+                )
+                continue
             print(
                 f"FAIL {name}: compressed size {c['compressed_bytes']} deviates "
                 f"from baseline {b['compressed_bytes']}"
@@ -96,6 +135,7 @@ def main():
                 f"baseline {b['compress_mb_per_s']:.1f} MB/s; informational)"
             )
     telemetry_overhead(sys.argv[2])
+    profile_speed(sys.argv[2])
     sys.exit(1 if failed else 0)
 
 
