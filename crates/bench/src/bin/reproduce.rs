@@ -25,8 +25,8 @@
 use std::collections::BTreeMap;
 
 use tcgen_bench::{
-    ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, measure_profile_speed,
-    measure_telemetry_overhead, tcgen_b, EngineCodec, Measurement,
+    ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, measure_checkpoint_speed,
+    measure_profile_speed, measure_telemetry_overhead, tcgen_b, EngineCodec, Measurement,
 };
 use tcgen_engine::{EngineOptions, Recorder};
 use tcgen_spec::presets;
@@ -237,12 +237,38 @@ fn dump_json(all: &AllResults, records: usize) {
             format!(
                 "      {{\"profile\": \"{}\", \"compressed_bytes\": {}, \
                  \"compress_s\": {:.4}, \"compress_mb_per_s\": {:.4}, \
+                 \"decompress_s\": {:.4}, \"decompress_mb_per_s\": {:.4}, \
                  \"speedup_vs_max\": {:.4}}}",
                 r.profile,
                 r.compressed,
                 r.compress_seconds,
                 mb(speeds.original as f64 / r.compress_seconds),
+                r.decompress_seconds,
+                mb(speeds.original as f64 / r.decompress_seconds),
                 r.speedup_vs_max
+            )
+        })
+        .collect();
+    // Informational: the checkpointed-container trade on the same fixed
+    // trace — container bytes spent on checkpoints versus decompression
+    // wall time at one and four worker threads. Sizes here include the
+    // checkpoint segments and footer and are never gated on.
+    progress(format_args!("[measuring checkpointed decompression speeds]"));
+    let ckpt = measure_checkpoint_speed(PROFILE_SPEED_RECORDS, 3);
+    let ckpt_rows: Vec<String> = ckpt
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"checkpoint_blocks\": {}, \"threads\": {}, \
+                 \"compressed_bytes\": {}, \"compress_s\": {:.4}, \
+                 \"decompress_s\": {:.4}, \"decompress_mb_per_s\": {:.4}}}",
+                r.checkpoint_blocks,
+                r.threads,
+                r.compressed,
+                r.compress_seconds,
+                r.decompress_seconds,
+                mb(ckpt.original as f64 / r.decompress_seconds)
             )
         })
         .collect();
@@ -251,14 +277,21 @@ fn dump_json(all: &AllResults, records: usize) {
          \"stats_off_mb_per_s\": {:.4}, \"stats_on_mb_per_s\": {:.4}, \
          \"overhead_fraction\": {:.4}}},\n  \"profile_speed\": {{\n    \
          \"trace\": \"gzip store-address\", \"records\": {}, \"original_bytes\": {},\n    \
-         \"profiles\": [\n{}\n    ]\n  }}\n}}\n",
+         \"profiles\": [\n{}\n    ]\n  }},\n  \"checkpoint_speed\": {{\n    \
+         \"trace\": \"gzip store-address\", \"records\": {}, \"original_bytes\": {},\n    \
+         \"block_records\": {}, \"informational\": true,\n    \
+         \"rows\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
         mb(overhead.stats_off),
         mb(overhead.stats_on),
         overhead.overhead_fraction(),
         speeds.records,
         speeds.original,
-        profile_rows.join(",\n")
+        profile_rows.join(",\n"),
+        ckpt.records,
+        ckpt.original,
+        ckpt.block_records,
+        ckpt_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(path, text) {
         eprintln!("reproduce: cannot write {path}: {e}");

@@ -189,6 +189,8 @@ pub struct ProfileSpeedRow {
     pub compressed: usize,
     /// Best compression wall time in seconds.
     pub compress_seconds: f64,
+    /// Best decompression wall time in seconds.
+    pub decompress_seconds: f64,
     /// `max`'s best time divided by this profile's best time.
     pub speedup_vs_max: f64,
 }
@@ -232,27 +234,134 @@ pub fn measure_profile_speed(records: usize, runs: usize) -> ProfileSpeed {
                 )
             })
             .collect();
-    let mut best: Vec<(usize, f64)> = vec![(0, f64::MAX); profiles.len()];
+    let mut best: Vec<(usize, f64, f64)> = vec![(0, f64::MAX, f64::MAX); profiles.len()];
     for _ in 0..runs {
         for (slot, (_, codec)) in best.iter_mut().zip(&profiles) {
             let m = measure(codec, &raw);
-            if m.compress_seconds < slot.1 {
-                *slot = (m.compressed, m.compress_seconds);
-            }
+            slot.0 = m.compressed;
+            slot.1 = slot.1.min(m.compress_seconds);
+            slot.2 = slot.2.min(m.decompress_seconds);
         }
     }
     let max_seconds = best[0].1;
     let rows = profiles
         .iter()
         .zip(&best)
-        .map(|(&(profile, _), &(compressed, compress_seconds))| ProfileSpeedRow {
-            profile,
-            compressed,
-            compress_seconds,
-            speedup_vs_max: max_seconds / compress_seconds,
+        .map(|(&(profile, _), &(compressed, compress_seconds, decompress_seconds))| {
+            ProfileSpeedRow {
+                profile,
+                compressed,
+                compress_seconds,
+                decompress_seconds,
+                speedup_vs_max: max_seconds / compress_seconds,
+            }
         })
         .collect();
     ProfileSpeed { records, original: raw.len(), rows }
+}
+
+/// One row of [`measure_checkpoint_speed`]: how one (checkpoint
+/// interval, thread count) pairing fared on the reference trace.
+/// `checkpoint_blocks == 0` is the sequential baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointSpeedRow {
+    /// Blocks per checkpoint (`0` = no checkpoints, the legacy layout).
+    pub checkpoint_blocks: usize,
+    /// Worker threads (`threads` and `model_threads` together).
+    pub threads: usize,
+    /// Compressed size in bytes, checkpoints and footer included.
+    pub compressed: usize,
+    /// Best compression wall time in seconds.
+    pub compress_seconds: f64,
+    /// Best decompression wall time in seconds.
+    pub decompress_seconds: f64,
+}
+
+/// The checkpointed-container trade-off measurement: the same large
+/// gzip store-address trace compressed with and without checkpoints,
+/// decompressed serially and with a worker pool. Checkpoints cost
+/// container bytes and buy span-parallel decompression; both sides of
+/// the trade are informational — sizes here are never golden-pinned.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpeed {
+    /// Base record count handed to the trace generator.
+    pub records: usize,
+    /// Uncompressed trace size in bytes.
+    pub original: usize,
+    /// Records per block (smaller than the engine default so the trace
+    /// yields enough blocks for several checkpoint spans).
+    pub block_records: usize,
+    /// One row per (interval, threads) pairing.
+    pub rows: Vec<CheckpointSpeedRow>,
+}
+
+/// Times checkpointed and sequential containers on a gzip store-address
+/// trace of `records` base records at one and four worker threads,
+/// interleaving the configurations across `runs` passes and keeping
+/// each one's best. Losslessness is asserted on every pass by
+/// [`measure`].
+///
+/// The checkpointed rows are informational, not a speedup claim: a
+/// TCGEN_A predictor-state snapshot is ~20 MB raw, so on a trace of
+/// this size (~29 MB) the per-span restore cost is of the same order
+/// as the replay it saves, and the rows mostly price that overhead.
+/// Checkpoints pay off when the payload between checkpoints is much
+/// larger than the predictor state — the interval here is chosen so a
+/// four-worker decode gets one span each, not for container economy.
+///
+/// # Panics
+///
+/// Panics if `runs` is zero or any configuration fails to round-trip.
+pub fn measure_checkpoint_speed(records: usize, runs: usize) -> CheckpointSpeed {
+    assert!(runs > 0, "need at least one run");
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+    let block_records = 65_536;
+    let configs: [(usize, usize); 4] = [(0, 1), (0, 4), (8, 1), (8, 4)];
+    let codecs: Vec<EngineCodec> = configs
+        .iter()
+        .map(|&(checkpoint_blocks, threads)| {
+            EngineCodec::new(
+                "TCgen-checkpointed",
+                presets::TCGEN_A,
+                EngineOptions {
+                    block_records,
+                    checkpoint_blocks,
+                    threads,
+                    model_threads: threads,
+                    ..EngineOptions::tcgen()
+                },
+            )
+        })
+        .collect();
+    let mut best: Vec<(usize, f64, f64)> = vec![(0, f64::MAX, f64::MAX); configs.len()];
+    for _ in 0..runs {
+        for (slot, codec) in best.iter_mut().zip(&codecs) {
+            let m = measure(codec, &raw);
+            slot.0 = m.compressed;
+            slot.1 = slot.1.min(m.compress_seconds);
+            slot.2 = slot.2.min(m.decompress_seconds);
+        }
+    }
+    let rows = configs
+        .iter()
+        .zip(&best)
+        .map(
+            |(
+                &(checkpoint_blocks, threads),
+                &(compressed, compress_seconds, decompress_seconds),
+            )| {
+                CheckpointSpeedRow {
+                    checkpoint_blocks,
+                    threads,
+                    compressed,
+                    compress_seconds,
+                    decompress_seconds,
+                }
+            },
+        )
+        .collect();
+    CheckpointSpeed { records, original: raw.len(), block_records, rows }
 }
 
 /// The harmonic mean, the paper's aggregation for inversely normalized

@@ -3,8 +3,10 @@
 //! ```text
 //! tcgen generate <spec-file> [--lang c|rust]    emit compressor source
 //! tcgen canon <spec-file>                       print the canonical spec
-//! tcgen compress <spec-file> [in [out]] [--profile P] [--threads N] [--model-threads N] [--block-records N]
+//! tcgen compress <spec-file> [in [out]] [--profile P] [--threads N] [--model-threads N] [--block-records N] [--checkpoint-blocks N]
 //! tcgen decompress <spec-file> [in [out]] [--threads N] [--model-threads N]
+//! tcgen inspect <container> [--json]            dump a container's prelude and footer
+//! tcgen cat <spec-file> <container> [out] [--range A..B]   extract a record range
 //! tcgen trace <program> <kind> <records> [out]  generate a synthetic trace
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
 //! tcgen usage <spec-file> <trace> [--json [FILE]]   predictor-usage report
@@ -42,6 +44,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "canon" => canon(&args[1..]),
         "compress" => codec(&args[1..], true),
         "decompress" => codec(&args[1..], false),
+        "inspect" => inspect_container(&args[1..]),
+        "cat" => cat(&args[1..]),
         "trace" => trace(&args[1..]),
         "prune" => prune(&args[1..]),
         "usage" => usage_report(&args[1..]),
@@ -57,8 +61,10 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  tcgen generate <spec-file> [--lang c|rust]\n  \
      tcgen canon <spec-file>\n  \
-     tcgen compress <spec-file> [input [output]] [--profile P] [--threads N] [--model-threads N] [--block-records N]\n  \
+     tcgen compress <spec-file> [input [output]] [--profile P] [--threads N] [--model-threads N] [--block-records N] [--checkpoint-blocks N]\n  \
      tcgen decompress <spec-file> [input [output]] [--threads N] [--model-threads N]\n  \
+     tcgen inspect <container> [--json]\n  \
+     tcgen cat <spec-file> <container> [output] [--range A..B] [--threads N] [--model-threads N]\n  \
      tcgen trace <program> <store|miss|load> <records> [output]\n  \
      tcgen prune <spec-file> <trace-file> [threshold]\n  \
      tcgen usage <spec-file> <trace-file> [--json [FILE]] [--threads N] [--model-threads N]\n  \
@@ -77,6 +83,13 @@ fn usage() -> String {
      \x20                   (0 = one per CPU, 1 = serial; output is identical\n\
      \x20                   for every N)\n\
      --block-records N  records per compressed block (0 = whole trace)\n\
+     --checkpoint-blocks N  write a predictor-state checkpoint every N blocks\n\
+     \x20                   plus a seekable footer (0 = off, the default).\n\
+     \x20                   Checkpointed containers decompress in parallel\n\
+     \x20                   and support `tcgen cat --range`\n\
+     --range A..B       record range (absolute indices) for `cat`; the whole\n\
+     \x20                   trace when omitted. Without a checkpoint footer,\n\
+     \x20                   cat falls back to a sequential decompress\n\
      \n\
      telemetry (compress, decompress, usage, tune; never changes output bytes):\n\
      --stats            print a per-stage timing/throughput summary to stderr\n\
@@ -205,6 +218,16 @@ fn codec(args: &[String], compressing: bool) -> Result<(), String> {
                 options.block_records = parse_count(args.get(i + 1), "--block-records")?;
                 i += 2;
             }
+            "--checkpoint-blocks" => {
+                if !compressing {
+                    return Err("--checkpoint-blocks applies to compress only; \
+                                decompress reads the interval from the container"
+                        .into());
+                }
+                options.checkpoint_blocks =
+                    parse_count(args.get(i + 1), "--checkpoint-blocks")?;
+                i += 2;
+            }
             "--stats" | "--stats-json" | "--trace-out" => {
                 i = stats.parse(args, i)?;
             }
@@ -249,6 +272,194 @@ fn parse_profile(value: Option<&String>) -> Result<Backend, String> {
     let value = value.ok_or("--profile needs a value")?;
     Backend::from_profile(value)
         .ok_or_else(|| format!("unknown profile '{value}' (use fast, balanced, or max)"))
+}
+
+/// `tcgen inspect` — dump a container's prelude and, for checkpointed
+/// containers, its footer index: per-span block and record ranges. No
+/// specification is needed; nothing inside the block frames is read.
+fn inspect_container(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut path: Option<&String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument '{other}'"));
+            }
+            _ => {
+                if path.is_some() {
+                    return Err(format!("unexpected argument '{arg}'"));
+                }
+                path = Some(arg);
+            }
+        }
+    }
+    let path = path.ok_or_else(usage)?;
+    let mut file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let info = tcgen_engine::inspect(&mut file).map_err(|e| format!("{path}: {e}"))?;
+    if json {
+        println!("{}", inspect_json(&info));
+        return Ok(());
+    }
+    println!("container:    {path}");
+    println!("  version:    {}", info.version);
+    let profile = info.backend.map_or("unknown", |b| b.profile());
+    println!("  flags:      {:#04x} (profile {profile})", info.flags);
+    println!("  spec hash:  {:#010x}", info.spec_hash);
+    println!("  header:     {} bytes", info.header_len);
+    println!("  size:       {} bytes", info.file_len);
+    if !info.checkpointed {
+        println!("  checkpoints: none (sequential container)");
+        return Ok(());
+    }
+    println!(
+        "  checkpoints: {} blocks, {} records, {} spans",
+        info.n_blocks.unwrap_or(0),
+        info.total_records.unwrap_or(0),
+        info.spans.len()
+    );
+    for (i, s) in info.spans.iter().enumerate() {
+        let opening = match s.checkpoint_offset {
+            Some(off) => format!("checkpoint at byte {off}"),
+            None => "fresh predictor state".to_string(),
+        };
+        println!(
+            "  span {i}: blocks {}..{}, records {}..{} ({opening})",
+            s.first_block, s.end_block, s.start_record, s.end_record
+        );
+    }
+    Ok(())
+}
+
+fn inspect_json(info: &tcgen_engine::ContainerInfo) -> String {
+    let mut spans = String::new();
+    for (i, s) in info.spans.iter().enumerate() {
+        if i > 0 {
+            spans.push(',');
+        }
+        let ckpt = s.checkpoint_offset.map_or("null".to_string(), |off| off.to_string());
+        spans.push_str(&format!(
+            "\n    {{\"first_block\": {}, \"end_block\": {}, \"start_record\": {}, \
+             \"end_record\": {}, \"checkpoint_offset\": {ckpt}}}",
+            s.first_block, s.end_block, s.start_record, s.end_record
+        ));
+    }
+    let opt = |v: Option<String>| v.unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\n  \"version\": {},\n  \"flags\": {},\n  \"spec_hash\": {},\n  \
+         \"header_len\": {},\n  \"profile\": {},\n  \"checkpointed\": {},\n  \
+         \"file_len\": {},\n  \"n_blocks\": {},\n  \"total_records\": {},\n  \
+         \"spans\": [{spans}{}]\n}}",
+        info.version,
+        info.flags,
+        info.spec_hash,
+        info.header_len,
+        opt(info.backend.map(|b| format!("\"{}\"", b.profile()))),
+        info.checkpointed,
+        info.file_len,
+        opt(info.n_blocks.map(|n| n.to_string())),
+        opt(info.total_records.map(|n| n.to_string())),
+        if info.spans.is_empty() { "" } else { "\n  " },
+    )
+}
+
+/// `tcgen cat` — extract a record range from a container. Checkpointed
+/// containers are read seekably: only the footer and the spans covering
+/// the range are touched. Containers without a checkpoint footer fall
+/// back to a full sequential decompress with a warning. Output is raw
+/// record bytes, without the passthrough header.
+fn cat(args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let mut options = EngineOptions::tcgen();
+    let mut stats = StatsOpts::default();
+    let mut range: Option<(u64, u64)> = None;
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--range" => {
+                let value = args.get(i + 1).ok_or("--range needs a value like 100..200")?;
+                range = Some(parse_range(value)?);
+                i += 2;
+            }
+            "--threads" => {
+                options.threads = parse_count(args.get(i + 1), "--threads")?;
+                i += 2;
+            }
+            "--model-threads" => {
+                options.model_threads = parse_count(args.get(i + 1), "--model-threads")?;
+                i += 2;
+            }
+            "--stats" | "--stats-json" | "--trace-out" => {
+                i = stats.parse(args, i)?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument '{other}'"));
+            }
+            _ => {
+                files.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let container_path = *files.first().ok_or_else(usage)?;
+    if files.len() > 2 {
+        return Err(format!("unexpected argument '{}'", files[2]));
+    }
+    let source = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let mut tcgen = Tcgen::with_options(&source, options).map_err(|e| e.to_string())?;
+    let recorder = stats.recorder();
+    if let Some(rec) = &recorder {
+        tcgen = tcgen.with_telemetry(rec.clone());
+    }
+    let mut file = std::fs::File::open(container_path)
+        .map_err(|e| format!("cannot read {container_path}: {e}"))?;
+    let info =
+        tcgen_engine::inspect(&mut file).map_err(|e| format!("{container_path}: {e}"))?;
+    let engine = tcgen.engine();
+    let record_len = engine.spec().record_bytes() as usize;
+    let output = if info.checkpointed {
+        let total = info.total_records.unwrap_or(0);
+        let (start, end) = range.unwrap_or((0, total));
+        tcgen_engine::extract_range(
+            engine.spec(),
+            engine.options(),
+            &mut file,
+            start..end,
+            tcgen.telemetry(),
+        )
+        .map_err(|e| format!("{container_path}: {e}"))?
+    } else {
+        eprintln!(
+            "tcgen: {container_path} has no checkpoint footer (compressed without \
+             --checkpoint-blocks); falling back to a full sequential decompress"
+        );
+        let raw = std::fs::read(container_path)
+            .map_err(|e| format!("cannot read {container_path}: {e}"))?;
+        let full = tcgen.decompress(&raw).map_err(|e| e.to_string())?;
+        let records = &full[engine.spec().header_bytes() as usize..];
+        let total = (records.len() / record_len) as u64;
+        let (start, end) = range.unwrap_or((0, total));
+        if start > end || end > total {
+            return Err(format!("record range {start}..{end} outside 0..{total}"));
+        }
+        records[start as usize * record_len..end as usize * record_len].to_vec()
+    };
+    write_output(files.get(1).copied(), &output)?;
+    stats.emit(recorder.as_ref())
+}
+
+/// Parses `A..B` into an absolute record range.
+fn parse_range(value: &str) -> Result<(u64, u64), String> {
+    let err = || format!("bad range '{value}' (expected A..B, e.g. 100..200)");
+    let (a, b) = value.split_once("..").ok_or_else(err)?;
+    let start = a.parse().map_err(|_| err())?;
+    let end = b.parse().map_err(|_| err())?;
+    if start > end {
+        return Err(format!("bad range '{value}': start exceeds end"));
+    }
+    Ok((start, end))
 }
 
 fn trace(args: &[String]) -> Result<(), String> {

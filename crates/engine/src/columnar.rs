@@ -157,6 +157,20 @@ impl Modeler {
         }
     }
 
+    /// Serializes every field bank's current state as a checkpoint
+    /// payload: per field in declaration order, a `u32` length and the
+    /// bank's versioned snapshot. Must be called between chunks, when
+    /// every bank is back home from its column job.
+    pub(crate) fn snapshot_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for bank in &self.banks {
+            let snap = bank.as_ref().expect("bank present").snapshot();
+            out.extend_from_slice(&(snap.len() as u32).to_le_bytes());
+            out.extend_from_slice(&snap);
+        }
+        out
+    }
+
     /// Models `chunk` (whole records) into `streams`, incrementing its
     /// record count. Internally works [`COLUMN_CHUNK_RECORDS`] records at
     /// a time; passing `None` for `pipe` runs the field jobs inline.
@@ -340,6 +354,35 @@ impl Replayer {
     /// a value segment's size for a block of known record count.
     pub(crate) fn widths(&self) -> &[usize] {
         &self.layout.widths
+    }
+
+    /// Restores every field bank from a checkpoint payload written by
+    /// [`Modeler::snapshot_payload`], placing this replayer exactly at
+    /// the predictor state the owning checkpoint captured.
+    pub(crate) fn restore_banks(&mut self, payload: &[u8]) -> Result<(), Error> {
+        let mut pos = 0usize;
+        for (fi, bank) in self.banks.iter_mut().enumerate() {
+            let len_bytes = payload.get(pos..pos + 4).ok_or(Error::Truncated)?;
+            let len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+            pos += 4;
+            let snap = payload.get(pos..pos + len).ok_or(Error::Truncated)?;
+            pos += len;
+            bank.as_mut()
+                .expect("bank present")
+                .restore(snap)
+                .map_err(|e| Error::Corrupt(format!("checkpoint: field {fi}: {e}")))?;
+        }
+        if pos != payload.len() {
+            return Err(Error::Corrupt("checkpoint: trailing snapshot bytes".into()));
+        }
+        Ok(())
+    }
+
+    /// Upper bound on a checkpoint payload's decoded size under this
+    /// configuration: every snapshot is at most the bank's table-state
+    /// footprint, plus per-field framing and header bytes.
+    pub(crate) fn snapshot_limit(&self) -> usize {
+        self.banks.iter().map(|b| b.as_ref().expect("bank present").memory_bytes() + 16).sum()
     }
 
     /// Spawns the replay pool on `scope`; with a recorder, each worker

@@ -1,6 +1,7 @@
-//! The TCGZ container prelude, shared by the in-memory codec
-//! ([`crate::codec`]) and the streaming codec ([`crate::stream_io`]) so
-//! the two writers can never desynchronize on magic or version.
+//! The TCGZ container prelude and checkpoint footer, shared by the
+//! in-memory codec ([`crate::codec`]) and the streaming codec
+//! ([`crate::stream_io`]) so the two writers can never desynchronize on
+//! magic, version, or index layout.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -9,6 +10,21 @@
 //! ```
 //!
 //! followed by `header_len` passthrough header bytes, then block frames.
+//!
+//! When the checkpoint flag bit is set, `0x02`-marked checkpoint
+//! segments (a compressed predictor-state snapshot) may precede block
+//! frames, and the end marker is followed by a footer:
+//!
+//! ```text
+//! u32 n_blocks       n_blocks × { u64 offset  u32 n_records }
+//! u32 n_checkpoints  n_checkpoints × { u32 block_index  u64 offset }
+//! u32 crc32(body)    u32 body_len  "TCGF"
+//! ```
+//!
+//! Offsets are absolute container offsets of the frame's marker byte, so
+//! a seekable reader can locate the footer from the file tail (fixed
+//! 12-byte trailer), pick the checkpoint covering a record range, and
+//! replay only the spans it needs.
 
 use crate::Error;
 
@@ -18,10 +34,17 @@ pub(crate) const MAGIC: &[u8; 4] = b"TCGZ";
 pub(crate) const VERSION: u8 = 1;
 /// Marker byte that introduces a block frame.
 pub(crate) const BLOCK_MARKER: u8 = 0x01;
-/// Marker byte that terminates the container.
+/// Marker byte that introduces a checkpoint segment (checkpointed
+/// containers only).
+pub(crate) const CHECKPOINT_MARKER: u8 = 0x02;
+/// Marker byte that terminates the block sequence.
 pub(crate) const END_MARKER: u8 = 0x00;
 /// Fixed prelude size: magic, version, flags, spec hash, header length.
 pub(crate) const PRELUDE_LEN: usize = 12;
+/// Footer magic, the last four bytes of a checkpointed container.
+pub(crate) const FOOTER_MAGIC: &[u8; 4] = b"TCGF";
+/// Fixed footer tail: crc, body length, footer magic.
+pub(crate) const FOOTER_TAIL_LEN: usize = 12;
 
 /// Encodes the fixed-size prelude both writers emit verbatim.
 pub(crate) fn prelude(flags: u8, spec_hash: u32, header_len: u16) -> [u8; PRELUDE_LEN] {
@@ -57,6 +80,163 @@ pub(crate) fn parse_prelude(bytes: &[u8; PRELUDE_LEN]) -> Result<Prelude, Error>
     })
 }
 
+/// One block frame in the footer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockEntry {
+    /// Absolute container offset of the block's marker byte.
+    pub(crate) offset: u64,
+    /// Records stored in the block.
+    pub(crate) n_records: u32,
+}
+
+/// One checkpoint segment in the footer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CheckpointEntry {
+    /// Index of the first block the checkpoint state covers.
+    pub(crate) block_index: u32,
+    /// Absolute container offset of the segment's marker byte.
+    pub(crate) offset: u64,
+}
+
+/// The decoded footer index of a checkpointed container.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct Footer {
+    pub(crate) blocks: Vec<BlockEntry>,
+    pub(crate) checkpoints: Vec<CheckpointEntry>,
+}
+
+impl Footer {
+    /// Records the block starting at container offset `offset`.
+    pub(crate) fn push_block(&mut self, offset: u64, n_records: u32) {
+        self.blocks.push(BlockEntry { offset, n_records });
+    }
+
+    /// Records a checkpoint whose state covers blocks from `block_index`.
+    pub(crate) fn push_checkpoint(&mut self, block_index: u32, offset: u64) {
+        self.checkpoints.push(CheckpointEntry { block_index, offset });
+    }
+
+    /// Absolute record index at which block `i` starts.
+    pub(crate) fn start_record(&self, i: usize) -> u64 {
+        self.blocks[..i].iter().map(|b| u64::from(b.n_records)).sum()
+    }
+
+    /// Total records across all blocks.
+    pub(crate) fn total_records(&self) -> u64 {
+        self.start_record(self.blocks.len())
+    }
+
+    /// Serializes the footer: body, then the fixed crc/len/magic tail.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut body =
+            Vec::with_capacity(8 + self.blocks.len() * 12 + self.checkpoints.len() * 12);
+        body.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        for b in &self.blocks {
+            body.extend_from_slice(&b.offset.to_le_bytes());
+            body.extend_from_slice(&b.n_records.to_le_bytes());
+        }
+        body.extend_from_slice(&(self.checkpoints.len() as u32).to_le_bytes());
+        for c in &self.checkpoints {
+            body.extend_from_slice(&c.block_index.to_le_bytes());
+            body.extend_from_slice(&c.offset.to_le_bytes());
+        }
+        let crc = crc32(&body);
+        let len = body.len() as u32;
+        body.extend_from_slice(&crc.to_le_bytes());
+        body.extend_from_slice(&len.to_le_bytes());
+        body.extend_from_slice(FOOTER_MAGIC);
+        body
+    }
+}
+
+/// Parses the footer occupying exactly `bytes` (the container's tail
+/// after the end marker). CRC, trailing magic, and internal consistency
+/// (monotonic offsets, checkpoint indices inside the block range) are
+/// all validated here so replay can trust the index.
+pub(crate) fn parse_footer(bytes: &[u8]) -> Result<Footer, Error> {
+    let corrupt = |what: &str| Error::Corrupt(format!("checkpoint footer: {what}"));
+    if bytes.len() < FOOTER_TAIL_LEN {
+        return Err(Error::Truncated);
+    }
+    let (body_and_crc, tail) = bytes.split_at(bytes.len() - 8);
+    if &tail[4..] != FOOTER_MAGIC {
+        return Err(corrupt("missing trailing magic"));
+    }
+    let body_len = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]) as usize;
+    if body_len + FOOTER_TAIL_LEN != bytes.len() {
+        return Err(corrupt("length field does not match the footer size"));
+    }
+    let (body, crc_bytes) = body_and_crc.split_at(body_len);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(body) != stored {
+        return Err(corrupt("crc mismatch"));
+    }
+
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8], Error> {
+        let s = body.get(pos..pos + n).ok_or(Error::Truncated)?;
+        pos += n;
+        Ok(s)
+    };
+    let read_u32 = |s: &[u8]| u32::from_le_bytes([s[0], s[1], s[2], s[3]]);
+    let read_u64 =
+        |s: &[u8]| u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]]);
+
+    let n_blocks = read_u32(take(4)?) as usize;
+    // Each entry consumes body bytes, so the counts cannot exceed the
+    // body length; reject before reserving.
+    if n_blocks > body.len() / 12 {
+        return Err(corrupt("block count exceeds the footer body"));
+    }
+    let mut footer = Footer::default();
+    footer.blocks.reserve_exact(n_blocks);
+    for _ in 0..n_blocks {
+        let offset = read_u64(take(8)?);
+        let n_records = read_u32(take(4)?);
+        if let Some(prev) = footer.blocks.last() {
+            if offset <= prev.offset {
+                return Err(corrupt("block offsets must increase"));
+            }
+        }
+        footer.blocks.push(BlockEntry { offset, n_records });
+    }
+    let n_checkpoints = read_u32(take(4)?) as usize;
+    if n_checkpoints > body.len() / 12 {
+        return Err(corrupt("checkpoint count exceeds the footer body"));
+    }
+    footer.checkpoints.reserve_exact(n_checkpoints);
+    for _ in 0..n_checkpoints {
+        let block_index = read_u32(take(4)?);
+        let offset = read_u64(take(8)?);
+        if block_index == 0 || block_index as usize >= n_blocks {
+            return Err(corrupt("checkpoint block index outside the block range"));
+        }
+        if let Some(prev) = footer.checkpoints.last() {
+            if block_index <= prev.block_index {
+                return Err(corrupt("checkpoint block indices must increase"));
+            }
+        }
+        footer.checkpoints.push(CheckpointEntry { block_index, offset });
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes in the footer body"));
+    }
+    Ok(footer)
+}
+
+/// CRC-32 (IEEE, reflected) over `bytes`. Bitwise — footers are a few
+/// hundred bytes, so a lookup table would be pure cache pressure.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xedb8_8320 & (0u32.wrapping_sub(crc & 1)));
+        }
+    }
+    !crc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +258,72 @@ mod tests {
         let mut p = prelude(0, 0, 0);
         p[4] = VERSION + 1;
         assert!(matches!(parse_prelude(&p), Err(Error::Corrupt(_))));
+    }
+
+    fn demo_footer() -> Footer {
+        let mut f = Footer::default();
+        f.push_block(12, 500);
+        f.push_block(900, 500);
+        f.push_checkpoint(1, 700);
+        f.push_block(1800, 123);
+        f.push_checkpoint(2, 1600);
+        f
+    }
+
+    #[test]
+    fn footer_roundtrips_with_record_ranges() {
+        let f = demo_footer();
+        let parsed = parse_footer(&f.encode()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.start_record(0), 0);
+        assert_eq!(parsed.start_record(2), 1_000);
+        assert_eq!(parsed.total_records(), 1_123);
+    }
+
+    #[test]
+    fn footer_rejects_corruption() {
+        let good = demo_footer().encode();
+        // Any single corrupted body byte trips the crc.
+        for i in 0..good.len() - FOOTER_TAIL_LEN {
+            let mut bad = good.clone();
+            bad[i] ^= 0x40;
+            assert!(parse_footer(&bad).is_err(), "byte {i} corruption accepted");
+        }
+        // Truncation at every point fails.
+        for cut in 0..good.len() {
+            assert!(parse_footer(&good[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Bad magic, bad length field.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 1] = b'X';
+        assert!(parse_footer(&bad).is_err());
+        let mut bad = good.clone();
+        bad[n - 8] ^= 1;
+        assert!(parse_footer(&bad).is_err());
+    }
+
+    #[test]
+    fn footer_rejects_inconsistent_indices() {
+        // Checkpoint at block 0 (the implicit fresh-state span) or past
+        // the last block is never valid.
+        for bad_index in [0u32, 3, 900] {
+            let mut f = demo_footer();
+            f.checkpoints[0].block_index = bad_index;
+            if bad_index > 2 || bad_index == 0 {
+                assert!(parse_footer(&f.encode()).is_err(), "index {bad_index} accepted");
+            }
+        }
+        // Non-increasing block offsets.
+        let mut f = demo_footer();
+        f.blocks[1].offset = f.blocks[0].offset;
+        assert!(parse_footer(&f.encode()).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

@@ -34,6 +34,7 @@ pub mod evaluate;
 pub mod options;
 pub(crate) mod pool;
 pub mod postcodec;
+pub mod seek;
 pub mod stream_io;
 pub mod streams;
 pub mod usage;
@@ -41,6 +42,7 @@ pub mod usage;
 pub use evaluate::{score_candidates, score_candidates_with_telemetry, CandidateScore};
 pub use options::EngineOptions;
 pub use postcodec::{Backend, PostCodec};
+pub use seek::{extract_range, inspect, ContainerInfo, SpanInfo, SEEK_BYTES_READ};
 pub use stream_io::{
     compress_stream, compress_stream_with_telemetry, decompress_stream,
     decompress_stream_with_telemetry, StreamError,

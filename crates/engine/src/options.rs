@@ -36,6 +36,13 @@ pub struct EngineOptions {
     /// travels in the container flags; any configuration can decompress
     /// any container because decode dispatches on the recorded id.
     pub backend: Backend,
+    /// Emit a predictor-state checkpoint every this many blocks and
+    /// append a seekable footer (the CLI's `--checkpoint-blocks`). `0` —
+    /// the default — writes the legacy byte-identical container. Any
+    /// positive value sets the checkpoint flag bit; decompression reads
+    /// the footer, not this knob, so the interval only matters on the
+    /// compress side.
+    pub checkpoint_blocks: usize,
 }
 
 impl EngineOptions {
@@ -50,6 +57,7 @@ impl EngineOptions {
             model_threads: 0,
             level: blockzip::Level::BEST,
             backend: Backend::Max,
+            checkpoint_blocks: 0,
         }
     }
 
@@ -153,15 +161,20 @@ impl EngineOptions {
     }
 
     /// Flag bits this build understands: bits 0–2 are the semantic
-    /// predictor options, bits 3–4 the post-compression backend id.
-    /// Bits 5–7 are reserved and must be zero.
-    const KNOWN_FLAGS: u8 = 0b0001_1111;
+    /// predictor options, bits 3–4 the post-compression backend id, bit 5
+    /// the checkpoint footer. Bits 6–7 are reserved and must be zero.
+    const KNOWN_FLAGS: u8 = 0b0011_1111;
+
+    /// Bit 5: the container carries checkpoint segments and a seekable
+    /// footer after the end marker.
+    pub(crate) const FLAG_CHECKPOINTS: u8 = 0b0010_0000;
 
     /// Encodes the semantics-affecting options into a container flag
     /// byte: bit 0 smart update, bit 1 adaptive shift, bit 2 type
-    /// minimization, bits 3–4 the post-compression backend id. Speed-only
-    /// options (fast hash, sharing, threads) are excluded: any
-    /// decompressor configuration reproduces the same trace.
+    /// minimization, bits 3–4 the post-compression backend id, bit 5 the
+    /// checkpoint footer. Speed-only options (fast hash, sharing,
+    /// threads) are excluded: any decompressor configuration reproduces
+    /// the same trace.
     pub fn flags(&self) -> u8 {
         let mut f = 0u8;
         if self.predictor.policy == UpdatePolicy::Smart {
@@ -172,6 +185,9 @@ impl EngineOptions {
         }
         if self.minimize_types {
             f |= 4;
+        }
+        if self.checkpoint_blocks > 0 {
+            f |= Self::FLAG_CHECKPOINTS;
         }
         f | (self.backend.id() << 3)
     }
@@ -199,6 +215,10 @@ impl EngineOptions {
             if flags & 1 != 0 { UpdatePolicy::Smart } else { UpdatePolicy::Always };
         self.predictor.adaptive_shift = flags & 2 != 0;
         self.minimize_types = flags & 4 != 0;
+        // The interval is a compress-side knob; decode only needs the
+        // bit. Normalize so flags() of the rebuilt options round-trips.
+        self.checkpoint_blocks =
+            if flags & Self::FLAG_CHECKPOINTS != 0 { self.checkpoint_blocks.max(1) } else { 0 };
         Ok(self)
     }
 }
@@ -246,13 +266,30 @@ mod tests {
 
     #[test]
     fn reserved_flag_bits_and_backend_ids_rejected() {
-        for flags in [0b0010_0000u8, 0b0100_0111, 0b1000_0000, 0xff] {
+        for flags in [0b0100_0111u8, 0b1000_0000, 0b1100_0000, 0xff] {
             let err = EngineOptions::tcgen().with_flags(flags).unwrap_err();
             assert!(matches!(err, Error::Corrupt(_)), "flags {flags:#04x}");
         }
         // Backend id 3 sits inside the known bits but names no backend.
         let err = EngineOptions::tcgen().with_flags(0b0001_1111).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)));
+    }
+
+    #[test]
+    fn checkpoint_interval_travels_as_one_flag_bit() {
+        let base = EngineOptions::tcgen();
+        for interval in [1usize, 4, 1 << 20] {
+            let opts = EngineOptions { checkpoint_blocks: interval, ..base };
+            assert_eq!(opts.flags(), base.flags() | EngineOptions::FLAG_CHECKPOINTS);
+            let rebuilt = base.with_flags(opts.flags()).unwrap();
+            assert!(rebuilt.checkpoint_blocks > 0);
+            assert_eq!(rebuilt.flags(), opts.flags());
+        }
+        // The bit decodes cleanly off as well.
+        let rebuilt =
+            EngineOptions { checkpoint_blocks: 7, ..base }.with_flags(base.flags()).unwrap();
+        assert_eq!(rebuilt.checkpoint_blocks, 0);
+        assert_eq!(rebuilt.flags(), base.flags());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use tcgen_telemetry::{driver_span, OpCounters, Recorder};
 
 use crate::codec::spec_hash;
 use crate::columnar::{Modeler, Replayer};
-use crate::container::{self, BLOCK_MARKER, END_MARKER, PRELUDE_LEN};
+use crate::container::{self, BLOCK_MARKER, CHECKPOINT_MARKER, END_MARKER, PRELUDE_LEN};
 use crate::options::EngineOptions;
 use crate::pool::{Pipeline, PoolTelemetry};
 use crate::postcodec::PostCodec;
@@ -177,6 +177,18 @@ pub fn compress_stream_with_telemetry(
     std::thread::scope(|scope| -> Result<(), StreamError> {
         let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, tel));
         let model_pipe = model_pipe.as_ref();
+        // With checkpointing on, the block index is accumulated as frames
+        // stream out and appended after the end marker — offsets come
+        // from the counting writer, so they match the in-memory codec's.
+        // Snapshot payloads get their own (fast, format-fixed) codec.
+        let mut footer = (options.checkpoint_blocks > 0).then(container::Footer::default);
+        let mut ckpt_codec = footer.is_some().then(|| {
+            let mut c = crate::codec::checkpoint_codec(options.level);
+            if let Some(rec) = tel {
+                c.attach_probes(rec);
+            }
+            c
+        });
 
         if threads <= 1 {
             let mut codec = options.backend.codec(options.level);
@@ -200,6 +212,25 @@ pub fn compress_stream_with_telemetry(
                 let n_chunk = got / record_len;
                 let mut idx = 0usize;
                 while idx < n_chunk {
+                    // A record is about to open a fresh block: if that
+                    // block starts a checkpoint interval, snapshot the
+                    // predictor state (which reflects every prior block)
+                    // and emit the checkpoint frame first.
+                    if streams.records == 0 {
+                        if let Some(f) = footer.as_mut() {
+                            let b = f.blocks.len();
+                            if b > 0 && b.is_multiple_of(options.checkpoint_blocks) {
+                                let _s = driver_span(tel, "checkpoint.pack");
+                                let ck = ckpt_codec
+                                    .as_mut()
+                                    .expect("footer implies a checkpoint codec");
+                                let packed = ck
+                                    .compress(&modeler.snapshot_payload())
+                                    .map_err(Error::Post)?;
+                                write_checkpoint(output, &packed, f)?;
+                            }
+                        }
+                    }
                     // Model up to the block boundary, never past it.
                     let take = (block_records - streams.records).min(n_chunk - idx);
                     let span = &chunk[idx * record_len..(idx + take) * record_len];
@@ -209,7 +240,7 @@ pub fn compress_stream_with_telemetry(
                     }
                     if streams.records == block_records {
                         let _s = driver_span(tel, "block.flush");
-                        write_block(output, &streams, codec.as_mut())?;
+                        write_block(output, &streams, codec.as_mut(), footer.as_mut())?;
                         streams.clear();
                         if let Some(c) = &counters {
                             c.blocks.add(1);
@@ -223,12 +254,15 @@ pub fn compress_stream_with_telemetry(
             }
             if !streams.is_empty() {
                 let _s = driver_span(tel, "block.flush");
-                write_block(output, &streams, codec.as_mut())?;
+                write_block(output, &streams, codec.as_mut(), footer.as_mut())?;
                 if let Some(c) = &counters {
                     c.blocks.add(1);
                 }
             }
             output.write_all(&[END_MARKER])?;
+            if let Some(f) = &footer {
+                output.write_all(&f.encode())?;
+            }
             output.flush()?;
             return Ok(());
         }
@@ -252,8 +286,14 @@ pub fn compress_stream_with_telemetry(
             },
         );
         let segs_per_block = 2 * spec.fields.len();
-        let mut pending: VecDeque<u32> = VecDeque::new();
+        let mut pending: VecDeque<(u32, Option<Vec<u8>>)> = VecDeque::new();
         let mut free: Vec<Vec<u8>> = Vec::new();
+        // Blocks whose segments have been submitted to the pool, and the
+        // pre-packed checkpoint frame the next submitted block carries
+        // when it opens a checkpoint interval (snapshots are packed on
+        // the driver with the fixed checkpoint codec, not pooled).
+        let mut submitted_blocks = 0usize;
+        let mut next_ckpt: Option<Vec<u8>> = None;
         loop {
             let got = {
                 let _s = driver_span(tel, "io.read");
@@ -269,6 +309,19 @@ pub fn compress_stream_with_telemetry(
             let n_chunk = got / record_len;
             let mut idx = 0usize;
             while idx < n_chunk {
+                if streams.records == 0
+                    && footer.is_some()
+                    && submitted_blocks > 0
+                    && submitted_blocks.is_multiple_of(options.checkpoint_blocks)
+                    && next_ckpt.is_none()
+                {
+                    // Snapshot before this block's first record is
+                    // modeled, exactly as the serial path does.
+                    let _s = driver_span(tel, "checkpoint.pack");
+                    let ck = ckpt_codec.as_mut().expect("footer implies a checkpoint codec");
+                    next_ckpt =
+                        Some(ck.compress(&modeler.snapshot_payload()).map_err(Error::Post)?);
+                }
                 let take = (block_records - streams.records).min(n_chunk - idx);
                 let span = &chunk[idx * record_len..(idx + take) * record_len];
                 {
@@ -276,11 +329,26 @@ pub fn compress_stream_with_telemetry(
                     modeler.model_chunk(span, &mut streams, &mut None, model_pipe)?;
                 }
                 if streams.records == block_records {
-                    crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
+                    crate::codec::submit_block(
+                        &pipe,
+                        &mut streams,
+                        &mut pending,
+                        &mut free,
+                        next_ckpt.take(),
+                    );
+                    submitted_blocks += 1;
                     if pending.len() > max_blocks_ahead(threads) {
-                        let n = pending.pop_front().expect("pending is non-empty");
+                        let (n, ckpt) = pending.pop_front().expect("pending is non-empty");
                         let _s = driver_span(tel, "block.flush");
-                        write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
+                        write_packed_block(
+                            output,
+                            &pipe,
+                            n,
+                            segs_per_block,
+                            &mut free,
+                            ckpt,
+                            footer.as_mut(),
+                        )?;
                         if let Some(c) = &counters {
                             c.blocks.add(1);
                         }
@@ -293,16 +361,33 @@ pub fn compress_stream_with_telemetry(
             }
         }
         if !streams.is_empty() {
-            crate::codec::submit_block(&pipe, &mut streams, &mut pending, &mut free);
+            crate::codec::submit_block(
+                &pipe,
+                &mut streams,
+                &mut pending,
+                &mut free,
+                next_ckpt.take(),
+            );
         }
-        while let Some(n) = pending.pop_front() {
+        while let Some((n, ckpt)) = pending.pop_front() {
             let _s = driver_span(tel, "block.flush");
-            write_packed_block(output, &pipe, n, segs_per_block, &mut free)?;
+            write_packed_block(
+                output,
+                &pipe,
+                n,
+                segs_per_block,
+                &mut free,
+                ckpt,
+                footer.as_mut(),
+            )?;
             if let Some(c) = &counters {
                 c.blocks.add(1);
             }
         }
         output.write_all(&[END_MARKER])?;
+        if let Some(f) = &footer {
+            output.write_all(&f.encode())?;
+        }
         output.flush()?;
         Ok(())
     })?;
@@ -312,11 +397,29 @@ pub fn compress_stream_with_telemetry(
     Ok(())
 }
 
-fn write_block(
-    output: &mut impl Write,
+/// Writes one checkpoint frame and records its footer entry at the
+/// current output offset.
+fn write_checkpoint<W: Write>(
+    output: &mut CountingWriter<'_, W>,
+    packed: &[u8],
+    footer: &mut container::Footer,
+) -> Result<(), StreamError> {
+    footer.push_checkpoint(footer.blocks.len() as u32, output.written);
+    output.write_all(&[CHECKPOINT_MARKER])?;
+    output.write_all(&(packed.len() as u32).to_le_bytes())?;
+    output.write_all(packed)?;
+    Ok(())
+}
+
+fn write_block<W: Write>(
+    output: &mut CountingWriter<'_, W>,
     streams: &BlockStreams,
     codec: &mut dyn PostCodec,
+    footer: Option<&mut container::Footer>,
 ) -> Result<(), StreamError> {
+    if let Some(f) = footer {
+        f.push_block(output.written, streams.records as u32);
+    }
     output.write_all(&[BLOCK_MARKER])?;
     output.write_all(&(streams.records as u32).to_le_bytes())?;
     for fs in &streams.fields {
@@ -329,13 +432,23 @@ fn write_block(
     Ok(())
 }
 
-fn write_packed_block(
-    output: &mut impl Write,
+#[allow(clippy::too_many_arguments)]
+fn write_packed_block<W: Write>(
+    output: &mut CountingWriter<'_, W>,
     pipe: &crate::codec::PackPipe,
     n_records: u32,
     segs_per_block: usize,
     free: &mut Vec<Vec<u8>>,
+    checkpoint: Option<Vec<u8>>,
+    mut footer: Option<&mut container::Footer>,
 ) -> Result<(), StreamError> {
+    if let Some(packed) = checkpoint {
+        let f = footer.as_deref_mut().expect("checkpoint frames imply a footer");
+        write_checkpoint(output, &packed, f)?;
+    }
+    if let Some(f) = footer {
+        f.push_block(output.written, n_records);
+    }
     output.write_all(&[BLOCK_MARKER])?;
     output.write_all(&n_records.to_le_bytes())?;
     for _ in 0..segs_per_block {
@@ -408,6 +521,11 @@ pub fn decompress_stream_with_telemetry(
     let threads = options.effective_threads();
     let model_threads = options.effective_model_threads();
     let mut out_buf: Vec<u8> = Vec::new();
+    // Checkpointed containers: frames are skipped (sequential replay
+    // needs no snapshots), but the structure actually streamed is
+    // tracked so the trailing footer can be verified byte-for-byte.
+    let checkpointed = effective.checkpoint_blocks > 0;
+    let mut walked = container::Footer::default();
 
     std::thread::scope(|scope| -> Result<(), StreamError> {
         let replay_pipe =
@@ -422,8 +540,9 @@ pub fn decompress_stream_with_telemetry(
             let mut codes: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             let mut values: Vec<Vec<u8>> = Vec::with_capacity(n_fields);
             loop {
-                let Some(n_records) = read_block_header(input)? else {
-                    expect_eof(input)?;
+                let Some(n_records) = read_block_header(input, checkpointed, &mut walked)?
+                else {
+                    expect_footer_then_eof(input, checkpointed, &walked)?;
                     output.flush()?;
                     return Ok(());
                 };
@@ -494,8 +613,9 @@ pub fn decompress_stream_with_telemetry(
             // Read ahead a bounded number of blocks, handing their raw
             // segments to the workers.
             while !end_seen && block_queue.len() < max_blocks_ahead(threads) {
-                let Some(n_records) = read_block_header(input)? else {
-                    expect_eof(input)?;
+                let Some(n_records) = read_block_header(input, checkpointed, &mut walked)?
+                else {
+                    expect_footer_then_eof(input, checkpointed, &walked)?;
                     end_seen = true;
                     break;
                 };
@@ -546,19 +666,70 @@ pub fn decompress_stream_with_telemetry(
 }
 
 /// Reads a block marker; returns the record count, or `None` at the end
-/// marker.
-fn read_block_header(input: &mut impl Read) -> Result<Option<usize>, StreamError> {
-    let mut marker = [0u8; 1];
-    read_all(input, &mut marker)?;
-    match marker[0] {
-        END_MARKER => Ok(None),
-        BLOCK_MARKER => {
-            let mut len4 = [0u8; 4];
-            read_all(input, &mut len4)?;
-            Ok(Some(u32::from_le_bytes(len4) as usize))
+/// marker. With `checkpointed` set, checkpoint frames are skipped — the
+/// sequential replayer carries its state through them — while their
+/// placement is recorded in `walked` for footer verification.
+fn read_block_header<R: Read>(
+    input: &mut CountingReader<'_, R>,
+    checkpointed: bool,
+    walked: &mut container::Footer,
+) -> Result<Option<usize>, StreamError> {
+    loop {
+        let at = input.read;
+        let mut marker = [0u8; 1];
+        read_all(input, &mut marker)?;
+        match marker[0] {
+            END_MARKER => return Ok(None),
+            BLOCK_MARKER => {
+                let mut len4 = [0u8; 4];
+                read_all(input, &mut len4)?;
+                let n_records = u32::from_le_bytes(len4);
+                walked.push_block(at, n_records);
+                return Ok(Some(n_records as usize));
+            }
+            CHECKPOINT_MARKER if checkpointed => {
+                let mut len4 = [0u8; 4];
+                read_all(input, &mut len4)?;
+                walked.push_checkpoint(walked.blocks.len() as u32, at);
+                skip_bytes(input, u32::from_le_bytes(len4) as usize)?;
+            }
+            other => return Err(Error::Corrupt(format!("bad marker {other:#x}")).into()),
         }
-        other => Err(Error::Corrupt(format!("bad marker {other:#x}")).into()),
     }
+}
+
+/// Discards `n` bytes from the reader, failing on truncation.
+fn skip_bytes(r: &mut impl Read, mut n: usize) -> Result<(), StreamError> {
+    let mut buf = [0u8; 4096];
+    while n > 0 {
+        let take = n.min(buf.len());
+        read_all(r, &mut buf[..take])?;
+        n -= take;
+    }
+    Ok(())
+}
+
+/// After the end marker: a checkpointed container must close with a
+/// footer that matches the structure actually streamed, byte for byte
+/// (offsets, record counts, checkpoint placement, and CRC all included);
+/// a legacy container must end immediately.
+fn expect_footer_then_eof(
+    input: &mut impl Read,
+    checkpointed: bool,
+    walked: &container::Footer,
+) -> Result<(), StreamError> {
+    if checkpointed {
+        let expected = walked.encode();
+        let mut got = vec![0u8; expected.len()];
+        read_all(input, &mut got)?;
+        if got != expected {
+            return Err(Error::Corrupt(
+                "checkpoint footer: index does not match the container structure".into(),
+            )
+            .into());
+        }
+    }
+    expect_eof(input)
 }
 
 /// Rejects any bytes after the end marker.

@@ -1,0 +1,301 @@
+//! Checkpointed-container acceptance suite: round-trips across the
+//! interval × thread matrix, byte-identity at every thread count,
+//! streaming parity, footer hardening (corruption, truncation, forged
+//! offsets), seekable range extraction with bounded I/O, and inspection.
+
+use std::io::Cursor;
+
+use tcgen_engine::{
+    compress_stream, decompress_stream, extract_range, inspect, Engine, EngineOptions, Error,
+    Recorder, StreamError, SEEK_BYTES_READ,
+};
+use tcgen_spec::{parse, TraceSpec};
+
+/// A fixture spec with the same record shape as the presets (32-bit
+/// header, 32-bit PC field, 64-bit data field) but small tables, so the
+/// per-checkpoint predictor snapshots stay a few KB and the suite runs
+/// quickly in debug builds. Checkpoint behaviour is table-size-agnostic;
+/// the preset specs are exercised by the golden and pipeline suites.
+const SPEC: &str = "TCgen Trace Specification;\n\
+    32-Bit Header;\n\
+    32-Bit Field 1 = {L1 = 1, L2 = 64: LV[2], FCM1[2]};\n\
+    64-Bit Field 2 = {L1 = 64, L2 = 256: LV[2], ST[2], DFCM2[2]};\n\
+    PC = Field 1;\n";
+
+fn spec() -> TraceSpec {
+    parse(SPEC).expect("fixture spec parses")
+}
+
+fn demo_trace(records: usize) -> Vec<u8> {
+    let mut raw = vec![9, 8, 7, 6];
+    for i in 0..records as u64 {
+        raw.extend_from_slice(&(0x40_0000u32 + (i as u32 % 13) * 4).to_le_bytes());
+        raw.extend_from_slice(&(0x2000 + i * 8 + (i % 5)).to_le_bytes());
+    }
+    raw
+}
+
+fn options(checkpoint_blocks: usize, threads: usize, model: usize) -> EngineOptions {
+    EngineOptions {
+        checkpoint_blocks,
+        block_records: 100,
+        threads,
+        model_threads: model,
+        ..EngineOptions::tcgen()
+    }
+}
+
+/// Locates the footer region (everything after the end marker) from the
+/// fixed tail: the last 12 bytes are crc, body_len, magic.
+fn footer_start(packed: &[u8]) -> usize {
+    assert_eq!(&packed[packed.len() - 4..], b"TCGF", "checkpointed container ends in TCGF");
+    let at = packed.len() - 8;
+    let body_len = u32::from_le_bytes(packed[at..at + 4].try_into().unwrap()) as usize;
+    packed.len() - body_len - 12
+}
+
+/// The same reflected IEEE CRC-32 the container uses, reimplemented here
+/// so forgery tests can produce structurally valid but lying footers.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xedb8_8320 & 0u32.wrapping_sub(crc & 1));
+        }
+    }
+    !crc
+}
+
+/// Every checkpoint interval round-trips losslessly at every thread
+/// count, and the container bytes do not depend on threads — the same
+/// guarantee legacy containers have always had.
+#[test]
+fn checkpointed_roundtrip_across_interval_and_thread_matrix() {
+    let raw = demo_trace(1_200); // 12 blocks of 100
+    for interval in [1usize, 4, 5, 50] {
+        let mut baseline: Option<Vec<u8>> = None;
+        for (threads, model) in [(1usize, 1usize), (1, 3), (4, 1), (4, 2)] {
+            let engine = Engine::new(spec(), options(interval, threads, model));
+            let packed = engine.compress(&raw).expect("compress");
+            assert_ne!(packed[5] & 0b0010_0000, 0, "checkpoint flag set");
+            assert_eq!(
+                engine.decompress(&packed).expect("decompress"),
+                raw,
+                "interval {interval}, threads {threads}/{model}"
+            );
+            match &baseline {
+                None => baseline = Some(packed),
+                Some(b) => assert_eq!(
+                    &packed, b,
+                    "interval {interval} bytes differ at threads {threads}/{model}"
+                ),
+            }
+        }
+    }
+}
+
+/// A checkpointed container decodes on engines with different (or zero)
+/// checkpoint settings — the decoder follows the container flag, never
+/// the local knob — and the decoded bytes equal the legacy container's.
+#[test]
+fn checkpointed_and_legacy_containers_decode_identically() {
+    let raw = demo_trace(800);
+    let checkpointed = Engine::new(spec(), options(2, 1, 1)).compress(&raw).expect("compress");
+    let legacy = Engine::new(spec(), options(0, 1, 1)).compress(&raw).expect("compress");
+    assert_ne!(checkpointed, legacy, "checkpointing must change the container");
+    for (threads, model) in [(1usize, 1usize), (4, 2)] {
+        for reader_interval in [0usize, 2, 7] {
+            let engine = Engine::new(spec(), options(reader_interval, threads, model));
+            assert_eq!(engine.decompress(&checkpointed).expect("ckpt decode"), raw);
+            assert_eq!(engine.decompress(&legacy).expect("legacy decode"), raw);
+        }
+    }
+}
+
+/// Streaming compression emits byte-identical checkpointed containers,
+/// and streaming decompression replays them (skipping the frames it
+/// doesn't need while verifying the footer).
+#[test]
+fn streaming_matches_in_memory_for_checkpointed_containers() {
+    let raw = demo_trace(1_111);
+    for threads in [1usize, 4] {
+        let opts = options(3, threads, 1);
+        let in_memory = Engine::new(spec(), opts).compress(&raw).expect("compress");
+        let mut streamed = Vec::new();
+        compress_stream(&spec(), &opts, &mut raw.as_slice(), &mut streamed)
+            .expect("streamed compress");
+        assert_eq!(streamed, in_memory, "threads {threads}");
+        let mut restored = Vec::new();
+        decompress_stream(&spec(), &opts, &mut in_memory.as_slice(), &mut restored)
+            .expect("streamed decompress");
+        assert_eq!(restored, raw, "threads {threads}");
+    }
+}
+
+/// Any single-byte corruption or truncation of the footer is rejected,
+/// in memory and streaming.
+#[test]
+fn corrupt_or_truncated_footers_rejected() {
+    let raw = demo_trace(400);
+    let opts = options(1, 1, 1);
+    let engine = Engine::new(spec(), opts);
+    let packed = engine.compress(&raw).expect("compress");
+    let start = footer_start(&packed);
+    for i in start..packed.len() {
+        let mut bad = packed.clone();
+        bad[i] ^= 0x41;
+        assert!(engine.decompress(&bad).is_err(), "flipped footer byte {i} accepted");
+    }
+    for cut in [start, start + 5, packed.len() - 4, packed.len() - 1] {
+        assert!(engine.decompress(&packed[..cut]).is_err(), "footer cut at {cut} accepted");
+        let mut restored = Vec::new();
+        assert!(
+            decompress_stream(&spec(), &opts, &mut &packed[..cut], &mut restored).is_err(),
+            "streamed footer cut at {cut} accepted"
+        );
+    }
+}
+
+/// A footer whose CRC is valid but whose checkpoint offset lies — the
+/// forgery a CRC alone cannot catch — is rejected against the structure
+/// the decoder actually walked.
+#[test]
+fn forged_checkpoint_offset_rejected() {
+    let raw = demo_trace(600); // 6 blocks, checkpoints before blocks 2 and 4
+    let opts = options(2, 1, 1);
+    let engine = Engine::new(spec(), opts);
+    let packed = engine.compress(&raw).expect("compress");
+    let start = footer_start(&packed);
+    let body_end = packed.len() - 12;
+    let body = &packed[start..body_end];
+    let n_blocks = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+    let ckpt_count_at = 4 + n_blocks * 12;
+    let n_ckpts =
+        u32::from_le_bytes(body[ckpt_count_at..ckpt_count_at + 4].try_into().unwrap());
+    assert_eq!(n_ckpts, 2, "expected two checkpoints in the fixture");
+    // First checkpoint entry: u32 block_index, then u64 offset.
+    let offset_at = start + ckpt_count_at + 4 + 4;
+    let mut forged = packed.clone();
+    let lying = u64::from_le_bytes(packed[offset_at..offset_at + 8].try_into().unwrap()) + 1;
+    forged[offset_at..offset_at + 8].copy_from_slice(&lying.to_le_bytes());
+    let crc = crc32(&forged[start..body_end]);
+    forged[body_end..body_end + 4].copy_from_slice(&crc.to_le_bytes());
+    let err = engine.decompress(&forged).expect_err("forged offset must fail");
+    assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+    let mut restored = Vec::new();
+    assert!(
+        decompress_stream(&spec(), &opts, &mut forged.as_slice(), &mut restored).is_err(),
+        "streamed decode accepted the forged offset"
+    );
+}
+
+/// Range extraction matches a full decompress slice for ranges landing
+/// in every span, and reads only the footer plus the covering spans —
+/// proven by the I/O byte counter, not by trusting the implementation.
+#[test]
+fn extract_range_matches_full_decode_and_bounds_io() {
+    let raw = demo_trace(1_600); // 16 blocks of 100, checkpoints every 4
+    let opts = options(4, 1, 1);
+    let engine = Engine::new(spec(), opts);
+    let packed = engine.compress(&raw).expect("compress");
+    let record_len = spec().record_bytes() as usize;
+    let body = &raw[4..];
+    let slice = |a: usize, b: usize| body[a * record_len..b * record_len].to_vec();
+    for (a, b) in [(0usize, 10usize), (390, 410), (1000, 1000), (1560, 1600), (0, 1600)] {
+        let rec = Recorder::new();
+        let got = extract_range(
+            &spec(),
+            &opts,
+            &mut Cursor::new(&packed),
+            a as u64..b as u64,
+            Some(&rec),
+        )
+        .unwrap_or_else(|e| panic!("extract {a}..{b}: {e}"));
+        assert_eq!(got, slice(a, b), "range {a}..{b}");
+    }
+    // A tail range covers only the last span (blocks 12..16): the bytes
+    // read must be far below the container size.
+    let rec = Recorder::new();
+    let counter = rec.counter(SEEK_BYTES_READ);
+    let got = extract_range(&spec(), &opts, &mut Cursor::new(&packed), 1560..1600, Some(&rec))
+        .expect("tail range");
+    assert_eq!(got, slice(1560, 1600));
+    let read = counter.get();
+    assert!(
+        read < packed.len() as u64 / 2,
+        "tail extraction read {read} of {} container bytes — not seeking",
+        packed.len()
+    );
+
+    // Out-of-range requests fail instead of clamping silently.
+    assert!(extract_range(&spec(), &opts, &mut Cursor::new(&packed), 1590..1601, None).is_err());
+}
+
+/// Containers without checkpoints have no footer to seek: extraction
+/// reports that clearly so callers can fall back to sequential replay.
+#[test]
+fn extract_range_requires_a_checkpointed_container() {
+    let raw = demo_trace(500);
+    let opts = options(0, 1, 1);
+    let packed = Engine::new(spec(), opts).compress(&raw).expect("compress");
+    let err = extract_range(&spec(), &opts, &mut Cursor::new(&packed), 0..10, None)
+        .expect_err("no footer must fail");
+    match err {
+        StreamError::Codec(Error::Corrupt(msg)) => {
+            assert!(msg.contains("no checkpoint footer"), "{msg}")
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
+
+/// `inspect` reads prelude and footer only — no spec required — and
+/// reports the span structure with per-span record ranges.
+#[test]
+fn inspect_reports_spans_and_record_ranges() {
+    let raw = demo_trace(1_200); // 12 blocks, checkpoints before 5 and 10
+    let opts = options(5, 1, 1);
+    let packed = Engine::new(spec(), opts).compress(&raw).expect("compress");
+    let info = inspect(&mut Cursor::new(&packed)).expect("inspect");
+    assert_eq!(info.version, 1);
+    assert!(info.checkpointed);
+    assert_eq!(info.header_len, 4);
+    assert_eq!(info.n_blocks, Some(12));
+    assert_eq!(info.total_records, Some(1_200));
+    assert_eq!(info.file_len, packed.len() as u64);
+    assert_eq!(info.spans.len(), 3);
+    assert_eq!(
+        info.spans.iter().map(|s| (s.start_record, s.end_record)).collect::<Vec<_>>(),
+        vec![(0, 500), (500, 1_000), (1_000, 1_200)]
+    );
+    assert!(info.spans[0].checkpoint_offset.is_none());
+    assert!(info.spans[1].checkpoint_offset.is_some());
+
+    // Legacy containers inspect too, just without a footer.
+    let legacy = Engine::new(spec(), options(0, 1, 1)).compress(&raw).expect("compress");
+    let info = inspect(&mut Cursor::new(&legacy)).expect("inspect legacy");
+    assert!(!info.checkpointed);
+    assert_eq!(info.n_blocks, None);
+    assert!(info.spans.is_empty());
+}
+
+/// The parallel span path reports how many spans it fanned out, so this
+/// (with the pool-overlap unit test) demonstrates span concurrency even
+/// on machines where wall-clock comparisons are meaningless.
+#[test]
+fn multithreaded_decompress_takes_the_span_path() {
+    let raw = demo_trace(1_200);
+    let packed = Engine::new(spec(), options(4, 1, 1)).compress(&raw).expect("compress");
+    let rec = Recorder::new();
+    let spans = rec.counter("decompress.spans");
+    let engine = Engine::new(spec(), options(0, 4, 1)).with_telemetry(rec);
+    assert_eq!(engine.decompress(&packed).expect("decompress"), raw);
+    assert_eq!(spans.get(), 3, "12 blocks at interval 4 fan out as 3 spans");
+
+    // Single-threaded decode replays sequentially: no span fan-out.
+    let rec = Recorder::new();
+    let spans = rec.counter("decompress.spans");
+    let engine = Engine::new(spec(), options(0, 1, 1)).with_telemetry(rec);
+    assert_eq!(engine.decompress(&packed).expect("decompress"), raw);
+    assert_eq!(spans.get(), 0, "serial decode must not fan out spans");
+}

@@ -188,6 +188,43 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// Snapshot → restore → continue is byte-identical for every element
+    /// width and predictor kind the spec grammar can express: a
+    /// checkpointed container roundtrips through both the sequential and
+    /// the span-parallel decode path, and seeking into it via
+    /// `extract_range` — which restores a mid-stream snapshot and
+    /// replays from there — yields exactly the records a full decode
+    /// yields.
+    #[test]
+    fn checkpointed_containers_roundtrip_and_seek(
+        src in spec_source(),
+        mut options in options_strategy(),
+        interval in 1usize..4,
+        payload in proptest::collection::vec(any::<u8>(), 0..4_000),
+        frac in 0.0f64..1.0,
+    ) {
+        let spec = tcgen_spec::parse(&src).expect("generated specs are valid");
+        let header = spec.header_bytes() as usize;
+        let record = spec.record_bytes() as usize;
+        let usable = header + (payload.len().saturating_sub(header) / record) * record;
+        let raw = &payload[..usable.min(payload.len())];
+        if raw.len() < header {
+            return Ok(());
+        }
+        options.checkpoint_blocks = interval;
+        let engine = Engine::new(spec.clone(), options);
+        let packed = engine.compress(raw).unwrap();
+        prop_assert_eq!(engine.decompress(&packed).unwrap(), raw);
+        let parallel = Engine::new(spec.clone(), EngineOptions { threads: 4, ..options });
+        prop_assert_eq!(parallel.decompress(&packed).unwrap(), raw);
+        let total = ((raw.len() - header) / record) as u64;
+        let start = ((total as f64) * frac) as u64;
+        let mut cursor = std::io::Cursor::new(&packed[..]);
+        let got = tcgen_engine::extract_range(&spec, &options, &mut cursor, start..total, None)
+            .unwrap();
+        prop_assert_eq!(&got[..], &raw[header + start as usize * record..]);
+    }
+
     /// Pruning at any threshold yields a valid spec whose engine still
     /// roundtrips the trace that produced the usage report.
     #[test]

@@ -102,6 +102,50 @@ pub enum ReplayError {
     },
 }
 
+/// Version byte leading every [`FieldBank::snapshot`] encoding, bumped
+/// whenever the byte layout changes so stale checkpoints fail loudly.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// A predictor-state snapshot that cannot be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot was written by an unknown encoding version.
+    BadVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The snapshot's element width does not match this bank's.
+    WrongElement {
+        /// Element bits recorded in the snapshot.
+        found: u8,
+        /// Element bits this bank stores.
+        expected: u8,
+    },
+    /// The snapshot body is not exactly the bank's state size.
+    Length,
+    /// A restored fast-mode hash indexes outside its table.
+    HashOutOfRange,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadVersion { found } => {
+                write!(f, "unknown snapshot version {found}")
+            }
+            SnapshotError::WrongElement { found, expected } => {
+                write!(f, "snapshot element width {found} does not match bank width {expected}")
+            }
+            SnapshotError::Length => write!(f, "snapshot length does not match bank state"),
+            SnapshotError::HashOutOfRange => {
+                write!(f, "snapshot hash state indexes outside its table")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
 /// All predictor state for one field, stored as element type `E`.
 ///
 /// Obtained through [`FieldBank::new`], which picks `E`; the methods here
@@ -785,6 +829,96 @@ impl<E: TableElement> TypedBank<E> {
             + self.stride_tables.iter().map(|t| t.memory_bytes()).sum::<usize>()
     }
 
+    /// Serializes every table and first-level hash slot to `out`, little
+    /// endian: last-value tables, then each FCM and DFCM bank (hash state
+    /// first, then its second-level tables), then stride tables. Elements
+    /// are written at the element width; hashes at 4 bytes, history at 8.
+    /// Occupancy counters and planning scratch are deliberately excluded
+    /// — the former only feeds usage reports, the latter revalidates
+    /// itself per column.
+    fn snapshot_into(&self, out: &mut Vec<u8>) {
+        let w = (E::BITS / 8) as usize;
+        fn put(out: &mut Vec<u8>, v: u64, w: usize) {
+            out.extend_from_slice(&v.to_le_bytes()[..w]);
+        }
+        for t in &self.lv_tables {
+            for v in t.values() {
+                put(out, v.to_u64(), w);
+            }
+        }
+        for bank in self.fcm_banks.iter().chain(&self.dfcm_banks) {
+            let (hashes, history) = bank.hash_state();
+            for &h in hashes {
+                put(out, u64::from(h), 4);
+            }
+            for &h in history {
+                put(out, h, 8);
+            }
+            for t in bank.tables() {
+                for v in t.table.values() {
+                    put(out, v.to_u64(), w);
+                }
+            }
+        }
+        for t in &self.stride_tables {
+            for v in t.values() {
+                put(out, v.to_u64(), w);
+            }
+        }
+    }
+
+    /// The inverse of [`Self::snapshot_into`]: overwrites this bank's
+    /// state from `bytes`. Values are re-masked to the field width on the
+    /// way in and fast-mode hashes are range-checked, so a forged
+    /// snapshot can only yield wrong output, never a panic.
+    fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let w = (E::BITS / 8) as usize;
+        let mask = self.mask;
+        let mut pos = 0usize;
+        fn read(bytes: &[u8], pos: &mut usize, w: usize) -> Result<u64, SnapshotError> {
+            let s = bytes.get(*pos..*pos + w).ok_or(SnapshotError::Length)?;
+            *pos += w;
+            let mut v = 0u64;
+            for (i, &b) in s.iter().enumerate() {
+                v |= u64::from(b) << (8 * i);
+            }
+            Ok(v)
+        }
+        for t in &mut self.lv_tables {
+            for v in t.values_mut() {
+                *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+            }
+        }
+        for bank in self.fcm_banks.iter_mut().chain(self.dfcm_banks.iter_mut()) {
+            {
+                let (hashes, history) = bank.hash_state_mut();
+                for h in hashes {
+                    *h = read(bytes, &mut pos, 4)? as u32;
+                }
+                for h in history {
+                    *h = read(bytes, &mut pos, 8)?;
+                }
+            }
+            for t in bank.tables_mut() {
+                for v in t.table.values_mut() {
+                    *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+                }
+            }
+            if !bank.hash_indices_valid() {
+                return Err(SnapshotError::HashOutOfRange);
+            }
+        }
+        for t in &mut self.stride_tables {
+            for v in t.values_mut() {
+                *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+            }
+        }
+        if pos != bytes.len() {
+            return Err(SnapshotError::Length);
+        }
+        Ok(())
+    }
+
     /// Occupancy of every table: the shared L1 line space first, then
     /// each (D)FCM second-level table in predictor order.
     fn occupancy(&self) -> Vec<TableOccupancy> {
@@ -1003,6 +1137,48 @@ impl FieldBank {
     /// accumulate across every update this bank has seen.
     pub fn occupancy(&self) -> Vec<TableOccupancy> {
         dispatch!(self, b => b.occupancy())
+    }
+
+    /// Serializes this bank's complete predictor state — every table and
+    /// first-level hash slot — into a versioned byte encoding. A bank
+    /// built for the same field under the same options and handed the
+    /// snapshot via [`Self::restore`] continues modeling or replaying
+    /// exactly where this one stands.
+    ///
+    /// Layout: `[SNAPSHOT_VERSION, element_bits]` then the state body
+    /// (see `TypedBank::snapshot_into`). The length is fully determined
+    /// by the spec and options, so equal configurations always produce
+    /// equal-size snapshots.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = vec![SNAPSHOT_VERSION, self.element_bits() as u8];
+        dispatch!(self, b => b.snapshot_into(&mut out));
+        out
+    }
+
+    /// Restores state previously captured by [`Self::snapshot`] on an
+    /// identically configured bank.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown version byte, an element-width mismatch, a
+    /// body whose length does not match this bank's state, or fast-mode
+    /// hashes indexing outside their tables. Values are re-masked on the
+    /// way in, so a corrupted-but-well-formed snapshot yields wrong
+    /// output, never a panic.
+    pub fn restore(&mut self, snapshot: &[u8]) -> Result<(), SnapshotError> {
+        let [version, element, body @ ..] = snapshot else {
+            return Err(SnapshotError::Length);
+        };
+        if *version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { found: *version });
+        }
+        if u32::from(*element) != self.element_bits() {
+            return Err(SnapshotError::WrongElement {
+                found: *element,
+                expected: self.element_bits() as u8,
+            });
+        }
+        dispatch!(self, b => b.restore_from(body))
     }
 }
 
@@ -1493,6 +1669,176 @@ mod columnar_tests {
             bank.replay_column(Some(&pcs), &codes, &extra, &mut Vec::new()),
             Err(ReplayError::TrailingValues { left: 1 })
         );
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use tcgen_spec::parse;
+
+    fn columns(n: usize, seed: u64) -> (Vec<u64>, Vec<u64>) {
+        let mut x = seed;
+        let mut pcs = Vec::with_capacity(n);
+        let mut vals = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            pcs.push(x >> 44);
+            vals.push(if i % 3 == 0 { x >> 8 } else { i * 8 + 5 });
+        }
+        (pcs, vals)
+    }
+
+    /// Fields covering every element width and every predictor kind,
+    /// alone and composed (declared as Field 2 so the L1 sizes are legal;
+    /// the PC field itself has to keep L1 = 1).
+    fn snapshot_specs() -> Vec<tcgen_spec::TraceSpec> {
+        [
+            "8-Bit Field 2 = {L1 = 16, L2 = 64: FCM2[2], DFCM1[1], ST[2], LV[2]};",
+            "16-Bit Field 2 = {L1 = 4, L2 = 128: DFCM3[2], LV[1]};",
+            "32-Bit Field 2 = {L1 = 64, L2 = 256: FCM1[1], FCM3[2], LV[3]};",
+            "64-Bit Field 2 = {L1 = 16, L2 = 256: DFCM2[2], FCM2[1], ST[3], LV[2]};",
+            "64-Bit Field 2 = {: LV[4]};",
+            "32-Bit Field 2 = {: ST[2], LV[1]};",
+        ]
+        .iter()
+        .map(|field| {
+            parse(&format!(
+                "TCgen Trace Specification;\n32-Bit Field 1 = {{: LV[1]}};\n{field}\n\
+                 PC = Field 1;"
+            ))
+            .unwrap()
+        })
+        .collect()
+    }
+
+    fn snapshot_option_sets() -> Vec<PredictorOptions> {
+        let d = PredictorOptions::default();
+        vec![
+            d,
+            PredictorOptions { fast_hash: false, ..d },
+            PredictorOptions { shared_tables: false, ..d },
+            PredictorOptions { minimal_elements: false, ..d },
+            PredictorOptions { policy: UpdatePolicy::Always, ..d },
+        ]
+    }
+
+    /// The checkpoint invariant: model N records, snapshot, restore into
+    /// a fresh bank — and both modeling and replay continue byte-for-byte
+    /// identically to the uninterrupted bank, for every element width,
+    /// predictor kind, and option set.
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let (pcs, vals) = columns(2_400, 0x0123_4567_89ab_cdef);
+        let split = 1_100;
+        for spec in snapshot_specs() {
+            let field = &spec.fields[1];
+            for options in snapshot_option_sets() {
+                // Model the first half, snapshot, and keep modeling.
+                let mut live = FieldBank::new(field, options);
+                let (mut c1, mut m1) = (Vec::new(), Vec::new());
+                live.model_column(&pcs[..split], &vals[..split], &mut c1, &mut m1);
+                let snap = live.snapshot();
+                let (mut live_codes, mut live_misses) = (Vec::new(), Vec::new());
+                live.model_column(
+                    &pcs[split..],
+                    &vals[split..],
+                    &mut live_codes,
+                    &mut live_misses,
+                );
+
+                // A restored bank models the second half identically.
+                let mut restored = FieldBank::new(field, options);
+                restored.restore(&snap).expect("snapshot restores");
+                let (mut codes, mut misses) = (Vec::new(), Vec::new());
+                restored.model_column(&pcs[split..], &vals[split..], &mut codes, &mut misses);
+                assert_eq!(codes, live_codes, "{}-bit {options:?}", field.bits);
+                assert_eq!(misses, live_misses, "{}-bit {options:?}", field.bits);
+
+                // And a restored bank replays the second half identically
+                // to an uninterrupted replay of the whole column.
+                let mut full = FieldBank::new(field, options);
+                let mut full_out = Vec::new();
+                let all_codes: Vec<u8> = c1.iter().chain(&live_codes).copied().collect();
+                let all_misses: Vec<u64> = m1.iter().chain(&live_misses).copied().collect();
+                full.replay_column(Some(&pcs), &all_codes, &all_misses, &mut full_out)
+                    .expect("full replay");
+                let mut resumed = FieldBank::new(field, options);
+                resumed.restore(&snap).expect("snapshot restores for replay");
+                let mut tail = Vec::new();
+                resumed
+                    .replay_column(Some(&pcs[split..]), &codes, &misses, &mut tail)
+                    .expect("resumed replay");
+                assert_eq!(tail, full_out[split..], "{}-bit {options:?}", field.bits);
+            }
+        }
+    }
+
+    /// Snapshot size is configuration-determined and the round-trip is
+    /// exact: restore(snapshot()) reproduces the identical snapshot.
+    #[test]
+    fn snapshots_roundtrip_bytewise() {
+        let (pcs, vals) = columns(800, 777);
+        for spec in snapshot_specs() {
+            let field = &spec.fields[1];
+            let options = PredictorOptions::default();
+            let mut bank = FieldBank::new(field, options);
+            let empty_len = bank.snapshot().len();
+            bank.model_column(&pcs, &vals, &mut Vec::new(), &mut Vec::new());
+            let snap = bank.snapshot();
+            assert_eq!(snap.len(), empty_len, "snapshot size must be state-independent");
+            let mut other = FieldBank::new(field, options);
+            other.restore(&snap).unwrap();
+            assert_eq!(other.snapshot(), snap);
+        }
+    }
+
+    /// Malformed snapshots fail cleanly: bad version, wrong element
+    /// width, truncation, padding, and forged out-of-range hashes.
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let spec = parse(
+            "TCgen Trace Specification;\n32-Bit Field 1 = {: LV[1]};\n\
+             32-Bit Field 2 = {L1 = 4, L2 = 64: FCM2[1], LV[1]};\nPC = Field 1;",
+        )
+        .unwrap();
+        let (pcs, vals) = columns(300, 99);
+        let mut bank = FieldBank::new(&spec.fields[1], PredictorOptions::default());
+        bank.model_column(&pcs, &vals, &mut Vec::new(), &mut Vec::new());
+        let snap = bank.snapshot();
+
+        let mut target = FieldBank::new(&spec.fields[1], PredictorOptions::default());
+        let mut bad = snap.clone();
+        bad[0] = SNAPSHOT_VERSION + 1;
+        assert_eq!(
+            target.restore(&bad),
+            Err(SnapshotError::BadVersion { found: SNAPSHOT_VERSION + 1 })
+        );
+        let mut bad = snap.clone();
+        bad[1] = 64;
+        assert_eq!(
+            target.restore(&bad),
+            Err(SnapshotError::WrongElement { found: 64, expected: 32 })
+        );
+        assert_eq!(target.restore(&snap[..snap.len() - 1]), Err(SnapshotError::Length));
+        let mut bad = snap.clone();
+        bad.push(0);
+        assert_eq!(target.restore(&bad), Err(SnapshotError::Length));
+        assert_eq!(target.restore(&[]), Err(SnapshotError::Length));
+
+        // Forge every hash slot out of range: L2 = 64 and order 2 give
+        // 128 lines, so u32::MAX can never be a valid index.
+        let mut forged = snap.clone();
+        // Hash state sits right after the LV table (4 lines × 1 × 4 bytes
+        // element) plus the 2-byte header; 4 lines × 2 orders × 4 bytes.
+        let hash_start = 2 + 4 * 4;
+        for b in &mut forged[hash_start..hash_start + 4 * 2 * 4] {
+            *b = 0xff;
+        }
+        assert_eq!(target.restore(&forged), Err(SnapshotError::HashOutOfRange));
+        // The failed restores never corrupted the bank into a panic.
+        let mut out = Vec::new();
+        bank.predict_into(pcs[0], &mut out);
     }
 }
 

@@ -91,6 +91,17 @@ impl<E: TableElement> ValueTable<E> {
     pub fn memory_bytes(&self) -> usize {
         self.values.len() * std::mem::size_of::<E>()
     }
+
+    /// All values, line-major — the serialization surface for checkpoint
+    /// snapshots.
+    pub fn values(&self) -> &[E] {
+        &self.values
+    }
+
+    /// Mutable view of all values, line-major, for snapshot restore.
+    pub fn values_mut(&mut self) -> &mut [E] {
+        &mut self.values
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,9 @@ hardware and are printed for information only.
 The `TCgen-fast` and `TCgen-balanced` profile rows are the exception:
 their backends are free to improve their encodings, so their sizes are
 reported but not enforced. Only the default `--profile max` container
-(the `TCgen` row) is golden-pinned.
+(the `TCgen` row) is golden-pinned. The `checkpoint_speed` object is
+likewise informational: checkpointed containers carry predictor-state
+snapshots whose sizes and timings may evolve freely.
 
 The --tune-report mode summarizes a `tcgen tune --json` report instead:
 it prints the tuned-vs-default compressed-size ratio and the evaluation
@@ -79,6 +81,29 @@ def profile_speed(path):
     )
 
 
+def checkpoint_speed(path):
+    """Prints the checkpointed-container rows, if recorded.
+
+    Informational only: checkpointed sizes include predictor-state
+    snapshots whose encodings are free to evolve, and decompression
+    wall times depend on the runner's core count. Only the
+    non-checkpointed max-profile rows in `results` are golden-pinned.
+    """
+    with open(path) as f:
+        speed = json.load(f).get("checkpoint_speed")
+    if speed is None:
+        return
+    per = ", ".join(
+        f"interval {r['checkpoint_blocks']}/t{r['threads']} "
+        f"{r['compressed_bytes']}B {r['decompress_s']:.3f}s decompress"
+        for r in speed["rows"]
+    )
+    print(
+        f"checkpoint speed on {speed['trace']} ({speed['records']} records, "
+        f"block_records {speed['block_records']}): {per} (informational)"
+    )
+
+
 def tune_report(path):
     with open(path) as f:
         report = json.load(f)
@@ -136,6 +161,7 @@ def main():
             )
     telemetry_overhead(sys.argv[2])
     profile_speed(sys.argv[2])
+    checkpoint_speed(sys.argv[2])
     sys.exit(1 if failed else 0)
 
 
