@@ -1,0 +1,134 @@
+//! Criterion benchmark for the decompression fast path, broken down by
+//! stage: post-codec segment unpacking (both backends), the multi-symbol
+//! Huffman group decode, the inverse BWT walk, and predictor replay.
+//! The `pipeline` benchmark measures the end-to-end decode; this one
+//! isolates each stage so a throughput regression names its culprit.
+//!
+//! Under `cargo bench` the trace is 2 M records; under `cargo test`
+//! (criterion's test mode) a small trace keeps the smoke run fast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tcgen_engine::{codec, EngineOptions};
+use tcgen_tracegen::{generate_trace, suite, TraceKind};
+
+const VPC3_SPEC: &str = include_str!("../../../specs/vpc3.tcgen");
+
+fn record_count() -> usize {
+    if std::env::args().any(|a| a == "--bench") {
+        2_000_000
+    } else {
+        20_000
+    }
+}
+
+fn spec() -> tcgen_spec::TraceSpec {
+    tcgen_spec::parse(VPC3_SPEC).expect("spec parses")
+}
+
+fn trace() -> Vec<u8> {
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("program exists");
+    generate_trace(&program, TraceKind::StoreAddress, record_count()).to_bytes()
+}
+
+/// The concatenated model streams of the trace — the bytes the post-codec
+/// stages actually see during decompression, with the stream statistics
+/// (skewed codes, slowly drifting values) the decoders are tuned for.
+fn stream_payload(spec: &tcgen_spec::TraceSpec, raw: &[u8]) -> Vec<u8> {
+    codec::raw_streams(spec, &EngineOptions::tcgen(), raw).expect("model").concat()
+}
+
+/// Segment unpacking per backend: the whole-container decode of the
+/// model streams through the `max` (BWT) and `fast` (range-coder)
+/// post-codecs, scratch reused as the engine's worker pools do.
+fn bench_unpack(c: &mut Criterion) {
+    let spec = spec();
+    let raw = trace();
+    let payload = stream_payload(&spec, &raw);
+    let mut group = c.benchmark_group("decode/unpack");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.sample_size(10);
+
+    let packed = blockzip::compress(&payload).expect("blockzip pack");
+    let mut scratch = blockzip::Scratch::default();
+    group.bench_function("max", |b| {
+        b.iter(|| {
+            blockzip::decompress_with_scratch(&packed, usize::MAX, &mut scratch)
+                .expect("unpack")
+        })
+    });
+
+    let packed =
+        blockzip::range::compress_with_scratch(&payload, blockzip::Level::BEST, &mut scratch)
+            .expect("range pack");
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            blockzip::range::decompress_with_scratch(&packed, usize::MAX, &mut scratch)
+                .expect("unpack")
+        })
+    });
+    group.finish();
+}
+
+/// The two dominant sub-stages of a `max`-backend block decode, each on
+/// one BEST-level block of the stream payload: the Huffman group decode
+/// (pair-LUT fast path) and the inverse BWT walk (single allocation,
+/// buffers reused). Throughput is in decoded block bytes.
+fn bench_block_stages(c: &mut Criterion) {
+    use blockzip::bitio::{BitReader, BitWriter};
+    use blockzip::{bwt, groups, mtf, rle};
+
+    let spec = spec();
+    let raw = trace();
+    let payload = stream_payload(&spec, &raw);
+    let chunk = &payload[..payload.len().min(blockzip::Level::BEST.block_size())];
+    let transformed = bwt::forward(chunk);
+
+    let ranks = mtf::encode(&transformed.data);
+    let symbols = rle::encode(&ranks);
+    let mut bits = BitWriter::new();
+    groups::encode_symbols(&symbols, rle::ALPHABET, &mut bits);
+    let coded = bits.into_bytes();
+
+    let mut group = c.benchmark_group("decode/stage");
+    group.throughput(Throughput::Bytes(chunk.len() as u64));
+    group.sample_size(10);
+
+    let mut decoded = Vec::new();
+    group.bench_function("huffman", |b| {
+        b.iter(|| {
+            let mut r = BitReader::new(&coded);
+            groups::decode_symbols_into(&mut r, rle::ALPHABET, &mut decoded).expect("decode");
+        })
+    });
+
+    let mut lf = Vec::new();
+    let mut out = Vec::new();
+    group.bench_function("unbwt", |b| {
+        b.iter(|| {
+            out.clear();
+            bwt::inverse_into(&transformed, &mut lf, &mut out).expect("inverse");
+        })
+    });
+    group.finish();
+}
+
+/// Predictor replay in isolation (single-threaded): the stage the
+/// batched replay kernels accelerate, measured in records per second
+/// like `modeling/replay` but grouped with the other decode stages.
+fn bench_replay(c: &mut Criterion) {
+    let spec = spec();
+    let raw = trace();
+    let records = record_count();
+    let opts = EngineOptions::tcgen();
+    let streams = codec::raw_streams(&spec, &opts, &raw).expect("model");
+    let mut group = c.benchmark_group("decode/replay");
+    group.throughput(Throughput::Elements(records as u64));
+    group.sample_size(10);
+    group.bench_function("vpc3", |b| {
+        b.iter(|| codec::replay_streams(&spec, &opts, streams.clone()).expect("replay"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unpack, bench_block_stages, bench_replay);
+criterion_main!(benches);

@@ -64,7 +64,22 @@ impl<'a> BitReader<'a> {
         Self { bytes, pos: 0, acc: 0, avail: 0 }
     }
 
+    #[inline]
     fn refill(&mut self) {
+        // Fast path: away from the tail, top the accumulator up from one
+        // unaligned 8-byte load instead of a byte-at-a-time loop. `take`
+        // is the whole-byte count that fits above the buffered bits, so
+        // the result is bit-identical to pushing those bytes one by one.
+        if self.avail <= 56 && self.pos + 8 <= self.bytes.len() {
+            let chunk: [u8; 8] =
+                self.bytes[self.pos..self.pos + 8].try_into().expect("8-byte slice");
+            let word = u64::from_be_bytes(chunk);
+            let take = (64 - self.avail) & !7;
+            self.acc |= (word >> (64 - take)) << (64 - self.avail - take);
+            self.pos += (take / 8) as usize;
+            self.avail += take;
+            return;
+        }
         while self.avail <= 56 && self.pos < self.bytes.len() {
             self.acc |= u64::from(self.bytes[self.pos]) << (56 - self.avail);
             self.pos += 1;

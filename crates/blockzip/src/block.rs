@@ -87,6 +87,7 @@ pub struct Scratch {
     pub(crate) ranks: Vec<u8>,
     pub(crate) symbols: Vec<u16>,
     pub(crate) bytes: Vec<u8>,
+    pub(crate) lf: Vec<u32>,
     pub(crate) probes: Option<Probes>,
 }
 
@@ -259,33 +260,41 @@ fn decompress_block(
 
     let mut mark = scratch.probes.as_ref().map(|_| Instant::now());
     let mut bits = BitReader::new(payload);
-    let symbols = groups::decode_symbols(&mut bits, rle::ALPHABET).map_err(Error::Corrupt)?;
+    groups::decode_symbols_into(&mut bits, rle::ALPHABET, &mut scratch.symbols)
+        .map_err(Error::Corrupt)?;
     lap(&scratch.probes, &mut mark, |p| &p.entropy_decode_ns);
-    rle::decode_into(&symbols, raw_len, &mut scratch.ranks).map_err(Error::Corrupt)?;
+    // The fused inverse undoes RLE2 and MTF in a single pass, leaving the
+    // BWT last-column bytes in `scratch.bytes`.
+    rle::decode_mtf_into(&scratch.symbols, raw_len, &mut scratch.bytes)
+        .map_err(Error::Corrupt)?;
     lap(&scratch.probes, &mut mark, |p| &p.unrle_ns);
-    let ranks = &scratch.ranks;
-    if ranks.len() != raw_len {
+    if scratch.bytes.len() != raw_len {
         return Err(Error::Corrupt(format!(
             "block length mismatch: header {raw_len}, decoded {}",
-            ranks.len()
+            scratch.bytes.len()
         )));
     }
-    let transformed = bwt::Bwt { data: mtf::decode(ranks), sentinel };
-    if (sentinel as usize) > transformed.data.len() {
+    if (sentinel as usize) > raw_len {
         return Err(Error::Corrupt(format!(
             "sentinel row {sentinel} out of range for {raw_len}-byte block"
         )));
     }
-    let block = bwt::inverse(&transformed).map_err(Error::Corrupt)?;
-    let actual_crc = crc32(&block);
+    // Move the scratch buffer into the Bwt view (no copy) and put it back
+    // afterwards so the allocation is reused for the next block.
+    let transformed = bwt::Bwt { data: std::mem::take(&mut scratch.bytes), sentinel };
+    let base = out.len();
+    let walked = bwt::inverse_into(&transformed, &mut scratch.lf, out);
+    scratch.bytes = transformed.data;
+    walked.map_err(Error::Corrupt)?;
+    let actual_crc = crc32(&out[base..]);
     lap(&scratch.probes, &mut mark, |p| &p.unbwt_ns);
     if let Some(p) = &scratch.probes {
         p.blocks_decoded.add(1);
     }
     if actual_crc != expected_crc {
+        out.truncate(base);
         return Err(Error::CrcMismatch { expected: expected_crc, actual: actual_crc });
     }
-    out.extend_from_slice(&block);
     Ok(())
 }
 

@@ -63,12 +63,27 @@ pub fn forward_with(text: &[u8], scratch: &mut Scratch) -> Bwt {
 /// cleanly; the error paths exist so damaged compressed blocks are
 /// rejected instead of panicking.
 pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>, String> {
+    let mut lf = Vec::new();
+    let mut out = Vec::new();
+    inverse_into(bwt, &mut lf, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`inverse`], but appends the recovered text to `out` and reuses
+/// `lf_buf` for the LF-mapping table, so a steady-state decode loop runs
+/// without a single allocation per block. On error `out` is truncated
+/// back to its incoming length.
+///
+/// # Errors
+///
+/// As for [`inverse`].
+pub fn inverse_into(bwt: &Bwt, lf_buf: &mut Vec<u32>, out: &mut Vec<u8>) -> Result<(), String> {
     let n = bwt.data.len();
     if bwt.sentinel as usize > n {
         return Err(format!("sentinel row {} out of range for {n} bytes", bwt.sentinel));
     }
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let m = n + 1; // rows including the sentinel
     let sentinel = bwt.sentinel as usize;
@@ -89,11 +104,12 @@ pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>, String> {
     }
 
     // lf[row] = row of the previous character's rotation.
-    let mut lf = vec![0u32; m];
+    lf_buf.clear();
+    lf_buf.resize(m, 0);
     {
         let mut seen = starts;
         let mut data_iter = bwt.data.iter();
-        for (row, slot) in lf.iter_mut().enumerate() {
+        for (row, slot) in lf_buf.iter_mut().enumerate() {
             if row == sentinel {
                 *slot = 0; // the sentinel occurrence maps to first-column row 0
             } else {
@@ -107,7 +123,9 @@ pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>, String> {
     // Row 0 starts with the sentinel, i.e. it is the rotation "$T"; its
     // last-column character is the final byte of T. Walking LF yields the
     // text back to front.
-    let mut out = vec![0u8; n];
+    let base = out.len();
+    out.resize(base + n, 0);
+    let dst = &mut out[base..];
     let mut row = 0usize;
     for k in (0..n).rev() {
         // A consistent transform only reaches the sentinel row after the
@@ -115,17 +133,19 @@ pub fn inverse(bwt: &Bwt) -> Result<Vec<u8>, String> {
         // the sentinel is the last row, its translated index would read
         // past the data array).
         if row == sentinel {
+            out.truncate(base);
             return Err("inverse BWT walk reached the sentinel row early".to_string());
         }
         // Translate the row back to an index into the stored data bytes.
         let data_idx = if row > sentinel { row - 1 } else { row };
-        out[k] = bwt.data[data_idx];
-        row = lf[row] as usize;
+        dst[k] = bwt.data[data_idx];
+        row = lf_buf[row] as usize;
     }
     if row != sentinel {
+        out.truncate(base);
         return Err("inverse BWT walk did not end at the sentinel row".to_string());
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -216,6 +216,23 @@ pub fn encode_symbols(symbols: &[u16], alphabet: usize, w: &mut BitWriter) {
 ///
 /// Returns `Err` on malformed headers, selector streams, or codes.
 pub fn decode_symbols(r: &mut BitReader<'_>, alphabet: usize) -> Result<Vec<u16>, String> {
+    let mut out = Vec::new();
+    decode_symbols_into(r, alphabet, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`decode_symbols`], but clears and fills a caller-provided buffer
+/// so a steady-state decode loop reuses the symbol allocation across
+/// blocks.
+///
+/// # Errors
+///
+/// As for [`decode_symbols`].
+pub fn decode_symbols_into(
+    r: &mut BitReader<'_>,
+    alphabet: usize,
+    out: &mut Vec<u16>,
+) -> Result<(), String> {
     let dense = read_used_map(alphabet, r)?;
     let n_tables = r.read(3)? as usize;
     if !(2..=MAX_TABLES).contains(&n_tables) {
@@ -252,22 +269,44 @@ pub fn decode_symbols(r: &mut BitReader<'_>, alphabet: usize) -> Result<Vec<u16>
     // Each decoded symbol consumes at least one payload bit, so the
     // bit budget also caps the reservation for adversarial selectors.
     let cap = (n_groups * GROUP_SIZE).min(r.remaining_bits() as usize + 1);
-    let mut out = Vec::with_capacity(cap);
+    out.clear();
+    out.reserve(cap);
     'groups: for &sel in &selectors {
         let dec = &decoders[sel as usize];
-        for _ in 0..GROUP_SIZE {
-            let sym = dec.decode_symbol(r)?;
-            let done = sym == EOB;
-            out.push(sym);
-            if done {
-                break 'groups;
+        let mut left = GROUP_SIZE;
+        while left > 0 {
+            // The pair fast path decodes two symbols per lookup, but both
+            // must belong to this group — the next group may use a
+            // different table — so it only runs with two slots left.
+            if left >= 2 {
+                let (a, b) = dec.decode_pair(r, EOB)?;
+                out.push(a);
+                if a == EOB {
+                    break 'groups;
+                }
+                left -= 1;
+                if let Some(b) = b {
+                    out.push(b);
+                    if b == EOB {
+                        break 'groups;
+                    }
+                    left -= 1;
+                }
+            } else {
+                let sym = dec.decode_symbol(r)?;
+                let done = sym == EOB;
+                out.push(sym);
+                if done {
+                    break 'groups;
+                }
+                left -= 1;
             }
         }
     }
     if out.last() != Some(&EOB) {
         return Err("stream ended without EOB".to_string());
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

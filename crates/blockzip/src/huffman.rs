@@ -60,11 +60,26 @@ impl HuffmanEncoder {
     }
 }
 
+/// One entry of the two-symbol lookup table: the first symbol decoded
+/// from a `PEEK_BITS`-bit prefix and, when a complete second code also
+/// fits in the same window, that symbol too (`len2 == 0` otherwise).
+#[derive(Debug, Clone, Copy, Default)]
+struct PairEntry {
+    sym: u16,
+    sym2: u16,
+    len: u8,
+    len2: u8,
+}
+
 /// Decoder half of a canonical Huffman code.
 #[derive(Debug, Clone)]
 pub struct HuffmanDecoder {
     /// Fast path: `(symbol, length)` for every `PEEK_BITS`-bit prefix.
     lut: Vec<(u16, u8)>,
+    /// Faster path: up to two symbols per `PEEK_BITS`-bit prefix, so the
+    /// hot decode loop averages well under one peek/consume per symbol
+    /// on skewed (short-code) distributions.
+    pair: Vec<PairEntry>,
     /// Slow path, per length L (1-indexed): first canonical code value and
     /// the index of its first symbol in `sorted`.
     first_code: [u32; MAX_CODE_LEN as usize + 1],
@@ -156,7 +171,30 @@ impl HuffmanDecoder {
             }
         }
 
-        Ok(Self { lut, first_code, first_index, count, sorted, max_len })
+        // Two-symbol table, derived from the single-symbol one: after the
+        // first code's `len` bits, the window still holds
+        // `PEEK_BITS - len` real bits; if those start a complete second
+        // code, both symbols resolve from one peek. The shifted-in low
+        // bits are zero padding, which cannot influence the second lookup
+        // because a complete code is identified by its top `len2` bits
+        // alone and `len2 <= PEEK_BITS - len` keeps those bits real.
+        let mut pair = vec![PairEntry::default(); 1 << PEEK_BITS];
+        for (p, entry) in pair.iter_mut().enumerate() {
+            let (sym, len) = lut[p];
+            if len == 0 {
+                continue;
+            }
+            let len32 = u32::from(len);
+            let q = ((p as u32) << len32) & ((1u32 << PEEK_BITS) - 1);
+            let (sym2, len2) = lut[q as usize];
+            if len2 != 0 && u32::from(len2) <= PEEK_BITS - len32 {
+                *entry = PairEntry { sym, sym2, len, len2 };
+            } else {
+                *entry = PairEntry { sym, sym2: 0, len, len2: 0 };
+            }
+        }
+
+        Ok(Self { lut, pair, first_code, first_index, count, sorted, max_len })
     }
 
     /// Decodes one symbol from the bit stream.
@@ -186,6 +224,37 @@ impl HuffmanDecoder {
             }
         }
         Err("invalid huffman prefix".to_string())
+    }
+
+    /// Decodes one symbol and, when a complete second code sits in the
+    /// same lookup window, a second one — halving the peek/consume
+    /// traffic on the short codes that dominate post-MTF streams.
+    ///
+    /// The pair path is skipped when the first symbol equals `stop` (the
+    /// caller's terminator): the bits after a terminator are padding, not
+    /// a code, so decoding past it would over-consume. A first symbol
+    /// other than `stop` always has a real successor in the stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` on a truncated stream or a prefix matching no code.
+    #[inline]
+    pub fn decode_pair(
+        &self,
+        r: &mut BitReader<'_>,
+        stop: u16,
+    ) -> Result<(u16, Option<u16>), String> {
+        let peek = r.peek(PEEK_BITS) as usize;
+        let e = self.pair[peek];
+        if e.len2 != 0 && e.sym != stop {
+            r.consume(u32::from(e.len) + u32::from(e.len2))?;
+            return Ok((e.sym, Some(e.sym2)));
+        }
+        if e.len != 0 {
+            r.consume(u32::from(e.len))?;
+            return Ok((e.sym, None));
+        }
+        self.decode_symbol(r).map(|sym| (sym, None))
     }
 }
 
@@ -362,6 +431,58 @@ mod tests {
     #[test]
     fn empty_table_rejected() {
         assert!(HuffmanDecoder::from_lengths(&[0, 0]).is_err());
+    }
+
+    /// The two-symbol fast path must reproduce exactly the symbol
+    /// sequence of one-at-a-time decoding, terminator handling included,
+    /// on a skewed stream that exercises pair hits, pair misses (long
+    /// codes), and the stop guard.
+    #[test]
+    fn decode_pair_matches_decode_symbol() {
+        let stop = 257u16;
+        let mut freqs = vec![0u64; 258];
+        freqs[0] = 100_000;
+        freqs[1] = 40_000;
+        freqs[2] = 10_000;
+        for (s, f) in freqs.iter_mut().enumerate().skip(3) {
+            *f = 1 + (s as u64 % 7);
+        }
+        let mut stream: Vec<u16> = Vec::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            stream.push(if x >> 62 == 0 {
+                (x >> 13) as u16 % 257
+            } else {
+                (x >> 13) as u16 % 3
+            });
+        }
+        stream.push(stop);
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        enc.write_table(&mut w);
+        for &s in &stream {
+            enc.encode_symbol(s, &mut w);
+        }
+        let bytes = w.into_bytes();
+
+        let mut r = BitReader::new(&bytes);
+        let dec = HuffmanDecoder::read_table(&mut r, freqs.len()).unwrap();
+        let mut paired = Vec::new();
+        loop {
+            let (a, b) = dec.decode_pair(&mut r, stop).unwrap();
+            paired.push(a);
+            if a == stop {
+                break;
+            }
+            if let Some(b) = b {
+                paired.push(b);
+                if b == stop {
+                    break;
+                }
+            }
+        }
+        assert_eq!(paired, stream);
     }
 
     #[test]

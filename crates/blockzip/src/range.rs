@@ -247,6 +247,31 @@ impl<'a> Decoder<'a> {
         }
         Ok(bit)
     }
+
+    /// [`Self::decode_bit`] without the `Result` plumbing. Sound whenever
+    /// the next input byte is in bounds: the adapted probabilities stay
+    /// within `[31, 2017]`, so after either branch the range is at least
+    /// `2^24 * 31 / 2048 > 2^17` and renormalization pulls at most one
+    /// byte. Callers must check `pos + 1 <= input.len()` per bit (the
+    /// hot loop amortizes this to one bound check per decoded byte).
+    #[inline(always)]
+    fn decode_bit_fast(&mut self, prob: &mut u16) -> u32 {
+        let p = u32::from(*prob);
+        let bound = (self.range >> PROB_BITS) * p;
+        let bit = u32::from(self.code >= bound);
+        let m = bit.wrapping_neg();
+        self.code -= bound & m;
+        self.range = (bound & !m) | ((self.range - bound) & m);
+        let up = ((1 << PROB_BITS) - p) >> MOVE_BITS;
+        let down = p >> MOVE_BITS;
+        *prob = (p + (up & !m) - (down & m)) as u16;
+        if self.range < TOP {
+            self.code = (self.code << 8) | u32::from(self.input[self.pos]);
+            self.pos += 1;
+            self.range <<= 8;
+        }
+        bit
+    }
 }
 
 /// Decompresses a container produced by [`compress_with_scratch`],
@@ -336,8 +361,29 @@ fn decode_block(payload: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(),
     let mut probs = [PROB_INIT; 256];
     let mut dec = Decoder::new(payload)?;
     let mut prev = 0u8;
+    // One decoded byte codes at most 10 bits (match + far + 8 tree
+    // levels) and each bit renormalizes at most one input byte, so with
+    // 10 bytes of payload in hand a whole byte decodes on the unchecked
+    // path — the probability updates are the same instructions, so
+    // adaptation stays bit-identical to the checked tail.
+    const MAX_BYTES_PER_SYMBOL: usize = 10;
     for i in 0..raw_len {
-        if dec.decode_bit(&mut match_probs[prev as usize])? == 0 {
+        if dec.pos + MAX_BYTES_PER_SYMBOL <= dec.input.len() {
+            if dec.decode_bit_fast(&mut match_probs[prev as usize]) == 0 {
+                let far = if i >= FAR_LAG { out[i - FAR_LAG] } else { 0 };
+                let far_matched =
+                    far != prev && dec.decode_bit_fast(&mut far_probs[far as usize]) == 1;
+                if far_matched {
+                    prev = far;
+                } else {
+                    let mut ctx = 1usize;
+                    for _ in 0..8 {
+                        ctx = (ctx << 1) | dec.decode_bit_fast(&mut probs[ctx]) as usize;
+                    }
+                    prev = (ctx & 0xff) as u8;
+                }
+            }
+        } else if dec.decode_bit(&mut match_probs[prev as usize])? == 0 {
             let far = if i >= FAR_LAG { out[i - FAR_LAG] } else { 0 };
             let far_matched = far != prev && dec.decode_bit(&mut far_probs[far as usize])? == 1;
             if far_matched {

@@ -108,6 +108,79 @@ pub fn decode_into(symbols: &[u16], max_len: usize, out: &mut Vec<u8>) -> Result
     Err("missing end-of-block symbol".to_string())
 }
 
+/// Decodes RLE2 symbols straight into the MTF-inverted byte stream,
+/// fusing [`decode_into`] with [`crate::mtf::decode_into`] so the
+/// intermediate rank buffer (and its second pass over the block) never
+/// exists. The fusion leans on an MTF identity: a zero rank reads the
+/// front of the table and moves nothing, so a run of `n` zeros is `n`
+/// copies of the current front byte with the table untouched — one
+/// `extend` per run instead of a table probe per byte. Literal symbols
+/// carry ranks `1..=255` (rank 0 is always run-coded) and rotate the
+/// table exactly as the standalone MTF decoder does.
+///
+/// Output and error behaviour match running [`decode_into`] (with the
+/// same `max_len` cap) followed by the MTF inverse.
+///
+/// # Errors
+///
+/// As for [`decode_into`]: a symbol outside the alphabet, a missing
+/// [`EOB`] terminator, or decoded output exceeding `max_len`.
+pub fn decode_mtf_into(
+    symbols: &[u16],
+    max_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), String> {
+    out.clear();
+    let mut table = [0u8; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        *slot = i as u8;
+    }
+    let mut run = 0u64;
+    let mut digit = 1u64;
+    let mut in_run = false;
+    let emit = |out: &mut Vec<u8>, front: u8, run: u64| -> Result<(), String> {
+        if run > (max_len - out.len()) as u64 {
+            return Err(format!("run of {run} zeros exceeds the {max_len}-byte block limit"));
+        }
+        out.extend(std::iter::repeat_n(front, run as usize));
+        Ok(())
+    };
+    for &sym in symbols {
+        match sym {
+            RUNA | RUNB => {
+                let value: u64 = if sym == RUNA { 1 } else { 2 };
+                // Saturating: 33+ digit symbols already overshoot any real
+                // block; the cap check below reports the oversized run.
+                run = run.saturating_add(value.saturating_mul(digit));
+                digit = digit.saturating_mul(2);
+                in_run = true;
+            }
+            EOB => {
+                emit(out, table[0], run)?;
+                return Ok(());
+            }
+            s if (2..EOB).contains(&s) => {
+                if in_run {
+                    emit(out, table[0], run)?;
+                    run = 0;
+                    digit = 1;
+                    in_run = false;
+                }
+                if out.len() >= max_len {
+                    return Err(format!("decoded data exceeds the {max_len}-byte block limit"));
+                }
+                let rank = (s - 1) as usize;
+                let b = table[rank];
+                out.push(b);
+                table.copy_within(0..rank, 1);
+                table[0] = b;
+            }
+            s => return Err(format!("rle symbol {s} outside alphabet")),
+        }
+    }
+    Err("missing end-of-block symbol".to_string())
+}
+
 fn flush_run(out: &mut Vec<u16>, zero_run: &mut u64) {
     let mut n = *zero_run;
     while n > 0 {
@@ -181,5 +254,41 @@ mod tests {
     #[test]
     fn trailing_symbols_after_eob_ignored() {
         assert_eq!(decode(&[3, EOB, 5, 5]).unwrap(), vec![2]);
+    }
+
+    /// The fused RLE+MTF inverse must equal the two-stage pipeline on
+    /// every input shape: runs, literals, alternations, and the cap.
+    #[test]
+    fn fused_decode_matches_two_stage_inverse() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0; 300],
+            vec![7, 7, 7, 9, 9, 7, 7],
+            (0..=255).chain((0..=255).rev()).collect(),
+            {
+                let mut x = 42u64;
+                (0..5_000)
+                    .map(|_| {
+                        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                        if x >> 62 == 0 {
+                            (x >> 56) as u8
+                        } else {
+                            0
+                        }
+                    })
+                    .collect()
+            },
+        ];
+        for data in cases {
+            let ranks = crate::mtf::encode(&data);
+            let symbols = encode(&ranks);
+            let mut fused = Vec::new();
+            decode_mtf_into(&symbols, data.len(), &mut fused).unwrap();
+            assert_eq!(fused, data);
+        }
+        // The cap fires exactly as in the two-stage path.
+        let symbols = encode(&crate::mtf::encode(&[5u8; 100]));
+        let mut out = Vec::new();
+        assert!(decode_mtf_into(&symbols, 99, &mut out).is_err());
     }
 }

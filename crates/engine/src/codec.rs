@@ -371,13 +371,15 @@ pub(crate) type PackPipe = Pipeline<Vec<u8>, (Vec<u8>, Result<Vec<u8>, blockzip:
 
 /// The codec for checkpoint snapshot frames — always the fast
 /// range-coder backend, regardless of the backend packing the block
-/// segments. Snapshots are tens of megabytes of mostly-sparse predictor
-/// tables (≈20 MB for the paper's TCGEN_A configuration) that exist
-/// purely to speed decoding up, so routing them through the `max` BWT
-/// chain would spend more wall-clock packing state than the checkpoints
-/// can ever win back, on both sides. The choice is part of the
-/// checkpointed container format: every writer and every reader opens
-/// snapshot frames with this codec.
+/// segments. Snapshots are sparse since format version 2: occupancy
+/// bitmaps skip every never-touched table line, so a frame scales with
+/// the touched working set (kilobytes early in a trace) instead of the
+/// tens of megabytes the paper's TCGEN_A tables span. They exist purely
+/// to speed decoding up, so routing them through the `max` BWT chain
+/// would spend more wall-clock packing state than the checkpoints can
+/// ever win back, on both sides. The choice is part of the checkpointed
+/// container format: every writer and every reader opens snapshot frames
+/// with this codec.
 pub(crate) fn checkpoint_codec(level: blockzip::Level) -> Box<dyn PostCodec> {
     crate::postcodec::Backend::Fast.codec(level)
 }

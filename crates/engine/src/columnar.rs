@@ -379,10 +379,18 @@ impl Replayer {
     }
 
     /// Upper bound on a checkpoint payload's decoded size under this
-    /// configuration: every snapshot is at most the bank's table-state
-    /// footprint, plus per-field framing and header bytes.
+    /// configuration: even with every table line touched, a sparse
+    /// snapshot is at most the bank's table-state footprint plus its
+    /// occupancy bitmaps (under an eighth of the footprint), per-field
+    /// framing, and header bytes.
     pub(crate) fn snapshot_limit(&self) -> usize {
-        self.banks.iter().map(|b| b.as_ref().expect("bank present").memory_bytes() + 16).sum()
+        self.banks
+            .iter()
+            .map(|b| {
+                let bytes = b.as_ref().expect("bank present").memory_bytes();
+                bytes + bytes / 4 + 64
+            })
+            .sum()
     }
 
     /// Spawns the replay pool on `scope`; with a recorder, each worker

@@ -98,6 +98,117 @@ fn reference_streams(spec: &TraceSpec, options: &EngineOptions, body: &[u8]) -> 
     streams
 }
 
+/// One record-major replay step for one field: reconstruct the value —
+/// a prediction slot for hit codes, the next miss-stream entry for the
+/// miss code — then update, mirroring `reference_streams` exactly.
+fn reference_replay_step(
+    banks: &mut SpecBanks,
+    fi: usize,
+    pc: u64,
+    width: usize,
+    code: u8,
+    miss_bytes: &[u8],
+    miss_pos: &mut usize,
+) -> u64 {
+    let bank = banks.bank_mut(fi);
+    let value = if u32::from(code) == bank.n_predictions() {
+        let v = read_value(&miss_bytes[*miss_pos..], width) & bank.width_mask();
+        *miss_pos += width;
+        v
+    } else {
+        bank.value_for_code(pc, code).expect("hit code resolves to a value")
+    };
+    bank.update(pc, value);
+    value
+}
+
+/// A deliberately naive record-major replay loop, the inverse of
+/// [`reference_streams`]: per record, decode the PC field first and every
+/// other field against it, one `value_for_code`/`update` pair each.
+/// Returns the decoded value columns in field order.
+fn reference_replay_columns(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    streams: &[Vec<u8>],
+) -> Vec<Vec<u64>> {
+    let mut banks = SpecBanks::new(spec, options.predictor);
+    let pc_index = spec.pc_index();
+    let n_fields = spec.fields.len();
+    let n_records = streams[2 * pc_index].len();
+    let widths: Vec<usize> = spec
+        .fields
+        .iter()
+        .map(|f| if options.minimize_types { f.bytes() as usize } else { 8 })
+        .collect();
+    let mut miss_pos = vec![0usize; n_fields];
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); n_fields];
+    for rec in 0..n_records {
+        let pc = reference_replay_step(
+            &mut banks,
+            pc_index,
+            0,
+            widths[pc_index],
+            streams[2 * pc_index][rec],
+            &streams[2 * pc_index + 1],
+            &mut miss_pos[pc_index],
+        );
+        cols[pc_index].push(pc);
+        for fi in (0..n_fields).filter(|&f| f != pc_index) {
+            let value = reference_replay_step(
+                &mut banks,
+                fi,
+                pc,
+                widths[fi],
+                streams[2 * fi][rec],
+                &streams[2 * fi + 1],
+                &mut miss_pos[fi],
+            );
+            cols[fi].push(value);
+        }
+    }
+    cols
+}
+
+/// Drives `replay_column` per field the way the engine's columnar stage
+/// does — PC column first, then every other field against it — with the
+/// pipelined replay schedule forced on or off. Returns the decoded
+/// columns and each bank's final snapshot.
+fn columnar_replay(
+    spec: &TraceSpec,
+    options: &EngineOptions,
+    streams: &[Vec<u8>],
+    plan: bool,
+) -> (Vec<Vec<u64>>, Vec<Vec<u8>>) {
+    let mut banks = SpecBanks::new(spec, options.predictor);
+    let pc_index = spec.pc_index();
+    let n_fields = spec.fields.len();
+    let misses: Vec<Vec<u64>> = spec
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let width = if options.minimize_types { f.bytes() as usize } else { 8 };
+            streams[2 * fi + 1].chunks_exact(width).map(|c| read_value(c, width)).collect()
+        })
+        .collect();
+    let mut pcs = Vec::new();
+    banks.bank_mut(pc_index).force_plan(plan);
+    banks
+        .bank_mut(pc_index)
+        .replay_column(None, &streams[2 * pc_index], &misses[pc_index], &mut pcs)
+        .expect("pc column replays");
+    let mut cols: Vec<Vec<u64>> = vec![Vec::new(); n_fields];
+    for fi in (0..n_fields).filter(|&f| f != pc_index) {
+        let bank = banks.bank_mut(fi);
+        bank.force_plan(plan);
+        bank.replay_column(Some(&pcs), &streams[2 * fi], &misses[fi], &mut cols[fi])
+            .expect("field column replays");
+    }
+    cols[pc_index] = pcs;
+    let snaps = (0..n_fields).map(|fi| banks.bank(fi).snapshot()).collect();
+    (cols, snaps)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -166,6 +277,39 @@ proptest! {
             let replayed = codec::replay_streams(&spec, &opts, streams).unwrap();
             prop_assert_eq!(&replayed[..], body,
                             "replay diverges at model_threads {}", model_threads);
+        }
+    }
+
+    /// The pipelined (planned) replay schedule and the straight one-pass
+    /// loop both reproduce the record-major reference replay exactly —
+    /// decoded columns and final predictor state — for every predictor
+    /// kind, element width, and option combination the grammar can
+    /// express. The mirror of the modeling property above, for decode.
+    #[test]
+    fn replay_column_matches_record_major_reference(
+        src in spec_source(),
+        options in options_strategy(),
+        payload in proptest::collection::vec(any::<u8>(), 0..3_000),
+    ) {
+        let spec = tcgen_spec::parse(&src).expect("generated specs are valid");
+        let header = spec.header_bytes() as usize;
+        let record = spec.record_bytes() as usize;
+        let usable = header + (payload.len().saturating_sub(header) / record) * record;
+        let raw = &payload[..usable.min(payload.len())];
+        if raw.len() < header {
+            return Ok(());
+        }
+        let streams = reference_streams(&spec, &options, &raw[header..]);
+        let reference = reference_replay_columns(&spec, &options, &streams);
+        let mut baseline: Option<Vec<Vec<u8>>> = None;
+        for plan in [false, true] {
+            let (cols, snaps) = columnar_replay(&spec, &options, &streams, plan);
+            prop_assert_eq!(&cols, &reference, "columns diverge with plan={}", plan);
+            match &baseline {
+                None => baseline = Some(snaps),
+                Some(s) => prop_assert_eq!(&snaps, s,
+                                           "predictor state diverges with plan={}", plan),
+            }
         }
     }
 

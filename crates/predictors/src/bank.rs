@@ -104,7 +104,9 @@ pub enum ReplayError {
 
 /// Version byte leading every [`FieldBank::snapshot`] encoding, bumped
 /// whenever the byte layout changes so stale checkpoints fail loudly.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Version 2 is the compact encoding: never-touched table lines are
+/// skipped via the occupancy bitmaps instead of serialized as zeros.
+pub const SNAPSHOT_VERSION: u8 = 2;
 
 /// A predictor-state snapshot that cannot be restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +127,9 @@ pub enum SnapshotError {
     Length,
     /// A restored fast-mode hash indexes outside its table.
     HashOutOfRange,
+    /// An occupancy bitmap is inconsistent with the bank's table sizes
+    /// (wrong word count, or a bit set past the last line).
+    Occupancy,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -139,6 +144,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Length => write!(f, "snapshot length does not match bank state"),
             SnapshotError::HashOutOfRange => {
                 write!(f, "snapshot hash state indexes outside its table")
+            }
+            SnapshotError::Occupancy => {
+                write!(f, "snapshot occupancy bitmap is inconsistent with the bank's tables")
             }
         }
     }
@@ -597,20 +605,7 @@ impl<E: TableElement> TypedBank<E> {
             return;
         }
 
-        // Flat per-record index layout: the fcm banks' tables in bank
-        // order, then the dfcm banks' tables in update order.
-        let mut fcm_base = vec![0usize; self.fcm_banks.len()];
-        let mut off = 0usize;
-        for (b, bank) in self.fcm_banks.iter().enumerate() {
-            fcm_base[b] = off;
-            off += bank.table_count();
-        }
-        let mut dfcm_base = vec![0usize; self.dfcm_banks.len()];
-        for &(b, _) in &self.dfcm_updates {
-            dfcm_base[b] = off;
-            off += self.dfcm_banks[b].table_count();
-        }
-        let per_rec = off;
+        let (fcm_base, dfcm_base, per_rec) = self.plan_layout();
 
         // One generation per column: pass A's last-value tracking starts
         // from the tables' current state, not a previous column's.
@@ -663,6 +658,24 @@ impl<E: TableElement> TypedBank<E> {
             }
         }
         self.plan_idx = idx_buf;
+    }
+
+    /// Flat per-record index layout for the planned schedules: the fcm
+    /// banks' tables in bank order, then the dfcm banks' tables in update
+    /// order. Returns `(fcm_base, dfcm_base, indices_per_record)`.
+    fn plan_layout(&self) -> (Vec<usize>, Vec<usize>, usize) {
+        let mut fcm_base = vec![0usize; self.fcm_banks.len()];
+        let mut off = 0usize;
+        for (b, bank) in self.fcm_banks.iter().enumerate() {
+            fcm_base[b] = off;
+            off += bank.table_count();
+        }
+        let mut dfcm_base = vec![0usize; self.dfcm_banks.len()];
+        for &(b, _) in &self.dfcm_updates {
+            dfcm_base[b] = off;
+            off += self.dfcm_banks[b].table_count();
+        }
+        (fcm_base, dfcm_base, off)
     }
 
     /// [`Self::find_code_in_line`] with every hash-indexed probe taken
@@ -766,6 +779,18 @@ impl<E: TableElement> TypedBank<E> {
 
     /// The monomorphized replay kernel behind
     /// [`FieldBank::replay_column`].
+    ///
+    /// Fields with large hash-indexed tables run a software-pipelined
+    /// schedule instead of modeling's sub-batch one. Replay cannot plan a
+    /// whole batch ahead: advancing a record's hashes needs its value,
+    /// and the value of a predicted record comes out of the very tables
+    /// the plan would prefetch. What it *can* do is look exactly one
+    /// record ahead — the moment record `k`'s hashes advance, record
+    /// `k+1`'s table indices are fixed, before `k`'s table updates have
+    /// run. Resolving and prefetching there hides the next record's
+    /// table-line miss behind the current record's update stores. Codes,
+    /// values, and final table state are identical to the one-pass loop;
+    /// the equivalence test drives both against each other.
     fn replay_column(
         &mut self,
         pcs: Option<&[u64]>,
@@ -779,31 +804,149 @@ impl<E: TableElement> TypedBank<E> {
         let miss = self.n_predictions as usize;
         let mut next_miss = 0usize;
         out.reserve(codes.len());
+        if !self.plan || codes.is_empty() {
+            for (rec, &code) in codes.iter().enumerate() {
+                let line = match pcs {
+                    Some(p) => self.line(p[rec]),
+                    None => 0,
+                };
+                let c = code as usize;
+                let value = if c < miss {
+                    let (si, offset) = self.slots[c];
+                    self.slot_value(line, &self.sources[si as usize], offset as usize)
+                } else if c == miss {
+                    let Some(&v) = misses.get(next_miss) else {
+                        return Err(ReplayError::MissingValue { record: rec });
+                    };
+                    next_miss += 1;
+                    E::from_u64(v) & self.mask
+                } else {
+                    return Err(ReplayError::CodeOutOfRange { record: rec, code });
+                };
+                out.push(value.to_u64());
+                self.update_line(line, value);
+            }
+            if next_miss != misses.len() {
+                return Err(ReplayError::TrailingValues { left: misses.len() - next_miss });
+            }
+            return Ok(());
+        }
+
+        let (fcm_base, dfcm_base, per_rec) = self.plan_layout();
+        let mut row_cur = std::mem::take(&mut self.plan_idx);
+        let mut row_next = Vec::with_capacity(per_rec);
+        let line_of = |bank: &Self, rec: usize| match pcs {
+            Some(p) => bank.line(p[rec]),
+            None => 0,
+        };
+        // Indices for record 0 come straight from the initial hash state.
+        row_cur.clear();
+        self.resolve_row(line_of(self, 0), &mut row_cur);
         for (rec, &code) in codes.iter().enumerate() {
-            let line = match pcs {
-                Some(p) => self.line(p[rec]),
-                None => 0,
-            };
+            let line = line_of(self, rec);
             let c = code as usize;
+            // Decode against the pre-advance indices of this record.
             let value = if c < miss {
                 let (si, offset) = self.slots[c];
-                self.slot_value(line, &self.sources[si as usize], offset as usize)
+                self.slot_value_planned(
+                    line,
+                    &self.sources[si as usize],
+                    offset as usize,
+                    &row_cur,
+                    &fcm_base,
+                    &dfcm_base,
+                )
             } else if c == miss {
                 let Some(&v) = misses.get(next_miss) else {
+                    self.plan_idx = row_cur;
                     return Err(ReplayError::MissingValue { record: rec });
                 };
                 next_miss += 1;
                 E::from_u64(v) & self.mask
             } else {
+                self.plan_idx = row_cur;
                 return Err(ReplayError::CodeOutOfRange { record: rec, code });
             };
             out.push(value.to_u64());
-            self.update_line(line, value);
+            // Advance the hashes (values for FCM, pre-update strides for
+            // DFCM), then resolve and prefetch the *next* record's lines
+            // so the fetch overlaps this record's table updates below.
+            self.advance_row(line, value);
+            if rec + 1 < codes.len() {
+                row_next.clear();
+                self.resolve_row(line_of(self, rec + 1), &mut row_next);
+            }
+            self.update_line_planned(line, value, &row_cur, &fcm_base, &dfcm_base);
+            std::mem::swap(&mut row_cur, &mut row_next);
         }
+        self.plan_idx = row_cur;
         if next_miss != misses.len() {
             return Err(ReplayError::TrailingValues { left: misses.len() - next_miss });
         }
         Ok(())
+    }
+
+    /// Pushes the current table index of every hash-indexed table (fcm
+    /// banks in bank order, then dfcm banks in update order — the
+    /// [`Self::plan_layout`] order) onto `row` and prefetches each line.
+    #[inline]
+    fn resolve_row(&self, line: usize, row: &mut Vec<u32>) {
+        for bank in &self.fcm_banks {
+            bank.resolve_record(line, row);
+        }
+        for &(b, _) in &self.dfcm_updates {
+            self.dfcm_banks[b].resolve_record(line, row);
+        }
+    }
+
+    /// Advances every bank's first-level hash state for one replayed
+    /// record: FCM banks fold the value, DFCM banks fold the stride
+    /// against the pre-update last value — the same inputs
+    /// [`ContextBank::update`] folds inside [`Self::update_line`].
+    #[inline]
+    fn advance_row(&mut self, line: usize, value: E) {
+        for bank in &mut self.fcm_banks {
+            bank.advance_hashes(line, value.to_u64());
+        }
+        for &(b, lv_table) in &self.dfcm_updates {
+            let last = self.lv_tables[lv_table].first(line);
+            let stride = value.wrapping_sub(last) & self.mask;
+            self.dfcm_banks[b].advance_hashes(line, stride.to_u64());
+        }
+    }
+
+    /// [`Self::slot_value`] with every hash-indexed read taken from the
+    /// resolved `idx_row` instead of the live hash state (which the
+    /// pipelined replay advances before the tables are updated).
+    #[inline]
+    fn slot_value_planned(
+        &self,
+        line: usize,
+        source: &Source,
+        offset: usize,
+        idx_row: &[u32],
+        fcm_base: &[usize],
+        dfcm_base: &[usize],
+    ) -> E {
+        match *source {
+            Source::Lv { table, .. } => self.lv_tables[table].line(line)[offset],
+            Source::Fcm { bank, table } => {
+                let idx = idx_row[fcm_base[bank] + table] as usize;
+                self.fcm_banks[bank].value_at_index(table, idx, offset)
+            }
+            Source::Dfcm { bank, table, lv_table } => {
+                let last = self.lv_tables[lv_table].first(line);
+                let idx = idx_row[dfcm_base[bank] + table] as usize;
+                let stride = self.dfcm_banks[bank].value_at_index(table, idx, offset);
+                last.wrapping_add(stride) & self.mask
+            }
+            Source::St { table, lv_table, .. } => {
+                let last = self.lv_tables[lv_table].first(line);
+                let stride = self.stride_tables[table].confirmed(line);
+                last.wrapping_add(stride.wrapping_mul(E::from_u64(offset as u64 + 1)))
+                    & self.mask
+            }
+        }
     }
 
     /// Approximate memory footprint in bytes, including hash state.
@@ -829,48 +972,87 @@ impl<E: TableElement> TypedBank<E> {
             + self.stride_tables.iter().map(|t| t.memory_bytes()).sum::<usize>()
     }
 
-    /// Serializes every table and first-level hash slot to `out`, little
-    /// endian: last-value tables, then each FCM and DFCM bank (hash state
-    /// first, then its second-level tables), then stride tables. Elements
-    /// are written at the element width; hashes at 4 bytes, history at 8.
-    /// Occupancy counters and planning scratch are deliberately excluded
-    /// — the former only feeds usage reports, the latter revalidates
-    /// itself per column.
+    /// Serializes this bank's state to `out` sparsely, little endian.
+    /// Tables are zero-initialized and a line only ever deviates from
+    /// zero after an update, and every update marks the line's occupancy
+    /// bit — so never-touched lines carry no information and are skipped
+    /// entirely. For the paper specs, where multi-megabyte hash tables
+    /// stay mostly empty for millions of records, this shrinks checkpoint
+    /// frames from the full table footprint to roughly the touched
+    /// working set.
+    ///
+    /// Layout: the L1 occupancy bitmap (raw `u64` words), then per
+    /// last-value table the touched L1 lines in ascending order, then per
+    /// FCM and DFCM bank its hash state for the touched L1 lines (4-byte
+    /// hashes in fast mode, 8-byte history otherwise) followed by each
+    /// second-level table's own occupancy bitmap and touched lines, then
+    /// per stride table the touched L1 lines' `(last, confirmed)` pairs.
+    /// Elements are written at the element width. Planning scratch is
+    /// excluded — it revalidates itself per column.
     fn snapshot_into(&self, out: &mut Vec<u8>) {
         let w = (E::BITS / 8) as usize;
         fn put(out: &mut Vec<u8>, v: u64, w: usize) {
             out.extend_from_slice(&v.to_le_bytes()[..w]);
         }
-        for t in &self.lv_tables {
-            for v in t.values() {
-                put(out, v.to_u64(), w);
+        fn put_bitmap(out: &mut Vec<u8>, occ: &Occupancy) {
+            for &word in occ.words() {
+                out.extend_from_slice(&word.to_le_bytes());
             }
         }
-        for bank in self.fcm_banks.iter().chain(&self.dfcm_banks) {
-            let (hashes, history) = bank.hash_state();
-            for &h in hashes {
-                put(out, u64::from(h), 4);
-            }
-            for &h in history {
-                put(out, h, 8);
-            }
-            for t in bank.tables() {
-                for v in t.table.values() {
+        // Every L1-indexed structure (last-value, hash state, stride)
+        // shares the one l1_occ map: update_line marks it before touching
+        // any of them.
+        let mut l1_lines = Vec::with_capacity(self.l1_occ.written() as usize);
+        self.l1_occ.for_each_set(|line| l1_lines.push(line));
+        put_bitmap(out, &self.l1_occ);
+        for t in &self.lv_tables {
+            for &line in &l1_lines {
+                for v in t.line(line) {
                     put(out, v.to_u64(), w);
                 }
             }
         }
+        for bank in self.fcm_banks.iter().chain(&self.dfcm_banks) {
+            let (hashes, history) = bank.hash_state();
+            let depth = bank.max_order();
+            for &line in &l1_lines {
+                let start = line * depth;
+                if !hashes.is_empty() {
+                    for &h in &hashes[start..start + depth] {
+                        put(out, u64::from(h), 4);
+                    }
+                } else {
+                    for &h in &history[start..start + depth] {
+                        put(out, h, 8);
+                    }
+                }
+            }
+            for (t, table) in bank.tables().iter().enumerate() {
+                let occ = bank.occupancy(t);
+                put_bitmap(out, occ);
+                occ.for_each_set(|idx| {
+                    for v in table.table.line(idx) {
+                        put(out, v.to_u64(), w);
+                    }
+                });
+            }
+        }
         for t in &self.stride_tables {
-            for v in t.values() {
-                put(out, v.to_u64(), w);
+            let vals = t.values();
+            for &line in &l1_lines {
+                put(out, vals[line * 2].to_u64(), w);
+                put(out, vals[line * 2 + 1].to_u64(), w);
             }
         }
     }
 
     /// The inverse of [`Self::snapshot_into`]: overwrites this bank's
-    /// state from `bytes`. Values are re-masked to the field width on the
-    /// way in and fast-mode hashes are range-checked, so a forged
-    /// snapshot can only yield wrong output, never a panic.
+    /// state from `bytes`. All state is zeroed first (lines absent from
+    /// the snapshot must return to their construction defaults), values
+    /// are re-masked to the field width on the way in, occupancy bitmaps
+    /// are validated against the table sizes, and fast-mode hashes are
+    /// range-checked — so a forged snapshot can only yield wrong output,
+    /// never a panic.
     fn restore_from(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
         let w = (E::BITS / 8) as usize;
         let mask = self.mask;
@@ -884,24 +1066,71 @@ impl<E: TableElement> TypedBank<E> {
             }
             Ok(v)
         }
+        /// Reads a bitmap into `occ` and returns its set lines, ascending.
+        fn read_bitmap(
+            bytes: &[u8],
+            pos: &mut usize,
+            occ: &mut Occupancy,
+        ) -> Result<Vec<usize>, SnapshotError> {
+            let mut words = Vec::with_capacity(occ.words().len());
+            for _ in 0..occ.words().len() {
+                words.push(read(bytes, pos, 8)?);
+            }
+            occ.set_from_words(&words).map_err(|_| SnapshotError::Occupancy)?;
+            let mut lines = Vec::with_capacity(occ.written() as usize);
+            occ.for_each_set(|line| lines.push(line));
+            Ok(lines)
+        }
         for t in &mut self.lv_tables {
-            for v in t.values_mut() {
-                *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+            t.values_mut().fill(E::default());
+        }
+        for bank in self.fcm_banks.iter_mut().chain(self.dfcm_banks.iter_mut()) {
+            let (hashes, history) = bank.hash_state_mut();
+            hashes.fill(0);
+            history.fill(0);
+            for t in bank.tables_mut() {
+                t.table.values_mut().fill(E::default());
+            }
+        }
+        for t in &mut self.stride_tables {
+            t.values_mut().fill(E::default());
+        }
+        let l1_lines = read_bitmap(bytes, &mut pos, &mut self.l1_occ)?;
+        for t in &mut self.lv_tables {
+            let height = t.height();
+            let vals = t.values_mut();
+            for &line in &l1_lines {
+                for v in &mut vals[line * height..(line + 1) * height] {
+                    *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+                }
             }
         }
         for bank in self.fcm_banks.iter_mut().chain(self.dfcm_banks.iter_mut()) {
+            let depth = bank.max_order();
             {
                 let (hashes, history) = bank.hash_state_mut();
-                for h in hashes {
-                    *h = read(bytes, &mut pos, 4)? as u32;
-                }
-                for h in history {
-                    *h = read(bytes, &mut pos, 8)?;
+                for &line in &l1_lines {
+                    let start = line * depth;
+                    if !hashes.is_empty() {
+                        for h in &mut hashes[start..start + depth] {
+                            *h = read(bytes, &mut pos, 4)? as u32;
+                        }
+                    } else {
+                        for h in &mut history[start..start + depth] {
+                            *h = read(bytes, &mut pos, 8)?;
+                        }
+                    }
                 }
             }
-            for t in bank.tables_mut() {
-                for v in t.table.values_mut() {
-                    *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+            for t in 0..bank.table_count() {
+                let lines = read_bitmap(bytes, &mut pos, bank.occupancy_mut(t))?;
+                let table = &mut bank.tables_mut()[t].table;
+                let height = table.height();
+                let vals = table.values_mut();
+                for idx in lines {
+                    for v in &mut vals[idx * height..(idx + 1) * height] {
+                        *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+                    }
                 }
             }
             if !bank.hash_indices_valid() {
@@ -909,8 +1138,10 @@ impl<E: TableElement> TypedBank<E> {
             }
         }
         for t in &mut self.stride_tables {
-            for v in t.values_mut() {
-                *v = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+            let vals = t.values_mut();
+            for &line in &l1_lines {
+                vals[line * 2] = E::from_u64(read(bytes, &mut pos, w)?) & mask;
+                vals[line * 2 + 1] = E::from_u64(read(bytes, &mut pos, w)?) & mask;
             }
         }
         if pos != bytes.len() {
@@ -1145,10 +1376,11 @@ impl FieldBank {
     /// snapshot via [`Self::restore`] continues modeling or replaying
     /// exactly where this one stands.
     ///
-    /// Layout: `[SNAPSHOT_VERSION, element_bits]` then the state body
-    /// (see `TypedBank::snapshot_into`). The length is fully determined
-    /// by the spec and options, so equal configurations always produce
-    /// equal-size snapshots.
+    /// Layout: `[SNAPSHOT_VERSION, element_bits]` then the sparse state
+    /// body (see `TypedBank::snapshot_into`). The encoding skips
+    /// never-touched table lines via the occupancy bitmaps, so the length
+    /// grows with the touched working set, not the configured table
+    /// sizes.
     pub fn snapshot(&self) -> Vec<u8> {
         let mut out = vec![SNAPSHOT_VERSION, self.element_bits() as u8];
         dispatch!(self, b => b.snapshot_into(&mut out));
@@ -1179,6 +1411,16 @@ impl FieldBank {
             });
         }
         dispatch!(self, b => b.restore_from(body))
+    }
+
+    /// Test hook: forces the planned (two-pass / pipelined) modeling and
+    /// replay schedules on or off regardless of table size, so both code
+    /// paths can be exercised against each other on tables small enough
+    /// for unit tests. Production banks pick the schedule from the
+    /// hash-indexed table footprint at construction.
+    #[doc(hidden)]
+    pub fn force_plan(&mut self, on: bool) {
+        dispatch!(self, b => b.plan = on)
     }
 }
 
@@ -1615,7 +1857,8 @@ mod columnar_tests {
     }
 
     /// The PC field replays without a PC column: its L1 size is one, so
-    /// modeling with the raw column and replaying with `None` agree.
+    /// modeling with the raw column and replaying with `None` agree —
+    /// on both the one-pass and the pipelined replay schedule.
     #[test]
     fn pc_field_replays_without_pc_column() {
         let spec = parse(presets::TCGEN_A).unwrap();
@@ -1626,11 +1869,54 @@ mod columnar_tests {
         let mut codes = Vec::new();
         let mut misses = Vec::new();
         fwd.model_column(&vals, &vals, &mut codes, &mut misses);
-        let mut bwd = FieldBank::new(pc_field, options);
-        let mut out = Vec::new();
-        bwd.replay_column(None, &codes, &misses, &mut out).unwrap();
         let masked: Vec<u64> = vals.iter().map(|&v| v & fwd.width_mask()).collect();
-        assert_eq!(out, masked);
+        for plan in [false, true] {
+            let mut bwd = FieldBank::new(pc_field, options);
+            bwd.force_plan(plan);
+            let mut out = Vec::new();
+            bwd.replay_column(None, &codes, &misses, &mut out).unwrap();
+            assert_eq!(out, masked, "plan = {plan}");
+        }
+    }
+
+    /// The pipelined replay schedule is invisible: identical output and
+    /// identical final predictor state (snapshot bytes) to the one-pass
+    /// loop, for every predictor kind and ablation option set. Unit-test
+    /// tables are far below the planning threshold, so both paths are
+    /// forced explicitly.
+    #[test]
+    fn planned_replay_matches_one_pass_replay() {
+        let st_spec = parse(
+            "TCgen Trace Specification;\n\
+             32-Bit Field 1 = {: LV[1]};\n\
+             64-Bit Field 2 = {L1 = 16, L2 = 256: ST[3], DFCM1[1], LV[2]};\nPC = Field 1;",
+        )
+        .unwrap();
+        let spec = parse(presets::TCGEN_B).unwrap();
+        let (pcs, vals) = columns(3_000);
+        for field in spec.fields.iter().chain(&st_spec.fields) {
+            for options in all_option_sets() {
+                let mut fwd = FieldBank::new(field, options);
+                let mut codes = Vec::new();
+                let mut misses = Vec::new();
+                fwd.model_column(&pcs, &vals, &mut codes, &mut misses);
+                let mut one_pass = FieldBank::new(field, options);
+                one_pass.force_plan(false);
+                let mut a = Vec::new();
+                one_pass.replay_column(Some(&pcs), &codes, &misses, &mut a).unwrap();
+                let mut pipelined = FieldBank::new(field, options);
+                pipelined.force_plan(true);
+                let mut b = Vec::new();
+                pipelined.replay_column(Some(&pcs), &codes, &misses, &mut b).unwrap();
+                assert_eq!(a, b, "outputs diverge: {}-bit {options:?}", field.bits);
+                assert_eq!(
+                    one_pass.snapshot(),
+                    pipelined.snapshot(),
+                    "final state diverges: {}-bit {options:?}",
+                    field.bits
+                );
+            }
+        }
     }
 
     #[test]
@@ -1774,8 +2060,11 @@ mod snapshot_tests {
         }
     }
 
-    /// Snapshot size is configuration-determined and the round-trip is
-    /// exact: restore(snapshot()) reproduces the identical snapshot.
+    /// The round-trip is exact — restore(snapshot()) reproduces the
+    /// identical bytes, touched lines and occupancy included — and the
+    /// sparse encoding earns its keep: a fresh bank's snapshot is just
+    /// headers and empty bitmaps, far below the table footprint, and a
+    /// lightly-used bank stays below the dense size.
     #[test]
     fn snapshots_roundtrip_bytewise() {
         let (pcs, vals) = columns(800, 777);
@@ -1783,11 +2072,23 @@ mod snapshot_tests {
             let field = &spec.fields[1];
             let options = PredictorOptions::default();
             let mut bank = FieldBank::new(field, options);
-            let empty_len = bank.snapshot().len();
+            let empty = bank.snapshot();
+            assert!(
+                empty.len() < bank.memory_bytes() / 4 + 64,
+                "an untouched bank must snapshot near-empty ({} bytes)",
+                empty.len()
+            );
+            let mut fresh = FieldBank::new(field, options);
+            fresh.restore(&empty).unwrap();
+            assert_eq!(fresh.snapshot(), empty);
             bank.model_column(&pcs, &vals, &mut Vec::new(), &mut Vec::new());
             let snap = bank.snapshot();
-            assert_eq!(snap.len(), empty_len, "snapshot size must be state-independent");
+            assert!(snap.len() > empty.len(), "touched lines must appear in the snapshot");
+            // Restoring over a *used* bank must also be exact: stale
+            // lines the snapshot does not mention return to zero.
+            let (pcs2, vals2) = columns(800, 31337);
             let mut other = FieldBank::new(field, options);
+            other.model_column(&pcs2, &vals2, &mut Vec::new(), &mut Vec::new());
             other.restore(&snap).unwrap();
             assert_eq!(other.snapshot(), snap);
         }
@@ -1826,13 +2127,22 @@ mod snapshot_tests {
         assert_eq!(target.restore(&bad), Err(SnapshotError::Length));
         assert_eq!(target.restore(&[]), Err(SnapshotError::Length));
 
+        // A stray occupancy bit past the last L1 line (L1 = 4, so bits
+        // 4..63 of the bitmap's first word must stay clear).
+        let mut bad = snap.clone();
+        bad[2] |= 0x10;
+        assert_eq!(target.restore(&bad), Err(SnapshotError::Occupancy));
+
         // Forge every hash slot out of range: L2 = 64 and order 2 give
         // 128 lines, so u32::MAX can never be a valid index.
+        let touched = bank.occupancy()[0].lines_written as usize;
+        assert!(touched > 0, "test needs at least one touched L1 line");
         let mut forged = snap.clone();
-        // Hash state sits right after the LV table (4 lines × 1 × 4 bytes
-        // element) plus the 2-byte header; 4 lines × 2 orders × 4 bytes.
-        let hash_start = 2 + 4 * 4;
-        for b in &mut forged[hash_start..hash_start + 4 * 2 * 4] {
+        // Hash state sits after the 2-byte header, the one-word L1 bitmap
+        // (8 bytes), and the sparse LV table (touched lines × 1 × 4-byte
+        // element); it holds touched lines × 2 orders × 4 bytes.
+        let hash_start = 2 + 8 + touched * 4;
+        for b in &mut forged[hash_start..hash_start + touched * 2 * 4] {
             *b = 0xff;
         }
         assert_eq!(target.restore(&forged), Err(SnapshotError::HashOutOfRange));

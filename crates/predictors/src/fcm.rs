@@ -196,11 +196,63 @@ impl<E: TableElement> ContextBank<E> {
         }
     }
 
+    /// The resolve-and-prefetch half of [`Self::plan_record`]: pushes one
+    /// index per second-level table onto `idx_out` and prefetches each
+    /// indexed line, but leaves the hash state where it is. Replay uses
+    /// this to look one record ahead — the *next* record's indices are
+    /// known as soon as this record's hashes have advanced, before its
+    /// value has been decoded — and pairs it with
+    /// [`Self::advance_hashes`] once the value is known.
+    #[inline]
+    pub fn resolve_record(&self, line: usize, idx_out: &mut Vec<u32>) {
+        if self.fast_hash {
+            let start = line * self.max_order;
+            let hashes = &self.hashes[start..start + self.max_order];
+            for t in &self.tables {
+                let idx = hashes[t.order as usize - 1];
+                t.table.prefetch(idx as usize);
+                idx_out.push(idx);
+            }
+        } else {
+            let scratch = self.scratch_hashes(line);
+            for t in &self.tables {
+                let idx = scratch[t.order as usize - 1];
+                t.table.prefetch(idx as usize);
+                idx_out.push(idx);
+            }
+        }
+    }
+
+    /// The hash-advance half of [`Self::plan_record`]: folds `input` into
+    /// the first-level state of `line`. Must follow a
+    /// [`Self::resolve_record`] for the same line, and the record must be
+    /// finished with [`Self::update_tables_at`] — never [`Self::update`],
+    /// which would advance the hashes a second time.
+    #[inline]
+    pub fn advance_hashes(&mut self, line: usize, input: u64) {
+        let f = self.spec.fold_value(input);
+        let start = line * self.max_order;
+        if self.fast_hash {
+            self.spec.advance(&mut self.hashes[start..start + self.max_order], f);
+        } else {
+            let hist = &mut self.history[start..start + self.max_order];
+            hist.rotate_right(1);
+            hist[0] = f;
+        }
+    }
+
     /// [`Self::find_value`] with the hash already resolved to `idx` by
     /// [`Self::plan_record`].
     #[inline]
     pub fn find_value_at(&self, t: usize, idx: usize, value: E) -> Option<usize> {
         self.tables[t].table.line(idx).iter().position(|&v| v == value)
+    }
+
+    /// [`Self::value_at`] with the hash already resolved to `idx` by
+    /// [`Self::resolve_record`] or [`Self::plan_record`].
+    #[inline]
+    pub fn value_at_index(&self, t: usize, idx: usize, entry: usize) -> E {
+        self.tables[t].table.line(idx)[entry]
     }
 
     /// The table-update half of [`Self::update`], at indices resolved by
@@ -287,6 +339,21 @@ impl<E: TableElement> ContextBank<E> {
                 (idx as usize) < t.table.lines()
             })
         })
+    }
+
+    /// Depth of the first-level hash state (hash words per L1 line).
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// The lines-ever-written map of second-level table `t`.
+    pub fn occupancy(&self, t: usize) -> &Occupancy {
+        &self.occ[t]
+    }
+
+    /// Mutable view of table `t`'s occupancy map, for snapshot restore.
+    pub fn occupancy_mut(&mut self, t: usize) -> &mut Occupancy {
+        &mut self.occ[t]
     }
 
     /// Per-table occupancy: `(order, lines_written, lines_total)` in

@@ -58,18 +58,41 @@ def telemetry_overhead(path):
     )
 
 
-def profile_speed(path):
+def decompress_deltas(baseline, current):
+    """Prints per-algorithm decompress-throughput deltas vs the baseline.
+
+    Informational only: throughput depends on the runner's hardware, so
+    a delta never fails the check. The line makes decode-path speedups
+    (and regressions) visible in the job log next to the size rows they
+    ride with.
+    """
+    for key in sorted(baseline.keys() & current.keys()):
+        b, c = baseline[key], current[key]
+        bd, cd = b.get("decompress_mb_per_s"), c.get("decompress_mb_per_s")
+        if not bd or not cd:
+            continue
+        delta = (cd / bd - 1.0) * 100.0
+        print(
+            f"note {'/'.join(key)}: decompress {cd:.1f} MB/s vs baseline "
+            f"{bd:.1f} MB/s ({delta:+.0f}%; informational)"
+        )
+
+
+def profile_speed(baseline_path, path):
     """Prints the per-profile timing on the big reference trace, if recorded.
 
     Informational only: wall times depend on the runner, and the fast
     and balanced encodings are free to evolve. The line keeps the
     measured trade-off visible in the job log next to the sizes it
-    buys.
+    buys, with decompress-throughput deltas against the baseline run.
     """
     with open(path) as f:
         speed = json.load(f).get("profile_speed")
     if speed is None:
         return
+    with open(baseline_path) as f:
+        base = json.load(f).get("profile_speed") or {"profiles": []}
+    base_by_name = {p["profile"]: p for p in base["profiles"]}
     per = ", ".join(
         f"{p['profile']} {p['compress_s']:.3f}s/{p['compressed_bytes']}B"
         f" ({p['speedup_vs_max']:.2f}x)"
@@ -79,6 +102,16 @@ def profile_speed(path):
         f"profile speed on {speed['trace']} ({speed['records']} records, "
         f"{speed['original_bytes']} bytes): {per} (informational)"
     )
+    for p in speed["profiles"]:
+        cd = p.get("decompress_mb_per_s")
+        bd = base_by_name.get(p["profile"], {}).get("decompress_mb_per_s")
+        if not cd or not bd:
+            continue
+        delta = (cd / bd - 1.0) * 100.0
+        print(
+            f"note profile {p['profile']}: decompress {cd:.1f} MB/s vs baseline "
+            f"{bd:.1f} MB/s ({delta:+.0f}%; informational)"
+        )
 
 
 def checkpoint_speed(path):
@@ -159,8 +192,9 @@ def main():
                 f"({c['compress_mb_per_s']:.1f} MB/s compress, "
                 f"baseline {b['compress_mb_per_s']:.1f} MB/s; informational)"
             )
+    decompress_deltas(baseline, current)
     telemetry_overhead(sys.argv[2])
-    profile_speed(sys.argv[2])
+    profile_speed(sys.argv[1], sys.argv[2])
     checkpoint_speed(sys.argv[2])
     sys.exit(1 if failed else 0)
 
