@@ -26,7 +26,8 @@ use std::collections::BTreeMap;
 
 use tcgen_bench::{
     ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, measure_checkpoint_speed,
-    measure_profile_speed, measure_telemetry_overhead, tcgen_b, EngineCodec, Measurement,
+    measure_profile_speed, measure_service_speed, measure_telemetry_overhead, tcgen_b,
+    EngineCodec, Measurement,
 };
 use tcgen_engine::{EngineOptions, Recorder};
 use tcgen_spec::presets;
@@ -272,6 +273,28 @@ fn dump_json(all: &AllResults, records: usize) {
             )
         })
         .collect();
+    // Informational: what the `tcgen serve` daemon adds on top of the
+    // engine — requests/s and per-job latency for a flood of small
+    // jobs from concurrent clients versus one big job over the same
+    // workload. Wire framing and scheduling cost time, never bytes.
+    progress(format_args!("[measuring service request throughput]"));
+    let service = measure_service_speed(SERVICE_SPEED_RECORDS, 2);
+    let service_rows: Vec<String> = service
+        .rows
+        .iter()
+        .map(|r| {
+            format!(
+                "      {{\"scenario\": \"{}\", \"jobs\": {}, \"records_per_job\": {}, \
+                 \"total_s\": {:.4}, \"requests_per_s\": {:.4}, \"mean_job_s\": {:.4}}}",
+                r.scenario,
+                r.jobs,
+                r.records_per_job,
+                r.total_seconds,
+                r.requests_per_second(),
+                r.mean_job_seconds
+            )
+        })
+        .collect();
     let text = format!(
         "{{\n  \"results\": [\n{}\n  ],\n  \"telemetry_overhead\": {{\
          \"stats_off_mb_per_s\": {:.4}, \"stats_on_mb_per_s\": {:.4}, \
@@ -280,6 +303,9 @@ fn dump_json(all: &AllResults, records: usize) {
          \"profiles\": [\n{}\n    ]\n  }},\n  \"checkpoint_speed\": {{\n    \
          \"trace\": \"gzip store-address\", \"records\": {}, \"original_bytes\": {},\n    \
          \"block_records\": {}, \"informational\": true,\n    \
+         \"rows\": [\n{}\n    ]\n  }},\n  \"service_speed\": {{\n    \
+         \"trace\": \"gzip store-address\", \"records\": {}, \"original_bytes\": {},\n    \
+         \"informational\": true,\n    \
          \"rows\": [\n{}\n    ]\n  }}\n}}\n",
         rows.join(",\n"),
         mb(overhead.stats_off),
@@ -291,7 +317,10 @@ fn dump_json(all: &AllResults, records: usize) {
         ckpt.records,
         ckpt.original,
         ckpt.block_records,
-        ckpt_rows.join(",\n")
+        ckpt_rows.join(",\n"),
+        service.records,
+        service.original,
+        service_rows.join(",\n")
     );
     if let Err(e) = std::fs::write(path, text) {
         eprintln!("reproduce: cannot write {path}: {e}");
@@ -302,6 +331,11 @@ fn dump_json(all: &AllResults, records: usize) {
 /// than riding `--records`) so the committed numbers always describe the
 /// same trace.
 const PROFILE_SPEED_RECORDS: usize = 2_000_000;
+
+/// Smaller than the profile-speed trace: the service measurement prices
+/// request handling (8 concurrent small jobs and 1 big one, twice), not
+/// bulk throughput, and rides on every bench CI run.
+const SERVICE_SPEED_RECORDS: usize = 400_000;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Metric {

@@ -364,6 +364,140 @@ pub fn measure_checkpoint_speed(records: usize, runs: usize) -> CheckpointSpeed 
     CheckpointSpeed { records, original: raw.len(), block_records, rows }
 }
 
+/// One scenario of [`measure_service_speed`]: how the `tcgen serve`
+/// daemon handled a given request pattern.
+#[derive(Debug, Clone)]
+pub struct ServiceSpeedRow {
+    /// `"flood-small"` (many small jobs from concurrent clients) or
+    /// `"one-big"` (a single job carrying the whole trace).
+    pub scenario: &'static str,
+    /// Requests submitted in the scenario.
+    pub jobs: usize,
+    /// Records carried by each request.
+    pub records_per_job: usize,
+    /// Best wall time for the whole scenario, in seconds.
+    pub total_seconds: f64,
+    /// Mean per-job latency (client-observed, open-to-result) in the
+    /// best pass, in seconds.
+    pub mean_job_seconds: f64,
+}
+
+impl ServiceSpeedRow {
+    /// Completed requests per second in the best pass.
+    pub fn requests_per_second(&self) -> f64 {
+        self.jobs as f64 / self.total_seconds
+    }
+}
+
+/// The service-throughput measurement: request rate and per-job latency
+/// of an in-process `tcgen serve` daemon under a flood of small
+/// compress jobs versus one big job over the same total workload.
+#[derive(Debug, Clone)]
+pub struct ServiceSpeed {
+    /// Total records across each scenario.
+    pub records: usize,
+    /// Uncompressed bytes of the one-big trace.
+    pub original: usize,
+    /// One row per scenario.
+    pub rows: Vec<ServiceSpeedRow>,
+}
+
+/// Benchmarks a daemon on a private unix socket: `jobs` concurrent
+/// clients each compressing a `records / jobs`-record slice of a gzip
+/// store-address trace ("flood-small"), then one client compressing
+/// the whole trace ("one-big"). Each scenario runs `runs` passes and
+/// keeps the fastest. Purely informational — wire framing and
+/// scheduling cost wall time, never bytes (byte identity is CI-gated
+/// separately).
+///
+/// # Panics
+///
+/// Panics if `runs` is zero or the daemon cannot be started.
+pub fn measure_service_speed(records: usize, runs: usize) -> ServiceSpeed {
+    use tcgen_server::{Client, JobKind, JobRequest, ServeOptions};
+
+    assert!(runs > 0, "need at least one run");
+    let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
+    let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
+    let jobs = 8;
+    let small_records = records / jobs;
+    let small = generate_trace(&program, TraceKind::StoreAddress, small_records).to_bytes();
+
+    let socket =
+        std::env::temp_dir().join(format!("tcgen-bench-serve-{}.sock", std::process::id()));
+    let serve_path = socket.clone();
+    let options = ServeOptions { max_jobs: 4, max_cached_engines: 4 };
+    let daemon = std::thread::spawn(move || {
+        tcgen_server::serve_unix(&serve_path, &options).expect("bench daemon failed");
+    });
+    let deadline = Instant::now() + std::time::Duration::from_secs(5);
+    while std::os::unix::net::UnixStream::connect(&socket).is_err() {
+        assert!(Instant::now() < deadline, "bench daemon never came up");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let request = JobRequest::new(JobKind::Compress, presets::TCGEN_A);
+
+    // Warm the engine cache so both scenarios price requests, not the
+    // first spec parse.
+    Client::connect(&socket).expect("connect").run(&request, &small).expect("warmup compress");
+
+    let mut flood = (f64::MAX, 0.0f64);
+    let mut big = (f64::MAX, 0.0f64);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let clients: Vec<_> = (0..jobs)
+            .map(|_| {
+                let socket = socket.clone();
+                let request = request.clone();
+                let small = small.clone();
+                std::thread::spawn(move || {
+                    let job_start = Instant::now();
+                    Client::connect(&socket)
+                        .expect("connect")
+                        .run(&request, &small)
+                        .expect("flood compress");
+                    job_start.elapsed().as_secs_f64()
+                })
+            })
+            .collect();
+        let latencies: Vec<f64> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let total = start.elapsed().as_secs_f64();
+        if total < flood.0 {
+            flood = (total, latencies.iter().sum::<f64>() / latencies.len() as f64);
+        }
+
+        let start = Instant::now();
+        Client::connect(&socket).expect("connect").run(&request, &raw).expect("big compress");
+        let total = start.elapsed().as_secs_f64();
+        if total < big.0 {
+            big = (total, total);
+        }
+    }
+    Client::connect(&socket).expect("connect").shutdown().expect("shutdown");
+    daemon.join().expect("daemon thread");
+
+    ServiceSpeed {
+        records,
+        original: raw.len(),
+        rows: vec![
+            ServiceSpeedRow {
+                scenario: "flood-small",
+                jobs,
+                records_per_job: small_records,
+                total_seconds: flood.0,
+                mean_job_seconds: flood.1,
+            },
+            ServiceSpeedRow {
+                scenario: "one-big",
+                jobs: 1,
+                records_per_job: records,
+                total_seconds: big.0,
+                mean_job_seconds: big.1,
+            },
+        ],
+    }
+}
+
 /// The harmonic mean, the paper's aggregation for inversely normalized
 /// metrics (§6.5).
 ///

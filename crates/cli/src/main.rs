@@ -11,6 +11,8 @@
 //! tcgen prune <spec-file> <trace> [threshold]   emit a pruned specification
 //! tcgen usage <spec-file> <trace> [--json [FILE]]   predictor-usage report
 //! tcgen tune <spec-file> <trace> [out-spec] [--json [FILE]] [...]  auto-tune
+//! tcgen serve --socket PATH|--stdio [--max-jobs N] [--max-cached-engines N]
+//! tcgen client --socket PATH <compress|decompress|inspect|extract|stats|shutdown> [...]
 //! ```
 //!
 //! `compress` prints predictor-usage feedback to standard error, exactly
@@ -21,6 +23,7 @@ use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use tcgen_core::{Backend, EngineOptions, Recorder, Tcgen};
+use tcgen_server::{JobKind, JobRequest, ServeOptions};
 use tcgen_tracegen::{generate_trace, suite, TraceKind};
 use tcgen_tuner::TunerOptions;
 
@@ -50,6 +53,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "prune" => prune(&args[1..]),
         "usage" => usage_report(&args[1..]),
         "tune" => tune(&args[1..]),
+        "serve" => serve(&args[1..]),
+        "client" => client(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -70,7 +75,18 @@ fn usage() -> String {
      tcgen usage <spec-file> <trace-file> [--json [FILE]] [--threads N] [--model-threads N]\n  \
      tcgen tune <spec-file> <trace-file> [output-spec] [--sample-records N]\n\
      \x20          [--budget-evals N] [--seed N] [--json [FILE]] [--profile P]\n\
-     \x20          [--threads N] [--model-threads N]\n\
+     \x20          [--threads N] [--model-threads N]\n  \
+     tcgen serve --socket PATH|--stdio [--max-jobs N] [--max-cached-engines N]\n  \
+     tcgen client --socket PATH compress <spec-file> [input [output]]\n\
+     \x20          [--profile P] [--threads N] [--model-threads N]\n\
+     \x20          [--block-records N] [--checkpoint-blocks N] [--priority N]\n  \
+     tcgen client --socket PATH decompress <spec-file> [input [output]]\n\
+     \x20          [--threads N] [--model-threads N] [--priority N]\n  \
+     tcgen client --socket PATH inspect [container]\n  \
+     tcgen client --socket PATH extract <spec-file> <container> [output] --range A..B\n\
+     \x20          [--threads N] [--model-threads N] [--priority N]\n  \
+     tcgen client --socket PATH stats\n  \
+     tcgen client --socket PATH shutdown\n\
      \n\
      --profile P        post-compression backend: max (best ratio, the\n\
      \x20                   default), balanced (no block sort), or fast\n\
@@ -663,6 +679,181 @@ fn tune(args: &[String]) -> Result<(), String> {
     }
     write_output(out_spec, tcgen_spec::canonical(&outcome.tuned).as_bytes())?;
     stats.emit(recorder.as_ref())
+}
+
+/// `tcgen serve` — run the multi-tenant compression daemon until a
+/// client asks it to shut down.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<&String> = None;
+    let mut stdio = false;
+    let mut options = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = Some(args.get(i + 1).ok_or("--socket needs a path")?);
+                i += 2;
+            }
+            "--stdio" => {
+                stdio = true;
+                i += 1;
+            }
+            "--max-jobs" => {
+                options.max_jobs = parse_count(args.get(i + 1), "--max-jobs")?;
+                i += 2;
+            }
+            "--max-cached-engines" => {
+                options.max_cached_engines =
+                    parse_count(args.get(i + 1), "--max-cached-engines")?;
+                i += 2;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    match (socket, stdio) {
+        (Some(path), false) => tcgen_server::serve_unix(std::path::Path::new(path), &options)
+            .map_err(|e| format!("serve on {path}: {e}")),
+        (None, true) => tcgen_server::serve_stdio(&options).map_err(|e| format!("serve: {e}")),
+        _ => Err("serve needs exactly one of --socket PATH or --stdio".into()),
+    }
+}
+
+/// `tcgen client` — submit one job (or a stats/shutdown request) to a
+/// running daemon and stream the result back.
+fn client(args: &[String]) -> Result<(), String> {
+    let (Some(flag), Some(socket), Some(action)) = (args.first(), args.get(1), args.get(2))
+    else {
+        return Err(usage());
+    };
+    if flag != "--socket" {
+        return Err(usage());
+    }
+    let rest = &args[3..];
+    match action.as_str() {
+        "compress" => client_codec(socket, rest, true),
+        "decompress" => client_codec(socket, rest, false),
+        "inspect" => {
+            let input = read_input(rest.first())?;
+            let json = connect_client(socket)?
+                .run(&JobRequest::new(JobKind::Inspect, ""), &input)
+                .map_err(|e| e.to_string())?;
+            println!("{}", String::from_utf8_lossy(&json));
+            Ok(())
+        }
+        "extract" => client_extract(socket, rest),
+        "stats" => {
+            let report = connect_client(socket)?.stats().map_err(|e| e.to_string())?;
+            println!("{report}");
+            Ok(())
+        }
+        "shutdown" => connect_client(socket)?.shutdown().map_err(|e| e.to_string()),
+        other => Err(format!("unknown client action '{other}'\n{}", usage())),
+    }
+}
+
+fn connect_client(socket: &str) -> Result<tcgen_server::Client, String> {
+    tcgen_server::Client::connect(std::path::Path::new(socket))
+        .map_err(|e| format!("cannot connect to {socket}: {e}"))
+}
+
+/// Shared argument handling for `client compress` / `client decompress`.
+fn client_codec(socket: &str, args: &[String], compressing: bool) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let kind = if compressing { JobKind::Compress } else { JobKind::Decompress };
+    let spec = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let mut request = JobRequest::new(kind, spec);
+    let mut files: Vec<&String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" if compressing => {
+                request.profile = parse_profile(args.get(i + 1))?.id();
+                i += 2;
+            }
+            "--threads" => {
+                request.threads = parse_count(args.get(i + 1), "--threads")? as u32;
+                i += 2;
+            }
+            "--model-threads" => {
+                request.model_threads = parse_count(args.get(i + 1), "--model-threads")? as u32;
+                i += 2;
+            }
+            "--block-records" if compressing => {
+                request.block_records = parse_count(args.get(i + 1), "--block-records")? as u32;
+                i += 2;
+            }
+            "--checkpoint-blocks" if compressing => {
+                request.checkpoint_blocks =
+                    parse_count(args.get(i + 1), "--checkpoint-blocks")? as u32;
+                i += 2;
+            }
+            "--priority" => {
+                request.priority = parse_count(args.get(i + 1), "--priority")?
+                    .try_into()
+                    .map_err(|_| "--priority must fit in 0..=255".to_string())?;
+                i += 2;
+            }
+            _ => {
+                files.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    if files.len() > 2 {
+        return Err(format!("unexpected argument '{}'", files[2]));
+    }
+    let input = read_input(files.first().copied())?;
+    let output = connect_client(socket)?.run(&request, &input).map_err(|e| e.to_string())?;
+    write_output(files.get(1).copied(), &output)
+}
+
+/// `tcgen client ... extract` — the service-side `tcgen cat`.
+fn client_extract(socket: &str, args: &[String]) -> Result<(), String> {
+    let spec_path = args.first().ok_or_else(usage)?;
+    let container = args.get(1).ok_or_else(usage)?;
+    let spec = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let mut request = JobRequest::new(JobKind::Extract, spec);
+    let mut range: Option<(u64, u64)> = None;
+    let mut out: Option<&String> = None;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--range" => {
+                let value = args.get(i + 1).ok_or("--range needs a value like 100..200")?;
+                range = Some(parse_range(value)?);
+                i += 2;
+            }
+            "--threads" => {
+                request.threads = parse_count(args.get(i + 1), "--threads")? as u32;
+                i += 2;
+            }
+            "--model-threads" => {
+                request.model_threads = parse_count(args.get(i + 1), "--model-threads")? as u32;
+                i += 2;
+            }
+            "--priority" => {
+                request.priority = parse_count(args.get(i + 1), "--priority")?
+                    .try_into()
+                    .map_err(|_| "--priority must fit in 0..=255".to_string())?;
+                i += 2;
+            }
+            arg => {
+                if out.is_some() {
+                    return Err(format!("unexpected argument '{arg}'"));
+                }
+                out = Some(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let (start, end) = range.ok_or("extract needs --range A..B")?;
+    request.range_start = start;
+    request.range_end = end;
+    let input = read_input(Some(container))?;
+    let output = connect_client(socket)?.run(&request, &input).map_err(|e| e.to_string())?;
+    write_output(out, &output)
 }
 
 fn read_input(path: Option<&String>) -> Result<Vec<u8>, String> {

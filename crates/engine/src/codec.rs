@@ -122,8 +122,8 @@ pub(crate) fn compress_with_hash(
     let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    let out = std::thread::scope(|scope| -> Result<Vec<u8>, Error> {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, tel));
+    let out = (|| -> Result<Vec<u8>, Error> {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(model_threads, tel));
         let model_pipe = model_pipe.as_ref();
         // With checkpointing on, the block index is accumulated alongside
         // the container bytes and appended after the end marker. Snapshot
@@ -187,7 +187,6 @@ pub(crate) fn compress_with_hash(
         let backend = options.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
-            scope,
             threads,
             PoolTelemetry::from(tel, "pack", backend.pack_span()),
             || {
@@ -270,7 +269,7 @@ pub(crate) fn compress_with_hash(
             out.extend_from_slice(&f.encode());
         }
         Ok(out)
-    })?;
+    })()?;
     // Table stats are taken after the run so the occupancy counters
     // reflect every record modeled.
     if let Some(u) = usage {
@@ -303,10 +302,8 @@ pub fn raw_streams(
     let mut modeler = Modeler::new(spec, options);
     let mut streams = BlockStreams::new(spec.fields.len());
     let model_threads = options.effective_model_threads();
-    std::thread::scope(|scope| {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, None));
-        modeler.model_chunk(&raw[header_len..], &mut streams, &mut None, model_pipe.as_ref())
-    })?;
+    let model_pipe = (model_threads > 1).then(|| Modeler::pipe(model_threads, None));
+    modeler.model_chunk(&raw[header_len..], &mut streams, &mut None, model_pipe.as_ref())?;
     Ok(streams.fields.into_iter().flat_map(|fs| [fs.codes, fs.values]).collect())
 }
 
@@ -339,10 +336,8 @@ pub fn replay_streams(
     let mut replayer = Replayer::new(spec, options);
     let model_threads = options.effective_model_threads();
     let mut out = Vec::new();
-    std::thread::scope(|scope| {
-        let pipe = (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, None));
-        replayer.replay_block(n_records, &mut codes, &mut values, &mut out, pipe.as_ref())
-    })?;
+    let pipe = (model_threads > 1).then(|| Replayer::pipe(model_threads, None));
+    replayer.replay_block(n_records, &mut codes, &mut values, &mut out, pipe.as_ref())?;
     Ok(out)
 }
 
@@ -367,7 +362,8 @@ fn flush_block(
 /// payload and hands it back (cleared, capacity intact) alongside the
 /// packed bytes, so block stream buffers are recycled instead of
 /// reallocated every block.
-pub(crate) type PackPipe = Pipeline<Vec<u8>, (Vec<u8>, Result<Vec<u8>, blockzip::Error>)>;
+pub(crate) type PackPipe =
+    Pipeline<'static, Vec<u8>, (Vec<u8>, Result<Vec<u8>, blockzip::Error>)>;
 
 /// The codec for checkpoint snapshot frames — always the fast
 /// range-coder backend, regardless of the backend packing the block
@@ -439,9 +435,8 @@ pub(crate) fn write_packed_block(
     out.push(BLOCK_MARKER);
     out.extend_from_slice(&n_records.to_le_bytes());
     for _ in 0..segs_per_block {
-        let (payload, packed) = pipe
-            .next()
-            .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        let (payload, packed) =
+            pipe.next().map_err(|_| Error::Internal("compression worker panicked".into()))?;
         free.push(payload);
         let packed = packed.map_err(Error::Post)?;
         out.extend_from_slice(&(packed.len() as u32).to_le_bytes());
@@ -680,7 +675,7 @@ pub(crate) fn decompress_with_hash(
     let threads = options.effective_threads();
     let model_threads = options.effective_model_threads();
     let span_workers = threads.max(model_threads).min(checkpoints.len() + 1);
-    let out = std::thread::scope(|scope| -> Result<Vec<u8>, Error> {
+    let out = (|| -> Result<Vec<u8>, Error> {
         // Span-parallel replay: each checkpoint opens an independently
         // replayable span of blocks, so modeling — otherwise the serial
         // bottleneck — runs concurrently, one ordered job per span.
@@ -693,30 +688,30 @@ pub(crate) fn decompress_with_hash(
             if let Some(rec) = tel {
                 rec.counter("decompress.spans").add(jobs.len() as u64);
             }
-            let pipe: Pipeline<SpanJob, Result<Vec<u8>, Error>> = Pipeline::start_instrumented(
-                scope,
-                span_workers,
-                PoolTelemetry::from(tel, "span", "replay.span"),
-                || {
-                    let mut codec = backend.codec(level);
-                    let mut ckpt = checkpoint_codec(level);
-                    if let Some(rec) = tel {
-                        codec.attach_probes(rec);
-                        ckpt.attach_probes(rec);
-                    }
-                    move |job: SpanJob| {
-                        replay_one_span(
-                            spec,
-                            eff,
-                            packed,
-                            blocks_ref,
-                            &job,
-                            codec.as_mut(),
-                            ckpt.as_mut(),
-                        )
-                    }
-                },
-            );
+            let pipe: Pipeline<'_, SpanJob, Result<Vec<u8>, Error>> =
+                Pipeline::start_instrumented(
+                    span_workers,
+                    PoolTelemetry::from(tel, "span", "replay.span"),
+                    || {
+                        let mut codec = backend.codec(level);
+                        let mut ckpt = checkpoint_codec(level);
+                        if let Some(rec) = tel {
+                            codec.attach_probes(rec);
+                            ckpt.attach_probes(rec);
+                        }
+                        move |job: SpanJob| {
+                            replay_one_span(
+                                spec,
+                                eff,
+                                packed,
+                                blocks_ref,
+                                &job,
+                                codec.as_mut(),
+                                ckpt.as_mut(),
+                            )
+                        }
+                    },
+                );
             let n_spans = jobs.len();
             for job in jobs {
                 pipe.submit(job);
@@ -724,14 +719,13 @@ pub(crate) fn decompress_with_hash(
             for _ in 0..n_spans {
                 let span = pipe
                     .next()
-                    .map_err(|_| Error::Corrupt("internal: replay worker panicked".into()))??;
+                    .map_err(|_| Error::Internal("replay worker panicked".into()))??;
                 out.extend_from_slice(&span);
             }
             return Ok(out);
         }
 
-        let replay_pipe =
-            (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, tel));
+        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(model_threads, tel));
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
@@ -773,7 +767,6 @@ pub(crate) fn decompress_with_hash(
         let backend = effective.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
-            scope,
             threads,
             PoolTelemetry::from(tel, "unpack", backend.unpack_span()),
             || {
@@ -818,7 +811,7 @@ pub(crate) fn decompress_with_hash(
             )?;
         }
         Ok(out)
-    })?;
+    })()?;
     if let Some(c) = &counters {
         c.bytes_in.add(packed.len() as u64);
         c.bytes_out.add(out.len() as u64);
@@ -837,9 +830,11 @@ fn segment_limits(n_records: usize, width: usize) -> (usize, usize) {
 type SegmentJob<'a> = (&'a [u8], usize);
 type SegmentResult = Result<Vec<u8>, blockzip::Error>;
 
-fn next_segment(pipe: &Pipeline<SegmentJob<'_>, SegmentResult>) -> Result<Vec<u8>, Error> {
+fn next_segment<'a>(
+    pipe: &Pipeline<'a, SegmentJob<'a>, SegmentResult>,
+) -> Result<Vec<u8>, Error> {
     pipe.next()
-        .map_err(|_| Error::Corrupt("internal: decompression worker panicked".into()))?
+        .map_err(|_| Error::Internal("decompression worker panicked".into()))?
         .map_err(Error::Post)
 }
 
@@ -893,9 +888,9 @@ mod tests {
     #[test]
     fn span_pipeline_overlaps_spans() {
         let start = std::time::Instant::now();
-        std::thread::scope(|scope| {
-            let pipe: Pipeline<SpanJob, usize> =
-                Pipeline::start_instrumented(scope, 3, None, || {
+        {
+            let pipe: Pipeline<'_, SpanJob, usize> =
+                Pipeline::start_instrumented(3, None, || {
                     move |job: SpanJob| {
                         std::thread::sleep(std::time::Duration::from_millis(100));
                         job.end - job.first
@@ -911,7 +906,7 @@ mod tests {
                 blocks += pipe.next().expect("span worker lives");
             }
             assert_eq!(blocks, 12);
-        });
+        }
         assert!(
             start.elapsed() < std::time::Duration::from_millis(450),
             "six 100ms spans on three workers took {:?} — spans are not overlapping",

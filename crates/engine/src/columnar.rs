@@ -75,7 +75,7 @@ fn banks(spec: &TraceSpec, options: &EngineOptions) -> Vec<Option<FieldBank>> {
 }
 
 fn worker_panicked() -> Error {
-    Error::Corrupt("internal: modeling worker panicked".into())
+    Error::Internal("modeling worker panicked".into())
 }
 
 /// One field's share of a modeling chunk. Owns everything the worker
@@ -103,7 +103,7 @@ impl ModelJob {
     }
 }
 
-pub(crate) type ModelPipe = Pipeline<ModelJob, ModelJob>;
+pub(crate) type ModelPipe = Pipeline<'static, ModelJob, ModelJob>;
 
 /// The modeling stage: feeds records through the predictor banks and
 /// appends predictor codes and miss values to the current block's
@@ -130,15 +130,11 @@ impl Modeler {
         }
     }
 
-    /// Spawns the model-thread pool on `scope`; with a recorder, each
-    /// worker traces its per-field jobs as `model.field` spans.
-    pub(crate) fn pipe<'scope>(
-        scope: &'scope std::thread::Scope<'scope, '_>,
-        model_threads: usize,
-        tel: Option<&Recorder>,
-    ) -> ModelPipe {
+    /// Starts the model-thread pipeline on the shared pool; with a
+    /// recorder, each worker traces its per-field jobs as `model.field`
+    /// spans.
+    pub(crate) fn pipe(model_threads: usize, tel: Option<&Recorder>) -> ModelPipe {
         Pipeline::start_instrumented(
-            scope,
             model_threads,
             PoolTelemetry::from(tel, "model", "model.field"),
             || ModelJob::run,
@@ -318,7 +314,7 @@ fn map_replay(
     }
 }
 
-pub(crate) type ReplayPipe = Pipeline<ReplayJob, ReplayJob>;
+pub(crate) type ReplayPipe = Pipeline<'static, ReplayJob, ReplayJob>;
 
 /// The replay stage: reconstructs records from decoded code and value
 /// streams, carrying predictor state across blocks. Shared by the
@@ -393,15 +389,10 @@ impl Replayer {
             .sum()
     }
 
-    /// Spawns the replay pool on `scope`; with a recorder, each worker
-    /// traces its per-field jobs as `replay.field` spans.
-    pub(crate) fn pipe<'scope>(
-        scope: &'scope std::thread::Scope<'scope, '_>,
-        model_threads: usize,
-        tel: Option<&Recorder>,
-    ) -> ReplayPipe {
+    /// Starts the replay pipeline on the shared pool; with a recorder,
+    /// each worker traces its per-field jobs as `replay.field` spans.
+    pub(crate) fn pipe(model_threads: usize, tel: Option<&Recorder>) -> ReplayPipe {
         Pipeline::start_instrumented(
-            scope,
             model_threads,
             PoolTelemetry::from(tel, "replay", "replay.field"),
             || ReplayJob::run,

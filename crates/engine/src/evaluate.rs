@@ -144,29 +144,26 @@ pub fn score_candidates_with_telemetry(
             })
             .collect();
     }
-    std::thread::scope(|scope| {
-        let pipe: Pipeline<EvalJob, Result<CandidateScore, Error>> =
-            Pipeline::start_instrumented(
-                scope,
-                threads,
-                PoolTelemetry::from(tel, "tune-eval", "tune.eval"),
-                || {
-                    let mut codec = options.backend.codec(options.level);
-                    move |job: EvalJob| evaluate(&job, options, codec.as_mut())
-                },
-            );
-        let n = jobs.len();
-        for job in jobs {
-            pipe.submit(job);
-        }
-        let mut scores = Vec::with_capacity(n);
-        for _ in 0..n {
-            scores.push(pipe.next().map_err(|_| {
-                Error::Corrupt("internal: evaluation worker panicked".into())
-            })??);
-        }
-        Ok(scores)
-    })
+    let pipe: Pipeline<'_, EvalJob, Result<CandidateScore, Error>> =
+        Pipeline::start_instrumented(
+            threads,
+            PoolTelemetry::from(tel, "tune-eval", "tune.eval"),
+            || {
+                let mut codec = options.backend.codec(options.level);
+                move |job: EvalJob| evaluate(&job, options, codec.as_mut())
+            },
+        );
+    let n = jobs.len();
+    for job in jobs {
+        pipe.submit(job);
+    }
+    let mut scores = Vec::with_capacity(n);
+    for _ in 0..n {
+        scores.push(
+            pipe.next().map_err(|_| Error::Internal("evaluation worker panicked".into()))??,
+        );
+    }
+    Ok(scores)
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub mod usage;
 
 pub use evaluate::{score_candidates, score_candidates_with_telemetry, CandidateScore};
 pub use options::EngineOptions;
+pub use pool::with_job_priority;
 pub use postcodec::{Backend, PostCodec};
 pub use seek::{extract_range, inspect, ContainerInfo, SpanInfo, SEEK_BYTES_READ};
 pub use stream_io::{
@@ -83,6 +84,10 @@ pub enum Error {
     Post(blockzip::Error),
     /// Any other structural corruption.
     Corrupt(String),
+    /// An engine bug, not an input problem: a worker panicked or an
+    /// invariant broke. Long-running services report this per job
+    /// instead of crashing the process.
+    Internal(String),
 }
 
 impl std::fmt::Display for Error {
@@ -102,6 +107,7 @@ impl std::fmt::Display for Error {
             ),
             Error::Post(e) => write!(f, "post-compression stage: {e}"),
             Error::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

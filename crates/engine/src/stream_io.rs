@@ -174,8 +174,8 @@ pub fn compress_stream_with_telemetry(
     let mut chunk = vec![0u8; record_len * block_records.min(65_536)];
     let mut streams = BlockStreams::new(spec.fields.len());
 
-    std::thread::scope(|scope| -> Result<(), StreamError> {
-        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(scope, model_threads, tel));
+    (|| -> Result<(), StreamError> {
+        let model_pipe = (model_threads > 1).then(|| Modeler::pipe(model_threads, tel));
         let model_pipe = model_pipe.as_ref();
         // With checkpointing on, the block index is accumulated as frames
         // stream out and appended after the end marker — offsets come
@@ -270,7 +270,6 @@ pub fn compress_stream_with_telemetry(
         let backend = options.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
-            scope,
             threads,
             PoolTelemetry::from(tel, "pack", backend.pack_span()),
             || {
@@ -390,7 +389,7 @@ pub fn compress_stream_with_telemetry(
         }
         output.flush()?;
         Ok(())
-    })?;
+    })()?;
     if let Some(c) = &counters {
         c.bytes_out.add(output.written);
     }
@@ -452,9 +451,8 @@ fn write_packed_block<W: Write>(
     output.write_all(&[BLOCK_MARKER])?;
     output.write_all(&n_records.to_le_bytes())?;
     for _ in 0..segs_per_block {
-        let (payload, packed) = pipe
-            .next()
-            .map_err(|_| Error::Corrupt("internal: compression worker panicked".into()))?;
+        let (payload, packed) =
+            pipe.next().map_err(|_| Error::Internal("compression worker panicked".into()))?;
         free.push(payload);
         let packed = packed.map_err(Error::Post)?;
         output.write_all(&(packed.len() as u32).to_le_bytes())?;
@@ -527,9 +525,8 @@ pub fn decompress_stream_with_telemetry(
     let checkpointed = effective.checkpoint_blocks > 0;
     let mut walked = container::Footer::default();
 
-    std::thread::scope(|scope| -> Result<(), StreamError> {
-        let replay_pipe =
-            (model_threads > 1).then(|| Replayer::pipe(scope, model_threads, tel));
+    (|| -> Result<(), StreamError> {
+        let replay_pipe = (model_threads > 1).then(|| Replayer::pipe(model_threads, tel));
         let replay_pipe = replay_pipe.as_ref();
 
         if threads <= 1 {
@@ -594,7 +591,6 @@ pub fn decompress_stream_with_telemetry(
         let backend = effective.backend;
         let level = options.level;
         let pipe = Pipeline::start_instrumented(
-            scope,
             threads,
             PoolTelemetry::from(tel, "unpack", backend.unpack_span()),
             || {
@@ -657,7 +653,7 @@ pub fn decompress_stream_with_telemetry(
                 c.blocks.add(1);
             }
         }
-    })?;
+    })()?;
     if let Some(c) = &counters {
         c.bytes_in.add(input.read);
         c.bytes_out.add(output.written);
@@ -742,12 +738,12 @@ fn expect_eof(input: &mut impl Read) -> Result<(), StreamError> {
 }
 
 /// A (compressed segment, decode limit) job and its decoded result.
-type SegmentPipe = Pipeline<(Vec<u8>, usize), Result<Vec<u8>, blockzip::Error>>;
+type SegmentPipe = Pipeline<'static, (Vec<u8>, usize), Result<Vec<u8>, blockzip::Error>>;
 
 fn next_segment(pipe: &SegmentPipe) -> Result<Vec<u8>, StreamError> {
     Ok(pipe
         .next()
-        .map_err(|_| Error::Corrupt("internal: decompression worker panicked".into()))
+        .map_err(|_| Error::Internal("decompression worker panicked".into()))
         .map_err(StreamError::from)?
         .map_err(Error::Post)?)
 }

@@ -1,0 +1,128 @@
+//! A blocking client for the `tcgen serve` protocol.
+//!
+//! One [`Client`] owns one connection and runs one request at a time —
+//! concurrency against a daemon comes from opening more clients, which
+//! is exactly what `tcgen client` and the service tests do. The framing
+//! layer underneath supports interleaved request ids, so a fancier
+//! multiplexing client needs no protocol change.
+
+use std::io::{self, BufReader};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::proto::{
+    encode_open, frame_type, read_frame, write_frame, JobRequest, ProtoError, CHUNK,
+};
+
+/// Why a request failed from the client's point of view.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport or framing broke.
+    Proto(ProtoError),
+    /// The daemon answered with an `RSP_ERR` frame; this is its
+    /// message (one job failing does not kill the daemon).
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One connection to a `tcgen serve` daemon.
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u32,
+}
+
+impl Client {
+    /// Connects to the daemon's unix socket at `path`.
+    pub fn connect(path: &Path) -> io::Result<Self> {
+        let writer = UnixStream::connect(path)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer, next_id: 1 })
+    }
+
+    /// Submits one job — open, input chunks, end — and collects the
+    /// full result.
+    pub fn run(&mut self, request: &JobRequest, input: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.writer, frame_type::REQ_OPEN, id, &encode_open(request))?;
+        for chunk in input.chunks(CHUNK) {
+            write_frame(&mut self.writer, frame_type::REQ_DATA, id, chunk)?;
+        }
+        write_frame(&mut self.writer, frame_type::REQ_END, id, b"")?;
+        self.collect(id)
+    }
+
+    /// Fetches the daemon's telemetry report as JSON.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.writer, frame_type::REQ_STATS, id, b"")?;
+        let bytes = self.collect(id)?;
+        String::from_utf8(bytes)
+            .map_err(|_| ClientError::Server("stats report is not UTF-8".into()))
+    }
+
+    /// Asks the daemon to drain and exit; returns once it acknowledges
+    /// (i.e. after every in-flight job has finished).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        write_frame(&mut self.writer, frame_type::REQ_SHUTDOWN, id, b"")?;
+        self.collect(id).map(drop)
+    }
+
+    fn fresh_id(&mut self) -> u32 {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        id
+    }
+
+    /// Reads response frames for `id` until `RSP_END` or `RSP_ERR`.
+    fn collect(&mut self, id: u32) -> Result<Vec<u8>, ClientError> {
+        let mut out = Vec::new();
+        loop {
+            let Some(frame) = read_frame(&mut self.reader)? else {
+                return Err(ClientError::Server(
+                    "connection closed before the response completed".into(),
+                ));
+            };
+            match frame.frame_type {
+                frame_type::RSP_DATA if frame.request_id == id => {
+                    out.extend_from_slice(&frame.payload)
+                }
+                frame_type::RSP_END if frame.request_id == id => return Ok(out),
+                frame_type::RSP_ERR => {
+                    return Err(ClientError::Server(
+                        String::from_utf8_lossy(&frame.payload).into_owned(),
+                    ))
+                }
+                other => {
+                    return Err(ClientError::Proto(ProtoError::Malformed(format!(
+                        "unexpected frame type {other:#04x} for request {}",
+                        frame.request_id
+                    ))))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `tcgen-server` — the multi-tenant compression service.
+//!
+//! The engine (see [`tcgen_engine`]) schedules every pipeline on one
+//! process-global worker pool; this crate puts a wire on it. A
+//! [`daemon`] listens on a unix socket (or stdio), speaks the framed
+//! [`proto`] protocol, keeps built engines warm in an LRU [`cache`],
+//! executes [`jobs`] under a concurrency cap with per-job priorities,
+//! and answers `stats` requests with the shared telemetry report. The
+//! [`client`] module is the matching blocking client used by `tcgen
+//! client` and the service tests.
+//!
+//! Two properties are load-bearing everywhere:
+//!
+//! - **Byte identity.** A container compressed through the service is
+//!   byte-for-byte what `tcgen compress` produces with the same spec
+//!   and options — the service adds scheduling, never bytes.
+//! - **Fault isolation.** A job that fails (bad input, bad spec, or an
+//!   engine panic) answers with an error frame on its own request id;
+//!   the daemon and every other tenant keep going.
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod jobs;
+pub mod proto;
+
+pub use cache::{EngineCache, EngineKey};
+pub use client::{Client, ClientError};
+pub use daemon::{serve_stdio, serve_unix, Daemon, ServeOptions};
+pub use proto::{JobKind, JobRequest};

@@ -1,0 +1,305 @@
+//! End-to-end tests of the `tcgen serve` daemon over a real unix
+//! socket: byte identity against direct engine calls, multi-tenant
+//! concurrency with backpressure, fault isolation, protocol abuse, the
+//! engine cache, and graceful shutdown.
+//!
+//! Timing assertions are written for a single-CPU container: the
+//! overlapping work is *sleeping*, so concurrency shows up in
+//! wall-clock time even with one core.
+
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use tcgen_server::proto::{self, frame_type};
+use tcgen_server::{Client, ClientError, JobKind, JobRequest, ServeOptions};
+
+const SPEC: &str =
+    "TCgen Trace Specification;\n32-Bit Field 1 = {L1 = 1, L2 = 64: FCM1[2]};\nPC = Field 1;";
+
+fn trace(records: u64) -> Vec<u8> {
+    let mut raw = Vec::new();
+    for i in 0..records {
+        raw.extend_from_slice(&(0x4000_0000u32 + (i as u32 % 13) * 4).to_le_bytes());
+    }
+    raw
+}
+
+/// Starts a daemon on a fresh socket path; the caller shuts it down
+/// with [`Client::shutdown`] and joins the handle.
+fn start_daemon(options: ServeOptions) -> (PathBuf, std::thread::JoinHandle<()>) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("tcgen-serve-test-{}-{n}.sock", std::process::id()));
+    let serve_path = path.clone();
+    let handle = std::thread::spawn(move || {
+        tcgen_server::serve_unix(&serve_path, &options).expect("daemon failed");
+    });
+    // Wait for the socket to accept connections.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if UnixStream::connect(&path).is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "daemon never came up at {path:?}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    (path, handle)
+}
+
+fn sleep_request(millis: u64) -> JobRequest {
+    let mut req = JobRequest::new(JobKind::DebugSleep, "");
+    req.range_start = millis;
+    req
+}
+
+#[test]
+fn served_results_are_byte_identical_to_direct_engine_calls() {
+    let (path, handle) = start_daemon(ServeOptions::default());
+    let raw = trace(600);
+    let spec = tcgen_spec::parse(SPEC).unwrap();
+    for threads in [1u32, 3] {
+        for profile in [0u8, 2] {
+            for checkpoint_blocks in [0u32, 2] {
+                let mut req = JobRequest::new(JobKind::Compress, SPEC);
+                req.threads = threads;
+                req.model_threads = threads;
+                req.profile = profile;
+                req.block_records = 100;
+                req.checkpoint_blocks = checkpoint_blocks;
+
+                let mut options = tcgen_engine::EngineOptions::tcgen();
+                options.backend = tcgen_engine::Backend::from_id(profile).unwrap();
+                options.threads = threads as usize;
+                options.model_threads = threads as usize;
+                options.block_records = 100;
+                options.checkpoint_blocks = checkpoint_blocks as usize;
+                let engine = tcgen_engine::Engine::new(spec.clone(), options);
+                let direct = engine.compress(&raw).unwrap();
+
+                let mut client = Client::connect(&path).unwrap();
+                let served = client.run(&req, &raw).unwrap();
+                assert_eq!(
+                    served, direct,
+                    "threads={threads} profile={profile} checkpoints={checkpoint_blocks}"
+                );
+
+                req.kind = JobKind::Decompress;
+                let back = client.run(&req, &served).unwrap();
+                assert_eq!(back, raw);
+
+                if checkpoint_blocks > 0 {
+                    req.kind = JobKind::Extract;
+                    req.range_start = 150;
+                    req.range_end = 450;
+                    let slice = client.run(&req, &served).unwrap();
+                    assert_eq!(slice, raw[150 * 4..450 * 4].to_vec());
+
+                    req.kind = JobKind::Inspect;
+                    let info = String::from_utf8(client.run(&req, &served).unwrap()).unwrap();
+                    assert!(info.contains("\"total_records\": 600"), "{info}");
+                }
+            }
+        }
+    }
+    Client::connect(&path).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn one_daemon_sustains_four_concurrent_jobs() {
+    let (path, handle) = start_daemon(ServeOptions { max_jobs: 4, max_cached_engines: 4 });
+    let start = Instant::now();
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                let input = vec![i as u8; 64];
+                let out = client.run(&sleep_request(300), &input).unwrap();
+                assert_eq!(out, input, "each tenant gets its own bytes back");
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(1000),
+        "four 300ms jobs took {elapsed:?}; they should overlap, not serialise to 1200ms"
+    );
+
+    let mut client = Client::connect(&path).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"pool\":\"serve-jobs\""), "{stats}");
+    assert!(stats.contains("\"serve.jobs\":4"), "{stats}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn max_jobs_applies_backpressure_to_excess_jobs() {
+    let (path, handle) = start_daemon(ServeOptions { max_jobs: 1, max_cached_engines: 4 });
+    let start = Instant::now();
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&path).unwrap();
+                client.run(&sleep_request(250), b"x").unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(490),
+        "max_jobs=1 must serialise two 250ms jobs, finished in {elapsed:?}"
+    );
+
+    let mut client = Client::connect(&path).unwrap();
+    let stats = client.stats().unwrap();
+    // With one execution slot, the second job had to wait for a slot —
+    // the backpressure counter proves the cap engaged.
+    assert!(stats.contains("\"serve.backpressure_waits\":1"), "{stats}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn a_panicking_job_is_an_error_frame_not_a_dead_daemon() {
+    let (path, handle) = start_daemon(ServeOptions::default());
+    let mut client = Client::connect(&path).unwrap();
+    let err = client.run(&JobRequest::new(JobKind::DebugPanic, ""), b"boom").unwrap_err();
+    match err {
+        ClientError::Server(msg) => {
+            assert!(msg.contains("internal error") && msg.contains("panicked"), "{msg}")
+        }
+        other => panic!("expected a server error frame, got {other:?}"),
+    }
+    // Same connection, next job: the daemon and its pool survived.
+    let out = client.run(&sleep_request(0), b"still alive").unwrap();
+    assert_eq!(out, b"still alive");
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"serve.errors\":1"), "{stats}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Reads the error frame a protocol violation should provoke, and
+/// confirms the daemon closed the connection after it.
+fn expect_err_then_close(stream: &mut UnixStream, needle: &str) {
+    let frame = proto::read_frame(stream).unwrap().expect("an RSP_ERR frame");
+    assert_eq!(frame.frame_type, frame_type::RSP_ERR);
+    let msg = String::from_utf8_lossy(&frame.payload).into_owned();
+    assert!(msg.contains(needle), "expected {needle:?} in {msg:?}");
+    assert!(proto::read_frame(stream).unwrap().is_none(), "connection should be closed");
+}
+
+#[test]
+fn protocol_violations_are_rejected_loudly_and_the_daemon_survives() {
+    let (path, handle) = start_daemon(ServeOptions::default());
+
+    // Oversized declared length: rejected before any allocation.
+    let mut s = UnixStream::connect(&path).unwrap();
+    s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    s.write_all(&[0u8; 10]).unwrap();
+    expect_err_then_close(&mut s, "exceeds");
+
+    // Corrupted payload: the CRC catches it.
+    let mut buf = Vec::new();
+    proto::write_frame(&mut buf, frame_type::REQ_DATA, 1, b"corrupt me").unwrap();
+    let last = buf.len() - 1;
+    buf[last] ^= 0x01;
+    let mut s = UnixStream::connect(&path).unwrap();
+    s.write_all(&buf).unwrap();
+    expect_err_then_close(&mut s, "CRC");
+
+    // Unknown frame type.
+    let mut buf = Vec::new();
+    proto::write_frame(&mut buf, 0x77, 9, b"").unwrap();
+    let mut s = UnixStream::connect(&path).unwrap();
+    s.write_all(&buf).unwrap();
+    expect_err_then_close(&mut s, "unknown frame type");
+
+    // Data for a request that was never opened.
+    let mut buf = Vec::new();
+    proto::write_frame(&mut buf, frame_type::REQ_DATA, 5, b"orphan").unwrap();
+    let mut s = UnixStream::connect(&path).unwrap();
+    s.write_all(&buf).unwrap();
+    expect_err_then_close(&mut s, "not open");
+
+    // Truncated frame then hangup, and a mid-job disconnect: the
+    // daemon just drops the connection.
+    let mut s = UnixStream::connect(&path).unwrap();
+    s.write_all(&100u32.to_le_bytes()).unwrap();
+    s.write_all(&[1u8; 4]).unwrap();
+    drop(s);
+    let mut s = UnixStream::connect(&path).unwrap();
+    let open = proto::encode_open(&sleep_request(200));
+    let mut buf = Vec::new();
+    proto::write_frame(&mut buf, frame_type::REQ_OPEN, 2, &open).unwrap();
+    proto::write_frame(&mut buf, frame_type::REQ_DATA, 2, b"abandoned").unwrap();
+    proto::write_frame(&mut buf, frame_type::REQ_END, 2, b"").unwrap();
+    s.write_all(&buf).unwrap();
+    drop(s);
+
+    // After all that abuse, a well-behaved client still gets service.
+    let mut client = Client::connect(&path).unwrap();
+    assert_eq!(client.run(&sleep_request(0), b"ok").unwrap(), b"ok");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn engine_cache_hits_misses_and_evictions_show_in_stats() {
+    let (path, handle) = start_daemon(ServeOptions { max_jobs: 2, max_cached_engines: 1 });
+    let raw = trace(200);
+    let mut client = Client::connect(&path).unwrap();
+    let mut req = JobRequest::new(JobKind::Compress, SPEC);
+    req.threads = 1;
+    req.model_threads = 1;
+
+    client.run(&req, &raw).unwrap(); // miss: first build
+    client.run(&req, &raw).unwrap(); // hit
+    let mut other = req.clone();
+    other.profile = 2;
+    client.run(&other, &raw).unwrap(); // miss, evicts the max-profile engine
+    client.run(&req, &raw).unwrap(); // miss again: capacity 1 evicted it
+
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"serve.cache_hit\":1"), "{stats}");
+    assert!(stats.contains("\"serve.cache_miss\":3"), "{stats}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs() {
+    let (path, handle) = start_daemon(ServeOptions::default());
+    let job_path = path.clone();
+    let job = std::thread::spawn(move || {
+        let mut client = Client::connect(&job_path).unwrap();
+        client.run(&sleep_request(400), b"slow but finished").unwrap()
+    });
+    // Let the slow job get accepted before asking for shutdown.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(&path).unwrap();
+    let start = Instant::now();
+    client.shutdown().unwrap();
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(200),
+        "shutdown acknowledged after {waited:?}; it must wait for the 400ms job"
+    );
+    assert_eq!(job.join().unwrap(), b"slow but finished", "the drained job still delivered");
+    handle.join().unwrap();
+    // New connections are refused once the daemon is gone.
+    assert!(UnixStream::connect(&path).is_err());
+}

@@ -137,6 +137,29 @@ def checkpoint_speed(path):
     )
 
 
+def service_speed(path):
+    """Prints the `tcgen serve` request-throughput rows, if recorded.
+
+    Informational only: requests per second and per-job latency depend
+    entirely on the runner. The service's byte identity against direct
+    CLI output is CI-gated separately; this line just keeps scheduling
+    and framing overhead visible in the job log.
+    """
+    with open(path) as f:
+        speed = json.load(f).get("service_speed")
+    if speed is None:
+        return
+    per = ", ".join(
+        f"{r['scenario']} {r['jobs']}x{r['records_per_job']} records: "
+        f"{r['requests_per_s']:.1f} req/s, {r['mean_job_s']:.3f}s/job"
+        for r in speed["rows"]
+    )
+    print(
+        f"service speed on {speed['trace']} ({speed['records']} records): "
+        f"{per} (informational)"
+    )
+
+
 def tune_report(path):
     with open(path) as f:
         report = json.load(f)
@@ -196,6 +219,7 @@ def main():
     telemetry_overhead(sys.argv[2])
     profile_speed(sys.argv[1], sys.argv[2])
     checkpoint_speed(sys.argv[2])
+    service_speed(sys.argv[2])
     sys.exit(1 if failed else 0)
 
 
