@@ -15,8 +15,10 @@
 //! figures as machine-readable rows. `--json [FILE]` writes the
 //! per-algorithm harmonic-mean summary (compressed sizes plus
 //! compression/decompression throughput) as JSON, defaulting to
-//! `BENCH_pipeline.json`, plus an informational `telemetry_overhead`
-//! object comparing TCgen throughput with and without a recorder.
+//! `BENCH_pipeline.json`, plus informational `telemetry_overhead` and
+//! `metrics_overhead` objects comparing TCgen throughput without and
+//! with a recorder, and with the serve-style histogram/window sampling
+//! on top of one.
 //! `--verbose` restores the per-step progress notes on stderr.
 //! `--stats` prints a per-stage telemetry summary of one instrumented
 //! TCgen run after the tables; `--trace-out FILE` writes that run as a
@@ -26,8 +28,8 @@ use std::collections::BTreeMap;
 
 use tcgen_bench::{
     ablation_rows, algorithms, corpus, harmonic_mean, mb, measure, measure_checkpoint_speed,
-    measure_profile_speed, measure_service_speed, measure_telemetry_overhead, tcgen_b,
-    EngineCodec, Measurement,
+    measure_metrics_overhead, measure_profile_speed, measure_service_speed,
+    measure_telemetry_overhead, tcgen_b, EngineCodec, Measurement,
 };
 use tcgen_engine::{EngineOptions, Recorder};
 use tcgen_spec::presets;
@@ -224,6 +226,10 @@ fn dump_json(all: &AllResults, records: usize) {
     let program = suite().into_iter().find(|p| p.name == "gzip").expect("gzip is in Table 1");
     let raw = generate_trace(&program, TraceKind::StoreAddress, records).to_bytes();
     let overhead = measure_telemetry_overhead(&raw, 3);
+    // Informational: what the serve-style metrics discipline (per-job
+    // histograms plus a window sampler) adds on top of that recorder.
+    progress(format_args!("[measuring metrics overhead]"));
+    let metrics = measure_metrics_overhead(&raw, 3);
     // Informational: the post-compression profile trade-off on the fixed
     // 2M-record gzip store-address trace, large enough that table misses
     // and entropy coding — not setup — dominate. Sizes and speedups here
@@ -298,6 +304,8 @@ fn dump_json(all: &AllResults, records: usize) {
     let text = format!(
         "{{\n  \"results\": [\n{}\n  ],\n  \"telemetry_overhead\": {{\
          \"stats_off_mb_per_s\": {:.4}, \"stats_on_mb_per_s\": {:.4}, \
+         \"overhead_fraction\": {:.4}}},\n  \"metrics_overhead\": {{\
+         \"recorder_only_mb_per_s\": {:.4}, \"metrics_on_mb_per_s\": {:.4}, \
          \"overhead_fraction\": {:.4}}},\n  \"profile_speed\": {{\n    \
          \"trace\": \"gzip store-address\", \"records\": {}, \"original_bytes\": {},\n    \
          \"profiles\": [\n{}\n    ]\n  }},\n  \"checkpoint_speed\": {{\n    \
@@ -311,6 +319,9 @@ fn dump_json(all: &AllResults, records: usize) {
         mb(overhead.stats_off),
         mb(overhead.stats_on),
         overhead.overhead_fraction(),
+        mb(metrics.recorder_only),
+        mb(metrics.metrics_on),
+        metrics.overhead_fraction(),
         speeds.records,
         speeds.original,
         profile_rows.join(",\n"),

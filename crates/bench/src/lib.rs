@@ -179,6 +179,81 @@ pub fn measure_telemetry_overhead(raw: &[u8], runs: usize) -> TelemetryOverhead 
     TelemetryOverhead { stats_off: best(&plain), stats_on: best(&observed) }
 }
 
+/// Measured cost of the *service* observability discipline on top of a
+/// plain recorder: per-job histogram records plus a background window
+/// sampler, exactly what `tcgen serve` adds over `--stats`. Like
+/// [`TelemetryOverhead`], informational — histograms tick once per run
+/// and the sampler reads counters off the hot path, so the two speeds
+/// should agree to within noise.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsOverhead {
+    /// Best compression speed with only a recorder attached (bytes/s).
+    pub recorder_only: f64,
+    /// Best compression speed with the recorder plus live histograms
+    /// and a sampled window ring (bytes/s).
+    pub metrics_on: f64,
+}
+
+impl MetricsOverhead {
+    /// Fractional slowdown: `0.02` means metrics-on ran 2% slower.
+    pub fn overhead_fraction(&self) -> f64 {
+        (1.0 - self.metrics_on / self.recorder_only).max(0.0)
+    }
+}
+
+/// Times TCgen compression of `raw` with a plain recorder, then with
+/// the full serve-style metrics discipline: duration and size
+/// histograms fed per run, and a sampler thread pushing a window
+/// snapshot every 10ms (25× the daemon's rate, to bound the worst
+/// case) while compression runs.
+///
+/// # Panics
+///
+/// Panics if compression fails or `runs` is zero.
+pub fn measure_metrics_overhead(raw: &[u8], runs: usize) -> MetricsOverhead {
+    use tcgen_engine::telemetry::WindowSnapshot;
+
+    assert!(runs > 0, "need at least one run");
+    let baseline = EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen())
+        .with_telemetry(Recorder::new());
+    let recorder_only =
+        (0..runs).map(|_| measure(&baseline, raw).compress_speed()).fold(f64::MIN, f64::max);
+
+    let recorder = Recorder::new();
+    let ring = recorder.window_ring(300);
+    let durations = recorder.histogram("bench.job_duration_ns");
+    let sizes = recorder.histogram("bench.job_bytes_in");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let sampler = {
+        let recorder = recorder.clone();
+        let ring = std::sync::Arc::clone(&ring);
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                ring.push(WindowSnapshot {
+                    at_ns: recorder.elapsed_ns(),
+                    counters: recorder.counters_snapshot(),
+                    queue_depth: 0,
+                });
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+    let metered = EngineCodec::new("TCgen", presets::TCGEN_A, EngineOptions::tcgen())
+        .with_telemetry(recorder);
+    let metrics_on = (0..runs)
+        .map(|_| {
+            let m = measure(&metered, raw);
+            durations.record((m.compress_seconds * 1e9) as u64);
+            sizes.record(m.original as u64);
+            m.compress_speed()
+        })
+        .fold(f64::MIN, f64::max);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    sampler.join().expect("sampler thread panicked");
+    MetricsOverhead { recorder_only, metrics_on }
+}
+
 /// One row of [`measure_profile_speed`]: how one post-compression
 /// backend fared on the reference trace.
 #[derive(Debug, Clone, Copy)]
@@ -426,7 +501,8 @@ pub fn measure_service_speed(records: usize, runs: usize) -> ServiceSpeed {
     let socket =
         std::env::temp_dir().join(format!("tcgen-bench-serve-{}.sock", std::process::id()));
     let serve_path = socket.clone();
-    let options = ServeOptions { max_jobs: 4, max_cached_engines: 4 };
+    let options =
+        ServeOptions { max_jobs: 4, max_cached_engines: 4, ..ServeOptions::default() };
     let daemon = std::thread::spawn(move || {
         tcgen_server::serve_unix(&serve_path, &options).expect("bench daemon failed");
     });

@@ -19,8 +19,10 @@
 //! as the paper's generated tools do after each compression. Omitted
 //! file operands mean standard input/output.
 
-use std::io::{Read, Write};
+use std::io::{IsTerminal, Read, Write};
 use std::process::ExitCode;
+
+use tcgen_engine::telemetry::json;
 
 use tcgen_core::{Backend, EngineOptions, Recorder, Tcgen};
 use tcgen_server::{JobKind, JobRequest, ServeOptions};
@@ -55,6 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "tune" => tune(&args[1..]),
         "serve" => serve(&args[1..]),
         "client" => client(&args[1..]),
+        "top" => top(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -76,7 +79,9 @@ fn usage() -> String {
      tcgen tune <spec-file> <trace-file> [output-spec] [--sample-records N]\n\
      \x20          [--budget-evals N] [--seed N] [--json [FILE]] [--profile P]\n\
      \x20          [--threads N] [--model-threads N]\n  \
-     tcgen serve --socket PATH|--stdio [--max-jobs N] [--max-cached-engines N]\n  \
+     tcgen serve --socket PATH|--stdio [--max-jobs N] [--max-cached-engines N]\n\
+     \x20          [--metrics-addr HOST:PORT] [--slow-ms N]\n  \
+     tcgen top --socket PATH [--interval MS] [--iterations N]\n  \
      tcgen client --socket PATH compress <spec-file> [input [output]]\n\
      \x20          [--profile P] [--threads N] [--model-threads N]\n\
      \x20          [--block-records N] [--checkpoint-blocks N] [--priority N]\n  \
@@ -106,6 +111,19 @@ fn usage() -> String {
      --range A..B       record range (absolute indices) for `cat`; the whole\n\
      \x20                   trace when omitted. Without a checkpoint footer,\n\
      \x20                   cat falls back to a sequential decompress\n\
+     \n\
+     serve observability (never changes container bytes):\n\
+     --metrics-addr A   also serve GET /metrics (Prometheus text) and\n\
+     \x20                   /healthz over HTTP on A (e.g. 127.0.0.1:9464)\n\
+     --slow-ms N        log a structured slow_request line to stderr for\n\
+     \x20                   any job slower than N ms (0 = off, the default)\n\
+     \n\
+     tcgen top          live view of a running daemon: one delta row (or\n\
+     \x20                   refreshing screen on a tty) per interval with\n\
+     \x20                   jobs/s, MB/s in/out, windowed p99 latency, queue\n\
+     \x20                   depth, cache hit rate, and worker utilization.\n\
+     \x20                   --interval MS between rows (default 1000);\n\
+     \x20                   --iterations N rows then exit (0 = forever)\n\
      \n\
      telemetry (compress, decompress, usage, tune; never changes output bytes):\n\
      --stats            print a per-stage timing/throughput summary to stderr\n\
@@ -707,6 +725,15 @@ fn serve(args: &[String]) -> Result<(), String> {
                     parse_count(args.get(i + 1), "--max-cached-engines")?;
                 i += 2;
             }
+            "--metrics-addr" => {
+                let addr = args.get(i + 1).ok_or("--metrics-addr needs HOST:PORT")?;
+                options.metrics_addr = Some(addr.clone());
+                i += 2;
+            }
+            "--slow-ms" => {
+                options.slow_ms = parse_count(args.get(i + 1), "--slow-ms")? as u64;
+                i += 2;
+            }
             other => return Err(format!("unexpected argument '{other}'")),
         }
     }
@@ -716,6 +743,199 @@ fn serve(args: &[String]) -> Result<(), String> {
         (None, true) => tcgen_server::serve_stdio(&options).map_err(|e| format!("serve: {e}")),
         _ => Err("serve needs exactly one of --socket PATH or --stdio".into()),
     }
+}
+
+/// `tcgen top` — subscribe to a daemon's stats stream and render live
+/// deltas between consecutive reports: jobs/s, MB/s in and out, the
+/// windowed p99 job latency (from histogram bucket diffs), queue
+/// depth, cache hit rate, and per-worker utilization. On a terminal
+/// the view refreshes in place; on a pipe it prints one row per tick,
+/// which is what the CI smoke test greps.
+fn top(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<&String> = None;
+    let mut interval_ms: u32 = 1000;
+    let mut iterations: usize = 0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--socket" => {
+                socket = Some(args.get(i + 1).ok_or("--socket needs a path")?);
+                i += 2;
+            }
+            "--interval" => {
+                interval_ms = parse_count(args.get(i + 1), "--interval")? as u32;
+                i += 2;
+            }
+            "--iterations" => {
+                iterations = parse_count(args.get(i + 1), "--iterations")?;
+                i += 2;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let socket = socket.ok_or("top needs --socket PATH")?;
+    let tty = std::io::stdout().is_terminal();
+    let mut client = connect_client(socket)?;
+    let mut prev: Option<json::Value> = None;
+    let mut rows = 0usize;
+    let mut parse_error: Option<String> = None;
+    client
+        .stats_stream(interval_ms, |text| {
+            let report = match json::parse(text) {
+                Ok(v) => v,
+                Err(e) => {
+                    parse_error = Some(format!("bad stats report: {e}"));
+                    return false;
+                }
+            };
+            // The first report is the baseline; every later one renders
+            // the delta against its predecessor.
+            if let Some(before) = &prev {
+                print!("{}", render_top_row(before, &report, tty));
+                let _ = std::io::stdout().flush();
+                rows += 1;
+            }
+            prev = Some(report);
+            iterations == 0 || rows < iterations
+        })
+        .map_err(|e| e.to_string())?;
+    parse_error.map_or(Ok(()), Err)
+}
+
+/// Pulls one cumulative counter out of a parsed stats report (0 when
+/// the daemon has not touched it yet).
+fn top_counter(report: &json::Value, name: &str) -> u64 {
+    report.get("counters").and_then(|c| c.get(name)).and_then(json::Value::as_u64).unwrap_or(0)
+}
+
+/// The non-empty `(upper_bound, count)` buckets of one named histogram
+/// in a parsed stats report.
+fn top_hist_buckets(report: &json::Value, name: &str) -> Vec<(u64, u64)> {
+    let Some(hists) = report.get("histograms").and_then(json::Value::as_arr) else {
+        return Vec::new();
+    };
+    for hist in hists {
+        if hist.get("histogram").and_then(json::Value::as_str) == Some(name) {
+            let Some(buckets) = hist.get("buckets").and_then(json::Value::as_arr) else {
+                return Vec::new();
+            };
+            return buckets
+                .iter()
+                .filter_map(|b| Some((b.get("le")?.as_u64()?, b.get("count")?.as_u64()?)))
+                .collect();
+        }
+    }
+    Vec::new()
+}
+
+/// The quantile of the *new* samples between two bucket snapshots of
+/// the same histogram: subtract the old counts, then walk the diffed
+/// distribution. `None` when no new sample landed in the window.
+fn diffed_quantile(before: &[(u64, u64)], after: &[(u64, u64)], q: f64) -> Option<u64> {
+    let old: std::collections::HashMap<u64, u64> = before.iter().copied().collect();
+    let diff: Vec<(u64, u64)> = after
+        .iter()
+        .map(|&(le, count)| (le, count.saturating_sub(old.get(&le).copied().unwrap_or(0))))
+        .filter(|&(_, count)| count > 0)
+        .collect();
+    let total: u64 = diff.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return None;
+    }
+    let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0;
+    for &(le, count) in &diff {
+        seen += count;
+        if seen >= target {
+            return Some(le);
+        }
+    }
+    diff.last().map(|&(le, _)| le)
+}
+
+/// Per-track busy seconds keyed by `name:id`, for utilization deltas.
+fn top_tracks(report: &json::Value) -> Vec<(String, f64)> {
+    let Some(tracks) = report.get("tracks").and_then(json::Value::as_arr) else {
+        return Vec::new();
+    };
+    tracks
+        .iter()
+        .filter_map(|t| {
+            let name = t.get("track")?.as_str()?;
+            let id = t.get("id")?.as_u64()?;
+            let busy = t.get("busy_seconds")?.as_f64()?;
+            Some((format!("{name}:{id}"), busy))
+        })
+        .collect()
+}
+
+/// Formats one `tcgen top` tick from two consecutive reports that share
+/// a recorder epoch. On a tty the row becomes a small refreshing panel.
+fn render_top_row(before: &json::Value, after: &json::Value, tty: bool) -> String {
+    let wall =
+        |r: &json::Value| r.get("wall_seconds").and_then(json::Value::as_f64).unwrap_or(0.0);
+    let dt = (wall(after) - wall(before)).max(1e-9);
+    let delta = |name: &str| top_counter(after, name).saturating_sub(top_counter(before, name));
+    let jobs_per_s = delta("serve.jobs") as f64 / dt;
+    let in_mb_per_s = delta("serve.bytes_in") as f64 / dt / 1e6;
+    let out_mb_per_s = delta("serve.bytes_out") as f64 / dt / 1e6;
+    let p99_ms = diffed_quantile(
+        &top_hist_buckets(before, "serve.job_duration_ns"),
+        &top_hist_buckets(after, "serve.job_duration_ns"),
+        0.99,
+    )
+    .map(|ns| ns as f64 / 1e6);
+    let errors = delta("serve.errors");
+    let hits = delta("serve.cache_hit");
+    let misses = delta("serve.cache_miss");
+    let cache = if hits + misses > 0 {
+        format!("{:.0}%", 100.0 * hits as f64 / (hits + misses) as f64)
+    } else {
+        "-".to_string()
+    };
+    // Queue-depth high watermark over the shortest trailing window the
+    // daemon reports (its sampler feeds 10s and 60s windows).
+    let queue_hwm = after
+        .get("windows")
+        .and_then(json::Value::as_arr)
+        .and_then(|w| w.first())
+        .and_then(|w| w.get("queue_depth_hwm"))
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0);
+    let before_busy: std::collections::HashMap<String, f64> =
+        top_tracks(before).into_iter().collect();
+    let mut utils: Vec<(String, f64)> = top_tracks(after)
+        .into_iter()
+        .map(|(key, busy)| {
+            let share = (busy - before_busy.get(&key).copied().unwrap_or(0.0)) / dt;
+            (key, (share * 100.0).clamp(0.0, 100.0))
+        })
+        .collect();
+    let busy_sum: f64 = utils.iter().map(|(_, u)| u).sum();
+    let workers = utils.len().max(1);
+    let p99_text = p99_ms.map_or("-".to_string(), |ms| format!("{ms:.1}"));
+    let row = format!(
+        "jobs/s={jobs_per_s:.1} in_MB/s={in_mb_per_s:.2} out_MB/s={out_mb_per_s:.2} \
+         p99_ms={p99_text} queue_hwm={queue_hwm} cache_hit={cache} errors={errors} \
+         util={:.0}%",
+        busy_sum / workers as f64
+    );
+    if !tty {
+        return format!("tcgen top  dt={dt:.2}s {row}\n");
+    }
+    // Terminal: clear, headline, then the busiest workers one per line.
+    utils.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut screen = format!(
+        "\x1b[2J\x1b[H\
+         tcgen top — {dt:.2}s window, uptime {:.1}s\n\n  {}\n\n  workers:\n",
+        wall(after),
+        row.replace(' ', "\n  ").replace('=', "  "),
+    );
+    for (key, util) in utils.iter().take(16) {
+        let bars = "#".repeat((util / 5.0).round() as usize);
+        screen.push_str(&format!("    {key:<28} {util:>5.1}% {bars}\n"));
+    }
+    screen
 }
 
 /// `tcgen client` — submit one job (or a stats/shutdown request) to a

@@ -454,7 +454,13 @@ impl<'env, I: Send + 'env, O: Send + 'env> Pipeline<'env, I, O> {
             Box::new(move |seq: u64, input: I| -> Box<dyn FnOnce() + Send + 'env> {
                 let slots = Arc::clone(&slots);
                 let core = Arc::clone(&core);
-                Box::new(move || run_one(&slots, &core, seq, input))
+                // Capture the submitting thread's request trace at submit
+                // time and re-establish it on the worker, so spans a task
+                // records are attributed to the request that enqueued it.
+                let trace = tcgen_telemetry::current_trace_id();
+                Box::new(move || {
+                    tcgen_telemetry::with_trace_id(trace, || run_one(&slots, &core, seq, input))
+                })
             })
         };
         Self { job, core, stats, next_in: Cell::new(0), make_task, _env: PhantomData }

@@ -9,10 +9,31 @@
 use std::io::{self, BufReader};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::proto::{
     encode_open, frame_type, read_frame, write_frame, JobRequest, ProtoError, CHUNK,
 };
+
+/// Mints a process-unique nonzero request trace id: a per-process
+/// counter mixed (splitmix64 finalizer) with the process id and start
+/// time, so ids from concurrent clients against one daemon collide only
+/// by cosmic accident and never equal the "no trace" zero.
+pub fn mint_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+        ^ (u64::from(std::process::id()) << 32);
+    let mut z = seed.wrapping_add(
+        COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z.max(1)
+}
 
 /// Why a request failed from the client's point of view.
 #[derive(Debug)]
@@ -63,10 +84,18 @@ impl Client {
     }
 
     /// Submits one job — open, input chunks, end — and collects the
-    /// full result.
+    /// full result. A request without a trace id gets one minted here,
+    /// so every served job is traceable end to end by default.
     pub fn run(&mut self, request: &JobRequest, input: &[u8]) -> Result<Vec<u8>, ClientError> {
         let id = self.fresh_id();
-        write_frame(&mut self.writer, frame_type::REQ_OPEN, id, &encode_open(request))?;
+        let open = if request.trace_id == 0 {
+            let mut traced = request.clone();
+            traced.trace_id = mint_trace_id();
+            encode_open(&traced)
+        } else {
+            encode_open(request)
+        };
+        write_frame(&mut self.writer, frame_type::REQ_OPEN, id, &open)?;
         for chunk in input.chunks(CHUNK) {
             write_frame(&mut self.writer, frame_type::REQ_DATA, id, chunk)?;
         }
@@ -81,6 +110,51 @@ impl Client {
         let bytes = self.collect(id)?;
         String::from_utf8(bytes)
             .map_err(|_| ClientError::Server("stats report is not UTF-8".into()))
+    }
+
+    /// Subscribes to the daemon's stats stream: one JSON report every
+    /// `interval_ms`, each passed to `on_report`. Returns when
+    /// `on_report` returns `false` (the usual exit: `tcgen top` has
+    /// rendered enough windows), the daemon ends the stream (shutdown),
+    /// or the connection breaks.
+    pub fn stats_stream(
+        &mut self,
+        interval_ms: u32,
+        mut on_report: impl FnMut(&str) -> bool,
+    ) -> Result<(), ClientError> {
+        let id = self.fresh_id();
+        write_frame(
+            &mut self.writer,
+            frame_type::REQ_STATS_STREAM,
+            id,
+            &interval_ms.to_le_bytes(),
+        )?;
+        loop {
+            let Some(frame) = read_frame(&mut self.reader)? else {
+                return Ok(());
+            };
+            match frame.frame_type {
+                frame_type::RSP_DATA if frame.request_id == id => {
+                    let text = std::str::from_utf8(&frame.payload)
+                        .map_err(|_| ClientError::Server("stats report is not UTF-8".into()))?;
+                    if !on_report(text) {
+                        return Ok(());
+                    }
+                }
+                frame_type::RSP_END if frame.request_id == id => return Ok(()),
+                frame_type::RSP_ERR => {
+                    return Err(ClientError::Server(
+                        String::from_utf8_lossy(&frame.payload).into_owned(),
+                    ))
+                }
+                other => {
+                    return Err(ClientError::Proto(ProtoError::Malformed(format!(
+                        "unexpected frame type {other:#04x} for request {}",
+                        frame.request_id
+                    ))))
+                }
+            }
+        }
     }
 
     /// Asks the daemon to drain and exit; returns once it acknowledges

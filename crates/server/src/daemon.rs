@@ -25,17 +25,24 @@ use std::io::{self, Read, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::{Duration, Instant};
 
 use tcgen_engine::Recorder;
-use tcgen_telemetry::{PoolStats, TrackId};
+use tcgen_telemetry::{with_trace_id, PoolStats, TrackId, WindowSnapshot};
 
 use crate::cache::EngineCache;
 use crate::jobs::run_job;
 use crate::proto::{
     decode_open, frame_type, read_frame, write_frame, JobKind, JobRequest, ProtoError, CHUNK,
 };
+
+/// How often the daemon samples its counters into the rolling-window
+/// ring. 250ms keeps a 10s window at ~40 samples for a few KB of ring.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Ring capacity: enough samples to cover the 60s window with slack.
+const SAMPLE_CAPACITY: usize = 300;
 
 /// How many jobs one connection may hold open (opened, not yet ended)
 /// before the daemon calls it abuse and closes the connection.
@@ -49,11 +56,17 @@ pub struct ServeOptions {
     pub max_jobs: usize,
     /// Engines kept warm in the spec cache; zero disables caching.
     pub max_cached_engines: usize,
+    /// `HOST:PORT` to serve `/metrics` and `/healthz` on over HTTP;
+    /// `None` disables the listener.
+    pub metrics_addr: Option<String>,
+    /// Jobs running at least this many milliseconds emit one structured
+    /// `slow_request` event line; zero disables the slow log.
+    pub slow_ms: u64,
 }
 
 impl Default for ServeOptions {
     fn default() -> Self {
-        ServeOptions { max_jobs: 4, max_cached_engines: 16 }
+        ServeOptions { max_jobs: 4, max_cached_engines: 16, metrics_addr: None, slow_ms: 0 }
     }
 }
 
@@ -75,16 +88,24 @@ pub struct Daemon {
     limits: Mutex<Limits>,
     changed: Condvar,
     max_jobs: usize,
+    slow_ms: u64,
+    /// Sink for structured event lines (`slow_request`, `job_error`).
+    /// Stderr in production; tests inject a buffer.
+    events: Mutex<Box<dyn Write + Send>>,
 }
 
 impl Daemon {
-    /// A daemon with a fresh telemetry recorder and engine cache.
+    /// A daemon with a fresh telemetry recorder and engine cache. A
+    /// background sampler thread (holding only a [`Weak`] reference, so
+    /// it dies with the daemon) feeds the recorder's rolling-window
+    /// ring every [`SAMPLE_INTERVAL`].
     pub fn new(options: &ServeOptions) -> Arc<Self> {
         let recorder = Recorder::new();
         let serve_track = recorder.track("serve");
         let max_jobs = options.max_jobs.max(1);
         let job_stats = recorder.pool("serve-jobs", max_jobs);
-        Arc::new(Daemon {
+        recorder.window_ring(SAMPLE_CAPACITY);
+        let daemon = Arc::new(Daemon {
             cache: EngineCache::new(options.max_cached_engines),
             recorder,
             serve_track,
@@ -92,7 +113,31 @@ impl Daemon {
             limits: Mutex::new(Limits { accepted: 0, running: 0, shutting_down: false }),
             changed: Condvar::new(),
             max_jobs,
-        })
+            slow_ms: options.slow_ms,
+            events: Mutex::new(Box::new(io::stderr())),
+        });
+        let weak: Weak<Daemon> = Arc::downgrade(&daemon);
+        let _ = std::thread::Builder::new().name("tcgen-serve-sampler".into()).spawn(
+            move || loop {
+                std::thread::sleep(SAMPLE_INTERVAL);
+                let Some(daemon) = weak.upgrade() else { return };
+                daemon.sample();
+            },
+        );
+        daemon
+    }
+
+    /// Pushes one observation into the rolling-window ring. The sampler
+    /// thread calls this on its tick; tests call it directly to fill
+    /// windows without waiting.
+    pub fn sample(&self) {
+        if let Some(ring) = self.recorder.window() {
+            ring.push(WindowSnapshot {
+                at_ns: self.recorder.elapsed_ns(),
+                counters: self.recorder.counters_snapshot(),
+                queue_depth: self.queue_depth(),
+            });
+        }
     }
 
     /// The daemon's process-lifetime telemetry recorder. Every cached
@@ -100,6 +145,46 @@ impl Daemon {
     /// tracks and queue depths of all tenants combined.
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Accepted jobs currently waiting for an execution slot.
+    pub fn queue_depth(&self) -> u64 {
+        let limits = self.limits.lock().unwrap();
+        limits.accepted.saturating_sub(limits.running) as u64
+    }
+
+    /// Jobs currently executing.
+    pub fn running_jobs(&self) -> u64 {
+        self.limits.lock().unwrap().running as u64
+    }
+
+    /// Engines warm in the spec cache.
+    pub fn cached_engines(&self) -> u64 {
+        self.cache.len() as u64
+    }
+
+    /// The execution-slot cap (`--max-jobs`).
+    pub fn max_jobs(&self) -> u64 {
+        self.max_jobs as u64
+    }
+
+    /// Redirects structured event lines (stderr by default); tests use
+    /// this to capture the slow-request and job-error logs.
+    pub fn set_event_sink(&self, sink: Box<dyn Write + Send>) {
+        *self.events.lock().unwrap() = sink;
+    }
+
+    fn emit_event(&self, line: &str) {
+        let mut events = self.events.lock().unwrap();
+        let _ = writeln!(events, "{line}");
+        let _ = events.flush();
+    }
+
+    fn unix_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
     }
 
     /// Accepts a job for execution, or refuses because the daemon is
@@ -177,6 +262,10 @@ pub fn serve_unix(path: &Path, options: &ServeOptions) -> io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     let daemon = Daemon::new(options);
+    if let Some(addr) = &options.metrics_addr {
+        let bound = crate::metrics::start_metrics(&daemon, addr)?;
+        eprintln!("tcgen serve: metrics on http://{bound}/metrics");
+    }
     serve_listener(&daemon, &listener, path)?;
     let _ = std::fs::remove_file(path);
     Ok(())
@@ -296,6 +385,43 @@ pub fn serve_connection(
                 daemon.recorder.record_span(daemon.serve_track, "serve.stats", start);
                 send_result(writer, id, report.as_bytes());
             }
+            frame_type::REQ_STATS_STREAM => {
+                if frame.payload.len() != 4 {
+                    send_error(writer, id, "stats stream payload must be a u32 interval");
+                    return;
+                }
+                let interval =
+                    u32::from_le_bytes(frame.payload[..4].try_into().unwrap()).max(10);
+                let daemon = Arc::clone(daemon);
+                let stream_writer = Arc::clone(writer);
+                let spawned = std::thread::Builder::new()
+                    .name("tcgen-serve-stats".into())
+                    .spawn(move || loop {
+                        let report = daemon.recorder.report().to_json();
+                        {
+                            // One frame per lock acquisition, so stream
+                            // ticks interleave atomically with job
+                            // responses on the shared connection.
+                            let mut w = stream_writer.lock().unwrap();
+                            if write_frame(&mut *w, frame_type::RSP_DATA, id, report.as_bytes())
+                                .is_err()
+                                || w.flush().is_err()
+                            {
+                                return;
+                            }
+                        }
+                        if daemon.is_shutting_down() {
+                            let mut w = stream_writer.lock().unwrap();
+                            let _ = write_frame(&mut *w, frame_type::RSP_END, id, b"");
+                            let _ = w.flush();
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(u64::from(interval)));
+                    });
+                if spawned.is_err() {
+                    send_error(writer, id, "internal error: could not spawn a stats thread");
+                }
+            }
             frame_type::REQ_SHUTDOWN => {
                 daemon.begin_shutdown_and_drain();
                 send_result(writer, id, b"");
@@ -317,30 +443,87 @@ fn spawn_job(daemon: &Arc<Daemon>, writer: &SharedWriter, id: u32, pending: Open
     let spawned = std::thread::Builder::new().name("tcgen-serve-job".into()).spawn(move || {
         let daemon = daemon_for_job;
         let writer = writer_for_job;
-        daemon.acquire_slot();
-        let start = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_job(&pending.request, &pending.input, &daemon.cache, Some(&daemon.recorder))
-        }));
-        daemon.recorder.record_span(daemon.serve_track, span_name(pending.request.kind), start);
-        let result = match outcome {
-            Ok(result) => result,
-            Err(panic) => Err(format!("internal error: job panicked: {}", panic_text(&panic))),
-        };
-        match result {
-            Ok(bytes) => send_result(&writer, id, &bytes),
-            Err(msg) => {
-                daemon.recorder.counter("serve.errors").add(1);
-                send_error(&writer, id, &msg);
+        let kind = pending.request.kind;
+        let trace = pending.request.trace_id;
+        // Everything the job records — the admission-wait and job spans
+        // here, and every engine span on pool workers via the pipeline's
+        // submit-time capture — carries the client-minted trace id.
+        with_trace_id(trace, || {
+            let wait_start = Instant::now();
+            daemon.acquire_slot();
+            daemon.recorder.record_span(daemon.serve_track, "serve.wait", wait_start);
+            daemon.recorder.counter("serve.bytes_in").add(pending.input.len() as u64);
+            daemon.recorder.histogram("serve.job_bytes_in").record(pending.input.len() as u64);
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                run_job(&pending.request, &pending.input, &daemon.cache, Some(&daemon.recorder))
+            }));
+            daemon.recorder.record_span(daemon.serve_track, span_name(kind), start);
+            let dur = start.elapsed();
+            daemon.recorder.histogram("serve.job_duration_ns").record(dur.as_nanos() as u64);
+            let result = match outcome {
+                Ok(result) => result,
+                Err(panic) => {
+                    Err(format!("internal error: job panicked: {}", panic_text(&panic)))
+                }
+            };
+            daemon.recorder.counter(jobs_counter_name(kind, result.is_ok())).add(1);
+            let dur_ms = dur.as_millis() as u64;
+            if daemon.slow_ms > 0 && dur_ms >= daemon.slow_ms {
+                daemon.emit_event(&format!(
+                    "slow_request ts_ms={} trace={:016x} kind={} dur_ms={} bytes_in={}",
+                    Daemon::unix_ms(),
+                    trace,
+                    kind.name(),
+                    dur_ms,
+                    pending.input.len(),
+                ));
             }
-        }
-        // Only now does the job count as drained: a graceful shutdown
-        // waits until results are on the wire, not merely computed.
-        daemon.finish_job();
+            match result {
+                Ok(bytes) => {
+                    daemon.recorder.counter("serve.bytes_out").add(bytes.len() as u64);
+                    daemon.recorder.histogram("serve.job_bytes_out").record(bytes.len() as u64);
+                    send_result(&writer, id, &bytes)
+                }
+                Err(msg) => {
+                    daemon.recorder.counter("serve.errors").add(1);
+                    daemon.emit_event(&format!(
+                        "job_error ts_ms={} trace={:016x} kind={} error={:?}",
+                        Daemon::unix_ms(),
+                        trace,
+                        kind.name(),
+                        msg,
+                    ));
+                    send_error(&writer, id, &msg);
+                }
+            }
+            // Only now does the job count as drained: a graceful shutdown
+            // waits until results are on the wire, not merely computed.
+            daemon.finish_job();
+        });
     });
     if spawned.is_err() {
         daemon.finish_job();
         send_error(writer, id, "internal error: could not spawn a job thread");
+    }
+}
+
+/// One static counter name per `(kind, outcome)` pair, so job outcomes
+/// are countable by label without allocating in the job path.
+fn jobs_counter_name(kind: JobKind, ok: bool) -> &'static str {
+    match (kind, ok) {
+        (JobKind::Compress, true) => "serve.jobs.compress.ok",
+        (JobKind::Compress, false) => "serve.jobs.compress.error",
+        (JobKind::Decompress, true) => "serve.jobs.decompress.ok",
+        (JobKind::Decompress, false) => "serve.jobs.decompress.error",
+        (JobKind::Inspect, true) => "serve.jobs.inspect.ok",
+        (JobKind::Inspect, false) => "serve.jobs.inspect.error",
+        (JobKind::Extract, true) => "serve.jobs.extract.ok",
+        (JobKind::Extract, false) => "serve.jobs.extract.error",
+        (JobKind::DebugSleep, true) => "serve.jobs.sleep.ok",
+        (JobKind::DebugSleep, false) => "serve.jobs.sleep.error",
+        (JobKind::DebugPanic, true) => "serve.jobs.panic.ok",
+        (JobKind::DebugPanic, false) => "serve.jobs.panic.error",
     }
 }
 

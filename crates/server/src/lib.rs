@@ -22,9 +22,11 @@ pub mod cache;
 pub mod client;
 pub mod daemon;
 pub mod jobs;
+pub mod metrics;
 pub mod proto;
 
 pub use cache::{EngineCache, EngineKey};
-pub use client::{Client, ClientError};
+pub use client::{mint_trace_id, Client, ClientError};
 pub use daemon::{serve_stdio, serve_unix, Daemon, ServeOptions};
+pub use metrics::{render_prometheus, start_metrics};
 pub use proto::{JobKind, JobRequest};

@@ -1,0 +1,286 @@
+//! The daemon's HTTP observability endpoint: `/metrics` in Prometheus
+//! text exposition format (0.0.4) plus `/healthz`, served by a
+//! hand-rolled HTTP/1.0 responder so the zero-dependency rule holds.
+//!
+//! The listener is deliberately minimal: it reads one request line,
+//! routes on the path, answers with `Connection: close`, and hangs up.
+//! That is everything a Prometheus scraper, a `curl`, or a load-balancer
+//! health check needs, and nothing a request smuggler can get purchase
+//! on — there is no keep-alive, no chunking, no body parsing.
+//!
+//! Everything served is derived from the daemon's telemetry [`Report`],
+//! so the HTTP view and the socket-protocol STATS view can never
+//! disagree about a number.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Weak};
+
+use tcgen_telemetry::Report;
+
+use crate::daemon::Daemon;
+
+/// Binds `addr` (e.g. `127.0.0.1:9100`; port 0 picks a free port) and
+/// serves `/metrics` and `/healthz` on a background thread until the
+/// daemon is dropped. Returns the bound address so callers (and tests
+/// binding port 0) know where to scrape.
+pub fn start_metrics(daemon: &Arc<Daemon>, addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let weak: Weak<Daemon> = Arc::downgrade(daemon);
+    std::thread::Builder::new().name("tcgen-serve-metrics".into()).spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let Some(daemon) = weak.upgrade() else { return };
+            // One scrape is one tiny response; handling it inline keeps
+            // the listener single-threaded and unfloodable by design
+            // (a slow scraper delays other scrapers, never the daemon).
+            let _ = handle(&daemon, stream);
+        }
+    })?;
+    Ok(local)
+}
+
+fn handle(daemon: &Daemon, stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let mut stream = reader.into_inner();
+    let (status, content_type, body) = match (method, path) {
+        ("GET", "/metrics") => {
+            let body = render_prometheus(daemon);
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+        }
+        ("GET", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        ("GET", _) => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".to_string()),
+        _ => ("405 Method Not Allowed", "text/plain; charset=utf-8", "GET only\n".to_string()),
+    };
+    write!(
+        stream,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Renders the daemon's current state in Prometheus text format. Public
+/// so tests can check the exposition without a TCP round-trip.
+pub fn render_prometheus(daemon: &Daemon) -> String {
+    let report = daemon.recorder().report();
+    let mut out = String::with_capacity(4096);
+
+    out.push_str("# TYPE tcgen_serve_jobs_total counter\n");
+    for (name, value) in &report.counters {
+        // serve.jobs.<kind>.<outcome> counters become one labeled family.
+        if let Some(rest) = name.strip_prefix("serve.jobs.") {
+            if let Some((kind, outcome)) = rest.split_once('.') {
+                out.push_str(&format!(
+                    "tcgen_serve_jobs_total{{kind=\"{kind}\",outcome=\"{outcome}\"}} {value}\n"
+                ));
+            }
+        }
+    }
+
+    out.push_str("# TYPE tcgen_serve_bytes_total counter\n");
+    for (dir, counter) in [("in", "serve.bytes_in"), ("out", "serve.bytes_out")] {
+        let value = report.counter(counter).unwrap_or(0);
+        out.push_str(&format!("tcgen_serve_bytes_total{{direction=\"{dir}\"}} {value}\n"));
+    }
+
+    out.push_str("# TYPE tcgen_serve_cache_events_total counter\n");
+    for (result, counter) in [("hit", "serve.cache_hit"), ("miss", "serve.cache_miss")] {
+        let value = report.counter(counter).unwrap_or(0);
+        out.push_str(&format!(
+            "tcgen_serve_cache_events_total{{result=\"{result}\"}} {value}\n"
+        ));
+    }
+
+    out.push_str("# TYPE tcgen_serve_errors_total counter\n");
+    out.push_str(&format!(
+        "tcgen_serve_errors_total {}\n",
+        report.counter("serve.errors").unwrap_or(0)
+    ));
+    out.push_str("# TYPE tcgen_serve_backpressure_waits_total counter\n");
+    out.push_str(&format!(
+        "tcgen_serve_backpressure_waits_total {}\n",
+        report.counter("serve.backpressure_waits").unwrap_or(0)
+    ));
+
+    out.push_str("# TYPE tcgen_serve_queue_depth gauge\n");
+    out.push_str(&format!("tcgen_serve_queue_depth {}\n", daemon.queue_depth()));
+    out.push_str("# TYPE tcgen_serve_running_jobs gauge\n");
+    out.push_str(&format!("tcgen_serve_running_jobs {}\n", daemon.running_jobs()));
+    out.push_str("# TYPE tcgen_serve_max_jobs gauge\n");
+    out.push_str(&format!("tcgen_serve_max_jobs {}\n", daemon.max_jobs()));
+    out.push_str("# TYPE tcgen_serve_cached_engines gauge\n");
+    out.push_str(&format!("tcgen_serve_cached_engines {}\n", daemon.cached_engines()));
+    out.push_str("# TYPE tcgen_serve_uptime_seconds gauge\n");
+    out.push_str(&format!(
+        "tcgen_serve_uptime_seconds {}\n",
+        fmt_f64(report.wall_ns as f64 / 1e9)
+    ));
+
+    out.push_str("# TYPE tcgen_serve_queue_depth_hwm gauge\n");
+    for win in &report.windows {
+        out.push_str(&format!(
+            "tcgen_serve_queue_depth_hwm{{window=\"{}s\"}} {}\n",
+            win.seconds, win.queue_depth_hwm
+        ));
+    }
+    out.push_str("# TYPE tcgen_serve_jobs_per_second gauge\n");
+    for win in &report.windows {
+        let rate: f64 = win
+            .rates
+            .iter()
+            .filter(|(n, _)| n.starts_with("serve.jobs.") && n.ends_with(".ok"))
+            .map(|(_, r)| r)
+            .sum();
+        out.push_str(&format!(
+            "tcgen_serve_jobs_per_second{{window=\"{}s\"}} {}\n",
+            win.seconds,
+            fmt_f64(rate)
+        ));
+    }
+
+    for hist in &report.histograms {
+        let base = match hist.name.as_str() {
+            "serve.job_duration_ns" => "tcgen_serve_job_duration_seconds",
+            "serve.job_bytes_in" => "tcgen_serve_job_bytes_in",
+            "serve.job_bytes_out" => "tcgen_serve_job_bytes_out",
+            _ => continue,
+        };
+        // Durations are recorded in ns and exposed in seconds, matching
+        // the Prometheus base-unit convention.
+        let scale = if hist.name == "serve.job_duration_ns" { 1e-9 } else { 1.0 };
+        out.push_str(&format!("# TYPE {base} histogram\n"));
+        let mut cumulative = 0u64;
+        for &(le, count) in &hist.buckets {
+            cumulative += count;
+            out.push_str(&format!(
+                "{base}_bucket{{le=\"{}\"}} {cumulative}\n",
+                fmt_f64(le as f64 * scale)
+            ));
+        }
+        out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", hist.count));
+        out.push_str(&format!("{base}_sum {}\n", fmt_f64(hist.sum as f64 * scale)));
+        out.push_str(&format!("{base}_count {}\n", hist.count));
+        for (q, v) in [("p50", hist.p50), ("p90", hist.p90), ("p99", hist.p99)] {
+            out.push_str(&format!(
+                "# TYPE {base}_{q} gauge\n{base}_{q} {}\n",
+                fmt_f64(v as f64 * scale)
+            ));
+        }
+    }
+
+    expose_pools(&report, &mut out);
+    out
+}
+
+fn expose_pools(report: &Report, out: &mut String) {
+    out.push_str("# TYPE tcgen_pool_jobs_submitted_total counter\n");
+    for pool in &report.pools {
+        out.push_str(&format!(
+            "tcgen_pool_jobs_submitted_total{{pool=\"{}\"}} {}\n",
+            pool.label, pool.submitted
+        ));
+    }
+    out.push_str("# TYPE tcgen_pool_jobs_completed_total counter\n");
+    for pool in &report.pools {
+        out.push_str(&format!(
+            "tcgen_pool_jobs_completed_total{{pool=\"{}\"}} {}\n",
+            pool.label, pool.completed
+        ));
+    }
+    out.push_str("# TYPE tcgen_pool_queue_depth_max gauge\n");
+    for pool in &report.pools {
+        out.push_str(&format!(
+            "tcgen_pool_queue_depth_max{{pool=\"{}\"}} {}\n",
+            pool.label, pool.depth_max
+        ));
+    }
+}
+
+/// Formats a float the Prometheus way: plain decimal, no exponent for
+/// the magnitudes we produce, and integral values without a trailing
+/// `.0` (both forms parse; this one diffs cleanly).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v}");
+        if s.contains('e') || s.contains('E') {
+            format!("{v:.9}")
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::ServeOptions;
+    use std::io::Read as _;
+
+    #[test]
+    fn exposition_has_the_required_families_and_cumulative_buckets() {
+        let daemon = Daemon::new(&ServeOptions::default());
+        let rec = daemon.recorder();
+        rec.counter("serve.jobs.compress.ok").add(3);
+        rec.counter("serve.jobs.sleep.error").add(1);
+        rec.counter("serve.bytes_in").add(1000);
+        rec.counter("serve.cache_hit").add(2);
+        let h = rec.histogram("serve.job_duration_ns");
+        for v in [1_000_000u64, 2_000_000, 300_000_000] {
+            h.record(v);
+        }
+        daemon.sample();
+        let text = render_prometheus(&daemon);
+        assert!(text.contains("# TYPE tcgen_serve_jobs_total counter\n"));
+        assert!(text.contains("tcgen_serve_jobs_total{kind=\"compress\",outcome=\"ok\"} 3\n"));
+        assert!(text.contains("tcgen_serve_jobs_total{kind=\"sleep\",outcome=\"error\"} 1\n"));
+        assert!(text.contains("tcgen_serve_bytes_total{direction=\"in\"} 1000\n"));
+        assert!(text.contains("tcgen_serve_cache_events_total{result=\"hit\"} 2\n"));
+        assert!(text.contains("tcgen_serve_queue_depth 0\n"));
+        assert!(text.contains("# TYPE tcgen_serve_job_duration_seconds histogram\n"));
+        assert!(text.contains("tcgen_serve_job_duration_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("tcgen_serve_job_duration_seconds_count 3\n"));
+        assert!(text.contains("tcgen_serve_job_duration_seconds_p99"));
+
+        // Bucket counts are cumulative and end at the total.
+        let mut last = 0u64;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("tcgen_serve_job_duration_seconds_bucket") {
+                let count: u64 = rest.rsplit(' ').next().unwrap().parse().unwrap();
+                assert!(count >= last, "buckets must be cumulative: {line}");
+                last = count;
+            }
+        }
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    fn http_listener_answers_metrics_healthz_and_404() {
+        let daemon = Daemon::new(&ServeOptions::default());
+        daemon.recorder().counter("serve.jobs.compress.ok").add(1);
+        let addr = start_metrics(&daemon, "127.0.0.1:0").expect("bind");
+        let get = |path: &str| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            response
+        };
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(metrics.contains("tcgen_serve_jobs_total{kind=\"compress\",outcome=\"ok\"} 1"));
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(health.ends_with("ok\n"));
+        assert!(get("/nope").starts_with("HTTP/1.0 404"));
+    }
+}

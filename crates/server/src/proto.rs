@@ -53,6 +53,10 @@ pub mod frame_type {
     pub const REQ_STATS: u8 = 0x04;
     /// Asks the daemon to drain in-flight jobs and exit.
     pub const REQ_SHUTDOWN: u8 = 0x05;
+    /// Subscribes to a stats stream: the payload is a `u32` LE interval
+    /// in milliseconds, and the daemon sends one `RSP_DATA` frame per
+    /// tick (each a complete JSON report) until the connection closes.
+    pub const REQ_STATS_STREAM: u8 = 0x06;
     /// A chunk of a job's result.
     pub const RSP_DATA: u8 = 0x81;
     /// Marks a job's result complete.
@@ -106,6 +110,18 @@ impl JobKind {
             _ => None,
         }
     }
+
+    /// A stable lowercase name for logs and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Compress => "compress",
+            JobKind::Decompress => "decompress",
+            JobKind::Inspect => "inspect",
+            JobKind::Extract => "extract",
+            JobKind::DebugSleep => "sleep",
+            JobKind::DebugPanic => "panic",
+        }
+    }
 }
 
 /// The decoded payload of a `REQ_OPEN` frame: what to run and under
@@ -134,6 +150,12 @@ pub struct JobRequest {
     /// Trace specification source; empty for spec-free kinds
     /// (`Inspect`, the diagnostics).
     pub spec: String,
+    /// End-to-end request trace id (0 = none). Minted by the client,
+    /// stamped into every span the job records on the daemon, and
+    /// echoed in slow-request and failure log lines. Carried on the
+    /// wire as an optional extension, so a zero id encodes exactly as
+    /// the previous protocol revision did.
+    pub trace_id: u64,
 }
 
 impl JobRequest {
@@ -150,12 +172,16 @@ impl JobRequest {
             range_start: 0,
             range_end: 0,
             spec: spec.into(),
+            trace_id: 0,
         }
     }
 }
 
 /// Fixed-size prefix of an encoded [`JobRequest`], before the spec text.
 const OPEN_FIXED: usize = 4 + 4 * 4 + 2 * 8 + 4;
+
+/// Extension-flag bit: an 8-byte LE trace id follows the spec text.
+const EXT_TRACE_ID: u8 = 0x01;
 
 /// Why a frame could not be read or decoded.
 #[derive(Debug)]
@@ -309,13 +335,17 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcom
     Ok(ReadOutcome::Full)
 }
 
-/// Encodes a [`JobRequest`] as a `REQ_OPEN` payload.
+/// Encodes a [`JobRequest`] as a `REQ_OPEN` payload. The former
+/// reserved byte at offset 3 is an extension-flags field: bit 0 says an
+/// 8-byte trace id trails the spec text. A request without a trace id
+/// sets no flags and encodes byte-for-byte as protocol revision 1 did.
 pub fn encode_open(req: &JobRequest) -> Vec<u8> {
-    let mut out = Vec::with_capacity(OPEN_FIXED + req.spec.len());
+    let ext = if req.trace_id != 0 { EXT_TRACE_ID } else { 0 };
+    let mut out = Vec::with_capacity(OPEN_FIXED + req.spec.len() + 8);
     out.push(req.kind.id());
     out.push(req.priority);
     out.push(req.profile);
-    out.push(0); // reserved
+    out.push(ext);
     out.extend_from_slice(&req.threads.to_le_bytes());
     out.extend_from_slice(&req.model_threads.to_le_bytes());
     out.extend_from_slice(&req.block_records.to_le_bytes());
@@ -324,6 +354,9 @@ pub fn encode_open(req: &JobRequest) -> Vec<u8> {
     out.extend_from_slice(&req.range_end.to_le_bytes());
     out.extend_from_slice(&(req.spec.len() as u32).to_le_bytes());
     out.extend_from_slice(req.spec.as_bytes());
+    if ext & EXT_TRACE_ID != 0 {
+        out.extend_from_slice(&req.trace_id.to_le_bytes());
+    }
     out
 }
 
@@ -339,18 +372,27 @@ pub fn decode_open(payload: &[u8]) -> Result<JobRequest, ProtoError> {
     let kind = JobKind::from_id(payload[0]).ok_or_else(|| {
         ProtoError::Malformed(format!("unknown job kind {:#04x}", payload[0]))
     })?;
+    let ext = payload[3];
+    if ext & !EXT_TRACE_ID != 0 {
+        return Err(ProtoError::Malformed(format!(
+            "unknown REQ_OPEN extension flags {ext:#04x}"
+        )));
+    }
+    let trailer = if ext & EXT_TRACE_ID != 0 { 8 } else { 0 };
     let u32_at = |off: usize| u32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
     let u64_at = |off: usize| u64::from_le_bytes(payload[off..off + 8].try_into().unwrap());
     let spec_len = u32_at(36) as usize;
-    if payload.len() - OPEN_FIXED != spec_len {
+    if payload.len() - OPEN_FIXED != spec_len + trailer {
         return Err(ProtoError::Malformed(format!(
-            "REQ_OPEN declares a {spec_len}-byte spec but carries {}",
+            "REQ_OPEN declares a {spec_len}-byte spec (+{trailer} extension) but carries {}",
             payload.len() - OPEN_FIXED
         )));
     }
-    let spec = std::str::from_utf8(&payload[OPEN_FIXED..])
+    let spec_end = OPEN_FIXED + spec_len;
+    let spec = std::str::from_utf8(&payload[OPEN_FIXED..spec_end])
         .map_err(|_| ProtoError::Malformed("spec text is not UTF-8".into()))?
         .to_string();
+    let trace_id = if trailer != 0 { u64_at(spec_end) } else { 0 };
     Ok(JobRequest {
         kind,
         priority: payload[1],
@@ -362,6 +404,7 @@ pub fn decode_open(payload: &[u8]) -> Result<JobRequest, ProtoError> {
         range_start: u64_at(20),
         range_end: u64_at(28),
         spec,
+        trace_id,
     })
 }
 
@@ -455,6 +498,38 @@ mod tests {
         req.range_end = 900;
         let decoded = decode_open(&encode_open(&req)).unwrap();
         assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn trace_ids_roundtrip_and_zero_keeps_the_legacy_encoding() {
+        let mut req = JobRequest::new(JobKind::Compress, "spec text");
+        let legacy = encode_open(&req);
+        assert_eq!(legacy[3], 0, "no trace id => no extension flags");
+        assert_eq!(legacy.len(), OPEN_FIXED + req.spec.len(), "no trailer either");
+        assert_eq!(decode_open(&legacy).unwrap(), req);
+
+        req.trace_id = 0xDEAD_BEEF_0042_1111;
+        let tagged = encode_open(&req);
+        assert_eq!(tagged[3], 1, "trace id sets extension bit 0");
+        assert_eq!(tagged.len(), legacy.len() + 8);
+        assert_eq!(&tagged[..3], &legacy[..3], "prefix unchanged");
+        assert_eq!(&tagged[4..legacy.len()], &legacy[4..], "spec bytes unchanged");
+        assert_eq!(decode_open(&tagged).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_extension_flags_and_short_trailers_are_rejected() {
+        let mut payload = encode_open(&JobRequest::new(JobKind::Compress, "s"));
+        payload[3] = 0x82;
+        let err = decode_open(&payload).unwrap_err();
+        assert!(matches!(&err, ProtoError::Malformed(m) if m.contains("extension flags")));
+
+        let mut req = JobRequest::new(JobKind::Compress, "s");
+        req.trace_id = 7;
+        let mut payload = encode_open(&req);
+        payload.truncate(payload.len() - 3); // cut into the trace id
+        let err = decode_open(&payload).unwrap_err();
+        assert!(matches!(&err, ProtoError::Malformed(m) if m.contains("declares")), "{err}");
     }
 
     #[test]

@@ -8,13 +8,15 @@
 //! wall-clock time even with one core.
 
 use std::io::Write;
-use std::os::unix::net::UnixStream;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use tcgen_engine::telemetry::json;
 use tcgen_server::proto::{self, frame_type};
-use tcgen_server::{Client, ClientError, JobKind, JobRequest, ServeOptions};
+use tcgen_server::{Client, ClientError, Daemon, JobKind, JobRequest, ServeOptions};
 
 const SPEC: &str =
     "TCgen Trace Specification;\n32-Bit Field 1 = {L1 = 1, L2 = 64: FCM1[2]};\nPC = Field 1;";
@@ -111,7 +113,11 @@ fn served_results_are_byte_identical_to_direct_engine_calls() {
 
 #[test]
 fn one_daemon_sustains_four_concurrent_jobs() {
-    let (path, handle) = start_daemon(ServeOptions { max_jobs: 4, max_cached_engines: 4 });
+    let (path, handle) = start_daemon(ServeOptions {
+        max_jobs: 4,
+        max_cached_engines: 4,
+        ..ServeOptions::default()
+    });
     let start = Instant::now();
     let workers: Vec<_> = (0..4)
         .map(|i| {
@@ -143,7 +149,11 @@ fn one_daemon_sustains_four_concurrent_jobs() {
 
 #[test]
 fn max_jobs_applies_backpressure_to_excess_jobs() {
-    let (path, handle) = start_daemon(ServeOptions { max_jobs: 1, max_cached_engines: 4 });
+    let (path, handle) = start_daemon(ServeOptions {
+        max_jobs: 1,
+        max_cached_engines: 4,
+        ..ServeOptions::default()
+    });
     let start = Instant::now();
     let workers: Vec<_> = (0..2)
         .map(|_| {
@@ -259,7 +269,11 @@ fn protocol_violations_are_rejected_loudly_and_the_daemon_survives() {
 
 #[test]
 fn engine_cache_hits_misses_and_evictions_show_in_stats() {
-    let (path, handle) = start_daemon(ServeOptions { max_jobs: 2, max_cached_engines: 1 });
+    let (path, handle) = start_daemon(ServeOptions {
+        max_jobs: 2,
+        max_cached_engines: 1,
+        ..ServeOptions::default()
+    });
     let raw = trace(200);
     let mut client = Client::connect(&path).unwrap();
     let mut req = JobRequest::new(JobKind::Compress, SPEC);
@@ -276,6 +290,249 @@ fn engine_cache_hits_misses_and_evictions_show_in_stats() {
     let stats = client.stats().unwrap();
     assert!(stats.contains("\"serve.cache_hit\":1"), "{stats}");
     assert!(stats.contains("\"serve.cache_miss\":3"), "{stats}");
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Like [`start_daemon`], but the test owns the [`Daemon`] so it can
+/// read the recorder and inject an event sink.
+fn start_owned_daemon(
+    options: ServeOptions,
+) -> (PathBuf, Arc<Daemon>, std::thread::JoinHandle<()>) {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path =
+        std::env::temp_dir().join(format!("tcgen-serve-owned-{}-{n}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let listener = UnixListener::bind(&path).unwrap();
+    let daemon = Daemon::new(&options);
+    let serve_daemon = Arc::clone(&daemon);
+    let serve_path = path.clone();
+    let handle = std::thread::spawn(move || {
+        tcgen_server::daemon::serve_listener(&serve_daemon, &listener, &serve_path)
+            .expect("daemon failed");
+    });
+    (path, daemon, handle)
+}
+
+/// A `Write` that appends into a shared buffer — the injectable event
+/// sink for asserting on slow-request and job-error log lines.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn trace_ids_propagate_to_every_span_and_the_slow_log_fires_exactly_once() {
+    let options = ServeOptions { slow_ms: 25, ..ServeOptions::default() };
+    let (path, daemon, handle) = start_owned_daemon(options);
+    let events = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    daemon.set_event_sink(Box::new(events.clone()));
+
+    let raw = trace(300);
+    let mut req = JobRequest::new(JobKind::Compress, SPEC);
+    req.threads = 2;
+    req.model_threads = 2;
+    req.block_records = 100;
+    req.trace_id = 0xA11C_E000_0000_0042;
+    let mut client = Client::connect(&path).unwrap();
+    client.run(&req, &raw).unwrap();
+
+    // Every span of the job's lifecycle — admission wait, the serve
+    // span, the engine's driver span, and the pool workers' model/pack
+    // spans — carries the client-minted trace id.
+    let spans = daemon.recorder().spans();
+    let traced: Vec<&str> =
+        spans.iter().filter(|s| s.trace == req.trace_id).map(|s| s.name).collect();
+    assert!(traced.contains(&"serve.wait"), "admission wait traced: {traced:?}");
+    assert!(traced.contains(&"serve.compress"), "serve span traced: {traced:?}");
+    assert!(traced.contains(&"compress"), "engine driver span traced: {traced:?}");
+    assert!(
+        traced.iter().any(|n| !n.starts_with("serve.") && *n != "compress"),
+        "at least one pool-worker span traced: {traced:?}"
+    );
+    assert!(
+        spans.iter().all(|s| s.trace == req.trace_id || s.trace == 0),
+        "no span carries a foreign trace id"
+    );
+
+    // A job over the --slow-ms threshold emits exactly one slow_request
+    // line carrying the trace id; a fast job emits none.
+    let mut slow = sleep_request(80);
+    slow.trace_id = 0xBEE5;
+    client.run(&slow, b"x").unwrap();
+    client.run(&sleep_request(0), b"y").unwrap();
+    let log = String::from_utf8(events.0.lock().unwrap().clone()).unwrap();
+    let slow_lines: Vec<&str> =
+        log.lines().filter(|l| l.starts_with("slow_request ")).collect();
+    assert_eq!(slow_lines.len(), 1, "exactly one slow line: {log:?}");
+    assert!(slow_lines[0].contains("trace=000000000000bee5"), "{}", slow_lines[0]);
+    assert!(slow_lines[0].contains("kind=sleep"), "{}", slow_lines[0]);
+    assert!(slow_lines[0].contains("dur_ms="), "{}", slow_lines[0]);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn job_failures_emit_a_structured_event_line() {
+    let (path, daemon, handle) = start_owned_daemon(ServeOptions::default());
+    let events = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    daemon.set_event_sink(Box::new(events.clone()));
+
+    let mut client = Client::connect(&path).unwrap();
+    let mut req = JobRequest::new(JobKind::DebugPanic, "");
+    req.trace_id = 0xDEAD;
+    client.run(&req, b"boom").unwrap_err();
+
+    let log = String::from_utf8(events.0.lock().unwrap().clone()).unwrap();
+    let err_lines: Vec<&str> = log.lines().filter(|l| l.starts_with("job_error ")).collect();
+    assert_eq!(err_lines.len(), 1, "{log:?}");
+    assert!(err_lines[0].contains("ts_ms="), "{}", err_lines[0]);
+    assert!(err_lines[0].contains("trace=000000000000dead"), "{}", err_lines[0]);
+    assert!(err_lines[0].contains("kind=panic"), "{}", err_lines[0]);
+    assert!(err_lines[0].contains("panicked"), "{}", err_lines[0]);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn repeated_stats_share_an_epoch_and_partition_jobs_without_double_counting() {
+    let (path, handle) = start_daemon(ServeOptions::default());
+    let mut client = Client::connect(&path).unwrap();
+
+    let jobs_total = |stats: &str| -> u64 {
+        let v = json::parse(stats).expect("stats JSON parses");
+        v.get("counters").unwrap().get("serve.jobs").unwrap().as_u64().unwrap()
+    };
+    let since = |stats: &str| -> u64 {
+        json::parse(stats).unwrap().get("since_unix_ms").unwrap().as_u64().unwrap()
+    };
+
+    for _ in 0..2 {
+        client.run(&sleep_request(0), b"a").unwrap();
+    }
+    let first = client.stats().unwrap();
+    for _ in 0..3 {
+        client.run(&sleep_request(0), b"b").unwrap();
+    }
+    let second = client.stats().unwrap();
+
+    // Same epoch => cumulative counters => consecutive deltas partition
+    // time exactly (2 then 3, never a double-counted job).
+    assert_eq!(since(&first), since(&second), "one daemon, one epoch");
+    assert_eq!(jobs_total(&first), 2);
+    assert_eq!(jobs_total(&second) - jobs_total(&first), 3);
+
+    // The report carries the job-duration histogram for the same jobs.
+    let v = json::parse(&second).unwrap();
+    let hists = v.get("histograms").unwrap().as_arr().unwrap();
+    let durations = hists
+        .iter()
+        .find(|h| h.get("histogram").unwrap().as_str() == Some("serve.job_duration_ns"))
+        .expect("duration histogram present");
+    assert_eq!(durations.get("count").unwrap().as_u64(), Some(5));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn streamed_stats_tick_and_windows_expose_live_rates() {
+    let (path, daemon, handle) = start_owned_daemon(ServeOptions::default());
+    let mut jobs = Client::connect(&path).unwrap();
+    for _ in 0..4 {
+        jobs.run(&sleep_request(0), b"w").unwrap();
+    }
+    // Fill the window ring without waiting for the 250ms sampler.
+    daemon.sample();
+    for _ in 0..2 {
+        jobs.run(&sleep_request(0), b"w").unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    daemon.sample();
+
+    let mut stream = Client::connect(&path).unwrap();
+    let mut reports: Vec<String> = Vec::new();
+    stream
+        .stats_stream(20, |report| {
+            reports.push(report.to_string());
+            reports.len() < 3
+        })
+        .unwrap();
+    assert_eq!(reports.len(), 3, "three stream ticks collected");
+
+    let parsed: Vec<_> = reports.iter().map(|r| json::parse(r).unwrap()).collect();
+    let epochs: Vec<u64> =
+        parsed.iter().map(|v| v.get("since_unix_ms").unwrap().as_u64().unwrap()).collect();
+    assert!(epochs.windows(2).all(|w| w[0] == w[1]), "stream shares one epoch");
+    let windows = parsed[0].get("windows").expect("windows present").as_arr().unwrap();
+    assert!(!windows.is_empty());
+    let rate = windows[0]
+        .get("rates")
+        .unwrap()
+        .get("serve.jobs")
+        .expect("serve.jobs rate present")
+        .as_f64()
+        .unwrap();
+    assert!(rate > 0.0, "jobs ran inside the window, rate must be nonzero");
+
+    drop(stream); // closing the connection ends the stream server-side
+    jobs.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_exposes_live_job_metrics_over_http() {
+    let (path, daemon, handle) = start_owned_daemon(ServeOptions::default());
+    let addr = tcgen_server::start_metrics(&daemon, "127.0.0.1:0").expect("bind metrics");
+
+    let raw = trace(200);
+    let mut client = Client::connect(&path).unwrap();
+    let mut req = JobRequest::new(JobKind::Compress, SPEC);
+    req.threads = 1;
+    req.model_threads = 1;
+    client.run(&req, &raw).unwrap();
+    client.run(&req, &raw).unwrap(); // second run hits the engine cache
+    client.run(&JobRequest::new(JobKind::DebugPanic, ""), b"").unwrap_err();
+    daemon.sample();
+
+    let get = |path: &str| {
+        use std::io::Read as _;
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    assert!(get("/healthz").contains("ok\n"));
+    let metrics = get("/metrics");
+    assert!(metrics.contains("tcgen_serve_jobs_total{kind=\"compress\",outcome=\"ok\"} 2"));
+    assert!(metrics.contains("tcgen_serve_jobs_total{kind=\"panic\",outcome=\"error\"} 1"));
+    assert!(metrics.contains("tcgen_serve_cache_events_total{result=\"hit\"} 1"));
+    assert!(metrics.contains("tcgen_serve_cache_events_total{result=\"miss\"} 1"));
+    assert!(metrics.contains("# TYPE tcgen_serve_job_duration_seconds histogram"));
+    assert!(metrics.contains("tcgen_serve_job_duration_seconds_bucket{le=\"+Inf\"} 3"));
+    assert!(metrics.contains("tcgen_serve_job_duration_seconds_p50"));
+    assert!(metrics.contains("tcgen_serve_job_duration_seconds_p99"));
+    assert!(metrics.contains("tcgen_serve_queue_depth 0"));
+    assert!(metrics.contains("tcgen_serve_queue_depth_hwm{window=\"10s\"}"));
+    for dir in ["in", "out"] {
+        let needle = format!("tcgen_serve_bytes_total{{direction=\"{dir}\"}}");
+        let line = metrics.lines().find(|l| l.starts_with(&needle)).expect("bytes family");
+        let value: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(value > 0, "bytes_{dir} counted: {line}");
+    }
+
     client.shutdown().unwrap();
     handle.join().unwrap();
 }

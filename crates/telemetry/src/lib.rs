@@ -39,15 +39,48 @@
 //!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev), one
 //!   timeline track per pool worker, for visualizing pipeline overlap.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod report;
+pub mod window;
 
-pub use report::{PoolReport, Report, StageStats, TrackStats};
+pub use hist::{HistSnapshot, Histogram};
+pub use report::{HistReport, PoolReport, Report, StageStats, TrackStats, WindowReport};
+pub use window::{WindowDelta, WindowRing, WindowSnapshot};
+
+thread_local! {
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with `trace` as the calling thread's current trace id, so
+/// every span recorded inside carries it. The previous id is restored on
+/// exit (including unwind), making nesting and pool-worker reuse safe.
+/// Zero means "no trace" and is what [`current_trace_id`] reports
+/// outside any `with_trace_id` scope.
+pub fn with_trace_id<R>(trace: u64, f: impl FnOnce() -> R) -> R {
+    struct Restore(u64);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TRACE_ID.with(|t| t.set(self.0));
+        }
+    }
+    let _restore = Restore(TRACE_ID.with(|t| t.replace(trace)));
+    f()
+}
+
+/// The calling thread's current trace id (0 outside any
+/// [`with_trace_id`] scope). Pool submit sites capture this and
+/// re-establish it on the worker, so a request id follows its job across
+/// threads.
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.with(|t| t.get())
+}
 
 /// One lane of execution in the trace: the driver thread or one worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,6 +102,8 @@ pub struct Span {
     pub start_ns: u64,
     /// Stage duration in nanoseconds.
     pub dur_ns: u64,
+    /// Request trace id active when the span was recorded (0 = none).
+    pub trace: u64,
 }
 
 /// A named monotonic counter. Cloning shares the underlying atomic, so a
@@ -127,10 +162,13 @@ impl PoolStats {
 #[derive(Debug)]
 struct Inner {
     epoch: Instant,
+    epoch_unix_ms: u64,
     spans: Mutex<Vec<Span>>,
     tracks: Mutex<Vec<String>>,
     counters: Mutex<Vec<(&'static str, Arc<AtomicU64>)>>,
     pools: Mutex<Vec<Arc<PoolStats>>>,
+    hists: Mutex<Vec<(&'static str, Arc<Histogram>)>>,
+    window: Mutex<Option<Arc<WindowRing>>>,
 }
 
 /// The telemetry collector for one pipeline run. Cloning is cheap and
@@ -151,15 +189,30 @@ impl Recorder {
     /// Creates a recorder whose epoch is now, with the driver track
     /// pre-registered as [`TrackId::DRIVER`].
     pub fn new() -> Self {
+        let epoch_unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
         Self {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
+                epoch_unix_ms,
                 spans: Mutex::new(Vec::new()),
                 tracks: Mutex::new(vec!["driver".to_string()]),
                 counters: Mutex::new(Vec::new()),
                 pools: Mutex::new(Vec::new()),
+                hists: Mutex::new(Vec::new()),
+                window: Mutex::new(None),
             }),
         }
+    }
+
+    /// Wall-clock time of the recorder epoch, milliseconds since the
+    /// Unix epoch. Reports expose it as `since_unix_ms` so repeated
+    /// stats pulls from one long-running recorder can be recognised as
+    /// sharing an epoch (the window-consistency anchor for `tcgen top`).
+    pub fn epoch_unix_ms(&self) -> u64 {
+        self.inner.epoch_unix_ms
     }
 
     /// Registers a new track (one timeline lane) and returns its id.
@@ -187,11 +240,13 @@ impl Recorder {
         f()
     }
 
-    /// Records an already-measured span.
+    /// Records an already-measured span, stamped with the calling
+    /// thread's current trace id.
     pub fn record_span(&self, track: TrackId, name: &'static str, start: Instant) {
         let start_ns = start.saturating_duration_since(self.inner.epoch).as_nanos() as u64;
         let dur_ns = start.elapsed().as_nanos() as u64;
-        self.inner.spans.lock().unwrap().push(Span { track, name, start_ns, dur_ns });
+        let trace = current_trace_id();
+        self.inner.spans.lock().unwrap().push(Span { track, name, start_ns, dur_ns, trace });
     }
 
     /// Returns the counter registered under `name`, creating it at zero
@@ -229,6 +284,46 @@ impl Recorder {
         p
     }
 
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use. Like counters, names are static and the handle should
+    /// be looked up once and kept; recording into it is wait-free.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        let mut hists = self.inner.hists.lock().unwrap();
+        if let Some((_, h)) = hists.iter().find(|(n, _)| *n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        hists.push((name, Arc::clone(&h)));
+        h
+    }
+
+    /// Returns the rolling-window ring attached to this recorder,
+    /// creating one with `capacity` slots on first call. Something with
+    /// a clock (the serve daemon's sampler) must push snapshots into it;
+    /// the recorder itself never does.
+    pub fn window_ring(&self, capacity: usize) -> Arc<WindowRing> {
+        let mut window = self.inner.window.lock().unwrap();
+        Arc::clone(window.get_or_insert_with(|| Arc::new(WindowRing::new(capacity))))
+    }
+
+    /// The ring attached by [`Recorder::window_ring`], if any.
+    pub fn window(&self) -> Option<Arc<WindowRing>> {
+        self.inner.window.lock().unwrap().clone()
+    }
+
+    /// Current counter values, sorted by name. This is what a window
+    /// sampler stores in each [`WindowSnapshot`].
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counter_values().into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+    }
+
+    /// A consistent copy of every span recorded so far, in completion
+    /// order. Exposed for trace reconstruction (grouping one request's
+    /// spans by their [`Span::trace`] id).
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.spans.lock().unwrap().clone()
+    }
+
     /// Aggregates everything recorded so far into a [`Report`].
     pub fn report(&self) -> Report {
         report::build(self)
@@ -252,6 +347,11 @@ impl Recorder {
             counters.iter().map(|(n, c)| (*n, c.load(Ordering::Relaxed))).collect();
         values.sort_by_key(|(n, _)| *n);
         values
+    }
+
+    pub(crate) fn hist_values(&self) -> Vec<(&'static str, hist::HistSnapshot)> {
+        let hists = self.inner.hists.lock().unwrap();
+        hists.iter().map(|(n, h)| (*n, h.snapshot())).collect()
     }
 
     pub(crate) fn pool_values(&self) -> Vec<report::PoolReport> {
@@ -397,5 +497,40 @@ mod tests {
         let clone = rec.clone();
         clone.counter("records").add(7);
         assert_eq!(rec.counter("records").get(), 7);
+    }
+
+    #[test]
+    fn spans_are_stamped_with_the_active_trace_id() {
+        let rec = Recorder::new();
+        with_trace_id(0xCAFE, || {
+            rec.time(TrackId::DRIVER, "compress", || {
+                assert_eq!(current_trace_id(), 0xCAFE);
+                with_trace_id(0xBEEF, || {
+                    rec.time(TrackId::DRIVER, "pack.segment", || {});
+                });
+                assert_eq!(current_trace_id(), 0xCAFE, "nested scope restored");
+            });
+        });
+        assert_eq!(current_trace_id(), 0, "outermost scope restored to none");
+        rec.time(TrackId::DRIVER, "model.field", || {});
+        let spans = rec.spans();
+        assert_eq!(spans[0].name, "pack.segment");
+        assert_eq!(spans[0].trace, 0xBEEF);
+        assert_eq!(spans[1].name, "compress");
+        assert_eq!(spans[1].trace, 0xCAFE);
+        assert_eq!(spans[2].trace, 0, "spans outside any scope carry no trace");
+    }
+
+    #[test]
+    fn histograms_and_window_rings_are_shared_by_name() {
+        let rec = Recorder::new();
+        rec.histogram("serve.job_duration_ns").record(10);
+        let again = rec.histogram("serve.job_duration_ns");
+        assert_eq!(again.snapshot().count, 1, "same name returns the same histogram");
+        let ring = rec.window_ring(8);
+        let ring2 = rec.window_ring(99);
+        assert!(Arc::ptr_eq(&ring, &ring2), "first capacity wins");
+        assert!(rec.window().is_some());
+        assert!(rec.epoch_unix_ms() > 0);
     }
 }

@@ -46,12 +46,48 @@ pub struct PoolReport {
     pub depth_mean: f64,
 }
 
+/// Summary of one named histogram: headline percentiles plus the
+/// non-empty buckets as `(upper_bound, count)` pairs, so consumers
+/// (Prometheus exposition, `tcgen top` window diffs) can rebuild the
+/// full distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistReport {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// Rates over one trailing window, from the recorder's
+/// [`WindowRing`](crate::WindowRing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// The requested window width in seconds (10, 60).
+    pub seconds: u64,
+    /// Time the window actually covers (less while the ring fills).
+    pub span_seconds: f64,
+    /// Samples inside the window.
+    pub samples: u64,
+    /// Highest queue depth any in-window sample observed.
+    pub queue_depth_hwm: u64,
+    /// Per-second counter rates, sorted by name.
+    pub rates: Vec<(String, f64)>,
+}
+
 /// Snapshot summary of one recorder. Build with
 /// [`Recorder::report`](crate::Recorder::report).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Wall time from recorder epoch to the report call, nanoseconds.
     pub wall_ns: u64,
+    /// Wall-clock time of the recorder epoch, ms since the Unix epoch.
+    /// Two reports with the same `since_unix_ms` share cumulative
+    /// counters, so their difference is an exact window.
+    pub since_unix_ms: u64,
     /// Counter values, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Stage aggregates, sorted by total time descending.
@@ -60,6 +96,12 @@ pub struct Report {
     pub tracks: Vec<TrackStats>,
     /// Pool aggregates in registration order.
     pub pools: Vec<PoolReport>,
+    /// Histogram summaries in registration order (empty when no
+    /// histogram was touched).
+    pub histograms: Vec<HistReport>,
+    /// Trailing-window rates (empty unless a window ring is attached
+    /// and populated).
+    pub windows: Vec<WindowReport>,
 }
 
 pub(crate) fn build(rec: &Recorder) -> Report {
@@ -90,12 +132,51 @@ pub(crate) fn build(rec: &Recorder) -> Report {
     let mut stages: Vec<StageStats> = by_stage.into_values().collect();
     stages.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
 
+    let histograms = rec
+        .hist_values()
+        .into_iter()
+        .filter(|(_, snap)| snap.count > 0)
+        .map(|(name, snap)| HistReport {
+            name: name.to_string(),
+            count: snap.count,
+            sum: snap.sum,
+            max: snap.max,
+            p50: snap.quantile(0.50),
+            p90: snap.quantile(0.90),
+            p99: snap.quantile(0.99),
+            buckets: snap.nonzero_buckets(),
+        })
+        .collect();
+
+    let mut windows = Vec::new();
+    if let Some(ring) = rec.window() {
+        let now = crate::WindowSnapshot {
+            at_ns: wall_ns,
+            counters: rec.counters_snapshot(),
+            queue_depth: ring.latest().map_or(0, |s| s.queue_depth),
+        };
+        for seconds in [10u64, 60] {
+            if let Some(d) = ring.window(seconds * 1_000_000_000, &now) {
+                windows.push(WindowReport {
+                    seconds,
+                    span_seconds: d.span_ns as f64 / 1e9,
+                    samples: d.samples,
+                    queue_depth_hwm: d.queue_depth_hwm,
+                    rates: d.rates,
+                });
+            }
+        }
+    }
+
     Report {
         wall_ns,
+        since_unix_ms: rec.epoch_unix_ms(),
         counters: rec.counter_values().into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
         stages,
         tracks,
         pools: rec.pool_values(),
+        histograms,
+        windows,
     }
 }
 
@@ -108,6 +189,11 @@ impl Report {
     /// Total time of the stage named `name`, if any span ran under it.
     pub fn stage(&self, name: &str) -> Option<&StageStats> {
         self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// The histogram summary named `name`, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistReport> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 
     /// Derived throughput figures for top-level operations that recorded
@@ -142,6 +228,8 @@ impl Report {
         w.begin_obj();
         w.key("wall_seconds");
         w.num(self.wall_ns as f64 / 1e9);
+        w.key("since_unix_ms");
+        w.int(self.since_unix_ms);
         w.key("counters");
         w.begin_obj();
         for (name, value) in &self.counters {
@@ -200,6 +288,64 @@ impl Report {
             w.end_obj();
         }
         w.end_arr();
+        if !self.histograms.is_empty() {
+            w.key("histograms");
+            w.begin_arr();
+            for h in &self.histograms {
+                w.begin_obj();
+                w.key("histogram");
+                w.str(&h.name);
+                w.key("count");
+                w.int(h.count);
+                w.key("sum");
+                w.int(h.sum);
+                w.key("max");
+                w.int(h.max);
+                w.key("p50");
+                w.int(h.p50);
+                w.key("p90");
+                w.int(h.p90);
+                w.key("p99");
+                w.int(h.p99);
+                w.key("buckets");
+                w.begin_arr();
+                for (le, count) in &h.buckets {
+                    w.begin_obj();
+                    w.key("le");
+                    w.int(*le);
+                    w.key("count");
+                    w.int(*count);
+                    w.end_obj();
+                }
+                w.end_arr();
+                w.end_obj();
+            }
+            w.end_arr();
+        }
+        if !self.windows.is_empty() {
+            w.key("windows");
+            w.begin_arr();
+            for win in &self.windows {
+                w.begin_obj();
+                w.key("seconds");
+                w.int(win.seconds);
+                w.key("span_seconds");
+                w.num(win.span_seconds);
+                w.key("samples");
+                w.int(win.samples);
+                w.key("queue_depth_hwm");
+                w.int(win.queue_depth_hwm);
+                w.key("rates");
+                w.begin_obj();
+                for (name, rate) in &win.rates {
+                    w.key(name);
+                    w.num(*rate);
+                }
+                w.end_obj();
+                w.end_obj();
+            }
+            w.end_arr();
+        }
         let derived = self.derived();
         if !derived.is_empty() {
             w.key("derived");
@@ -268,6 +414,26 @@ impl fmt::Display for Report {
                 )?;
             }
         }
+        if !self.histograms.is_empty() {
+            writeln!(f, "  histograms")?;
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "    {}: {} samples, p50 {} p90 {} p99 {} max {}",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.max
+                )?;
+            }
+        }
+        if !self.windows.is_empty() {
+            writeln!(f, "  windows")?;
+            for win in &self.windows {
+                writeln!(
+                    f,
+                    "    last {}s ({:.1}s observed, {} samples): queue hwm {}",
+                    win.seconds, win.span_seconds, win.samples, win.queue_depth_hwm
+                )?;
+            }
+        }
         let busy_tracks = self.tracks.iter().filter(|t| t.spans > 0);
         let mut wrote_header = false;
         for track in busy_tracks {
@@ -331,6 +497,59 @@ mod tests {
         let pools = value.get("pools").unwrap().as_arr().unwrap();
         assert_eq!(pools[0].get("workers").unwrap(), &Value::Int(3));
         assert!(value.get("wall_seconds").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn histograms_and_windows_flow_into_report_and_json() {
+        let rec = Recorder::new();
+        let hist = rec.histogram("serve.job_duration_ns");
+        for v in [100u64, 200, 300, 4_000] {
+            hist.record(v);
+        }
+        let ring = rec.window_ring(8);
+        ring.push(crate::WindowSnapshot {
+            at_ns: 0,
+            counters: vec![("serve.jobs".into(), 0)],
+            queue_depth: 3,
+        });
+        rec.counter("serve.jobs").add(5);
+        // Spin until some wall time has passed so the window span is
+        // nonzero even on a coarse clock.
+        while rec.elapsed_ns() < 1_000 {
+            std::hint::spin_loop();
+        }
+        let report = rec.report();
+        assert!(report.since_unix_ms > 0);
+        let h = report.histogram("serve.job_duration_ns").expect("histogram present");
+        assert_eq!(h.count, 4);
+        assert!(h.p50 >= 100 && h.p50 <= 225, "p50 near the low values, got {}", h.p50);
+        assert_eq!(h.max, 4_000);
+        assert!(!h.buckets.is_empty());
+        assert_eq!(report.windows.len(), 2, "10s and 60s windows");
+        assert_eq!(report.windows[0].queue_depth_hwm, 3);
+        let jobs_rate =
+            report.windows[0].rates.iter().find(|(n, _)| n == "serve.jobs").unwrap().1;
+        assert!(jobs_rate > 0.0, "5 jobs over a tiny window is a huge rate");
+
+        let value = parse(&report.to_json()).expect("report JSON parses");
+        assert!(value.get("since_unix_ms").unwrap().as_u64().unwrap() > 0);
+        let hists = value.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(hists[0].get("histogram").unwrap().as_str(), Some("serve.job_duration_ns"));
+        assert_eq!(hists[0].get("count").unwrap(), &Value::Int(4));
+        assert!(!hists[0].get("buckets").unwrap().as_arr().unwrap().is_empty());
+        let windows = value.get("windows").unwrap().as_arr().unwrap();
+        assert_eq!(windows[0].get("seconds").unwrap(), &Value::Int(10));
+        assert!(windows[0].get("rates").unwrap().get("serve.jobs").is_some());
+    }
+
+    #[test]
+    fn untouched_histograms_and_missing_rings_stay_out_of_the_json() {
+        let rec = Recorder::new();
+        rec.histogram("never.recorded");
+        rec.time(TrackId::DRIVER, "compress", || {});
+        let text = rec.report().to_json();
+        assert!(!text.contains("histograms"), "empty histogram omitted");
+        assert!(!text.contains("windows"), "no ring attached");
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Rolling-window aggregation: a ring of periodic counter snapshots from
+//! which rates over the last N seconds (and queue-depth high-watermarks)
+//! are derived.
+//!
+//! The ring itself is passive storage — something with a clock (the
+//! serve daemon's sampler thread, a test) pushes [`WindowSnapshot`]s at
+//! its own cadence, and readers ask for the delta between "now" and the
+//! oldest sample inside a window. Because every sample carries the
+//! *cumulative* counter values at that instant, overlapping reads are
+//! window-consistent: two consecutive deltas partition time exactly and
+//! nothing is ever double-counted.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One periodic observation: cumulative counters plus instantaneous
+/// gauges, timestamped against the recorder epoch.
+#[derive(Debug, Clone)]
+pub struct WindowSnapshot {
+    /// Nanoseconds from the recorder epoch to this observation.
+    pub at_ns: u64,
+    /// Cumulative counter values at this instant, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Jobs waiting for an execution slot at this instant.
+    pub queue_depth: u64,
+}
+
+impl WindowSnapshot {
+    fn counter(&self, name: &str) -> u64 {
+        // Counters register over time, so a name missing from an old
+        // snapshot means the counter was still zero back then.
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+}
+
+/// Everything a window query derives from the ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDelta {
+    /// Actual time the window covers (oldest kept sample to now); at
+    /// most the requested width, less while the ring is still filling.
+    pub span_ns: u64,
+    /// Samples inside the window (including the "now" endpoint).
+    pub samples: u64,
+    /// Highest queue depth observed by any sample in the window.
+    pub queue_depth_hwm: u64,
+    /// Per-second rate of every counter present at the window's end,
+    /// sorted by name.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// A bounded ring of [`WindowSnapshot`]s. Pushing past the capacity
+/// evicts the oldest sample, so the ring's memory is fixed and its reach
+/// is `capacity × sampling interval`.
+#[derive(Debug)]
+pub struct WindowRing {
+    capacity: usize,
+    slots: Mutex<VecDeque<WindowSnapshot>>,
+}
+
+impl WindowRing {
+    /// A ring holding at most `capacity` samples (minimum 2 — a window
+    /// needs two endpoints).
+    pub fn new(capacity: usize) -> Self {
+        WindowRing { capacity: capacity.max(2), slots: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Appends one observation, evicting the oldest beyond capacity.
+    pub fn push(&self, snapshot: WindowSnapshot) {
+        let mut slots = self.slots.lock().unwrap();
+        if slots.len() == self.capacity {
+            slots.pop_front();
+        }
+        slots.push_back(snapshot);
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether no sample has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The most recent sample, if any.
+    pub fn latest(&self) -> Option<WindowSnapshot> {
+        self.slots.lock().unwrap().back().cloned()
+    }
+
+    /// Rates and high-watermarks over the trailing `window_ns` ending at
+    /// `now`. Returns `None` until at least one sample older than `now`
+    /// exists (a window needs two endpoints). Samples older than the
+    /// window are ignored; the oldest in-window sample anchors the delta.
+    pub fn window(&self, window_ns: u64, now: &WindowSnapshot) -> Option<WindowDelta> {
+        let slots = self.slots.lock().unwrap();
+        let cutoff = now.at_ns.saturating_sub(window_ns);
+        let mut anchor: Option<&WindowSnapshot> = None;
+        let mut hwm = now.queue_depth;
+        let mut samples = 1u64; // the `now` endpoint
+        for s in slots.iter() {
+            if s.at_ns < cutoff || s.at_ns >= now.at_ns {
+                continue;
+            }
+            if anchor.is_none() {
+                anchor = Some(s); // slots are pushed in time order
+            }
+            hwm = hwm.max(s.queue_depth);
+            samples += 1;
+        }
+        let anchor = anchor?;
+        let span_ns = now.at_ns - anchor.at_ns;
+        if span_ns == 0 {
+            return None;
+        }
+        let secs = span_ns as f64 / 1e9;
+        let rates = now
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                (name.clone(), v.saturating_sub(anchor.counter(name)) as f64 / secs)
+            })
+            .collect();
+        Some(WindowDelta { span_ns, samples, queue_depth_hwm: hwm, rates })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn snap(at_ms: u64, jobs: u64, depth: u64) -> WindowSnapshot {
+        WindowSnapshot {
+            at_ns: at_ms * 1_000_000,
+            counters: vec![("serve.jobs".into(), jobs)],
+            queue_depth: depth,
+        }
+    }
+
+    #[test]
+    fn rates_and_hwm_come_from_the_window_only() {
+        let ring = WindowRing::new(16);
+        ring.push(snap(0, 0, 9)); // outside the 1s window below
+        ring.push(snap(1_500, 10, 2));
+        ring.push(snap(2_000, 25, 5));
+        let now = snap(2_500, 40, 1);
+        let d = ring.window(1_000_000_000, &now).unwrap();
+        assert_eq!(d.span_ns, 1_000_000_000, "anchored at the 1.5s sample");
+        assert_eq!(d.samples, 3);
+        assert_eq!(d.queue_depth_hwm, 5, "the 0ms depth of 9 is outside the window");
+        assert_eq!(d.rates, vec![("serve.jobs".to_string(), 30.0)]);
+    }
+
+    #[test]
+    fn a_window_needs_two_endpoints() {
+        let ring = WindowRing::new(8);
+        assert!(ring.window(1_000, &snap(10, 1, 0)).is_none(), "empty ring");
+        ring.push(snap(10, 1, 0));
+        assert!(
+            ring.window(1_000_000_000, &snap(10, 1, 0)).is_none(),
+            "a sample at the same instant spans zero time"
+        );
+        assert!(ring.window(1_000_000_000, &snap(500, 3, 0)).is_some());
+    }
+
+    #[test]
+    fn capacity_evicts_the_oldest() {
+        let ring = WindowRing::new(2);
+        ring.push(snap(1, 1, 0));
+        ring.push(snap(2, 2, 0));
+        ring.push(snap(3, 3, 0));
+        assert_eq!(ring.len(), 2);
+        // The at=1 sample is gone; a huge window anchors at at=2.
+        let d = ring.window(u64::MAX, &snap(4, 10, 0)).unwrap();
+        assert_eq!(d.span_ns, 2 * 1_000_000);
+    }
+
+    #[test]
+    fn counters_missing_from_the_anchor_count_from_zero() {
+        let ring = WindowRing::new(4);
+        ring.push(WindowSnapshot { at_ns: 0, counters: vec![], queue_depth: 0 });
+        let now = snap(1_000, 7, 0);
+        let d = ring.window(u64::MAX, &now).unwrap();
+        assert_eq!(d.rates, vec![("serve.jobs".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn consecutive_windows_partition_time_without_double_counting() {
+        // The window-consistency property `tcgen top` relies on: deltas
+        // between consecutive cumulative snapshots sum to the total.
+        let ring = WindowRing::new(8);
+        ring.push(snap(0, 0, 0));
+        ring.push(snap(1_000, 4, 0));
+        ring.push(snap(2_000, 10, 0));
+        // A 1.5s window ending at each poll anchors at the previous
+        // poll's sample (the `now` endpoint itself is excluded).
+        let d1 = ring.window(1_500_000_000, &snap(1_000, 4, 0)).unwrap();
+        let d2 = ring.window(1_500_000_000, &snap(2_000, 10, 0)).unwrap();
+        let total: f64 = d1.rates[0].1 * (d1.span_ns as f64 / 1e9)
+            + d2.rates[0].1 * (d2.span_ns as f64 / 1e9);
+        assert!((total - 10.0).abs() < 1e-9, "deltas partition the 10 jobs, got {total}");
+    }
+
+    #[test]
+    fn concurrent_pushes_and_reads_stay_bounded_and_consistent() {
+        let ring = Arc::new(WindowRing::new(32));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        ring.push(snap(t * 10_000 + i, i, i % 7));
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let _ = ring.window(u64::MAX, &snap(50_000, 1_000, 0));
+                    assert!(ring.len() <= 32);
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        reader.join().unwrap();
+        assert_eq!(ring.len(), 32);
+    }
+}

@@ -58,6 +58,25 @@ def telemetry_overhead(path):
     )
 
 
+def metrics_overhead(path):
+    """Prints the serve-style metrics cost over a plain recorder, if
+    recorded.
+
+    Informational only, like `telemetry_overhead`: per-job histogram
+    records and the window sampler run off the compression hot path, so
+    this line just keeps their measured cost visible in the job log.
+    """
+    with open(path) as f:
+        overhead = json.load(f).get("metrics_overhead")
+    if overhead is None:
+        return
+    print(
+        f"metrics overhead: {overhead['recorder_only_mb_per_s']:.1f} MB/s recorder-only, "
+        f"{overhead['metrics_on_mb_per_s']:.1f} MB/s with histograms+sampler, "
+        f"fraction {overhead['overhead_fraction']:.4f} (informational)"
+    )
+
+
 def decompress_deltas(baseline, current):
     """Prints per-algorithm decompress-throughput deltas vs the baseline.
 
@@ -217,6 +236,7 @@ def main():
             )
     decompress_deltas(baseline, current)
     telemetry_overhead(sys.argv[2])
+    metrics_overhead(sys.argv[2])
     profile_speed(sys.argv[1], sys.argv[2])
     checkpoint_speed(sys.argv[2])
     service_speed(sys.argv[2])

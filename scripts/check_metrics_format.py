@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition.
+
+Usage:
+  check_metrics_format.py METRICS.txt [--require NAME ...]
+  curl -s http://HOST:PORT/metrics | check_metrics_format.py - [--require NAME ...]
+
+Checks the scrape a `tcgen serve --metrics-addr` daemon produces (or
+any 0.0.4 text exposition), using nothing outside the standard library:
+
+- every sample line parses as `name[{labels}] value`, with metric and
+  label names matching the Prometheus grammar and values parsing as
+  floats (`+Inf`, `-Inf`, and `NaN` allowed);
+- every family has at most one `# TYPE` line, appearing before the
+  family's first sample, with a known metric type;
+- histogram families expose `_bucket` series with cumulative,
+  non-decreasing counts per label set, a final `le="+Inf"` bucket, and
+  matching `_sum`/`_count` series (`_count` equal to the +Inf bucket);
+- `--require NAME` (repeatable) asserts the named family exposes at
+  least one sample — CI uses this to pin the serve metric set.
+
+Exits non-zero with the offending line on the first failure.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value — whitespace-separated, no timestamp
+# (the tcgen exposition never emits one).
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)\s*$")
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def fail(lineno, line, why):
+    sys.exit(f"FAIL line {lineno}: {why}\n  {line}")
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def family_of(name):
+    """The family a sample belongs to: histogram series names carry a
+    `_bucket`/`_sum`/`_count` suffix on the family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text, required):
+    types = {}          # family -> declared type
+    sampled = set()     # family names that exposed at least one sample
+    # histogram family -> {non-le label tuple -> [(le, count), ...]}
+    buckets = {}
+    sums = {}           # (family, labels) -> value
+    counts = {}         # (family, labels) -> value
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(lineno, line, "malformed TYPE comment")
+                _, _, family, mtype = parts
+                if not METRIC_NAME.match(family):
+                    fail(lineno, line, f"bad metric name '{family}'")
+                if mtype not in TYPES:
+                    fail(lineno, line, f"unknown metric type '{mtype}'")
+                if family in types:
+                    fail(lineno, line, f"duplicate TYPE for '{family}'")
+                if family in sampled:
+                    fail(lineno, line, f"TYPE for '{family}' after its samples")
+                types[family] = mtype
+            continue
+        m = SAMPLE.match(line)
+        if not m:
+            fail(lineno, line, "unparsable sample line")
+        name = m.group("name")
+        labels = {}
+        raw = m.group("labels")
+        if raw is not None:
+            matched = LABEL.findall(raw)
+            # Reject stray text the label regex skipped over.
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in matched)
+            if re.sub(r"\s|,", "", raw) != re.sub(r"\s|,", "", rebuilt):
+                fail(lineno, line, f"malformed label set '{{{raw}}}'")
+            for key, _ in matched:
+                if not LABEL_NAME.match(key):
+                    fail(lineno, line, f"bad label name '{key}'")
+            labels = dict(matched)
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            fail(lineno, line, f"bad sample value '{m.group('value')}'")
+        family = family_of(name)
+        is_histogram = types.get(family) == "histogram" and name != family
+        if not is_histogram:
+            family = name
+        sampled.add(family)
+        if types.get(family) == "counter" and value < 0:
+            fail(lineno, line, "negative counter value")
+        if is_histogram:
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    fail(lineno, line, "histogram bucket without an 'le' label")
+                le = parse_value(labels["le"])
+                buckets.setdefault(family, {}).setdefault(key, []).append(
+                    (le, value, lineno, line)
+                )
+            elif name.endswith("_sum"):
+                sums[(family, key)] = value
+            elif name.endswith("_count"):
+                counts[(family, key)] = value
+
+    for family, series in buckets.items():
+        for key, rows in series.items():
+            prev_le, prev_count = float("-inf"), 0.0
+            for le, count, lineno, line in rows:
+                if le <= prev_le:
+                    fail(lineno, line, "bucket 'le' bounds not increasing")
+                if count < prev_count:
+                    fail(lineno, line, "bucket counts not cumulative")
+                prev_le, prev_count = le, count
+            last_le, last_count, lineno, line = rows[-1]
+            if last_le != float("inf"):
+                fail(lineno, line, f"histogram '{family}' lacks a +Inf bucket")
+            if (family, key) not in sums:
+                fail(lineno, line, f"histogram '{family}' lacks a _sum series")
+            total = counts.get((family, key))
+            if total is None:
+                fail(lineno, line, f"histogram '{family}' lacks a _count series")
+            if total != last_count:
+                fail(lineno, line, f"_count {total} != +Inf bucket {last_count}")
+
+    missing = [name for name in required if name not in sampled]
+    if missing:
+        sys.exit(f"FAIL: required metric families missing: {', '.join(missing)}")
+    print(
+        f"ok   {len(sampled)} metric families, {len(types)} typed, "
+        f"{len(buckets)} histogram(s)"
+        + (f"; all {len(required)} required present" if required else "")
+    )
+
+
+def main():
+    args = sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        sys.exit(__doc__)
+    path, rest = args[0], args[1:]
+    required = []
+    while rest:
+        if rest[0] != "--require" or len(rest) < 2:
+            sys.exit(__doc__)
+        required.append(rest[1])
+        rest = rest[2:]
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    check(text, required)
+
+
+if __name__ == "__main__":
+    main()
